@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot paths: PBR lookup, NUAT
+ * Table scoring, device legality checks, synthetic trace generation,
+ * and a full simulated memory cycle.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "charge/timing_derate.hh"
+#include "core/nuat_scheduler.hh"
+#include "core/nuat_table.hh"
+#include "core/pbr.hh"
+#include "mem/memory_controller.hh"
+#include "sched/frfcfs_scheduler.hh"
+#include "sim/system.hh"
+#include "trace/synthetic_trace.hh"
+#include "trace/workload_profile.hh"
+
+namespace nuat {
+namespace {
+
+struct ChargeFixture
+{
+    ChargeFixture() : cell(), sa(cell), derate(sa) {}
+
+    CellModel cell;
+    SenseAmpModel sa;
+    TimingDerate derate;
+};
+
+void
+BM_PbrLookup(benchmark::State &state)
+{
+    ChargeFixture f;
+    const NuatConfig cfg = NuatConfig::fromDerate(f.derate, 5);
+    PbrAcquisition pbr(cfg, 8192);
+    const TimingParams tp;
+    RefreshEngine refresh(8192, tp);
+    std::uint32_t row = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pbr.pbOfRow(refresh, row));
+        row = (row + 977) & 8191;
+    }
+}
+BENCHMARK(BM_PbrLookup);
+
+void
+BM_ZoneLookup(benchmark::State &state)
+{
+    ChargeFixture f;
+    const NuatConfig cfg = NuatConfig::fromDerate(f.derate, 5);
+    PbrAcquisition pbr(cfg, 8192);
+    const TimingParams tp;
+    RefreshEngine refresh(8192, tp);
+    std::uint32_t row = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pbr.zoneOfRow(refresh, row));
+        row = (row + 977) & 8191;
+    }
+}
+BENCHMARK(BM_ZoneLookup);
+
+void
+BM_TableScore(benchmark::State &state)
+{
+    ChargeFixture f;
+    const NuatConfig cfg = NuatConfig::fromDerate(f.derate, 5);
+    const NuatTable table(cfg);
+    ScoreInputs in;
+    in.cmd = CmdType::kAct;
+    in.numPb = 5;
+    in.waitCycles = 123;
+    for (auto _ : state) {
+        in.pb = (in.pb + 1) % 5;
+        benchmark::DoNotOptimize(table.score(in));
+    }
+}
+BENCHMARK(BM_TableScore);
+
+void
+BM_DeviceCanIssue(benchmark::State &state)
+{
+    ChargeFixture f;
+    DramDevice dev(DramGeometry{}, TimingParams{}, f.derate);
+    Command act;
+    act.type = CmdType::kAct;
+    act.row = 100;
+    act.actTiming = RowTiming{12, 30, 42};
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dev.canIssue(act, now));
+        ++now;
+    }
+}
+BENCHMARK(BM_DeviceCanIssue);
+
+void
+BM_ChargeEffectiveTiming(benchmark::State &state)
+{
+    ChargeFixture f;
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.derate.effective(t));
+        t += 1e5;
+        if (t > 64e6)
+            t = 0.0;
+    }
+}
+BENCHMARK(BM_ChargeEffectiveTiming);
+
+void
+BM_SyntheticTraceGen(benchmark::State &state)
+{
+    const auto &profile = WorkloadProfile::byName("comm1");
+    SyntheticTrace trace(profile, DramGeometry{}, 1,
+                         ~std::uint64_t(0));
+    TraceEntry e;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next(e));
+}
+BENCHMARK(BM_SyntheticTraceGen);
+
+void
+BM_SystemMemCycle(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    cfg.workloads = {"ferret"};
+    cfg.memOpsPerCore = ~std::uint64_t(0) >> 1;
+    cfg.scheduler =
+        state.range(0) ? SchedulerKind::kNuat : SchedulerKind::kFrFcfsOpen;
+    System system(cfg);
+    for (auto _ : state)
+        system.stepMemCycle();
+}
+BENCHMARK(BM_SystemMemCycle)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"nuat"});
+
+} // namespace
+} // namespace nuat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Environment knobs:
+ *  - NUAT_BENCH_OPS:    memory operations per core (default per bench)
+ *  - NUAT_BENCH_FULL=1: paper-scale runs (all 32 combos, longer traces)
+ */
+
+#ifndef NUAT_BENCH_BENCH_UTIL_HH
+#define NUAT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment_config.hh"
+
+namespace nuat::bench {
+
+/** True when NUAT_BENCH_FULL=1 requests paper-scale runs. */
+inline bool
+fullScale()
+{
+    const char *v = std::getenv("NUAT_BENCH_FULL");
+    return v && v[0] == '1';
+}
+
+/** Memory ops per core: env override, else full/quick default. */
+inline std::uint64_t
+opsPerCore(std::uint64_t quick_default, std::uint64_t full_default)
+{
+    if (const char *v = std::getenv("NUAT_BENCH_OPS"))
+        return std::strtoull(v, nullptr, 10);
+    return fullScale() ? full_default : quick_default;
+}
+
+/** Mean of per-core finish times [CPU cycles]. */
+inline double
+avgCoreFinish(const RunResult &r)
+{
+    double sum = 0.0;
+    for (const auto c : r.coreFinish)
+        sum += static_cast<double>(c);
+    return r.coreFinish.empty() ? 0.0 : sum / r.coreFinish.size();
+}
+
+/** Print the standard bench header. */
+inline void
+header(const char *figure, const char *what)
+{
+    std::printf("=== %s — %s ===\n", figure, what);
+    std::printf("(NUAT reproduction; synthetic MSC-style workloads; "
+                "shapes comparable to the paper, absolute numbers are "
+                "not — see EXPERIMENTS.md)\n\n");
+}
+
+} // namespace nuat::bench
+
+#endif // NUAT_BENCH_BENCH_UTIL_HH

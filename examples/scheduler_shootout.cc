@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Scheduler shootout: run the same workload (same synthesized trace)
+ * under FCFS, FR-FCFS open/close, and NUAT, and compare.
+ *
+ *   ./scheduler_shootout [workload] [memops]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/report.hh"
+#include "sim/runner.hh"
+
+using namespace nuat;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.workloads = {argc > 1 ? argv[1] : "mummer"};
+    cfg.memOpsPerCore =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
+
+    std::printf("%s\n", describeConfig(cfg).c_str());
+
+    const auto results = runSchedulerSweep(
+        cfg, {SchedulerKind::kFcfs, SchedulerKind::kFrFcfsOpen,
+              SchedulerKind::kFrFcfsClose, SchedulerKind::kNuat});
+    std::printf("%s\n", compareRuns(results).c_str());
+
+    const double open = results[1].avgReadLatency();
+    const double close = results[2].avgReadLatency();
+    const double nuat = results[3].avgReadLatency();
+    std::printf("NUAT read-latency reduction: %+.1f%% vs FR-FCFS(open), "
+                "%+.1f%% vs FR-FCFS(close)\n",
+                percentReduction(open, nuat),
+                percentReduction(close, nuat));
+    std::printf("NUAT execution-time reduction: %+.1f%% vs open, "
+                "%+.1f%% vs close\n",
+                percentReduction(
+                    static_cast<double>(results[1].executionTime()),
+                    static_cast<double>(results[3].executionTime())),
+                percentReduction(
+                    static_cast<double>(results[2].executionTime()),
+                    static_cast<double>(results[3].executionTime())));
+    return 0;
+}

@@ -1,0 +1,89 @@
+#include "binning.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace nuat {
+
+double
+BinningResult::meanBin() const
+{
+    if (dies == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < binCounts.size(); ++k)
+        sum += static_cast<double>(k) * binCounts[k];
+    return sum / static_cast<double>(dies);
+}
+
+BinningProcess::BinningProcess(const TimingDerate &derate,
+                               unsigned max_pb)
+    : derate_(derate), maxPb_(max_pb)
+{
+    nuat_assert(maxPb_ >= 1);
+}
+
+unsigned
+BinningProcess::maxSafePb(double margin_factor) const
+{
+    if (margin_factor <= 0.0)
+        return 1;
+    // The die's guaranteed whole-cycle head-room right after refresh
+    // bounds the depth of its fastest speed class: a k-PB device needs
+    // a top class (k-1) tRCD cycles and 2(k-1) tRAS cycles under
+    // nominal (the Table 4 ladder).
+    const Clock &clock = derate_.clock();
+    const Cycle rcd = clock.toCyclesFloor(
+        margin_factor * derate_.trcdReductionNs(0.0));
+    const Cycle ras = clock.toCyclesFloor(
+        margin_factor * derate_.trasReductionNs(0.0));
+    const Cycle depth = std::min<Cycle>(rcd, ras / 2);
+    const unsigned bin = 1 + static_cast<unsigned>(depth);
+    return bin > maxPb_ ? maxPb_ : bin;
+}
+
+unsigned
+BinningProcess::binOf(const DieMargin &die, bool with_ecc) const
+{
+    nuat_assert(die.worstCellFactor <= die.bulkFactor + 1e-12);
+    // With single-error correction the isolated weak words cannot
+    // corrupt data even when run at the bulk rating (paper Sec. 10.2);
+    // without it, the worst cell dictates the bin.
+    const double governing =
+        with_ecc ? die.bulkFactor : die.worstCellFactor;
+    return maxSafePb(governing);
+}
+
+BinningResult
+BinningProcess::binPopulation(std::uint64_t dies, const PvtParams &pvt,
+                              std::uint64_t seed, bool with_ecc) const
+{
+    Rng rng(seed);
+    BinningResult result;
+    result.binCounts.assign(maxPb_ + 1, 0);
+    result.dies = dies;
+
+    for (std::uint64_t d = 0; d < dies; ++d) {
+        DieMargin die;
+        // Normal via the sum of uniforms (Irwin-Hall, 12 terms).
+        double n = 0.0;
+        for (int i = 0; i < 12; ++i)
+            n += rng.uniform();
+        die.bulkFactor = 1.0 + pvt.bulkSigma * (n - 6.0);
+        die.bulkFactor = std::clamp(die.bulkFactor, 0.0, 1.2);
+        // Exponential outlier penalty on the worst cell.
+        const double penalty =
+            static_cast<double>(rng.geometric(pvt.outlierMean * 100.0)) /
+            100.0;
+        die.worstCellFactor =
+            std::max(0.0, die.bulkFactor - penalty);
+        die.weakWords = static_cast<unsigned>(
+            rng.geometric(pvt.weakWordsMean));
+        ++result.binCounts[binOf(die, with_ecc)];
+    }
+    return result;
+}
+
+} // namespace nuat

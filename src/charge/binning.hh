@@ -1,0 +1,121 @@
+/**
+ * @file
+ * NUAT binning (paper Sec. 10, Fig. 23).
+ *
+ * Process/voltage/temperature variation means not every die has the
+ * full 5.6 ns / 10.4 ns of charge head-room.  The paper's proposal:
+ * instead of designing the controller for the worst die, *bin* dies by
+ * how many PBs their margin supports (1PB-DRAM .. 5PB-DRAM) and sell
+ * the faster bins at a premium; architectural support (ECC) relaxes
+ * the binning because "faulty words are too rare in DRAM, and almost
+ * all faulty words only have one faulty cell" (ArchShield) — a die
+ * held back by a handful of weak cells can be sold one class up when
+ * a 1-bit-correcting code covers those cells.
+ *
+ * We model a die by two margin factors scaling the nominal reduction
+ * curve: the *bulk* factor (the typical cell) and the *worst-cell*
+ * factor (bulk minus an outlier penalty).  Without ECC the worst cell
+ * sets the bin; with single-error correction, isolated weak cells are
+ * correctable and the bulk sets the bin.
+ */
+
+#ifndef NUAT_CHARGE_BINNING_HH
+#define NUAT_CHARGE_BINNING_HH
+
+#include <vector>
+
+#include "timing_derate.hh"
+
+namespace nuat {
+
+/** Margin model of one manufactured die. */
+struct DieMargin
+{
+    /** Fraction of the nominal reduction curve the typical cell
+     *  achieves (1.0 = nominal silicon; <1.0 = slow corner). */
+    double bulkFactor = 1.0;
+
+    /** Same for the die's worst cell (<= bulkFactor). */
+    double worstCellFactor = 1.0;
+
+    /** Number of isolated weak words (1-bit ECC-correctable). */
+    unsigned weakWords = 0;
+};
+
+/** Statistical parameters of the manufacturing distribution. */
+struct PvtParams
+{
+    /** Std-dev of the (normal) bulk margin factor around 1.0. */
+    double bulkSigma = 0.08;
+
+    /** Mean of the (exponential) extra outlier penalty on the worst
+     *  cell. */
+    double outlierMean = 0.10;
+
+    /** Mean number of weak words per die (Poisson-ish). */
+    double weakWordsMean = 2.0;
+};
+
+/** Outcome of binning a population of dies. */
+struct BinningResult
+{
+    /** Dies per bin, index = supported PB count (0 unused). */
+    std::vector<std::uint64_t> binCounts;
+
+    /** Total dies classified. */
+    std::uint64_t dies = 0;
+
+    /** Mean supported PB count. */
+    double meanBin() const;
+};
+
+/** Classifies dies into #PB bins against a calibrated curve. */
+class BinningProcess
+{
+  public:
+    /**
+     * @param derate  nominal (typical-silicon) derating model
+     * @param max_pb  the largest bin offered (paper: 5)
+     */
+    explicit BinningProcess(const TimingDerate &derate,
+                            unsigned max_pb = 5);
+
+    /**
+     * Largest PB count a die with reduction curve scaled by
+     * @p margin_factor supports.  A k-PB device must guarantee a top
+     * speed class k-1 whole tRCD cycles (and 2(k-1) tRAS cycles)
+     * faster than nominal right after refresh; the die's scaled
+     * head-room caps that depth.  (A binned device ships with its own
+     * k-level timing table derived from its curve, exactly as
+     * deriveGroups does for nominal silicon.)  Always >= 1: 1PB is
+     * the worst-case baseline every die supports.
+     */
+    unsigned maxSafePb(double margin_factor) const;
+
+    /**
+     * Bin a single die: without ECC the worst cell governs; with
+     * 1-bit ECC, isolated weak words are correctable, so the bulk
+     * margin governs (paper Sec. 10.2).
+     */
+    unsigned binOf(const DieMargin &die, bool with_ecc) const;
+
+    /**
+     * Bin a synthetic production run of @p dies dies drawn from
+     * @p pvt (deterministic in @p seed).
+     */
+    BinningResult binPopulation(std::uint64_t dies,
+                                const PvtParams &pvt,
+                                std::uint64_t seed,
+                                bool with_ecc) const;
+
+    /** The largest bin offered. */
+    unsigned maxPb() const { return maxPb_; }
+
+  private:
+    const TimingDerate &derate_;
+    unsigned maxPb_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CHARGE_BINNING_HH

@@ -1,0 +1,42 @@
+#include "cell_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+CellModel::CellModel(const ChargeParams &params) : params_(params)
+{
+    nuat_assert(params_.vdd > 0.0);
+    nuat_assert(params_.cellCap > 0.0 && params_.bitlineCap > 0.0);
+    nuat_assert(params_.retentionNs > 0.0);
+    // The worst-case cell must still be readable: its voltage has to
+    // stay above the VDD/2 bit-line precharge level.
+    nuat_assert(params_.endVoltageFrac > 0.5 && params_.endVoltageFrac < 1.0,
+                "(endVoltageFrac %.3f outside (0.5, 1))",
+                params_.endVoltageFrac);
+    tauNs_ = params_.retentionNs / std::log(1.0 / params_.endVoltageFrac);
+}
+
+double
+CellModel::voltage(double elapsed_ns) const
+{
+    nuat_assert(elapsed_ns >= 0.0);
+    return params_.vdd * std::exp(-elapsed_ns / tauNs_);
+}
+
+double
+CellModel::deltaV(double elapsed_ns) const
+{
+    const double headroom = voltage(elapsed_ns) - 0.5 * params_.vdd;
+    return headroom * transferRatio();
+}
+
+double
+CellModel::transferRatio() const
+{
+    return params_.cellCap / (params_.cellCap + params_.bitlineCap);
+}
+
+} // namespace nuat

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytical DRAM cell leakage and charge-sharing model.
+ *
+ * A cell storing a '1' is written to VDD by the restore phase of the last
+ * activation or refresh, then leaks.  We model the stored voltage with a
+ * single-pole exponential decay whose time constant is fixed by the
+ * requirement that a worst-case cell still holds
+ * ChargeParams::endVoltageFrac * VDD at the end of the 64 ms retention
+ * period.
+ *
+ * Charge sharing onto a half-VDD precharged bit line produces the
+ * sense-amp seed voltage
+ *
+ *     dV(t) = (Vcell(t) - VDD/2) * Cc / (Cc + Cb)
+ *
+ * which decreases monotonically from the moment the row was refreshed —
+ * the physical effect the whole NUAT controller is built on.
+ */
+
+#ifndef NUAT_CHARGE_CELL_MODEL_HH
+#define NUAT_CHARGE_CELL_MODEL_HH
+
+#include "charge_params.hh"
+
+namespace nuat {
+
+/** Stored-voltage and charge-sharing model for one DRAM cell. */
+class CellModel
+{
+  public:
+    /** Build the model; derives the leakage time constant. */
+    explicit CellModel(const ChargeParams &params = ChargeParams{});
+
+    /** Stored cell voltage [V] @p elapsed_ns after the last refresh. */
+    double voltage(double elapsed_ns) const;
+
+    /**
+     * Sense-amp seed voltage dV [V] when the row is activated
+     * @p elapsed_ns after its last refresh.  Always positive within the
+     * retention period.
+     */
+    double deltaV(double elapsed_ns) const;
+
+    /** dV at full charge (elapsed == 0). */
+    double deltaVFull() const { return deltaV(0.0); }
+
+    /** dV at the retention worst case (elapsed == retention). */
+    double deltaVWorst() const { return deltaV(params_.retentionNs); }
+
+    /** Charge-transfer ratio Cc / (Cc + Cb). */
+    double transferRatio() const;
+
+    /** The parameters this model was built from. */
+    const ChargeParams &params() const { return params_; }
+
+  private:
+    ChargeParams params_;
+    double tauNs_; //!< leakage time constant [ns]
+};
+
+} // namespace nuat
+
+#endif // NUAT_CHARGE_CELL_MODEL_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical parameters for the DRAM cell / sense-amplifier model.
+ *
+ * The paper ran SPICE on a publicly available 55 nm DDR3 2 Gb process
+ * (its refs [28, 21]: Vogelsang MICRO'10 and the Rambus power model).
+ * We substitute an analytical model using the same class of parameters:
+ * cell and bit-line capacitance, supply voltage, retention time, and an
+ * empirical sense-amp response calibrated against the paper's published
+ * Fig. 9 endpoints (tRCD reducible by up to 5.6 ns, tRAS by 10.4 ns) and
+ * the Table 4 non-uniform PB grouping its nonlinearity produces.
+ */
+
+#ifndef NUAT_CHARGE_CHARGE_PARAMS_HH
+#define NUAT_CHARGE_CHARGE_PARAMS_HH
+
+namespace nuat {
+
+/** Parameters of the analytical cell / sense-amp model. */
+struct ChargeParams
+{
+    /** DDR3 core supply voltage [V]. */
+    double vdd = 1.5;
+
+    /** Cell storage capacitance [F] (55 nm class, ~24 fF). */
+    double cellCap = 24e-15;
+
+    /** Bit-line capacitance [F] (55 nm class, ~85 fF). */
+    double bitlineCap = 85e-15;
+
+    /** DRAM retention / refresh period [ns] (64 ms). */
+    double retentionNs = 64e6;
+
+    /**
+     * Fraction of VDD still stored in a worst-case cell at the end of
+     * the retention period.  Determines the minimum sense-amp seed
+     * voltage that nominal DRAM timing is specified for.
+     */
+    double endVoltageFrac = 0.55;
+
+    /**
+     * Maximum tRCD reduction at full charge relative to the retention
+     * worst case [ns] (paper Fig. 9(a): 5.6 ns).
+     */
+    double maxTrcdReductionNs = 5.6;
+
+    /**
+     * Maximum tRAS reduction at full charge relative to the retention
+     * worst case [ns] (paper Fig. 9(a): 10.4 ns).
+     */
+    double maxTrasReductionNs = 10.4;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CHARGE_CHARGE_PARAMS_HH

@@ -1,0 +1,83 @@
+#include "interp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+MonotoneCubic::MonotoneCubic(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys))
+{
+    nuat_assert(xs_.size() == ys_.size());
+    nuat_assert(xs_.size() >= 2);
+    for (std::size_t i = 1; i < xs_.size(); ++i)
+        nuat_assert(xs_[i] > xs_[i - 1], "(anchors must increase)");
+
+    const std::size_t n = xs_.size();
+    std::vector<double> d(n - 1); // secant slopes
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        d[i] = (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+
+    slopes_.resize(n);
+    slopes_[0] = d[0];
+    slopes_[n - 1] = d[n - 2];
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        if (d[i - 1] * d[i] <= 0.0) {
+            slopes_[i] = 0.0;
+        } else {
+            // Harmonic mean keeps the interpolant monotone.
+            slopes_[i] = 2.0 / (1.0 / d[i - 1] + 1.0 / d[i]);
+        }
+    }
+
+    // Fritsch–Carlson limiter: keep (m_i/d_i, m_{i+1}/d_i) inside a
+    // circle of radius 3 so no interval overshoots.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (d[i] == 0.0) {
+            slopes_[i] = 0.0;
+            slopes_[i + 1] = 0.0;
+            continue;
+        }
+        const double a = slopes_[i] / d[i];
+        const double b = slopes_[i + 1] / d[i];
+        const double s = a * a + b * b;
+        if (s > 9.0) {
+            const double t = 3.0 / std::sqrt(s);
+            slopes_[i] = t * a * d[i];
+            slopes_[i + 1] = t * b * d[i];
+        }
+    }
+}
+
+double
+MonotoneCubic::eval(double x) const
+{
+    if (x <= xs_.front())
+        return ys_.front();
+    if (x >= xs_.back())
+        return ys_.back();
+
+    // Binary search for the containing interval.
+    std::size_t lo = 0, hi = xs_.size() - 1;
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (xs_[mid] <= x)
+            lo = mid;
+        else
+            hi = mid;
+    }
+
+    const double h = xs_[hi] - xs_[lo];
+    const double t = (x - xs_[lo]) / h;
+    const double t2 = t * t;
+    const double t3 = t2 * t;
+    const double h00 = 2 * t3 - 3 * t2 + 1;
+    const double h10 = t3 - 2 * t2 + t;
+    const double h01 = -2 * t3 + 3 * t2;
+    const double h11 = t3 - t2;
+    return h00 * ys_[lo] + h10 * h * slopes_[lo] + h01 * ys_[hi] +
+           h11 * h * slopes_[hi];
+}
+
+} // namespace nuat

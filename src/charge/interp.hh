@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Monotone piecewise-cubic interpolation (Fritsch–Carlson / PCHIP).
+ *
+ * The charge module calibrates the sense-amplifier response against the
+ * anchor points published in the paper's Fig. 9 / Table 4.  A monotone
+ * interpolant guarantees that the fitted latency curve never oscillates
+ * between anchors, which the safety proofs in TimingDerate rely on.
+ */
+
+#ifndef NUAT_CHARGE_INTERP_HH
+#define NUAT_CHARGE_INTERP_HH
+
+#include <vector>
+
+namespace nuat {
+
+/**
+ * A C1 monotonicity-preserving cubic interpolant through a set of
+ * strictly-increasing x anchors.  Outside the anchor range the curve is
+ * clamped to the end values.
+ */
+class MonotoneCubic
+{
+  public:
+    /**
+     * Build the interpolant.
+     * @param xs strictly increasing abscissae (>= 2 points)
+     * @param ys ordinates; must be monotone (either direction) for the
+     *           monotonicity guarantee to be meaningful
+     */
+    MonotoneCubic(std::vector<double> xs, std::vector<double> ys);
+
+    /** Evaluate at @p x (clamped to the anchor range). */
+    double eval(double x) const;
+
+    /** Smallest anchor abscissa. */
+    double xMin() const { return xs_.front(); }
+
+    /** Largest anchor abscissa. */
+    double xMax() const { return xs_.back(); }
+
+  private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+    std::vector<double> slopes_; //!< fitted tangent at each anchor
+};
+
+} // namespace nuat
+
+#endif // NUAT_CHARGE_INTERP_HH

@@ -1,0 +1,83 @@
+#include "sense_amp_model.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+namespace {
+
+/**
+ * Calibration anchors, as (u, remaining-reduction) pairs where u is the
+ * elapsed time since refresh as a fraction of the retention period.
+ *
+ * The u positions are the crossing points implied by the paper's Table 4
+ * grouping of 32 linear slices (#LP = 32) into 5 PBs of sizes
+ * 3/5/6/8/10: the available latency reduction crosses the 4-, 3-, 2- and
+ * 1-cycle boundaries (at 800 MHz: 5.0, 3.75, 2.5, 1.25 ns) just after
+ * slices 3, 8, 14 and 22 end — i.e. inside slices 3, 8, 14 and 22.
+ */
+constexpr double kAnchorU[] = {0.0, 0.114, 0.2706, 0.458, 0.708, 1.0};
+
+/** tRCD-reduction [ns] remaining at each anchor (Fig. 9(a): max 5.6). */
+constexpr double kTrcdReduction[] = {5.6, 5.0, 3.75, 2.5, 1.25, 0.0};
+
+/** tRAS-reduction [ns] remaining at each anchor (Fig. 9(a): max 10.4). */
+constexpr double kTrasReduction[] = {10.4, 10.0, 7.5, 5.0, 2.5, 0.0};
+
+constexpr std::size_t kAnchors = sizeof(kAnchorU) / sizeof(kAnchorU[0]);
+
+} // namespace
+
+MonotoneCubic
+SenseAmpModel::buildSpline(const CellModel &cell, const double *reductions,
+                           double max_reduction_ns)
+{
+    const double retention = cell.params().retentionNs;
+    const double dv_full = cell.deltaVFull();
+    const double scale = max_reduction_ns / reductions[0];
+
+    std::vector<double> xs(kAnchors);
+    std::vector<double> ys(kAnchors);
+    for (std::size_t i = 0; i < kAnchors; ++i) {
+        const double dv = cell.deltaV(kAnchorU[i] * retention);
+        nuat_assert(dv > 0.0);
+        xs[i] = std::log(dv_full / dv);
+        // The *extra delay* grows as the reduction head-room shrinks.
+        ys[i] = (reductions[0] - reductions[i]) * scale;
+    }
+    return MonotoneCubic(std::move(xs), std::move(ys));
+}
+
+SenseAmpModel::SenseAmpModel(const CellModel &cell)
+    : cell_(cell),
+      sense_(buildSpline(cell, kTrcdReduction,
+                         cell.params().maxTrcdReductionNs)),
+      restore_(buildSpline(cell, kTrasReduction,
+                           cell.params().maxTrasReductionNs))
+{
+}
+
+double
+SenseAmpModel::xOf(double dv) const
+{
+    nuat_assert(dv > 0.0, "(sense amp fed non-positive dV %g)", dv);
+    const double full = cell_.deltaVFull();
+    return dv >= full ? 0.0 : std::log(full / dv);
+}
+
+double
+SenseAmpModel::senseDelayNs(double dv) const
+{
+    return sense_.eval(xOf(dv));
+}
+
+double
+SenseAmpModel::restoreDelayNs(double dv) const
+{
+    return restore_.eval(xOf(dv));
+}
+
+} // namespace nuat

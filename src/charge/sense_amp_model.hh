@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sense-amplifier response model.
+ *
+ * A DRAM sense amp is a regenerative latch: the smaller the seed voltage
+ * difference dV, the longer it takes to develop a full-swing bit-line
+ * value (sensing, gating tRCD) and to restore the cell (gating tRAS).
+ * A pure small-signal latch gives t = tau * ln(Vswing / dV); real sense
+ * amps deviate from that law (the paper's Fig. 9(b) "nonlinearity",
+ * caused by the amplifier leaving its linear region), which is exactly
+ * why the paper's PB sizes are non-uniform.
+ *
+ * We therefore model the response as a monotone-cubic curve over
+ * x = ln(dV_full / dV), calibrated so that
+ *   - the full-charge vs end-of-retention spread matches Fig. 9(a)
+ *     (5.6 ns of sensing, 10.4 ns of sensing+restore), and
+ *   - the curve's shape reproduces the paper's Table 4 grouping of 32
+ *     linear slices into PBs of size 3/5/6/8/10 (the published
+ *     consequence of the SPICE nonlinearity).
+ *
+ * The calibration anchors live here; everything downstream (device
+ * ground-truth timing, PBR groupings, figure benches) is derived.
+ */
+
+#ifndef NUAT_CHARGE_SENSE_AMP_MODEL_HH
+#define NUAT_CHARGE_SENSE_AMP_MODEL_HH
+
+#include "cell_model.hh"
+#include "interp.hh"
+
+namespace nuat {
+
+/** Maps sense-amp seed voltage dV to sensing / restore delays. */
+class SenseAmpModel
+{
+  public:
+    /**
+     * Calibrate against @p cell: the anchor elapsed-times are converted
+     * to dV through the cell model so both models stay consistent.
+     */
+    explicit SenseAmpModel(const CellModel &cell);
+
+    /**
+     * Extra *sensing* delay [ns] at seed voltage @p dv, relative to a
+     * fully charged cell.  0 at dV_full, maxTrcdReductionNs at dV_worst.
+     * Gates tRCD.
+     */
+    double senseDelayNs(double dv) const;
+
+    /**
+     * Extra *sensing + restore* delay [ns] at seed voltage @p dv,
+     * relative to a fully charged cell.  0 at dV_full,
+     * maxTrasReductionNs at dV_worst.  Gates tRAS.
+     */
+    double restoreDelayNs(double dv) const;
+
+    /** The cell model used for calibration. */
+    const CellModel &cell() const { return cell_; }
+
+  private:
+    /** Normalized log voltage ratio x = ln(dV_full / dv). */
+    double xOf(double dv) const;
+
+    /** Builds one calibrated delay spline over x = ln(dV_full / dV). */
+    static MonotoneCubic buildSpline(const CellModel &cell,
+                                     const double *reductions,
+                                     double max_reduction_ns);
+
+    CellModel cell_;
+    MonotoneCubic sense_;
+    MonotoneCubic restore_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CHARGE_SENSE_AMP_MODEL_HH

@@ -1,0 +1,131 @@
+#include "timing_derate.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+TimingDerate::TimingDerate(const SenseAmpModel &sense_amp,
+                           const NominalTiming &nominal, const Clock &clock)
+    : senseAmp_(sense_amp), nominal_(nominal), clock_(clock)
+{
+    nuat_assert(nominal_.trcd > 0 && nominal_.tras > 0 && nominal_.trp > 0);
+    // The calibration promises at most these reductions; the nominal
+    // timing must leave room for them.
+    const Cycle max_rcd = clock_.toCyclesFloor(
+        senseAmp_.cell().params().maxTrcdReductionNs);
+    const Cycle max_ras = clock_.toCyclesFloor(
+        senseAmp_.cell().params().maxTrasReductionNs);
+    nuat_assert(max_rcd < nominal_.trcd && max_ras < nominal_.tras,
+                "(derating exceeds nominal timing)");
+}
+
+double
+TimingDerate::retentionNs() const
+{
+    return senseAmp_.cell().params().retentionNs;
+}
+
+double
+TimingDerate::trcdReductionNs(double elapsed_ns) const
+{
+    const double max_red = senseAmp_.cell().params().maxTrcdReductionNs;
+    const double dv = senseAmp_.cell().deltaV(elapsed_ns);
+    const double red = max_red - senseAmp_.senseDelayNs(dv);
+    return std::max(0.0, red);
+}
+
+double
+TimingDerate::trasReductionNs(double elapsed_ns) const
+{
+    const double max_red = senseAmp_.cell().params().maxTrasReductionNs;
+    const double dv = senseAmp_.cell().deltaV(elapsed_ns);
+    const double red = max_red - senseAmp_.restoreDelayNs(dv);
+    return std::max(0.0, red);
+}
+
+RowTiming
+TimingDerate::effective(double elapsed_ns) const
+{
+    const Cycle rcd_red = clock_.toCyclesFloor(trcdReductionNs(elapsed_ns));
+    const Cycle ras_red = clock_.toCyclesFloor(trasReductionNs(elapsed_ns));
+    RowTiming t;
+    t.trcd = nominal_.trcd - rcd_red;
+    t.tras = nominal_.tras - ras_red;
+    t.trc = t.tras + nominal_.trp;
+    return t;
+}
+
+std::vector<PbGroup>
+TimingDerate::deriveGroups(unsigned num_pb, unsigned num_slices,
+                           double slack_ns) const
+{
+    nuat_assert(num_pb >= 1, "(need at least one PB)");
+    nuat_assert(num_slices >= num_pb, "(more PBs than slices)");
+
+    const double retention = retentionNs();
+    const double slice_ns = retention / num_slices;
+
+    // Classify every slice by its safe whole-cycle reduction level at
+    // the slice's oldest edge plus the refresh-slack guard.
+    std::vector<PbGroup> groups;
+    for (unsigned s = 0; s < num_slices; ++s) {
+        const double worst = (s + 1) * slice_ns + slack_ns;
+        const Cycle rcd_red = clock_.toCyclesFloor(trcdReductionNs(worst));
+        const Cycle ras_red = clock_.toCyclesFloor(trasReductionNs(worst));
+        if (!groups.empty() &&
+            groups.back().trcdReduction == rcd_red &&
+            groups.back().trasReduction == ras_red) {
+            ++groups.back().slices;
+            continue;
+        }
+        PbGroup g;
+        g.slices = 1;
+        g.trcdReduction = rcd_red;
+        g.trasReduction = ras_red;
+        g.timing.trcd = nominal_.trcd - rcd_red;
+        g.timing.tras = nominal_.tras - ras_red;
+        g.timing.trc = g.timing.tras + nominal_.trp;
+        groups.push_back(g);
+    }
+
+    // Reductions must be monotonically non-increasing from slice 0 on;
+    // anything else means the calibration curve is broken.
+    for (std::size_t i = 1; i < groups.size(); ++i) {
+        nuat_assert(groups[i].trcdReduction < groups[i - 1].trcdReduction ||
+                        groups[i].trasReduction <
+                            groups[i - 1].trasReduction,
+                    "(non-monotone derating levels)");
+    }
+
+    if (num_pb > groups.size()) {
+        nuat_fatal("requested %u PBs but the derating curve only has %zu "
+                   "distinct timing levels at %u slices",
+                   num_pb, groups.size(), num_slices);
+    }
+
+    // Merge adjacent levels (keeping the slower rating) until the target
+    // PB count is reached; always pick the merge that forfeits the
+    // least total reduction (faster-group slices x cycles given up).
+    while (groups.size() > num_pb) {
+        std::size_t best = 0;
+        std::uint64_t best_loss = ~std::uint64_t(0);
+        for (std::size_t i = 0; i + 1 < groups.size(); ++i) {
+            const std::uint64_t loss =
+                static_cast<std::uint64_t>(groups[i].slices) *
+                ((groups[i].trcdReduction - groups[i + 1].trcdReduction) +
+                 (groups[i].trasReduction - groups[i + 1].trasReduction));
+            if (loss < best_loss) {
+                best_loss = loss;
+                best = i;
+            }
+        }
+        groups[best + 1].slices += groups[best].slices;
+        groups.erase(groups.begin() + best);
+    }
+
+    return groups;
+}
+
+} // namespace nuat

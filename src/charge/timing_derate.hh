@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Charge-aware DRAM timing derating.
+ *
+ * Combines the cell and sense-amp models into the mapping the rest of
+ * the system consumes: *elapsed time since a row's last refresh* to the
+ * row's true minimum activation timing (tRCD / tRAS / tRC).
+ *
+ * Also derives Partitioned-Bank groupings: the 32 linear slices of the
+ * retention period (#LP = 32, paper Sec. 8) grouped into N PBs with a
+ * per-PB rated timing that is safe for *every* row in the PB (the rated
+ * value is taken at the PB's oldest edge plus a refresh-slack guard).
+ */
+
+#ifndef NUAT_CHARGE_TIMING_DERATE_HH
+#define NUAT_CHARGE_TIMING_DERATE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "sense_amp_model.hh"
+
+namespace nuat {
+
+/** Effective activation timing for one row at one instant. */
+struct RowTiming
+{
+    Cycle trcd; //!< ACT -> column command [cycles]
+    Cycle tras; //!< ACT -> PRE [cycles]
+    Cycle trc;  //!< ACT -> next ACT, same bank [cycles]
+};
+
+/** One partitioned bank: its width in linear slices and rated timing. */
+struct PbGroup
+{
+    unsigned slices;         //!< width in linear PRE_PB slices
+    RowTiming timing;        //!< rated (safe, worst-case) timing
+    Cycle trcdReduction;     //!< cycles shaved off nominal tRCD
+    Cycle trasReduction;     //!< cycles shaved off nominal tRAS
+};
+
+/** Nominal (datasheet) activation timing used as the derating base. */
+struct NominalTiming
+{
+    Cycle trcd = 12; //!< 15 ns at 800 MHz (paper Table 3)
+    Cycle tras = 30; //!< 37.5 ns
+    Cycle trp = 12;  //!< 15 ns; tRC = tRAS + tRP = 52.5 ns = 42 cycles
+
+    /** Nominal tRC [cycles]. */
+    Cycle trc() const { return tras + trp; }
+};
+
+/** Maps elapsed-since-refresh to effective row timing and PB groupings. */
+class TimingDerate
+{
+  public:
+    /**
+     * @param sense_amp calibrated response model
+     * @param nominal   datasheet timing the reductions apply to
+     * @param clock     the memory bus clock (cycle <-> ns conversions)
+     */
+    TimingDerate(const SenseAmpModel &sense_amp,
+                 const NominalTiming &nominal = NominalTiming{},
+                 const Clock &clock = kMemClock);
+
+    /** Continuous tRCD reduction [ns] available @p elapsed_ns after
+     *  refresh. */
+    double trcdReductionNs(double elapsed_ns) const;
+
+    /** Continuous tRAS reduction [ns] available @p elapsed_ns after
+     *  refresh. */
+    double trasReductionNs(double elapsed_ns) const;
+
+    /**
+     * True minimum timing for a row activated @p elapsed_ns after its
+     * last refresh.  Reductions are rounded *down* to whole cycles, so
+     * the result is always safe.
+     */
+    RowTiming effective(double elapsed_ns) const;
+
+    /**
+     * Group @p num_slices linear slices of the retention period into
+     * @p num_pb partitioned banks.
+     *
+     * Slices are first classified by their whole-cycle reduction level
+     * at the slice's oldest edge (plus @p slack_ns of refresh-schedule
+     * guard), then adjacent levels are merged pairwise — always keeping
+     * the slower rating — until @p num_pb groups remain, choosing the
+     * merge that forfeits the least total reduction.  For num_pb == 5
+     * and the default calibration this reproduces the paper's Table 4
+     * exactly (sizes 3/5/6/8/10, tRCD 8..12, tRAS 22..30, tRC 34..42).
+     *
+     * @param num_pb     target number of PBs (1 = no derating)
+     * @param num_slices #LP, the linear division (paper uses 32)
+     * @param slack_ns   guard for refresh-schedule jitter
+     */
+    std::vector<PbGroup> deriveGroups(unsigned num_pb,
+                                      unsigned num_slices = 32,
+                                      double slack_ns = 1e6) const;
+
+    /** The nominal timing reductions are applied to. */
+    const NominalTiming &nominal() const { return nominal_; }
+
+    /** The sense-amp model in use. */
+    const SenseAmpModel &senseAmp() const { return senseAmp_; }
+
+    /** The bus clock in use. */
+    const Clock &clock() const { return clock_; }
+
+    /** Retention period [ns] (from the cell model). */
+    double retentionNs() const;
+
+  private:
+    SenseAmpModel senseAmp_;
+    NominalTiming nominal_;
+    Clock clock_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CHARGE_TIMING_DERATE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-twiddling helpers used by address mapping and PBR.
+ */
+
+#ifndef NUAT_COMMON_BITUTILS_HH
+#define NUAT_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace nuat {
+
+/** True when @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Base-2 logarithm of a power of two.
+ * @param v must be a non-zero power of two.
+ */
+inline unsigned
+log2Exact(std::uint64_t v)
+{
+    nuat_assert(isPowerOfTwo(v), "(log2Exact of %llu)",
+                static_cast<unsigned long long>(v));
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Ceiling base-2 logarithm (log2Ceil(1) == 0). */
+inline unsigned
+log2Ceil(std::uint64_t v)
+{
+    nuat_assert(v != 0);
+    unsigned n = 0;
+    std::uint64_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Extract @p width bits of @p v starting at bit @p lsb. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lsb, unsigned width)
+{
+    return (v >> lsb) & ((width >= 64) ? ~std::uint64_t(0)
+                                       : ((std::uint64_t(1) << width) - 1));
+}
+
+/** Insert @p field (of @p width bits) into @p v at bit @p lsb. */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, unsigned lsb, unsigned width,
+           std::uint64_t field)
+{
+    const std::uint64_t mask =
+        ((width >= 64) ? ~std::uint64_t(0)
+                       : ((std::uint64_t(1) << width) - 1));
+    return (v & ~(mask << lsb)) | ((field & mask) << lsb);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_BITUTILS_HH

@@ -1,0 +1,142 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace nuat {
+
+namespace {
+
+std::string *captureBuf = nullptr;
+bool panicThrows = false;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out(n > 0 ? n : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::string line = std::string(tag) + msg + "\n";
+    if (captureBuf) {
+        *captureBuf += line;
+    } else {
+        std::fputs(line.c_str(), stderr);
+    }
+}
+
+} // namespace
+
+void
+LogCapture::begin()
+{
+    if (!captureBuf)
+        captureBuf = new std::string();
+    captureBuf->clear();
+}
+
+std::string
+LogCapture::end()
+{
+    if (!captureBuf)
+        return {};
+    std::string out = *captureBuf;
+    delete captureBuf;
+    captureBuf = nullptr;
+    return out;
+}
+
+bool
+LogCapture::active()
+{
+    return captureBuf != nullptr;
+}
+
+/** Error thrown from panic()/fatal() when test mode is enabled. */
+void
+setPanicThrows(bool enable)
+{
+    panicThrows = enable;
+}
+
+namespace logging_detail {
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::string full =
+        msg + " @ " + file + ":" + std::to_string(line);
+    if (panicThrows)
+        throw std::logic_error("panic: " + full);
+    emit("panic: ", full);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::string full =
+        msg + " @ " + file + ":" + std::to_string(line);
+    if (panicThrows)
+        throw std::runtime_error("fatal: " + full);
+    emit("fatal: ", full);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("warn: ", vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit("info: ", vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+assertFail(const char *file, int line, const char *cond)
+{
+    panicImpl(file, line, "assertion failed: %s", cond);
+}
+
+void
+assertFail(const char *file, int line, const char *cond, const char *fmt,
+           ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    panicImpl(file, line, "assertion failed: %s %s", cond, msg.c_str());
+}
+
+} // namespace logging_detail
+
+} // namespace nuat

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting for the NUAT simulator.
+ *
+ * Follows the gem5 convention:
+ *  - panic()  — an internal invariant was violated; this is a simulator
+ *               bug.  Aborts (so a debugger or core dump can catch it).
+ *  - fatal()  — the simulation cannot continue because of a user error
+ *               (bad configuration, malformed trace, ...).  Exits with
+ *               status 1.
+ *  - warn()   — something is probably not what the user wants, but the
+ *               simulation can continue.
+ *  - inform() — purely informational status output.
+ */
+
+#ifndef NUAT_COMMON_LOGGING_HH
+#define NUAT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace nuat {
+
+/** Sink controlling where log output goes; used by tests to capture it. */
+class LogCapture
+{
+  public:
+    /**
+     * Begin capturing warn()/inform() text instead of printing it.
+     * Only one capture may be active at a time.
+     */
+    static void begin();
+
+    /** Stop capturing and return everything captured since begin(). */
+    static std::string end();
+
+    /** True while a capture is active. */
+    static bool active();
+};
+
+/**
+ * When enabled, panic()/fatal() throw std::logic_error /
+ * std::runtime_error instead of aborting / exiting.  Unit tests use this
+ * to assert that invalid command sequences are rejected.
+ */
+void setPanicThrows(bool enable);
+
+/** Internal helpers; use the macros below instead. */
+namespace logging_detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+[[noreturn]] void assertFail(const char *file, int line, const char *cond);
+[[noreturn]] void assertFail(const char *file, int line, const char *cond,
+                             const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace logging_detail
+
+} // namespace nuat
+
+/** Abort with a message: an internal simulator invariant was violated. */
+#define nuat_panic(...) \
+    ::nuat::logging_detail::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Exit with a message: the user asked for something impossible. */
+#define nuat_fatal(...) \
+    ::nuat::logging_detail::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Print a warning, but keep going. */
+#define nuat_warn(...) ::nuat::logging_detail::warnImpl(__VA_ARGS__)
+
+/** Print an informational status message. */
+#define nuat_inform(...) ::nuat::logging_detail::informImpl(__VA_ARGS__)
+
+/**
+ * Check an internal invariant; panics with the stringified condition and
+ * an optional printf-style message when the condition is false.
+ */
+#define nuat_assert(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::nuat::logging_detail::assertFail(                           \
+                __FILE__, __LINE__, #cond __VA_OPT__(, ) __VA_ARGS__);    \
+        }                                                                 \
+    } while (0)
+
+#endif // NUAT_COMMON_LOGGING_HH

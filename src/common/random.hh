@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator (trace generators, workload
+ * combination pickers, property tests) draws from an explicitly seeded
+ * Xoshiro256** generator so that all results are reproducible
+ * bit-for-bit across runs and platforms.
+ */
+
+#ifndef NUAT_COMMON_RANDOM_HH
+#define NUAT_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace nuat {
+
+/**
+ * Xoshiro256** PRNG (Blackman & Vigna).  Small, fast, and good enough
+ * statistical quality for workload synthesis.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with SplitMix64). */
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize the state from a new seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 expansion so even small seeds give full state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        nuat_assert(bound != 0);
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % bound);
+        std::uint64_t v;
+        do {
+            v = next();
+        } while (v >= limit);
+        return v % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        nuat_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish draw: number of failures before a success with
+     * success probability 1/(1+mean).  Used for gap lengths.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        const double p = 1.0 / (1.0 + mean);
+        // Inverse-transform sampling; cap at 64x the mean so one draw can
+        // never stall a generator.
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        const double n = std::log(u) / std::log(1.0 - p);
+        const double cap = 64.0 * (mean + 1.0);
+        return static_cast<std::uint64_t>(n < cap ? n : cap);
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_RANDOM_HH

@@ -1,0 +1,158 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace nuat {
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+    count_ += other.count_;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    double v = sumSq_ / count_ - m * m;
+    return v > 0.0 ? v : 0.0;
+}
+
+Histogram::Histogram(double lo, double width, unsigned buckets)
+    : lo_(lo), width_(width), counts_(buckets, 0)
+{
+    nuat_assert(width > 0.0 && buckets > 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    summary_.sample(v);
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    const double idx = (v - lo_) / width_;
+    if (idx >= static_cast<double>(counts_.size())) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[static_cast<unsigned>(idx)];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    nuat_assert(lo_ == other.lo_ && width_ == other.width_ &&
+                    counts_.size() == other.counts_.size(),
+                "(merging histograms with different bucketing)");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    summary_.merge(other.summary_);
+}
+
+std::uint64_t
+Histogram::bucketCount(unsigned i) const
+{
+    nuat_assert(i < counts_.size());
+    return counts_[i];
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    nuat_assert(fraction >= 0.0 && fraction <= 1.0);
+    const std::uint64_t total = summary_.count();
+    if (total == 0)
+        return 0.0;
+    const double target = fraction * static_cast<double>(total);
+    double seen = static_cast<double>(underflow_);
+    if (target <= seen)
+        return lo_;
+    for (unsigned i = 0; i < counts_.size(); ++i) {
+        const double next = seen + static_cast<double>(counts_[i]);
+        if (target <= next && counts_[i] > 0) {
+            const double within = (target - seen) / counts_[i];
+            return lo_ + (i + within) * width_;
+        }
+        seen = next;
+    }
+    return summary_.max();
+}
+
+void
+StatSet::add(const std::string &name, double delta,
+             const std::string &description)
+{
+    find(name, description).value += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value,
+             const std::string &description)
+{
+    find(name, description).value = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return e.value;
+    }
+    return 0.0;
+}
+
+std::string
+StatSet::format() const
+{
+    std::string out;
+    char buf[256];
+    for (const auto &e : entries_) {
+        std::snprintf(buf, sizeof(buf), "%-40s %16.4f", e.name.c_str(),
+                      e.value);
+        out += buf;
+        if (!e.description.empty()) {
+            out += "  # ";
+            out += e.description;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+StatEntry &
+StatSet::find(const std::string &name, const std::string &desc)
+{
+    for (auto &e : entries_) {
+        if (e.name == name) {
+            if (e.description.empty() && !desc.empty())
+                e.description = desc;
+            return e;
+        }
+    }
+    entries_.push_back(StatEntry{name, 0.0, desc});
+    return entries_.back();
+}
+
+} // namespace nuat

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, running averages,
+ * and fixed-bucket histograms, grouped into named sets for reporting.
+ */
+
+#ifndef NUAT_COMMON_STATS_HH
+#define NUAT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nuat {
+
+/** A running mean/min/max over a stream of samples. */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v;
+        sumSq_ += v * v;
+        ++count_;
+    }
+
+    /** Merge another RunningStat into this one. */
+    void merge(const RunningStat &other);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of samples (0 if empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Population variance (0 if empty). */
+    double variance() const;
+
+    /** Smallest sample (0 if empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample (0 if empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Forget all samples. */
+    void reset() { *this = RunningStat(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram with uniform-width buckets plus an overflow bucket.
+ * Bucket i covers [lo + i*width, lo + (i+1)*width).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bucket
+     * @param width width of each bucket (must be positive)
+     * @param buckets number of regular buckets (must be non-zero)
+     */
+    Histogram(double lo, double width, unsigned buckets);
+
+    /** Record one sample (also feeds the embedded RunningStat). */
+    void sample(double v);
+
+    /** Count in regular bucket @p i. */
+    std::uint64_t bucketCount(unsigned i) const;
+
+    /** Count of samples at or above the last regular bucket. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Merge another histogram with identical bucketing. */
+    void merge(const Histogram &other);
+
+    /** Count of samples below the first bucket. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** Number of regular buckets. */
+    unsigned buckets() const { return static_cast<unsigned>(counts_.size()); }
+
+    /** Summary statistics over all samples. */
+    const RunningStat &summary() const { return summary_; }
+
+    /**
+     * Value below which @p fraction of the samples fall, estimated by
+     * linear interpolation within the containing bucket.
+     * @param fraction in [0, 1]
+     */
+    double percentile(double fraction) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    RunningStat summary_;
+};
+
+/** One named scalar value inside a StatSet. */
+struct StatEntry
+{
+    std::string name;        //!< dotted stat name, e.g. "reads.latency"
+    double value;            //!< current value
+    std::string description; //!< one-line human description
+};
+
+/**
+ * A named, ordered collection of scalar stats.  Components register and
+ * bump scalars; reports iterate the set.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to the named scalar, creating it at 0 if needed. */
+    void add(const std::string &name, double delta,
+             const std::string &description = "");
+
+    /** Set the named scalar to @p value. */
+    void set(const std::string &name, double value,
+             const std::string &description = "");
+
+    /** Current value (0 if the scalar has never been touched). */
+    double get(const std::string &name) const;
+
+    /** All entries in registration order. */
+    const std::vector<StatEntry> &entries() const { return entries_; }
+
+    /** Render as "name = value  # description" lines. */
+    std::string format() const;
+
+  private:
+    StatEntry &find(const std::string &name, const std::string &desc);
+
+    std::vector<StatEntry> entries_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_STATS_HH

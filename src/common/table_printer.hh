@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Column-aligned plain-text tables for bench / example output.
+ *
+ * The figure-reproduction benches print paper-vs-measured tables; this
+ * helper keeps them readable without dragging in a formatting library.
+ */
+
+#ifndef NUAT_COMMON_TABLE_PRINTER_HH
+#define NUAT_COMMON_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace nuat {
+
+/** Builds a text table row by row, then renders it column-aligned. */
+class TablePrinter
+{
+  public:
+    /** @param headers column titles (fixes the column count) */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are
+     *  headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p decimals decimal places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Convenience: format a percentage like "+12.3%" / "-4.1%". */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Render the whole table, headers underlined with dashes. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_TABLE_PRINTER_HH

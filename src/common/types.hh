@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every NUAT module.
+ */
+
+#ifndef NUAT_COMMON_TYPES_HH
+#define NUAT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace nuat {
+
+/**
+ * A point in time or a duration measured in DRAM bus clock cycles
+ * (the memory controller's native clock; 1.25 ns at DDR3-1600).
+ */
+using Cycle = std::uint64_t;
+
+/** A point in time or duration measured in CPU core clock cycles. */
+using CpuCycle = std::uint64_t;
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel meaning "no row is open" / "no valid row". */
+constexpr std::uint32_t kNoRow = 0xffffffffu;
+
+/** Sentinel for an unknown / unset cycle. */
+constexpr Cycle kNeverCycle = ~Cycle(0);
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_TYPES_HH

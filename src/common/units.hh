@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Time-unit conversions between nanoseconds and clock cycles.
+ *
+ * The DRAM bus clock is the simulator's native clock.  DDR3-1600 runs the
+ * bus at 800 MHz, i.e. tCK = 1.25 ns; the paper's processor runs at
+ * 3.2 GHz, i.e. 4 CPU cycles per memory cycle.
+ */
+
+#ifndef NUAT_COMMON_UNITS_HH
+#define NUAT_COMMON_UNITS_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "types.hh"
+
+namespace nuat {
+
+/** Clock description: frequency and conversions to/from nanoseconds. */
+class Clock
+{
+  public:
+    /** @param freq_mhz clock frequency in MHz */
+    explicit constexpr Clock(double freq_mhz) : freqMhz_(freq_mhz) {}
+
+    /** Clock period in nanoseconds. */
+    constexpr double periodNs() const { return 1000.0 / freqMhz_; }
+
+    /** Frequency in MHz. */
+    constexpr double freqMhz() const { return freqMhz_; }
+
+    /**
+     * Convert a duration in nanoseconds to a whole number of cycles,
+     * rounding *up* (a timing constraint of 15 ns needs 12 full cycles
+     * at 1.25 ns, but 15.1 ns needs 13).
+     */
+    Cycle
+    toCyclesCeil(double ns) const
+    {
+        return static_cast<Cycle>(std::ceil(ns / periodNs() - 1e-9));
+    }
+
+    /**
+     * Convert a duration in nanoseconds to cycles rounding *down*.
+     * Used for latency head-room (how many whole cycles we may shave).
+     */
+    Cycle
+    toCyclesFloor(double ns) const
+    {
+        return static_cast<Cycle>(std::floor(ns / periodNs() + 1e-9));
+    }
+
+    /** Convert cycles to nanoseconds. */
+    constexpr double toNs(Cycle cycles) const
+    {
+        return static_cast<double>(cycles) * periodNs();
+    }
+
+  private:
+    double freqMhz_;
+};
+
+/** The default DDR3-1600 memory bus clock (800 MHz, 1.25 ns). */
+inline constexpr Clock kMemClock{800.0};
+
+/** The default core clock from the paper's Table 3 (3.2 GHz). */
+inline constexpr Clock kCpuClock{3200.0};
+
+/** CPU cycles per memory cycle at the default clocks. */
+inline constexpr unsigned kCpuPerMemCycle = 4;
+
+/** Milliseconds expressed in nanoseconds. */
+constexpr double
+msToNs(double ms)
+{
+    return ms * 1e6;
+}
+
+/** Microseconds expressed in nanoseconds. */
+constexpr double
+usToNs(double us)
+{
+    return us * 1e3;
+}
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_UNITS_HH

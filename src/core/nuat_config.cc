@@ -1,0 +1,54 @@
+#include "nuat_config.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace nuat {
+
+unsigned
+NuatConfig::totalSlices() const
+{
+    unsigned total = 0;
+    for (const auto &g : groups)
+        total += g.slices;
+    return total;
+}
+
+void
+NuatConfig::validate() const
+{
+    nuat_assert(!groups.empty(), "(no PB groups configured)");
+    nuat_assert(isPowerOfTwo(numLinearPb));
+    nuat_assert(totalSlices() == numLinearPb,
+                "(PB group sizes sum to %u, expected #LP = %u)",
+                totalSlices(), numLinearPb);
+    for (std::size_t i = 1; i < groups.size(); ++i) {
+        nuat_assert(groups[i].timing.trcd >= groups[i - 1].timing.trcd &&
+                        groups[i].timing.tras >=
+                            groups[i - 1].timing.tras,
+                    "(PB%zu rated faster than PB%zu)", i, i - 1);
+    }
+    nuat_assert(subWindow > 0 && windowRatio > 0);
+    nuat_assert(es2Cap >= 0.0);
+    // Sec. 7.3 priority ordering: w1 >= w3 > max(ES4) > max(ES5) > max(ES2).
+    const double max_es4 = weights.w4 * groups.size();
+    const double max_es5 = weights.w5;
+    if (!(weights.w1 >= weights.w3 && weights.w3 > max_es4 &&
+          max_es4 > max_es5 && max_es5 > es2Cap)) {
+        nuat_warn("NUAT weights do not respect the paper's Sec. 7.3 "
+                  "priority ordering; scheduling behaviour may differ");
+    }
+}
+
+NuatConfig
+NuatConfig::fromDerate(const TimingDerate &derate, unsigned num_pb,
+                       unsigned num_linear_pb)
+{
+    NuatConfig cfg;
+    cfg.numLinearPb = num_linear_pb;
+    cfg.groups = derate.deriveGroups(num_pb, num_linear_pb);
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace nuat

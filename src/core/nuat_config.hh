@@ -1,0 +1,95 @@
+/**
+ * @file
+ * NUAT configuration (the paper's Table 4).
+ */
+
+#ifndef NUAT_CORE_NUAT_CONFIG_HH
+#define NUAT_CORE_NUAT_CONFIG_HH
+
+#include <vector>
+
+#include "charge/timing_derate.hh"
+#include "common/types.hh"
+
+namespace nuat {
+
+/** NUAT Table weights (paper Table 4: 60 / 0.0001 / 60 / 10 / 5). */
+struct NuatWeights
+{
+    double w1 = 60.0;   //!< OPERATION-TYPE
+    double w2 = 0.0001; //!< WAIT
+    double w3 = 60.0;   //!< HIT
+    double w4 = 10.0;   //!< PB
+    double w5 = 5.0;    //!< BOUNDARY
+};
+
+/** Full NUAT controller configuration. */
+struct NuatConfig
+{
+    /** PB groups (sizes in linear slices + rated timing), fastest
+     *  first.  Derived from the charge model; Table 4 for 5 PBs. */
+    std::vector<PbGroup> groups;
+
+    /** #LP: number of linear slices the retention period is divided
+     *  into (paper Sec. 8 uses 32). */
+    unsigned numLinearPb = 32;
+
+    NuatWeights weights;
+
+    /** PHRC sub-window length [cycles] (Table 4: 1024). */
+    Cycle subWindow = 1024;
+
+    /** PHRC window ratio (Table 4: 256). */
+    unsigned windowRatio = 256;
+
+    /** Enable the PPM per-PB page-mode decision maker. */
+    bool ppmEnabled = true;
+
+    /** With PPM close mode, keep rows open while queued requests still
+     *  hit them (same grace rule as the close-page baseline). */
+    bool graceClose = true;
+
+    /** Enable Element 4 (PB) scoring; off for ablation. */
+    bool pbElementEnabled = true;
+
+    /** Enable Element 5 (BOUNDARY) scoring; off for ablation. */
+    bool boundaryElementEnabled = true;
+
+    /** Paper Sec. 7.3: the WAIT element's score is bounded to [0, 4]
+     *  so it can never override the other elements. */
+    double es2Cap = 4.0;
+
+    /**
+     * Starvation escape: a request that has waited longer than this
+     * many cycles scores above everything else (oldest first).  The
+     * paper's table caps WAIT at 4, which lets Element 4 starve
+     * slow-PB requests indefinitely under sustained load — mean read
+     * latency still improves, but the tail (and thus ROB-blocked
+     * execution time) regresses.  The paper notes Element 2 exists to
+     * be "configured focusing on fairness" (Sec. 7.2); this is that
+     * configuration, as a hard age bound.  0 disables (paper-pure).
+     */
+    Cycle starvationLimit = 200;
+
+    /** Number of PBs configured. */
+    unsigned numPb() const { return static_cast<unsigned>(groups.size()); }
+
+    /** Total slices across all groups (must equal numLinearPb). */
+    unsigned totalSlices() const;
+
+    /** Panics unless the configuration is internally consistent. */
+    void validate() const;
+
+    /**
+     * Build the standard configuration: @p num_pb groups derived from
+     * the charge model @p derate.  With num_pb == 5 and the default
+     * calibration this is exactly the paper's Table 4.
+     */
+    static NuatConfig fromDerate(const TimingDerate &derate,
+                                 unsigned num_pb = 5,
+                                 unsigned num_linear_pb = 32);
+};
+
+} // namespace nuat
+
+#endif // NUAT_CORE_NUAT_CONFIG_HH

@@ -1,0 +1,114 @@
+#include "nuat_scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+NuatScheduler::NuatScheduler(const NuatConfig &cfg)
+    : cfg_(cfg), table_(cfg), phrc_(cfg.subWindow, cfg.windowRatio)
+{
+    cfg_.validate();
+}
+
+void
+NuatScheduler::ensureInit(const SchedContext &ctx)
+{
+    if (pbr_)
+        return;
+    nuat_assert(ctx.dev != nullptr);
+    pbr_ = std::make_unique<PbrAcquisition>(cfg_,
+                                            ctx.dev->geometry().rows);
+    ppm_ = std::make_unique<PpmDecisionMaker>(cfg_,
+                                              ctx.dev->timing().tRP);
+}
+
+void
+NuatScheduler::tick(const SchedContext &ctx)
+{
+    ensureInit(ctx);
+    drain_.update(ctx);
+    phrc_.tick();
+}
+
+void
+NuatScheduler::onIssue(const Command &cmd, const SchedContext &ctx)
+{
+    ensureInit(ctx);
+    if (cmd.type == CmdType::kAct)
+        phrc_.onActivation();
+    else if (isColumnCmd(cmd.type))
+        phrc_.onColumnAccess();
+}
+
+int
+NuatScheduler::pick(std::vector<Candidate> &candidates,
+                    const SchedContext &ctx)
+{
+    if (candidates.empty())
+        return -1;
+    ensureInit(ctx);
+    drain_.update(ctx);
+
+    int best = -1;
+    double best_score = 0.0;
+    Cycle best_arrival = kNeverCycle;
+    unsigned best_pb = 0;
+
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Candidate &c = candidates[i];
+
+        ScoreInputs in;
+        in.cmd = c.cmd.type;
+        in.isWrite = c.isWrite;
+        in.isRowHit = c.isRowHit;
+        in.waitCycles =
+            c.req ? ctx.now - c.req->arrivalAt : Cycle{0};
+        in.draining = drain_.draining();
+        in.numPb = cfg_.numPb();
+        if (c.cmd.type == CmdType::kAct) {
+            const auto &refresh = ctx.dev->refresh(c.cmd.rank);
+            in.pb = pbr_->pbOfRow(refresh, c.cmd.row);
+            in.zone = pbr_->zoneOfRow(refresh, c.cmd.row);
+        }
+
+        double s = table_.score(in);
+        // Starvation escape (see NuatConfig::starvationLimit): lift
+        // over-age requests above every table score; ties (two starving
+        // requests) still break oldest-first below.
+        if (cfg_.starvationLimit > 0 &&
+            in.waitCycles > cfg_.starvationLimit) {
+            s += 10.0 * (table_.weights().w1 + 2.0 * table_.weights().w3);
+        }
+        const Cycle arrival = c.req ? c.req->arrivalAt : kNeverCycle;
+        if (best < 0 || s > best_score ||
+            (s == best_score && arrival < best_arrival)) {
+            best = static_cast<int>(i);
+            best_score = s;
+            best_arrival = arrival;
+            best_pb = in.pb;
+        }
+    }
+
+    Candidate &chosen = candidates[best];
+    if (chosen.cmd.type == CmdType::kAct) {
+        // Run the activation at the PB's rated (charge-safe) timing.
+        chosen.cmd.actTiming = pbr_->ratedTiming(best_pb);
+        ++actsPerPb_[best_pb < actsPerPb_.size() ? best_pb
+                                                 : actsPerPb_.size() - 1];
+    } else if (isColumnCmd(chosen.cmd.type) && cfg_.ppmEnabled) {
+        // PPM: per-PB page-mode selection against the PHRC estimate.
+        const auto &refresh = ctx.dev->refresh(chosen.cmd.rank);
+        const std::uint32_t open_row =
+            ctx.dev->bank(chosen.cmd.rank, chosen.cmd.bank).openRow();
+        const unsigned pb = pbr_->pbOfRow(refresh, open_row);
+        const PagePolicy mode = ppm_->modeFor(pb, phrc_.hitRate());
+        applyPagePolicy(chosen, mode, cfg_.graceClose);
+        if (mode == PagePolicy::kClose)
+            ++ppmClose_;
+        else
+            ++ppmOpen_;
+    }
+    return best;
+}
+
+} // namespace nuat

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The NUAT scheduler (paper Sec. 4): PBR acquisition + PPM decision
+ * maker + NUAT Table, packaged as a Scheduler the MemoryController can
+ * drive.
+ *
+ * Each cycle it scores every issuable candidate with the NUAT Table and
+ * issues the highest-scoring one (ties break by age).  Chosen ACTs are
+ * decorated with the PB's rated (charge-derated) tRCD/tRAS/tRC; chosen
+ * column commands are converted to auto-precharge when PPM selects
+ * close-page mode for the open row's PB.
+ */
+
+#ifndef NUAT_CORE_NUAT_SCHEDULER_HH
+#define NUAT_CORE_NUAT_SCHEDULER_HH
+
+#include <array>
+#include <memory>
+
+#include "mem/scheduler.hh"
+#include "nuat_config.hh"
+#include "nuat_table.hh"
+#include "pbr.hh"
+#include "phrc.hh"
+#include "ppm.hh"
+
+namespace nuat {
+
+/** The charge-aware scoring scheduler. */
+class NuatScheduler : public Scheduler
+{
+  public:
+    explicit NuatScheduler(const NuatConfig &cfg);
+
+    int pick(std::vector<Candidate> &candidates,
+             const SchedContext &ctx) override;
+
+    void onIssue(const Command &cmd, const SchedContext &ctx) override;
+
+    void tick(const SchedContext &ctx) override;
+
+    const char *name() const override { return "NUAT"; }
+
+    /** The configuration in use. */
+    const NuatConfig &config() const { return cfg_; }
+
+    /** PHRC state (exposed for tests / examples). */
+    const Phrc &phrc() const { return phrc_; }
+
+    /** Current drain state. */
+    bool draining() const { return drain_.draining(); }
+
+    /** ACTs issued per PB# (for the paper's Sec. 9.1 analysis). */
+    const std::array<std::uint64_t, 8> &actsPerPb() const
+    {
+        return actsPerPb_;
+    }
+
+    /** Column commands issued in close-page (auto-precharge) mode. */
+    std::uint64_t ppmCloseDecisions() const { return ppmClose_; }
+
+    /** Column commands issued in open-page mode. */
+    std::uint64_t ppmOpenDecisions() const { return ppmOpen_; }
+
+  private:
+    /** Lazily build PBR / PPM once the device geometry is known. */
+    void ensureInit(const SchedContext &ctx);
+
+    NuatConfig cfg_;
+    NuatTable table_;
+    Phrc phrc_;
+    WriteDrainState drain_;
+    std::unique_ptr<PbrAcquisition> pbr_;
+    std::unique_ptr<PpmDecisionMaker> ppm_;
+
+    std::array<std::uint64_t, 8> actsPerPb_{};
+    std::uint64_t ppmClose_ = 0;
+    std::uint64_t ppmOpen_ = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CORE_NUAT_SCHEDULER_HH

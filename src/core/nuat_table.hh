@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The NUAT Table — the five-element scoring system (paper Sec. 7,
+ * Table 1).
+ *
+ * Every candidate command is scored Score = sum_k w(k) * x(k):
+ *
+ *  - Element 1, OPERATION-TYPE: read/write preference with write-queue
+ *    hysteresis (Fig. 13).  Filling path: reads get x=1; draining path:
+ *    writes get x=1.
+ *  - Element 2, WAIT: x = wait cycles for ACT and column commands; the
+ *    resulting score is bounded to [0, 4] (Fig. 15) so age can only
+ *    break ties.
+ *  - Element 3, HIT: column commands to open rows; reads get x=2,
+ *    writes x=1 (Fig. 16: a read hitting a row activated for a write
+ *    must tie with the write hits to exploit the open row).
+ *  - Element 4, PB: ACT commands get x = #D - PB#, so rows currently in
+ *    fast PBs are activated first, while they are still fast.
+ *  - Element 5, BOUNDARY: ACTs to rows in a refresh-transition region
+ *    get x = +1 in a warning zone (about to get slower: hurry) and
+ *    x = -1 in a promising zone (about to get faster: defer).
+ */
+
+#ifndef NUAT_CORE_NUAT_TABLE_HH
+#define NUAT_CORE_NUAT_TABLE_HH
+
+#include "dram/command.hh"
+#include "nuat_config.hh"
+#include "pbr.hh"
+
+namespace nuat {
+
+/** Inputs needed to score one candidate. */
+struct ScoreInputs
+{
+    CmdType cmd = CmdType::kAct;
+    bool isWrite = false;      //!< request direction
+    bool isRowHit = false;     //!< column command to an open row
+    Cycle waitCycles = 0;      //!< now - request arrival
+    bool draining = false;     //!< write-queue hysteresis state
+    unsigned pb = 0;           //!< PB# (ACT candidates)
+    unsigned numPb = 1;        //!< #D, the configured PB count
+    BoundaryZone zone = BoundaryZone::kNone;
+};
+
+/** Stateless scorer implementing Table 1. */
+class NuatTable
+{
+  public:
+    explicit NuatTable(const NuatConfig &cfg);
+
+    /** Element 1: OPERATION-TYPE. */
+    double es1(const ScoreInputs &in) const;
+
+    /** Element 2: WAIT (bounded to [0, es2Cap]). */
+    double es2(const ScoreInputs &in) const;
+
+    /** Element 3: HIT. */
+    double es3(const ScoreInputs &in) const;
+
+    /** Element 4: PB (0 unless enabled and the command is an ACT). */
+    double es4(const ScoreInputs &in) const;
+
+    /** Element 5: BOUNDARY (0 unless enabled and the command is an
+     *  ACT in a transition region). */
+    double es5(const ScoreInputs &in) const;
+
+    /** Total score, eq. (8)/(9). */
+    double score(const ScoreInputs &in) const;
+
+    /** The weights in use. */
+    const NuatWeights &weights() const { return weights_; }
+
+  private:
+    NuatWeights weights_;
+    double es2Cap_;
+    bool pbEnabled_;
+    bool boundaryEnabled_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CORE_NUAT_TABLE_HH

@@ -1,0 +1,72 @@
+#include "pbr.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace nuat {
+
+PbrAcquisition::PbrAcquisition(const NuatConfig &cfg, std::uint32_t rows)
+    : cfg_(cfg), rows_(rows)
+{
+    cfg_.validate();
+    nuat_assert(isPowerOfTwo(rows_));
+    nuat_assert(rows_ >= cfg_.numLinearPb,
+                "(fewer rows than linear PBs)");
+    shift_ = log2Exact(rows_) - log2Exact(cfg_.numLinearPb);
+
+    pbOfPrePb_.reserve(cfg_.numLinearPb);
+    for (unsigned pb = 0; pb < cfg_.numPb(); ++pb) {
+        for (unsigned s = 0; s < cfg_.groups[pb].slices; ++s)
+            pbOfPrePb_.push_back(pb);
+    }
+    nuat_assert(pbOfPrePb_.size() == cfg_.numLinearPb);
+}
+
+unsigned
+PbrAcquisition::prePbOf(std::uint32_t relative_age) const
+{
+    nuat_assert(relative_age < rows_);
+    return relative_age >> shift_;
+}
+
+unsigned
+PbrAcquisition::pbOfAge(std::uint32_t relative_age) const
+{
+    return pbOfPrePb_[prePbOf(relative_age)];
+}
+
+unsigned
+PbrAcquisition::pbOfRow(const RefreshEngine &refresh,
+                        std::uint32_t row) const
+{
+    nuat_assert(refresh.rows() == rows_,
+                "(PBR built for %u rows, refresh engine has %u)", rows_,
+                refresh.rows());
+    return pbOfAge(refresh.relativeAge(row));
+}
+
+BoundaryZone
+PbrAcquisition::zoneOfRow(const RefreshEngine &refresh,
+                          std::uint32_t row) const
+{
+    const std::uint32_t age = refresh.relativeAge(row);
+    const unsigned cur = pbOfAge(age);
+    // After the next REF the counter advances by rowsPerRef rows, so
+    // this row's relative age grows by the same amount — unless the row
+    // itself is refreshed, which wraps its age to the youngest slice.
+    const std::uint32_t next_age =
+        (age + refresh.rowsPerRef()) % rows_;
+    const unsigned next = pbOfAge(next_age);
+    if (next == cur)
+        return BoundaryZone::kNone;
+    return next > cur ? BoundaryZone::kWarning : BoundaryZone::kPromising;
+}
+
+const RowTiming &
+PbrAcquisition::ratedTiming(unsigned pb) const
+{
+    nuat_assert(pb < cfg_.numPb());
+    return cfg_.groups[pb].timing;
+}
+
+} // namespace nuat

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * PBR — Partitioned Bank Rotation acquisition (paper Sec. 5).
+ *
+ * PBR turns the refresh counter into access-speed information.  The
+ * relative address of a request row (RRA) to the last-refreshed row
+ * (LRRA) measures how long ago the row was refreshed:
+ *
+ *     PRE_PB# = (LRRA - RRA) >> (log2 #R - log2 #LP)        (eq. 2)
+ *
+ * The linear PRE_PB index is then grouped non-uniformly into PB#
+ * (Sec. 5.3) to match the sense amplifier's nonlinearity.  PB0 is the
+ * fastest part of the bank, PB(N-1) the slowest; membership rotates as
+ * refresh advances (Fig. 1).
+ */
+
+#ifndef NUAT_CORE_PBR_HH
+#define NUAT_CORE_PBR_HH
+
+#include <vector>
+
+#include "dram/refresh_engine.hh"
+#include "nuat_config.hh"
+
+namespace nuat {
+
+/** Boundary classification for NUAT Table Element 5 (Fig. 14). */
+enum class BoundaryZone
+{
+    kNone,      //!< not in a transition region
+    kWarning,   //!< PB# will grow (row gets slower) at the next refresh
+    kPromising, //!< PB# will shrink (row gets faster) at the next refresh
+};
+
+/** Computes PB# and boundary zones from the refresh counter. */
+class PbrAcquisition
+{
+  public:
+    /**
+     * @param cfg  NUAT configuration (PB groups, #LP)
+     * @param rows rows per bank (power of two)
+     */
+    PbrAcquisition(const NuatConfig &cfg, std::uint32_t rows);
+
+    /** Linear division, eq. (2): relative age -> PRE_PB index. */
+    unsigned prePbOf(std::uint32_t relative_age) const;
+
+    /** Non-linear grouping: relative age -> PB#. */
+    unsigned pbOfAge(std::uint32_t relative_age) const;
+
+    /** PB# of @p row given the rank's current refresh position. */
+    unsigned pbOfRow(const RefreshEngine &refresh,
+                     std::uint32_t row) const;
+
+    /**
+     * Element-5 zone of @p row: whether the next REF moves the row
+     * into a different PB, and in which direction.
+     */
+    BoundaryZone zoneOfRow(const RefreshEngine &refresh,
+                           std::uint32_t row) const;
+
+    /** Rated (safe) activation timing of @p pb. */
+    const RowTiming &ratedTiming(unsigned pb) const;
+
+    /** Number of PBs. */
+    unsigned numPb() const { return cfg_.numPb(); }
+
+    /** Rows per bank this instance was built for. */
+    std::uint32_t rows() const { return rows_; }
+
+  private:
+    NuatConfig cfg_;
+    std::uint32_t rows_;
+    unsigned shift_;                     //!< log2 #R - log2 #LP
+    std::vector<unsigned> pbOfPrePb_;    //!< PRE_PB -> PB lookup
+};
+
+} // namespace nuat
+
+#endif // NUAT_CORE_PBR_HH

@@ -1,0 +1,53 @@
+#include "phrc.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+Phrc::Phrc(Cycle sub_window, unsigned window_ratio)
+    : subWindow_(sub_window), windowRatio_(window_ratio)
+{
+    nuat_assert(subWindow_ > 0 && windowRatio_ > 0);
+    // Optimistic seed (see header): a nominal window's worth of column
+    // accesses with no activations reads as hit rate 1.0 and decays at
+    // the estimator's own pace as real counts displace it.
+    estCols_ = static_cast<double>(windowRatio_);
+    estActs_ = 0.0;
+}
+
+void
+Phrc::tick()
+{
+    if (++cycleInSub_ < subWindow_)
+        return;
+    cycleInSub_ = 0;
+    ++rollovers_;
+
+    // Eq. (5): assume sub-window A contributed the window average...
+    const double a_cols = estCols_ / windowRatio_;
+    const double a_acts = estActs_ / windowRatio_;
+    // ...and eq. (6): displace it by the just-measured sub-window B.
+    estCols_ += static_cast<double>(subCols_) - a_cols;
+    estActs_ += static_cast<double>(subActs_) - a_acts;
+    if (estCols_ < 0.0)
+        estCols_ = 0.0;
+    if (estActs_ < 0.0)
+        estActs_ = 0.0;
+    subCols_ = 0;
+    subActs_ = 0;
+}
+
+double
+Phrc::hitRate() const
+{
+    // Less than one column access of evidence in the whole window:
+    // report 0 rather than amplifying numerical residue.
+    if (estCols_ < 1.0)
+        return 0.0;
+    const double rate = (estCols_ - estActs_) / estCols_;
+    if (rate < 0.0)
+        return 0.0;
+    return rate > 1.0 ? 1.0 : rate;
+}
+
+} // namespace nuat

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PHRC — Pseudo Hit-Rate Calculator (paper Sec. 6.1).
+ *
+ * Tracking the exact row-buffer hit rate over a long window would need
+ * the full command history; PHRC approximates it with one sub-window of
+ * real counts.  Every sub-window boundary (eqs. 4–6):
+ *
+ *     Window_Ratio = Window / Sub_Window                    (eq. 4)
+ *     #A           = #Current_Window / Window_Ratio         (eq. 5)
+ *     #Next_Window = #Current_Window + (#B - #A)            (eq. 6)
+ *
+ * where #B are the counts observed in the just-finished sub-window.
+ * The estimate is kept for both column accesses and activations; the
+ * pseudo hit rate then follows eq. (3):
+ *
+ *     Hit_Rate = (#Column_Access - #Row_Activation) / #Column_Access.
+ */
+
+#ifndef NUAT_CORE_PHRC_HH
+#define NUAT_CORE_PHRC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nuat {
+
+/** Windowed pseudo hit-rate estimator. */
+class Phrc
+{
+  public:
+    /**
+     * @param sub_window   sub-window length [cycles] (Table 4: 1024)
+     * @param window_ratio window / sub-window (Table 4: 256)
+     */
+    /**
+     * @note The estimator starts *optimistic* (hit rate 1.0): PHRC can
+     * only observe the hit rate the controller's current page mode
+     * produces, so a pessimistic start would lock PPM into close-page
+     * mode (closing rows destroys the very hits that would argue for
+     * open-page).  Starting open lets the estimate converge to the
+     * workload's real locality, after which eq. (7) decides correctly.
+     */
+    Phrc(Cycle sub_window, unsigned window_ratio);
+
+    /** Record a column access command in the current sub-window. */
+    void onColumnAccess() { ++subCols_; }
+
+    /** Record a row-activation command in the current sub-window. */
+    void onActivation() { ++subActs_; }
+
+    /** Advance one cycle; rolls the sub-window when it fills. */
+    void tick();
+
+    /** Pseudo hit rate per eq. (3), clamped to [0, 1]. */
+    double hitRate() const;
+
+    /** Estimated column accesses in the current window. */
+    double windowColumnAccesses() const { return estCols_; }
+
+    /** Estimated activations in the current window. */
+    double windowActivations() const { return estActs_; }
+
+    /** Sub-window boundaries processed so far. */
+    std::uint64_t rollovers() const { return rollovers_; }
+
+  private:
+    Cycle subWindow_;
+    unsigned windowRatio_;
+    Cycle cycleInSub_ = 0;
+    std::uint64_t subCols_ = 0;
+    std::uint64_t subActs_ = 0;
+    double estCols_ = 0.0; //!< #Current_Window, column accesses
+    double estActs_ = 0.0; //!< #Current_Window, activations
+    std::uint64_t rollovers_ = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CORE_PHRC_HH

@@ -1,0 +1,32 @@
+#include "ppm.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+PpmDecisionMaker::PpmDecisionMaker(const NuatConfig &cfg, Cycle trp)
+{
+    nuat_assert(trp > 0);
+    thresholds_.reserve(cfg.numPb());
+    for (const auto &g : cfg.groups) {
+        const double trcd = static_cast<double>(g.timing.trcd);
+        thresholds_.push_back(static_cast<double>(trp) /
+                              (trcd + static_cast<double>(trp)));
+    }
+}
+
+double
+PpmDecisionMaker::threshold(unsigned pb) const
+{
+    nuat_assert(pb < thresholds_.size());
+    return thresholds_[pb];
+}
+
+PagePolicy
+PpmDecisionMaker::modeFor(unsigned pb, double hit_rate) const
+{
+    return hit_rate > threshold(pb) ? PagePolicy::kOpen
+                                    : PagePolicy::kClose;
+}
+
+} // namespace nuat

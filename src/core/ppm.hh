@@ -1,0 +1,54 @@
+/**
+ * @file
+ * PPM — PBR Page Mode decision maker (paper Sec. 6.2).
+ *
+ * The break-even row-buffer hit rate between open- and close-page
+ * operation is (eq. 7, after Jacob/Ng/Wang):
+ *
+ *     Threshold = tRP / (tRCD + tRP)
+ *
+ * Above the threshold, keeping rows open wins; below it, closing them
+ * eagerly wins.  Because each PB runs a different (derated) tRCD, each
+ * PB has its own threshold: fast PBs (small tRCD) have *higher*
+ * thresholds, i.e. they need more locality to justify open-page.
+ */
+
+#ifndef NUAT_CORE_PPM_HH
+#define NUAT_CORE_PPM_HH
+
+#include <vector>
+
+#include "mem/scheduler.hh"
+#include "nuat_config.hh"
+
+namespace nuat {
+
+/** Per-PB open/close page-mode selector. */
+class PpmDecisionMaker
+{
+  public:
+    /**
+     * @param cfg NUAT configuration (per-PB rated tRCD)
+     * @param trp the device's tRP [cycles]
+     */
+    PpmDecisionMaker(const NuatConfig &cfg, Cycle trp);
+
+    /** Break-even hit rate of @p pb (eq. 7). */
+    double threshold(unsigned pb) const;
+
+    /** Page mode for @p pb at the current pseudo hit rate. */
+    PagePolicy modeFor(unsigned pb, double hit_rate) const;
+
+    /** Number of PBs. */
+    unsigned numPb() const
+    {
+        return static_cast<unsigned>(thresholds_.size());
+    }
+
+  private:
+    std::vector<double> thresholds_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CORE_PPM_HH

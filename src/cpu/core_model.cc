@@ -1,0 +1,91 @@
+#include "core_model.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+CoreModel::CoreModel(int id, TraceSource &trace, MemoryPort &mem,
+                     const RobParams &params, unsigned cpu_per_mem_cycle)
+    : id_(id), trace_(trace), mc_(mem), rob_(params),
+      cpuPerMem_(cpu_per_mem_cycle)
+{
+    nuat_assert(cpuPerMem_ > 0);
+    loadNext();
+}
+
+void
+CoreModel::loadNext()
+{
+    if (trace_.next(entry_)) {
+        entryValid_ = true;
+        gapLeft_ = entry_.nonMemGap;
+    } else {
+        entryValid_ = false;
+        exhausted_ = true;
+    }
+}
+
+void
+CoreModel::onReadComplete(std::uint64_t token, CpuCycle now)
+{
+    rob_.complete(token, now);
+    if (blockedOnRead_ && token == blockedToken_)
+        blockedOnRead_ = false;
+}
+
+void
+CoreModel::tick(CpuCycle now)
+{
+    if (done()) {
+        if (stats_.finishedAt == 0)
+            stats_.finishedAt = now;
+        return;
+    }
+
+    stats_.instrsRetired += rob_.retire(now);
+
+    const unsigned depth = rob_.params().pipelineDepth;
+    unsigned fetched = 0;
+    while (fetched < rob_.params().fetchWidth && entryValid_ &&
+           !blockedOnRead_) {
+        if (rob_.full())
+            break;
+        if (gapLeft_ > 0) {
+            rob_.push(now + depth);
+            --gapLeft_;
+            ++fetched;
+            continue;
+        }
+        // The pending memory instruction itself.
+        const Cycle mem_now = now / cpuPerMem_;
+        if (entry_.isWrite) {
+            if (!mc_.canAcceptWrite(entry_.addr))
+                break; // write queue full: stall fetch
+            mc_.enqueueWrite(entry_.addr, mem_now);
+            rob_.push(now + depth); // writes retire past the pipeline
+            ++stats_.writesIssued;
+        } else {
+            if (!mc_.canAcceptRead(entry_.addr))
+                break; // read queue full: stall fetch
+            const std::uint64_t token = rob_.pushRead();
+            Waiter w;
+            w.coreId = id_;
+            w.token = token;
+            mc_.enqueueRead(entry_.addr, w, mem_now);
+            ++stats_.readsIssued;
+            if (entry_.dependent) {
+                blockedOnRead_ = true;
+                blockedToken_ = token;
+            }
+        }
+        ++fetched;
+        loadNext();
+    }
+    if (fetched == 0)
+        ++stats_.fetchStallCycles;
+
+    if (done() && stats_.finishedAt == 0)
+        stats_.finishedAt = now;
+}
+
+} // namespace nuat

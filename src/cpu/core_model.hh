@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Trace-driven core model (the USIMM processor model, paper Table 3).
+ *
+ * Per CPU cycle the core fetches up to fetchWidth instructions from the
+ * trace into the ROB and retires up to retireWidth in order.
+ * Non-memory instructions and writes complete pipelineDepth cycles
+ * after entering; reads complete when the memory controller returns
+ * data.  Fetch stalls when the ROB is full or the controller cannot
+ * accept the next memory request.
+ */
+
+#ifndef NUAT_CPU_CORE_MODEL_HH
+#define NUAT_CPU_CORE_MODEL_HH
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "mem/memory_port.hh"
+#include "rob.hh"
+#include "trace.hh"
+
+namespace nuat {
+
+/** Per-core execution statistics. */
+struct CoreStats
+{
+    std::uint64_t instrsRetired = 0;
+    std::uint64_t readsIssued = 0;
+    std::uint64_t writesIssued = 0;
+    std::uint64_t fetchStallCycles = 0; //!< cycles with zero fetch
+    CpuCycle finishedAt = 0;            //!< cycle done() first held
+};
+
+/** One trace-driven core attached to a memory controller. */
+class CoreModel
+{
+  public:
+    /**
+     * @param id     core id (identifies read waiters)
+     * @param trace  instruction stream (not owned)
+     * @param mem    memory port (not owned); a controller or a
+     *               multi-channel mux
+     * @param params ROB / width parameters
+     * @param cpu_per_mem_cycle CPU cycles per memory cycle (clock ratio)
+     */
+    CoreModel(int id, TraceSource &trace, MemoryPort &mem,
+              const RobParams &params = RobParams{},
+              unsigned cpu_per_mem_cycle = kCpuPerMemCycle);
+
+    /** Advance one CPU cycle: retire, then fetch. */
+    void tick(CpuCycle now);
+
+    /** Memory-read completion (wired to the controller's callback). */
+    void onReadComplete(std::uint64_t token, CpuCycle now);
+
+    /** True when the trace is exhausted and the ROB has drained. */
+    bool done() const { return exhausted_ && rob_.empty(); }
+
+    /** Core id. */
+    int id() const { return id_; }
+
+    /** Execution statistics. */
+    const CoreStats &stats() const { return stats_; }
+
+    /** The trace this core runs. */
+    const TraceSource &trace() const { return trace_; }
+
+  private:
+    /** Load the next trace record into pending state. */
+    void loadNext();
+
+    int id_;
+    TraceSource &trace_;
+    MemoryPort &mc_;
+    Rob rob_;
+    unsigned cpuPerMem_;
+
+    bool exhausted_ = false;
+    bool entryValid_ = false;
+    TraceEntry entry_;            //!< the pending memory op
+    std::uint32_t gapLeft_ = 0;   //!< non-mem instrs before entry_
+
+    /** Outstanding dependent read blocking fetch, if any. */
+    bool blockedOnRead_ = false;
+    std::uint64_t blockedToken_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CPU_CORE_MODEL_HH

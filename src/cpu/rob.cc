@@ -1,0 +1,57 @@
+#include "rob.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+Rob::Rob(const RobParams &params) : params_(params)
+{
+    nuat_assert(params_.size > 0 && params_.fetchWidth > 0 &&
+                params_.retireWidth > 0);
+}
+
+std::uint64_t
+Rob::push(CpuCycle done_at)
+{
+    nuat_assert(!full(), "(push into a full ROB)");
+    entries_.push_back(Entry{done_at, false});
+    return headSeq_ + entries_.size() - 1;
+}
+
+std::uint64_t
+Rob::pushRead()
+{
+    nuat_assert(!full(), "(push into a full ROB)");
+    entries_.push_back(Entry{kNeverCycle, true});
+    return headSeq_ + entries_.size() - 1;
+}
+
+void
+Rob::complete(std::uint64_t token, CpuCycle now)
+{
+    nuat_assert(token >= headSeq_ &&
+                    token - headSeq_ < entries_.size(),
+                "(stale ROB token %llu)",
+                static_cast<unsigned long long>(token));
+    Entry &e = entries_[static_cast<std::size_t>(token - headSeq_)];
+    nuat_assert(e.waitingMem, "(completing a non-memory ROB entry)");
+    e.waitingMem = false;
+    e.doneAt = now;
+}
+
+unsigned
+Rob::retire(CpuCycle now)
+{
+    unsigned retired = 0;
+    while (retired < params_.retireWidth && !entries_.empty()) {
+        const Entry &e = entries_.front();
+        if (e.waitingMem || e.doneAt > now)
+            break;
+        entries_.pop_front();
+        ++headSeq_;
+        ++retired;
+    }
+    return retired;
+}
+
+} // namespace nuat

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reorder-buffer model (USIMM-style).
+ *
+ * Instructions enter in program order and retire in order, up to
+ * retireWidth per CPU cycle, once complete.  Non-memory instructions
+ * and writes complete a fixed pipeline depth after entering; reads
+ * complete only when the memory system delivers their data.
+ */
+
+#ifndef NUAT_CPU_ROB_HH
+#define NUAT_CPU_ROB_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace nuat {
+
+/** Core parameters (paper Table 3 defaults). */
+struct RobParams
+{
+    unsigned size = 128;
+    unsigned fetchWidth = 4;
+    unsigned retireWidth = 2;
+    unsigned pipelineDepth = 10;
+};
+
+/** In-order-retire reorder buffer. */
+class Rob
+{
+  public:
+    explicit Rob(const RobParams &params);
+
+    /** True when no instruction can enter. */
+    bool full() const { return entries_.size() >= params_.size; }
+
+    /** Occupancy. */
+    std::size_t occupancy() const { return entries_.size(); }
+
+    /** True when no instruction remains. */
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Enter an instruction completing at @p done_at (CPU cycle).
+     * @return the slot token (monotonically increasing sequence id).
+     */
+    std::uint64_t push(CpuCycle done_at);
+
+    /**
+     * Enter a read instruction that completes only when the memory
+     * system calls complete() with the returned token.
+     */
+    std::uint64_t pushRead();
+
+    /** Mark the read with slot token @p token complete at @p now. */
+    void complete(std::uint64_t token, CpuCycle now);
+
+    /**
+     * Retire completed instructions in order, up to retireWidth.
+     * @return number retired this cycle.
+     */
+    unsigned retire(CpuCycle now);
+
+    /** The parameters in use. */
+    const RobParams &params() const { return params_; }
+
+  private:
+    struct Entry
+    {
+        CpuCycle doneAt;
+        bool waitingMem;
+    };
+
+    RobParams params_;
+    std::deque<Entry> entries_; //!< program order, oldest at the front
+    std::uint64_t headSeq_ = 0; //!< sequence id of the oldest entry
+};
+
+} // namespace nuat
+
+#endif // NUAT_CPU_ROB_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The instruction-trace interface the core model consumes.
+ *
+ * Follows USIMM's trace semantics: each record is one memory
+ * instruction, preceded by a count of non-memory instructions.  The
+ * core model expands the gap into individual ROB slots.
+ */
+
+#ifndef NUAT_CPU_TRACE_HH
+#define NUAT_CPU_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nuat {
+
+/** One trace record: a memory access and its preceding compute gap. */
+struct TraceEntry
+{
+    std::uint32_t nonMemGap = 0; //!< non-memory instructions before this
+    bool isWrite = false;
+
+    /**
+     * True for a *dependent* read: later instructions need its value
+     * (an address computation, a branch), so fetch stalls until the
+     * data returns.  This is what makes a core latency-bound rather
+     * than purely bandwidth-bound.  Always false for writes.
+     */
+    bool dependent = false;
+
+    Addr addr = 0; //!< byte address of the access
+};
+
+/** A stream of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record into @p out.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(TraceEntry &out) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+
+    /** Workload name for reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CPU_TRACE_HH

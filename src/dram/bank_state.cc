@@ -1,0 +1,81 @@
+#include "bank_state.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+void
+BankState::onAct(Cycle now, std::uint32_t row, const RowTiming &timing)
+{
+    nuat_assert(isClosed(), "(ACT to a bank with row %u open)", openRow_);
+    nuat_assert(now >= actAllowedAt_);
+    nuat_assert(row != kNoRow);
+    nuat_assert(timing.trcd > 0 && timing.tras >= timing.trcd &&
+                timing.trc > timing.tras);
+    openRow_ = row;
+    lastActAt_ = now;
+    actTiming_ = timing;
+    rdAllowedAt_ = now + timing.trcd;
+    wrAllowedAt_ = now + timing.trcd;
+    preAllowedAt_ = now + timing.tras;
+    actAllowedAt_ = now + timing.trc;
+}
+
+void
+BankState::onRead(Cycle now, const TimingParams &tp)
+{
+    nuat_assert(!isClosed() && now >= rdAllowedAt_);
+    preAllowedAt_ = std::max(preAllowedAt_, now + tp.tRTP);
+}
+
+void
+BankState::onWrite(Cycle now, const TimingParams &tp)
+{
+    nuat_assert(!isClosed() && now >= wrAllowedAt_);
+    preAllowedAt_ =
+        std::max(preAllowedAt_, now + tp.tCWL + tp.tBL + tp.tWR);
+}
+
+void
+BankState::onPre(Cycle now, const TimingParams &tp)
+{
+    nuat_assert(!isClosed(), "(PRE to an already closed bank)");
+    nuat_assert(now >= preAllowedAt_);
+    openRow_ = kNoRow;
+    prechargedAt_ = now + tp.tRP;
+    actAllowedAt_ = std::max(actAllowedAt_, prechargedAt_);
+}
+
+void
+BankState::onReadAp(Cycle now, const TimingParams &tp)
+{
+    nuat_assert(!isClosed() && now >= rdAllowedAt_);
+    // The internal precharge starts as soon as both tRTP (from this
+    // read) and tRAS (from the activation) are satisfied.
+    const Cycle pre_at = std::max(now + tp.tRTP, preAllowedAt_);
+    openRow_ = kNoRow;
+    prechargedAt_ = pre_at + tp.tRP;
+    actAllowedAt_ = std::max(actAllowedAt_, prechargedAt_);
+}
+
+void
+BankState::onWriteAp(Cycle now, const TimingParams &tp)
+{
+    nuat_assert(!isClosed() && now >= wrAllowedAt_);
+    const Cycle pre_at =
+        std::max(now + tp.tCWL + tp.tBL + tp.tWR, preAllowedAt_);
+    openRow_ = kNoRow;
+    prechargedAt_ = pre_at + tp.tRP;
+    actAllowedAt_ = std::max(actAllowedAt_, prechargedAt_);
+}
+
+void
+BankState::onRefresh(Cycle done_at)
+{
+    nuat_assert(isClosed(), "(REF with a row open)");
+    actAllowedAt_ = std::max(actAllowedAt_, done_at);
+}
+
+} // namespace nuat

@@ -1,0 +1,27 @@
+#include "command.hh"
+
+namespace nuat {
+
+const char *
+Command::name() const
+{
+    switch (type) {
+      case CmdType::kAct:
+        return "ACT";
+      case CmdType::kPre:
+        return "PRE";
+      case CmdType::kRead:
+        return "RD";
+      case CmdType::kWrite:
+        return "WR";
+      case CmdType::kReadAp:
+        return "RDA";
+      case CmdType::kWriteAp:
+        return "WRA";
+      case CmdType::kRef:
+        return "REF";
+    }
+    return "?";
+}
+
+} // namespace nuat

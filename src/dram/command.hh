@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DRAM command descriptors exchanged between the memory controller and
+ * the device model.
+ */
+
+#ifndef NUAT_DRAM_COMMAND_HH
+#define NUAT_DRAM_COMMAND_HH
+
+#include "charge/timing_derate.hh"
+#include "common/types.hh"
+
+namespace nuat {
+
+/** The DDR command types the controller can issue. */
+enum class CmdType : std::uint8_t
+{
+    kAct,     //!< activate (open) a row
+    kPre,     //!< precharge (close) the open row
+    kRead,    //!< column read, row stays open
+    kWrite,   //!< column write, row stays open
+    kReadAp,  //!< column read with auto-precharge
+    kWriteAp, //!< column write with auto-precharge
+    kRef,     //!< all-bank auto refresh
+};
+
+/** True for the four column-access command types. */
+constexpr bool
+isColumnCmd(CmdType t)
+{
+    return t == CmdType::kRead || t == CmdType::kWrite ||
+           t == CmdType::kReadAp || t == CmdType::kWriteAp;
+}
+
+/** True for the read flavours. */
+constexpr bool
+isReadCmd(CmdType t)
+{
+    return t == CmdType::kRead || t == CmdType::kReadAp;
+}
+
+/** True for the auto-precharge flavours. */
+constexpr bool
+isAutoPre(CmdType t)
+{
+    return t == CmdType::kReadAp || t == CmdType::kWriteAp;
+}
+
+/** One DRAM command. */
+struct Command
+{
+    CmdType type = CmdType::kAct;
+    unsigned rank = 0;
+    unsigned bank = 0;          //!< ignored for kRef
+    std::uint32_t row = kNoRow; //!< kAct only
+    std::uint32_t col = 0;      //!< column commands only (cache-line col)
+
+    /**
+     * For kAct: the activation timing the controller intends to run the
+     * row at.  A charge-aware controller (NUAT) passes its PB-rated
+     * timing; a conventional controller passes the nominal datasheet
+     * timing.  The device checks it against the charge-model ground
+     * truth and panics if it is faster than physics allows.
+     */
+    RowTiming actTiming{0, 0, 0};
+
+    /** Short mnemonic, e.g. "ACT" / "RDA". */
+    const char *name() const;
+};
+
+/** What the device reports back when a command is issued. */
+struct IssueResult
+{
+    /**
+     * For reads: the cycle at which the last beat of data has been
+     * returned (the request's service-completion time).  0 otherwise.
+     */
+    Cycle dataAt = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_DRAM_COMMAND_HH

@@ -1,0 +1,257 @@
+#include "dram_device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+RankState::RankState(std::uint32_t rows, const TimingParams &tp)
+    : refresh(rows, tp)
+{
+}
+
+bool
+RankState::fawBlocked(Cycle now, const TimingParams &tp) const
+{
+    if (actWindow.size() < 4)
+        return false;
+    // actWindow holds the last 4 ACT times (oldest first): a fifth ACT
+    // must wait until the oldest leaves the tFAW window.
+    return now < actWindow.front() + tp.tFAW;
+}
+
+void
+RankState::recordAct(Cycle now, const TimingParams &tp)
+{
+    actAllowedAt = now + tp.tRRD;
+    actWindow.push_back(now);
+    if (actWindow.size() > 4)
+        actWindow.pop_front();
+}
+
+DramDevice::DramDevice(const DramGeometry &geometry, const TimingParams &tp,
+                       const TimingDerate &derate, const Clock &clock)
+    : geom_(geometry), tp_(tp), derate_(derate), clock_(clock)
+{
+    geom_.validate();
+    tp_.validate();
+    nuat_assert(geom_.channels == 1,
+                "(DramDevice models one channel; instantiate one per "
+                "channel)");
+    // The derating model must be based on the same nominal activation
+    // timing this device enforces, or ground truth and rated PB timing
+    // would disagree about what "nominal" means.
+    nuat_assert(derate_.nominal().trcd == tp_.tRCD &&
+                    derate_.nominal().tras == tp_.tRAS &&
+                    derate_.nominal().trp == tp_.tRP,
+                "(charge model nominal timing != device timing)");
+    ranks_.reserve(geom_.ranks);
+    for (unsigned r = 0; r < geom_.ranks; ++r) {
+        ranks_.emplace_back(geom_.rows, tp_);
+        ranks_.back().banks.resize(geom_.banks);
+    }
+}
+
+const BankState &
+DramDevice::bank(unsigned rank, unsigned bank_idx) const
+{
+    nuat_assert(rank < ranks_.size() && bank_idx < geom_.banks);
+    return ranks_[rank].banks[bank_idx];
+}
+
+BankState &
+DramDevice::bankRef(unsigned rank, unsigned bank_idx)
+{
+    nuat_assert(rank < ranks_.size() && bank_idx < geom_.banks);
+    return ranks_[rank].banks[bank_idx];
+}
+
+const RankState &
+DramDevice::rank(unsigned rank_idx) const
+{
+    nuat_assert(rank_idx < ranks_.size());
+    return ranks_[rank_idx];
+}
+
+const RefreshEngine &
+DramDevice::refresh(unsigned rank_idx) const
+{
+    nuat_assert(rank_idx < ranks_.size());
+    return ranks_[rank_idx].refresh;
+}
+
+bool
+DramDevice::refreshDue(Cycle now) const
+{
+    for (const auto &r : ranks_) {
+        if (r.refresh.due(now))
+            return true;
+    }
+    return false;
+}
+
+RowTiming
+DramDevice::trueRowTiming(unsigned rank_idx, std::uint32_t row,
+                          Cycle now) const
+{
+    const auto &eng = refresh(rank_idx);
+    const double elapsed = eng.elapsedNs(row, now, clock_.periodNs());
+    return derate_.effective(elapsed);
+}
+
+bool
+DramDevice::canIssueAct(const Command &cmd, Cycle now) const
+{
+    const RankState &r = ranks_[cmd.rank];
+    const BankState &b = r.banks[cmd.bank];
+    return b.isClosed() && now >= b.actAllowedAt() &&
+           now >= r.actAllowedAt && now >= r.refBusyUntil &&
+           !r.fawBlocked(now, tp_);
+}
+
+bool
+DramDevice::canIssueRef(const Command &cmd, Cycle now) const
+{
+    const RankState &r = ranks_[cmd.rank];
+    if (now < r.refBusyUntil)
+        return false;
+    for (const auto &b : r.banks) {
+        if (!b.prechargedAt(now))
+            return false;
+    }
+    return true;
+}
+
+bool
+DramDevice::canIssue(const Command &cmd, Cycle now) const
+{
+    nuat_assert(cmd.rank < ranks_.size());
+    nuat_assert(cmd.type == CmdType::kRef || cmd.bank < geom_.banks);
+
+    // Command bus: one command per cycle.
+    if (lastCmdAt_ != kNeverCycle && now <= lastCmdAt_)
+        return false;
+
+    const RankState &r = ranks_[cmd.rank];
+    const BankState &b = r.banks[cmd.type == CmdType::kRef ? 0 : cmd.bank];
+
+    switch (cmd.type) {
+      case CmdType::kAct:
+        return canIssueAct(cmd, now);
+      case CmdType::kPre:
+        return !b.isClosed() && now >= b.preAllowedAt();
+      case CmdType::kRead:
+      case CmdType::kReadAp:
+        return !b.isClosed() && now >= b.rdAllowedAt() &&
+               now >= rdIssueOkAt_ &&
+               (cmd.rank == lastDataRank_ ||
+                now + tp_.tCL >= lastDataEndAt_ + tp_.tRTRS);
+      case CmdType::kWrite:
+      case CmdType::kWriteAp:
+        return !b.isClosed() && now >= b.wrAllowedAt() &&
+               now >= wrIssueOkAt_ &&
+               (cmd.rank == lastDataRank_ ||
+                now + tp_.tCWL >= lastDataEndAt_ + tp_.tRTRS);
+      case CmdType::kRef:
+        return canIssueRef(cmd, now);
+    }
+    return false;
+}
+
+IssueResult
+DramDevice::issue(const Command &cmd, Cycle now)
+{
+    if (!canIssue(cmd, now)) {
+        nuat_panic("illegal %s to rank %u bank %u at cycle %llu",
+                   cmd.name(), cmd.rank, cmd.bank,
+                   static_cast<unsigned long long>(now));
+    }
+    lastCmdAt_ = now;
+
+    RankState &r = ranks_[cmd.rank];
+    IssueResult result;
+
+    switch (cmd.type) {
+      case CmdType::kAct: {
+        // Ground truth: the requested timing may not be faster than
+        // what the row's remaining charge physically supports.
+        const RowTiming min = trueRowTiming(cmd.rank, cmd.row, now);
+        if (cmd.actTiming.trcd < min.trcd ||
+            cmd.actTiming.tras < min.tras ||
+            cmd.actTiming.trc < min.trc) {
+            nuat_panic("charge violation: ACT row %u requested "
+                       "tRCD/tRAS/tRC %llu/%llu/%llu but charge allows "
+                       "only %llu/%llu/%llu",
+                       cmd.row,
+                       static_cast<unsigned long long>(cmd.actTiming.trcd),
+                       static_cast<unsigned long long>(cmd.actTiming.tras),
+                       static_cast<unsigned long long>(cmd.actTiming.trc),
+                       static_cast<unsigned long long>(min.trcd),
+                       static_cast<unsigned long long>(min.tras),
+                       static_cast<unsigned long long>(min.trc));
+        }
+        r.banks[cmd.bank].onAct(now, cmd.row, cmd.actTiming);
+        r.recordAct(now, tp_);
+        ++counters_.acts;
+        const Cycle red = tp_.tRCD - cmd.actTiming.trcd;
+        ++counters_.actsByTrcdReduction[red < 16 ? red : 15];
+        break;
+      }
+      case CmdType::kPre:
+        r.banks[cmd.bank].onPre(now, tp_);
+        ++counters_.pres;
+        break;
+      case CmdType::kRead:
+      case CmdType::kReadAp:
+        if (cmd.type == CmdType::kRead) {
+            r.banks[cmd.bank].onRead(now, tp_);
+        } else {
+            r.banks[cmd.bank].onReadAp(now, tp_);
+            ++counters_.autoPres;
+        }
+        ++counters_.reads;
+        // Data-bus interleaving: back-to-back reads gap by tCCD; a
+        // write after a read must leave the bus turnaround gap.
+        rdIssueOkAt_ = std::max(rdIssueOkAt_, now + tp_.tCCD);
+        wrIssueOkAt_ = std::max(
+            wrIssueOkAt_, now + tp_.tCL + tp_.tBL + tp_.tRTW - tp_.tCWL);
+        result.dataAt = now + tp_.tCL + tp_.tBL;
+        lastDataRank_ = cmd.rank;
+        lastDataEndAt_ = result.dataAt;
+        break;
+      case CmdType::kWrite:
+      case CmdType::kWriteAp:
+        if (cmd.type == CmdType::kWrite) {
+            r.banks[cmd.bank].onWrite(now, tp_);
+        } else {
+            r.banks[cmd.bank].onWriteAp(now, tp_);
+            ++counters_.autoPres;
+        }
+        ++counters_.writes;
+        wrIssueOkAt_ = std::max(wrIssueOkAt_, now + tp_.tCCD);
+        // A read after a write waits for write data plus tWTR.
+        rdIssueOkAt_ = std::max(rdIssueOkAt_,
+                                now + tp_.tCWL + tp_.tBL + tp_.tWTR);
+        lastDataRank_ = cmd.rank;
+        lastDataEndAt_ = now + tp_.tCWL + tp_.tBL;
+        break;
+      case CmdType::kRef: {
+        const Cycle due = r.refresh.nextDueAt();
+        if (now > due + tp_.maxRefreshSlack) {
+            nuat_panic("REF %llu cycles late: PBR rated timing is only "
+                       "guaranteed within the refresh-slack guard",
+                       static_cast<unsigned long long>(now - due));
+        }
+        r.refresh.performRefresh(now);
+        r.refBusyUntil = now + tp_.tRFC;
+        for (auto &b : r.banks)
+            b.onRefresh(r.refBusyUntil);
+        ++counters_.refreshes;
+        break;
+      }
+    }
+    return result;
+}
+
+} // namespace nuat

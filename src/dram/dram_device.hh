@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cycle-level DDR3 device model.
+ *
+ * The device accepts one command per bus cycle, enforces the full DDR3
+ * constraint graph (bank timing via BankState, rank-level tRRD / tFAW /
+ * tRFC, channel-level column/data-bus interleaving) and — uniquely to
+ * this reproduction — carries the charge-model *ground truth*: every
+ * activation's requested timing is checked against the true minimum
+ * timing the row's remaining cell charge allows.  A controller bug that
+ * would corrupt data on real silicon is therefore a panic here, which is
+ * how the test suite proves PBR's estimates are always safe.
+ */
+
+#ifndef NUAT_DRAM_DRAM_DEVICE_HH
+#define NUAT_DRAM_DRAM_DEVICE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bank_state.hh"
+#include "charge/timing_derate.hh"
+#include "command.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "refresh_engine.hh"
+#include "timing_params.hh"
+
+namespace nuat {
+
+/** Per-rank state beyond the individual banks. */
+class RankState
+{
+  public:
+    RankState(std::uint32_t rows, const TimingParams &tp);
+
+    /** Per-bank state, indexed by bank id. */
+    std::vector<BankState> banks;
+
+    /** Refresh counter / schedule / ground truth for this rank. */
+    RefreshEngine refresh;
+
+    /** Earliest cycle the next ACT may issue (tRRD). */
+    Cycle actAllowedAt = 0;
+
+    /** End of the in-flight REF's tRFC window. */
+    Cycle refBusyUntil = 0;
+
+    /** Issue times of recent ACTs, for the four-activate window. */
+    std::deque<Cycle> actWindow;
+
+    /** True when an ACT at @p now would violate tFAW. */
+    bool fawBlocked(Cycle now, const TimingParams &tp) const;
+
+    /** Record an ACT at @p now for tRRD / tFAW accounting. */
+    void recordAct(Cycle now, const TimingParams &tp);
+};
+
+/** Command counters kept by the device. */
+struct DeviceCounters
+{
+    std::uint64_t acts = 0;
+    std::uint64_t pres = 0;     //!< explicit PREs only
+    std::uint64_t reads = 0;    //!< including RDA
+    std::uint64_t writes = 0;   //!< including WRA
+    std::uint64_t autoPres = 0; //!< RDA + WRA
+    std::uint64_t refreshes = 0;
+    /** ACTs binned by whole-cycle tRCD reduction actually used. */
+    std::uint64_t actsByTrcdReduction[16] = {};
+};
+
+/** One DDR3 channel: ranks x banks plus the shared command/data bus. */
+class DramDevice
+{
+  public:
+    /**
+     * @param geometry channel geometry
+     * @param tp       timing parameters
+     * @param derate   charge model providing ground-truth row timing
+     * @param clock    bus clock (for cycle <-> ns conversion)
+     */
+    DramDevice(const DramGeometry &geometry, const TimingParams &tp,
+               const TimingDerate &derate, const Clock &clock = kMemClock);
+
+    /** True when @p cmd may legally issue at @p now. */
+    bool canIssue(const Command &cmd, Cycle now) const;
+
+    /**
+     * Issue @p cmd at @p now.  Panics if illegal (the controller must
+     * check canIssue first) or if an ACT's requested timing is faster
+     * than the row's remaining charge allows.
+     */
+    IssueResult issue(const Command &cmd, Cycle now);
+
+    /** Bank state accessor. */
+    const BankState &bank(unsigned rank, unsigned bank_idx) const;
+
+    /** Rank state accessor. */
+    const RankState &rank(unsigned rank_idx) const;
+
+    /** Refresh engine of @p rank_idx (PBR reads this). */
+    const RefreshEngine &refresh(unsigned rank_idx = 0) const;
+
+    /** True when any rank has a REF due at @p now. */
+    bool refreshDue(Cycle now) const;
+
+    /**
+     * The row's true minimum activation timing at @p now, from the
+     * charge model.  Exposed for tests and the pb_explorer example.
+     */
+    RowTiming trueRowTiming(unsigned rank, std::uint32_t row,
+                            Cycle now) const;
+
+    /** Geometry in use. */
+    const DramGeometry &geometry() const { return geom_; }
+
+    /** Timing parameters in use. */
+    const TimingParams &timing() const { return tp_; }
+
+    /** The charge derating model in use. */
+    const TimingDerate &derate() const { return derate_; }
+
+    /** Command counters. */
+    const DeviceCounters &counters() const { return counters_; }
+
+  private:
+    bool canIssueAct(const Command &cmd, Cycle now) const;
+    bool canIssueRef(const Command &cmd, Cycle now) const;
+
+    BankState &bankRef(unsigned rank, unsigned bank_idx);
+
+    DramGeometry geom_;
+    TimingParams tp_;
+    TimingDerate derate_;
+    Clock clock_;
+    std::vector<RankState> ranks_;
+
+    Cycle lastCmdAt_ = kNeverCycle; //!< command bus: one cmd per cycle
+    Cycle rdIssueOkAt_ = 0;         //!< channel data-bus gate for reads
+    Cycle wrIssueOkAt_ = 0;         //!< channel data-bus gate for writes
+    unsigned lastDataRank_ = 0;     //!< owner of the last data burst
+    Cycle lastDataEndAt_ = 0;       //!< end of the last data burst
+
+    DeviceCounters counters_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_DRAM_DRAM_DEVICE_HH

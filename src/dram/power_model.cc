@@ -1,0 +1,84 @@
+#include "power_model.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+DramPowerModel::DramPowerModel(const TimingParams &tp, const Clock &clock,
+                               const IddParams &idd)
+    : tp_(tp), clock_(clock), idd_(idd)
+{
+    nuat_assert(idd_.vdd > 0.0);
+    nuat_assert(idd_.idd0 > idd_.idd3n && idd_.idd3n >= idd_.idd2n,
+                "(inconsistent IDD specification)");
+}
+
+double
+DramPowerModel::actPreEnergyNj(Cycle trc_cycles) const
+{
+    // mA * V * ns = pW*s... (1e-3 A)(V)(1e-9 s) = 1e-12 J = 1e-3 nJ.
+    return (idd_.idd0 - idd_.idd3n) * idd_.vdd *
+           clock_.toNs(trc_cycles) * 1e-3;
+}
+
+double
+DramPowerModel::readEnergyNj() const
+{
+    return (idd_.idd4r - idd_.idd3n) * idd_.vdd * clock_.toNs(tp_.tBL) *
+           1e-3;
+}
+
+double
+DramPowerModel::writeEnergyNj() const
+{
+    return (idd_.idd4w - idd_.idd3n) * idd_.vdd * clock_.toNs(tp_.tBL) *
+           1e-3;
+}
+
+double
+DramPowerModel::refreshEnergyNj() const
+{
+    return (idd_.idd5 - idd_.idd2n) * idd_.vdd * clock_.toNs(tp_.tRFC) *
+           1e-3;
+}
+
+EnergyBreakdown
+DramPowerModel::estimate(const DeviceCounters &counters,
+                         Cycle elapsed) const
+{
+    EnergyBreakdown e;
+
+    // Activations: each bin i of the histogram ran with tRCD reduced
+    // by i cycles, i.e. tRC reduced by the matching ladder step
+    // (tRAS shrinks twice as fast as tRCD in the Table 4 ladder).
+    double act_time_ns = 0.0;
+    for (Cycle red = 0; red < 16; ++red) {
+        const std::uint64_t n = counters.actsByTrcdReduction[red];
+        if (n == 0)
+            continue;
+        // Table 4 ladder: each tRCD cycle shaved comes with two tRAS
+        // cycles, and tRC = tRAS + tRP, so tRC shrinks by 2 per step.
+        const Cycle trc = tp_.tRC - 2 * red;
+        e.actPre += n * actPreEnergyNj(trc);
+        act_time_ns += n * clock_.toNs(trc);
+    }
+    e.deratingSavings =
+        counters.acts * actPreEnergyNj(tp_.tRC) - e.actPre;
+
+    e.read = counters.reads * readEnergyNj();
+    e.write = counters.writes * writeEnergyNj();
+    e.refresh = counters.refreshes * refreshEnergyNj();
+
+    // Background: active standby while any bank holds a row (bounded
+    // by the cumulative activation windows), precharge standby
+    // otherwise.
+    const double total_ns = clock_.toNs(elapsed);
+    const double active_ns =
+        act_time_ns < total_ns ? act_time_ns : total_ns;
+    e.background = (idd_.idd3n * active_ns +
+                    idd_.idd2n * (total_ns - active_ns)) *
+                   idd_.vdd * 1e-3;
+    return e;
+}
+
+} // namespace nuat

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * IDD-based DRAM energy estimation (after the Micron / Rambus power
+ * models the paper's charge parameters come from [21, 28]).
+ *
+ * Energy is decomposed the standard way:
+ *   - activate/precharge pairs: (IDD0 - IDD3N) * tRC_effective * VDD,
+ *     where NUAT's derated activations genuinely shorten the restore
+ *     phase (the per-reduction ACT histogram the device keeps makes
+ *     this exact);
+ *   - read / write bursts: (IDD4R/W - IDD3N) * tBL * VDD;
+ *   - refresh: (IDD5 - IDD2N) * tRFC * VDD per REF;
+ *   - background: IDD3N/IDD2N standby, apportioned by bank-active
+ *     time (approximated from the command counts).
+ */
+
+#ifndef NUAT_DRAM_POWER_MODEL_HH
+#define NUAT_DRAM_POWER_MODEL_HH
+
+#include "common/types.hh"
+#include "dram_device.hh"
+#include "timing_params.hh"
+
+namespace nuat {
+
+/** IDD current specs [mA] (DDR3-1600, 2 Gb class defaults). */
+struct IddParams
+{
+    double vdd = 1.5;     //!< supply [V]
+    double idd0 = 95.0;   //!< one-bank ACT-PRE cycling
+    double idd2n = 42.0;  //!< precharge standby
+    double idd3n = 45.0;  //!< active standby
+    double idd4r = 180.0; //!< burst read
+    double idd4w = 185.0; //!< burst write
+    double idd5 = 215.0;  //!< burst refresh
+};
+
+/** Energy decomposition of one run [nJ]. */
+struct EnergyBreakdown
+{
+    double actPre = 0.0;
+    double read = 0.0;
+    double write = 0.0;
+    double refresh = 0.0;
+    double background = 0.0;
+
+    /** Total energy [nJ]. */
+    double total() const
+    {
+        return actPre + read + write + refresh + background;
+    }
+
+    /** Average power [mW] over @p elapsed_ns. */
+    double
+    avgPowerMw(double elapsed_ns) const
+    {
+        return elapsed_ns > 0.0 ? total() / elapsed_ns * 1e3 : 0.0;
+    }
+
+    /** Energy saved on activations by charge derating [nJ]. */
+    double deratingSavings = 0.0;
+};
+
+/** Estimates channel energy from device counters. */
+class DramPowerModel
+{
+  public:
+    /**
+     * @param tp    the timing parameters the counters ran under
+     * @param clock bus clock (cycle -> ns)
+     * @param idd   current specs
+     */
+    DramPowerModel(const TimingParams &tp, const Clock &clock = kMemClock,
+                   const IddParams &idd = IddParams{});
+
+    /**
+     * Decompose the energy of a run.
+     * @param counters device command counts (incl. the per-reduction
+     *                 ACT histogram)
+     * @param elapsed  run length [cycles]
+     */
+    EnergyBreakdown estimate(const DeviceCounters &counters,
+                             Cycle elapsed) const;
+
+    /** Energy of one ACT/PRE pair at @p trc_cycles [nJ]. */
+    double actPreEnergyNj(Cycle trc_cycles) const;
+
+    /** Energy of one read burst [nJ]. */
+    double readEnergyNj() const;
+
+    /** Energy of one write burst [nJ]. */
+    double writeEnergyNj() const;
+
+    /** Energy of one REF command [nJ]. */
+    double refreshEnergyNj() const;
+
+  private:
+    TimingParams tp_;
+    Clock clock_;
+    IddParams idd_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_DRAM_POWER_MODEL_HH

@@ -1,0 +1,60 @@
+#include "refresh_engine.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+RefreshEngine::RefreshEngine(std::uint32_t rows, const TimingParams &tp)
+    : rows_(rows), rowsPerRef_(tp.rowsPerRef), interval_(tp.refInterval())
+{
+    nuat_assert(rows_ > 0 && rowsPerRef_ > 0);
+    nuat_assert(rows_ % rowsPerRef_ == 0,
+                "(rows %u not divisible by rowsPerRef %u)", rows_,
+                rowsPerRef_);
+
+    // Steady-state history: group g of rowsPerRef rows was refreshed
+    // (G - 1 - g) intervals before cycle 0, so the counter is at row 0
+    // with the first REF due one interval in.
+    const std::uint32_t groups = rows_ / rowsPerRef_;
+    lastRefreshAt_.resize(rows_);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+        const std::int64_t at =
+            -static_cast<std::int64_t>(groups - 1 - g) *
+            static_cast<std::int64_t>(interval_);
+        for (unsigned r = 0; r < rowsPerRef_; ++r)
+            lastRefreshAt_[g * rowsPerRef_ + r] = at;
+    }
+    nextRow_ = 0;
+    nextDueAt_ = interval_;
+}
+
+void
+RefreshEngine::performRefresh(Cycle now)
+{
+    for (unsigned r = 0; r < rowsPerRef_; ++r) {
+        lastRefreshAt_[(nextRow_ + r) % rows_] =
+            static_cast<std::int64_t>(now);
+    }
+    nextRow_ = (nextRow_ + rowsPerRef_) % rows_;
+    nextDueAt_ += interval_; // absolute schedule: lateness never accrues
+    ++refreshesDone_;
+}
+
+std::int64_t
+RefreshEngine::lastRefreshAt(std::uint32_t row) const
+{
+    nuat_assert(row < rows_);
+    return lastRefreshAt_[row];
+}
+
+double
+RefreshEngine::elapsedNs(std::uint32_t row, Cycle now,
+                         double period_ns) const
+{
+    const std::int64_t delta =
+        static_cast<std::int64_t>(now) - lastRefreshAt(row);
+    nuat_assert(delta >= 0, "(row %u refreshed in the future?)", row);
+    return static_cast<double>(delta) * period_ns;
+}
+
+} // namespace nuat

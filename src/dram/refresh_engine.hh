@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Refresh bookkeeping: the linear refresh row counter NUAT's PBR reads.
+ *
+ * Every cell must be refreshed once per 64 ms retention period.  The
+ * device refreshes rowsPerRef consecutive rows (in every bank of the
+ * rank) per REF command, issued every rowsPerRef * tREFI, walking the
+ * row address space with a linear counter (the paper's Sec. 5.1
+ * simplifying assumption).
+ *
+ * The engine keeps two views:
+ *  - the *schedule* (deadline of the next REF, the counter position) —
+ *    this is what a memory controller can legitimately know, and it is
+ *    all that PBR uses;
+ *  - the *ground truth* (actual refresh cycle of every row) — used only
+ *    by the device model to verify that charge-derated activations are
+ *    physically safe.
+ */
+
+#ifndef NUAT_DRAM_REFRESH_ENGINE_HH
+#define NUAT_DRAM_REFRESH_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "timing_params.hh"
+
+namespace nuat {
+
+/** Per-rank refresh counter, schedule, and ground-truth history. */
+class RefreshEngine
+{
+  public:
+    /**
+     * @param rows rows per bank
+     * @param tp   timing parameters (rowsPerRef, tREFI)
+     *
+     * Initial state models a steady-state device: row groups were last
+     * refreshed at evenly spaced (negative) times, with the counter
+     * about to wrap to row 0 — i.e. row 0 is the *oldest* row at cycle
+     * 0 and will be refreshed by the first REF.
+     */
+    RefreshEngine(std::uint32_t rows, const TimingParams &tp);
+
+    /** Deadline of the next REF command [cycle]. */
+    Cycle nextDueAt() const { return nextDueAt_; }
+
+    /** True when the next REF's deadline has arrived at @p now. */
+    bool due(Cycle now) const { return now >= nextDueAt_; }
+
+    /** First row the next REF will refresh (the counter position). */
+    std::uint32_t nextRow() const { return nextRow_; }
+
+    /**
+     * Last-Refreshed-Row-Address: the most recently refreshed row.
+     * This is the LRRA of the paper's equation (1).
+     */
+    std::uint32_t lrra() const
+    {
+        return (nextRow_ + rows_ - 1) % rows_;
+    }
+
+    /**
+     * Relative age of @p row in rows: how many row-refresh steps ago it
+     * was refreshed.  (LRRA - row) mod #rows; 0 = just refreshed.
+     * This is the quantity PBR shifts down to a PRE_PB index.
+     */
+    std::uint32_t relativeAge(std::uint32_t row) const
+    {
+        return (lrra() + rows_ - row) % rows_;
+    }
+
+    /** Rows refreshed per REF command. */
+    unsigned rowsPerRef() const { return rowsPerRef_; }
+
+    /** Rows per bank. */
+    std::uint32_t rows() const { return rows_; }
+
+    /** Interval between REF commands [cycles]. */
+    Cycle interval() const { return interval_; }
+
+    /**
+     * Perform one REF at @p now: stamps the next rowsPerRef rows as
+     * refreshed, advances the counter and the deadline.
+     */
+    void performRefresh(Cycle now);
+
+    /** Ground truth: the cycle @p row was last refreshed (can be
+     *  negative for the synthetic pre-simulation history). */
+    std::int64_t lastRefreshAt(std::uint32_t row) const;
+
+    /** Ground truth: ns elapsed at @p now since @p row's last refresh. */
+    double elapsedNs(std::uint32_t row, Cycle now, double period_ns) const;
+
+    /** Total REF commands performed. */
+    std::uint64_t refreshesDone() const { return refreshesDone_; }
+
+  private:
+    std::uint32_t rows_;
+    unsigned rowsPerRef_;
+    Cycle interval_;
+    std::uint32_t nextRow_ = 0;
+    Cycle nextDueAt_;
+    std::uint64_t refreshesDone_ = 0;
+    std::vector<std::int64_t> lastRefreshAt_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_DRAM_REFRESH_ENGINE_HH

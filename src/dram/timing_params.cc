@@ -1,0 +1,38 @@
+#include "timing_params.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace nuat {
+
+void
+TimingParams::validate() const
+{
+    nuat_assert(tRC == tRAS + tRP, "(tRC %llu != tRAS %llu + tRP %llu)",
+                static_cast<unsigned long long>(tRC),
+                static_cast<unsigned long long>(tRAS),
+                static_cast<unsigned long long>(tRP));
+    nuat_assert(tRCD > 0 && tRAS >= tRCD);
+    nuat_assert(tBL > 0 && tCCD >= tBL);
+    nuat_assert(tCL > 0 && tCWL > 0);
+    nuat_assert(tFAW >= tRRD, "(tFAW must cover at least one tRRD)");
+    nuat_assert(rowsPerRef > 0);
+    nuat_assert(tRFC > 0 && tREFI > tRFC,
+                "(refresh would saturate the device)");
+}
+
+void
+DramGeometry::validate() const
+{
+    nuat_assert(channels > 0 && ranks > 0 && banks > 0);
+    nuat_assert(isPowerOfTwo(channels) && isPowerOfTwo(ranks));
+    nuat_assert(isPowerOfTwo(banks));
+    nuat_assert(isPowerOfTwo(rows) && isPowerOfTwo(columns));
+    nuat_assert(isPowerOfTwo(lineBytes) && isPowerOfTwo(columnBytes));
+    nuat_assert(lineBytes >= columnBytes,
+                "(cache line smaller than a device column)");
+    nuat_assert(columns * columnBytes >= lineBytes,
+                "(row smaller than a cache line)");
+}
+
+} // namespace nuat

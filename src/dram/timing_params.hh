@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DDR3 timing parameters and device geometry.
+ *
+ * All timing values are in memory-bus clock cycles (800 MHz, tCK =
+ * 1.25 ns, DDR3-1600).  The activation-related defaults (tRCD 15 ns,
+ * tRAS 37.5 ns, tRC 52.5 ns) follow the paper's Table 3 (SK Hynix DDR3
+ * datasheet); the rest are standard DDR3-1600 values.
+ */
+
+#ifndef NUAT_DRAM_TIMING_PARAMS_HH
+#define NUAT_DRAM_TIMING_PARAMS_HH
+
+#include "common/types.hh"
+
+namespace nuat {
+
+/** DDR3 timing constraint set [memory-bus cycles]. */
+struct TimingParams
+{
+    Cycle tRCD = 12; //!< ACT to column command (15 ns)
+    Cycle tRAS = 30; //!< ACT to PRE (37.5 ns)
+    Cycle tRP = 12;  //!< PRE to ACT (15 ns)
+    Cycle tRC = 42;  //!< ACT to ACT, same bank (52.5 ns)
+
+    Cycle tCL = 11;  //!< read column command to first data
+    Cycle tCWL = 8;  //!< write column command to first data
+    Cycle tBL = 4;   //!< burst length on the bus (BL8, DDR)
+
+    Cycle tCCD = 4;  //!< column command to column command
+    Cycle tRRD = 6;  //!< ACT to ACT, different banks (7.5 ns)
+    Cycle tFAW = 32; //!< four-activate window (40 ns)
+
+    Cycle tWTR = 6;  //!< write data end to read command (7.5 ns)
+    Cycle tRTW = 2;  //!< read-to-write data-bus turnaround gap
+    Cycle tRTP = 6;  //!< read command to PRE (7.5 ns)
+    Cycle tWR = 12;  //!< write recovery: data end to PRE (15 ns)
+
+    Cycle tRTRS = 2; //!< rank-to-rank data-bus switch penalty
+
+    Cycle tRFC = 128;  //!< refresh cycle time (160 ns, 2 Gb device)
+    Cycle tREFI = 6240; //!< per-row refresh interval (7.8 us)
+
+    /** Rows refreshed by one REF command (paper Sec. 4: 8 is common). */
+    unsigned rowsPerRef = 8;
+
+    /** Interval between REF commands: rowsPerRef * tREFI. */
+    Cycle refInterval() const { return tREFI * rowsPerRef; }
+
+    /**
+     * Maximum tolerated lateness of a REF command [cycles].  The PBR
+     * rated timings include a refresh-slack guard (TimingDerate's
+     * slack_ns, default 1 ms); a controller that lets refresh slip
+     * further than this voids that guarantee, so the device panics.
+     * 0.5 ms at 1.25 ns/cycle.
+     */
+    Cycle maxRefreshSlack = 400000;
+
+    /** Sanity-check internal consistency; panics on violation. */
+    void validate() const;
+};
+
+/** Device geometry (paper Table 3: 1 ch / 1 rank / 8 banks / 8K x 1K). */
+struct DramGeometry
+{
+    unsigned channels = 1;      //!< independent channels
+    unsigned ranks = 1;         //!< ranks per channel
+    unsigned banks = 8;         //!< banks per rank
+    std::uint32_t rows = 8192;  //!< rows per bank
+    std::uint32_t columns = 1024; //!< device columns per row
+    unsigned lineBytes = 64;    //!< cache-line size
+    unsigned columnBytes = 8;   //!< bytes per device column (x64 bus)
+
+    /** Cache lines per row (the column granularity we schedule at). */
+    std::uint32_t linesPerRow() const
+    {
+        return columns * columnBytes / lineBytes;
+    }
+
+    /** Total capacity of one channel in bytes. */
+    std::uint64_t channelBytes() const
+    {
+        return static_cast<std::uint64_t>(ranks) * banks * rows *
+               columns * columnBytes;
+    }
+
+    /** Sanity-check internal consistency; panics on violation. */
+    void validate() const;
+};
+
+} // namespace nuat
+
+#endif // NUAT_DRAM_TIMING_PARAMS_HH

@@ -1,0 +1,104 @@
+#include "address_mapping.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace nuat {
+
+AddressMapping::AddressMapping(MappingScheme scheme,
+                               const DramGeometry &geometry)
+    : scheme_(scheme)
+{
+    geometry.validate();
+    offsetBits_ = log2Exact(geometry.lineBytes);
+    channelBits_ =
+        geometry.channels > 1 ? log2Exact(geometry.channels) : 0;
+    colBits_ = log2Exact(geometry.linesPerRow());
+    bankBits_ = log2Exact(geometry.banks);
+    rankBits_ = geometry.ranks > 1 ? log2Exact(geometry.ranks) : 0;
+    rowBits_ = log2Exact(geometry.rows);
+}
+
+unsigned
+AddressMapping::addressBits() const
+{
+    return offsetBits_ + channelBits_ + colBits_ + bankBits_ + rankBits_ +
+           rowBits_;
+}
+
+DramCoord
+AddressMapping::decompose(Addr addr) const
+{
+    DramCoord c;
+    unsigned shift = offsetBits_;
+    // Channels interleave at cache-line granularity in both schemes.
+    c.channel = static_cast<unsigned>(bits(addr, shift, channelBits_));
+    shift += channelBits_;
+    switch (scheme_) {
+      case MappingScheme::kOpenPageBaseline:
+      case MappingScheme::kOpenPageXorBank:
+        c.col = static_cast<std::uint32_t>(bits(addr, shift, colBits_));
+        shift += colBits_;
+        c.bank = static_cast<unsigned>(bits(addr, shift, bankBits_));
+        shift += bankBits_;
+        c.rank = static_cast<unsigned>(bits(addr, shift, rankBits_));
+        shift += rankBits_;
+        c.row = static_cast<std::uint32_t>(bits(addr, shift, rowBits_));
+        if (scheme_ == MappingScheme::kOpenPageXorBank) {
+            // Permutation-based interleaving: fold the low row bits
+            // into the bank index (self-inverse, so compose undoes it).
+            c.bank ^= static_cast<unsigned>(
+                c.row & ((1u << bankBits_) - 1));
+        }
+        break;
+      case MappingScheme::kClosePageInterleaved:
+        c.bank = static_cast<unsigned>(bits(addr, shift, bankBits_));
+        shift += bankBits_;
+        c.rank = static_cast<unsigned>(bits(addr, shift, rankBits_));
+        shift += rankBits_;
+        c.col = static_cast<std::uint32_t>(bits(addr, shift, colBits_));
+        shift += colBits_;
+        c.row = static_cast<std::uint32_t>(bits(addr, shift, rowBits_));
+        break;
+    }
+    return c;
+}
+
+Addr
+AddressMapping::compose(const DramCoord &coord) const
+{
+    Addr addr = 0;
+    unsigned shift = offsetBits_;
+    addr = insertBits(addr, shift, channelBits_, coord.channel);
+    shift += channelBits_;
+    switch (scheme_) {
+      case MappingScheme::kOpenPageBaseline:
+      case MappingScheme::kOpenPageXorBank: {
+        unsigned bank_field = coord.bank;
+        if (scheme_ == MappingScheme::kOpenPageXorBank) {
+            bank_field ^= static_cast<unsigned>(
+                coord.row & ((1u << bankBits_) - 1));
+        }
+        addr = insertBits(addr, shift, colBits_, coord.col);
+        shift += colBits_;
+        addr = insertBits(addr, shift, bankBits_, bank_field);
+        shift += bankBits_;
+        addr = insertBits(addr, shift, rankBits_, coord.rank);
+        shift += rankBits_;
+        addr = insertBits(addr, shift, rowBits_, coord.row);
+        break;
+      }
+      case MappingScheme::kClosePageInterleaved:
+        addr = insertBits(addr, shift, bankBits_, coord.bank);
+        shift += bankBits_;
+        addr = insertBits(addr, shift, rankBits_, coord.rank);
+        shift += rankBits_;
+        addr = insertBits(addr, shift, colBits_, coord.col);
+        shift += colBits_;
+        addr = insertBits(addr, shift, rowBits_, coord.row);
+        break;
+    }
+    return addr;
+}
+
+} // namespace nuat

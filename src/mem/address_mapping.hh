@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * Two schemes are provided, following USIMM's conventions (the paper
+ * uses USIMM's "open-page baseline mapping", Table 3):
+ *
+ *  - kOpenPageBaseline: row : rank : bank : column : line-offset.
+ *    Consecutive cache lines fall in the same row, maximizing row-buffer
+ *    locality for streaming access.
+ *  - kClosePageInterleaved: row : column : rank : bank : line-offset.
+ *    Consecutive cache lines stripe across banks, maximizing bank-level
+ *    parallelism for close-page policies.
+ */
+
+#ifndef NUAT_MEM_ADDRESS_MAPPING_HH
+#define NUAT_MEM_ADDRESS_MAPPING_HH
+
+#include "common/types.hh"
+#include "dram/timing_params.hh"
+
+namespace nuat {
+
+/** Address interleaving scheme. */
+enum class MappingScheme
+{
+    kOpenPageBaseline,     //!< row:rank:bank:column:offset
+    kClosePageInterleaved, //!< row:column:rank:bank:offset
+
+    /**
+     * Open-page layout with permutation-based bank indexing (Zhang et
+     * al., MICRO'00): the bank index is XORed with the low row bits,
+     * spreading row-conflict-prone strided streams across banks while
+     * preserving in-row locality.
+     */
+    kOpenPageXorBank,
+};
+
+/** Decomposed DRAM coordinates of one cache line. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t col = 0; //!< cache-line column within the row
+
+    bool operator==(const DramCoord &) const = default;
+};
+
+/** Maps line addresses to DRAM coordinates and back. */
+class AddressMapping
+{
+  public:
+    AddressMapping(MappingScheme scheme, const DramGeometry &geometry);
+
+    /** Decompose @p addr (byte address; the line offset is dropped). */
+    DramCoord decompose(Addr addr) const;
+
+    /** Rebuild the line-aligned byte address of @p coord. */
+    Addr compose(const DramCoord &coord) const;
+
+    /** The scheme in use. */
+    MappingScheme scheme() const { return scheme_; }
+
+    /** Number of address bits a channel decodes (above these, wraps). */
+    unsigned addressBits() const;
+
+  private:
+    MappingScheme scheme_;
+    unsigned offsetBits_;  //!< log2(lineBytes)
+    unsigned channelBits_; //!< log2(channels); lowest above the offset
+    unsigned colBits_;     //!< log2(lines per row)
+    unsigned bankBits_;
+    unsigned rankBits_;
+    unsigned rowBits_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_MEM_ADDRESS_MAPPING_HH

@@ -1,0 +1,377 @@
+#include "memory_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+MemoryController::MemoryController(DramDevice &dev,
+                                   std::unique_ptr<Scheduler> scheduler,
+                                   const ControllerConfig &config)
+    : dev_(dev), scheduler_(std::move(scheduler)), cfg_(config),
+      mapping_(config.mapping,
+               [&] {
+                   DramGeometry g = dev.geometry();
+                   g.channels = config.channels;
+                   return g;
+               }()),
+      readQ_(config.readQueueCapacity), writeQ_(config.writeQueueCapacity)
+{
+    nuat_assert(scheduler_ != nullptr);
+    nuat_assert(cfg_.writeQueueLowWatermark < cfg_.writeQueueHighWatermark);
+    nuat_assert(cfg_.writeQueueHighWatermark < cfg_.writeQueueCapacity);
+}
+
+Addr
+MemoryController::lineAddr(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(dev_.geometry().lineBytes - 1);
+}
+
+SchedContext
+MemoryController::makeContext(Cycle now) const
+{
+    SchedContext ctx;
+    ctx.now = now;
+    ctx.dev = &dev_;
+    ctx.readQLen = readQ_.size();
+    ctx.writeQLen = writeQ_.size();
+    ctx.wqHighWatermark = cfg_.writeQueueHighWatermark;
+    ctx.wqLowWatermark = cfg_.writeQueueLowWatermark;
+    return ctx;
+}
+
+bool
+MemoryController::canAcceptRead(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    if (writeQ_.findLine(line) || readQ_.findLine(line))
+        return true; // forwarded or merged; no new queue slot needed
+    for (const auto &f : inFlight_) {
+        if (f.addr == line)
+            return true; // merges onto the in-flight access
+    }
+    return readQ_.hasRoom();
+}
+
+bool
+MemoryController::canAcceptWrite(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    return writeQ_.findLine(line) != nullptr || writeQ_.hasRoom();
+}
+
+void
+MemoryController::enqueueRead(Addr addr, const Waiter &waiter, Cycle now)
+{
+    const Addr line = lineAddr(addr);
+    ++stats_.readsAccepted;
+
+    // Forward from a pending write: the controller already holds the
+    // line's data, no DRAM access needed.
+    if (writeQ_.findLine(line)) {
+        ++stats_.readsForwarded;
+        ++stats_.readsCompleted;
+        stats_.readLatencySum += static_cast<double>(cfg_.forwardLatency);
+        stats_.readLatencyHist.sample(
+            static_cast<double>(cfg_.forwardLatency));
+        inFlight_.push_back(
+            PendingCompletion{now + cfg_.forwardLatency, line, {waiter}});
+        return;
+    }
+
+    // Merge onto a pending read to the same line.
+    if (Request *pending = readQ_.findLine(line)) {
+        ++stats_.readsMerged;
+        pending->waiters.push_back(waiter);
+        return;
+    }
+    for (auto &f : inFlight_) {
+        if (f.addr == line) {
+            ++stats_.readsMerged;
+            f.waiters.push_back(waiter);
+            return;
+        }
+    }
+
+    nuat_assert(readQ_.hasRoom(), "(enqueueRead without canAcceptRead)");
+    auto req = std::make_unique<Request>();
+    req->id = nextRequestId_++;
+    req->isWrite = false;
+    req->addr = line;
+    const DramCoord c = mapping_.decompose(line);
+    req->rank = c.rank;
+    req->bank = c.bank;
+    req->row = c.row;
+    req->col = c.col;
+    req->arrivalAt = now;
+    req->waiters.push_back(waiter);
+    readQ_.push(std::move(req));
+}
+
+void
+MemoryController::enqueueWrite(Addr addr, Cycle now)
+{
+    const Addr line = lineAddr(addr);
+    ++stats_.writesAccepted;
+
+    if (writeQ_.findLine(line)) {
+        ++stats_.writesCoalesced; // last-writer-wins, one DRAM write
+        return;
+    }
+
+    nuat_assert(writeQ_.hasRoom(), "(enqueueWrite without canAcceptWrite)");
+    auto req = std::make_unique<Request>();
+    req->id = nextRequestId_++;
+    req->isWrite = true;
+    req->addr = line;
+    const DramCoord c = mapping_.decompose(line);
+    req->rank = c.rank;
+    req->bank = c.bank;
+    req->row = c.row;
+    req->col = c.col;
+    req->arrivalAt = now;
+    writeQ_.push(std::move(req));
+}
+
+void
+MemoryController::processCompletions(Cycle now)
+{
+    for (std::size_t i = 0; i < inFlight_.size();) {
+        if (inFlight_[i].dataAt <= now) {
+            if (readCallback_) {
+                for (const Waiter &w : inFlight_[i].waiters)
+                    readCallback_(w, inFlight_[i].addr,
+                                  inFlight_[i].dataAt);
+            }
+            inFlight_[i] = std::move(inFlight_.back());
+            inFlight_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+bool
+MemoryController::handleRefresh(Cycle now)
+{
+    for (unsigned r = 0; r < dev_.geometry().ranks; ++r) {
+        if (!dev_.refresh(r).due(now))
+            continue;
+
+        Command ref;
+        ref.type = CmdType::kRef;
+        ref.rank = r;
+        if (dev_.canIssue(ref, now)) {
+            dev_.issue(ref, now);
+            scheduler_->onIssue(ref, makeContext(now));
+            return true;
+        }
+
+        // Drain open banks with forced precharges so REF can proceed.
+        for (unsigned b = 0; b < dev_.geometry().banks; ++b) {
+            if (dev_.bank(r, b).isClosed())
+                continue;
+            Command pre;
+            pre.type = CmdType::kPre;
+            pre.rank = r;
+            pre.bank = b;
+            if (dev_.canIssue(pre, now)) {
+                dev_.issue(pre, now);
+                scheduler_->onIssue(pre, makeContext(now));
+                return true;
+            }
+        }
+        // Nothing issuable yet (tRAS / tRTP / tWR still running); the
+        // rank's candidates are suppressed below, so progress is
+        // guaranteed.  Other ranks may still be scheduled.
+    }
+    return false;
+}
+
+void
+MemoryController::enumerate(Cycle now, std::vector<Candidate> &out) const
+{
+    out.clear();
+
+    const unsigned banks = dev_.geometry().banks;
+    const unsigned ranks = dev_.geometry().ranks;
+
+    // Per-(bank,row) demand counts, computed once per cycle.  Used both
+    // to suppress precharges of rows with pending hits (FR-FCFS
+    // semantics; NUAT's HIT element agrees) and to tell close-page
+    // policies whether a column access is the row's last pending one.
+    struct RowDemand
+    {
+        std::uint32_t row;
+        unsigned count;
+    };
+    std::vector<std::vector<RowDemand>> demand(ranks * banks);
+    auto countRequest = [&](const Request &req) {
+        auto &list = demand[req.rank * banks + req.bank];
+        for (auto &d : list) {
+            if (d.row == req.row) {
+                ++d.count;
+                return;
+            }
+        }
+        list.push_back(RowDemand{req.row, 1});
+    };
+    for (const auto &req : readQ_)
+        countRequest(*req);
+    for (const auto &req : writeQ_)
+        countRequest(*req);
+
+    auto demandFor = [&](unsigned rank, unsigned bank,
+                         std::uint32_t row) -> unsigned {
+        for (const auto &d : demand[rank * banks + bank]) {
+            if (d.row == row)
+                return d.count;
+        }
+        return 0;
+    };
+
+    // Dedup masks: one ACT candidate per (bank,row), one PRE per bank.
+    // 64 banks x ranks is small, use flat vectors.
+    std::vector<std::uint32_t> actRowSeen(ranks * banks, kNoRow);
+    std::vector<bool> preSeen(ranks * banks, false);
+
+    const RowTiming nominal{dev_.timing().tRCD, dev_.timing().tRAS,
+                            dev_.timing().tRC};
+
+    auto addForRequest = [&](Request *req) {
+        if (dev_.refresh(req->rank).due(now))
+            return; // rank is draining for refresh
+        const BankState &b = dev_.bank(req->rank, req->bank);
+        const unsigned flat = req->rank * banks + req->bank;
+        Candidate cand;
+        cand.req = req;
+        cand.isWrite = req->isWrite;
+        cand.cmd.rank = req->rank;
+        cand.cmd.bank = req->bank;
+
+        if (b.openRow() == req->row) {
+            cand.cmd.type =
+                req->isWrite ? CmdType::kWrite : CmdType::kRead;
+            cand.cmd.col = req->col;
+            cand.cmd.row = req->row;
+            cand.isRowHit = true;
+            cand.morePendingToRow =
+                demandFor(req->rank, req->bank, req->row) > 1;
+            if (dev_.canIssue(cand.cmd, now))
+                out.push_back(cand);
+        } else if (b.isClosed()) {
+            if (actRowSeen[flat] == req->row)
+                return;
+            cand.cmd.type = CmdType::kAct;
+            cand.cmd.row = req->row;
+            cand.cmd.actTiming = nominal;
+            if (dev_.canIssue(cand.cmd, now)) {
+                actRowSeen[flat] = req->row;
+                out.push_back(cand);
+            }
+        } else {
+            // Row conflict: precharge, unless the open row still has
+            // pending hits or a PRE candidate already exists.
+            if (preSeen[flat] ||
+                demandFor(req->rank, req->bank, b.openRow()) > 0)
+                return;
+            cand.cmd.type = CmdType::kPre;
+            if (dev_.canIssue(cand.cmd, now)) {
+                preSeen[flat] = true;
+                out.push_back(cand);
+            }
+        }
+    };
+
+    for (const auto &req : readQ_)
+        addForRequest(req.get());
+    for (const auto &req : writeQ_)
+        addForRequest(req.get());
+}
+
+void
+MemoryController::issueCandidate(Candidate &cand, Cycle now)
+{
+    const IssueResult result = dev_.issue(cand.cmd, now);
+    scheduler_->onIssue(cand.cmd, makeContext(now));
+
+    switch (cand.cmd.type) {
+      case CmdType::kAct:
+        cand.req->hadOwnAct = true;
+        break;
+      case CmdType::kPre:
+        break;
+      case CmdType::kRead:
+      case CmdType::kReadAp: {
+        std::unique_ptr<Request> req = readQ_.remove(cand.req);
+        ++stats_.readsCompleted;
+        stats_.readLatencySum +=
+            static_cast<double>(result.dataAt - req->arrivalAt);
+        stats_.readLatencyHist.sample(
+            static_cast<double>(result.dataAt - req->arrivalAt));
+        if (!req->hadOwnAct)
+            ++stats_.rowHitReads;
+        inFlight_.push_back(PendingCompletion{result.dataAt, req->addr,
+                                              std::move(req->waiters)});
+        break;
+      }
+      case CmdType::kWrite:
+      case CmdType::kWriteAp: {
+        std::unique_ptr<Request> req = writeQ_.remove(cand.req);
+        if (!req->hadOwnAct)
+            ++stats_.rowHitWrites;
+        break;
+      }
+      case CmdType::kRef:
+        nuat_panic("REF must not come from the scheduler");
+    }
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    ++stats_.tickCycles;
+    stats_.readQOccupancySum += static_cast<double>(readQ_.size());
+    stats_.writeQOccupancySum += static_cast<double>(writeQ_.size());
+
+    processCompletions(now);
+    scheduler_->tick(makeContext(now));
+
+    if (handleRefresh(now))
+        return;
+
+    enumerate(now, scratch_);
+    if (scratch_.empty()) {
+        ++stats_.idleCycles;
+        return;
+    }
+
+    const int idx = scheduler_->pick(scratch_, makeContext(now));
+    if (idx < 0) {
+        ++stats_.idleCycles;
+        return;
+    }
+    nuat_assert(static_cast<std::size_t>(idx) < scratch_.size());
+    issueCandidate(scratch_[idx], now);
+}
+
+bool
+MemoryController::idle() const
+{
+    return readQ_.empty() && writeQ_.empty() && inFlight_.empty();
+}
+
+double
+MemoryController::hitRateEq3() const
+{
+    const auto &c = dev_.counters();
+    const double cols = static_cast<double>(c.reads + c.writes);
+    if (cols <= 0.0)
+        return 0.0;
+    const double hits = cols - static_cast<double>(c.acts);
+    return hits > 0.0 ? hits / cols : 0.0;
+}
+
+} // namespace nuat

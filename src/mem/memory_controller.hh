@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The memory controller: queues, refresh forcing, candidate
+ * enumeration, and command issue.
+ *
+ * The controller is policy-free: all prioritization lives in the
+ * attached Scheduler.  The controller is responsible for
+ *  - accepting reads/writes (with line merging, write coalescing, and
+ *    read-from-write-queue forwarding),
+ *  - enumerating the legal candidate commands each cycle,
+ *  - forcing refresh when a rank's REF deadline arrives (draining open
+ *    banks with priority PREs, then issuing REF),
+ *  - issuing the scheduler's choice and retiring requests,
+ *  - latency / hit-rate accounting.
+ */
+
+#ifndef NUAT_MEM_MEMORY_CONTROLLER_HH
+#define NUAT_MEM_MEMORY_CONTROLLER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "address_mapping.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_device.hh"
+#include "memory_port.hh"
+#include "request.hh"
+#include "request_queues.hh"
+#include "scheduler.hh"
+
+namespace nuat {
+
+/** Controller configuration (paper Table 3 defaults). */
+struct ControllerConfig
+{
+    std::size_t readQueueCapacity = 64;
+    std::size_t writeQueueCapacity = 64;
+    unsigned writeQueueHighWatermark = 40;
+    unsigned writeQueueLowWatermark = 20;
+    MappingScheme mapping = MappingScheme::kOpenPageBaseline;
+
+    /**
+     * Total channels in the system (for address decoding).  The
+     * controller still drives exactly one channel; this only tells its
+     * mapping how many channel-select bits sit in the address.
+     */
+    unsigned channels = 1;
+
+    /**
+     * Cycles to return data for a read forwarded from the write queue
+     * (an SRAM lookup inside the controller, not a DRAM access).
+     */
+    Cycle forwardLatency = 2;
+};
+
+/** Aggregate controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t readsAccepted = 0;
+    std::uint64_t writesAccepted = 0;
+    std::uint64_t readsMerged = 0;    //!< merged onto a pending read
+    std::uint64_t readsForwarded = 0; //!< served from the write queue
+    std::uint64_t writesCoalesced = 0;
+
+    std::uint64_t readsCompleted = 0;
+    double readLatencySum = 0.0; //!< enqueue -> last data beat [cycles]
+    std::uint64_t rowHitReads = 0;
+    std::uint64_t rowHitWrites = 0;
+
+    /** Read-latency distribution [cycles]; 8-cycle buckets to 2048,
+     *  then overflow.  Feeds the p95/p99 tail metrics. */
+    Histogram readLatencyHist{0.0, 8.0, 256};
+
+    /** Latency percentile helper (fraction in [0, 1]). */
+    double
+    readLatencyPercentile(double fraction) const
+    {
+        return readLatencyHist.percentile(fraction);
+    }
+
+    std::uint64_t idleCycles = 0; //!< cycles with no issuable choice
+    std::uint64_t tickCycles = 0; //!< total controller ticks
+    double readQOccupancySum = 0.0;  //!< sum of per-cycle RQ length
+    double writeQOccupancySum = 0.0; //!< sum of per-cycle WQ length
+
+    /** Mean read-queue occupancy over the run. */
+    double avgReadQOccupancy() const
+    {
+        return tickCycles ? readQOccupancySum / tickCycles : 0.0;
+    }
+
+    /** Mean write-queue occupancy over the run. */
+    double avgWriteQOccupancy() const
+    {
+        return tickCycles ? writeQOccupancySum / tickCycles : 0.0;
+    }
+
+    /** Average read latency in memory cycles. */
+    double avgReadLatency() const
+    {
+        return readsCompleted ? readLatencySum / readsCompleted : 0.0;
+    }
+};
+
+/** One DDR3 channel controller. */
+class MemoryController : public MemoryPort
+{
+  public:
+    /** Callback invoked for every waiter when read data returns. */
+    using ReadCallback =
+        std::function<void(const Waiter &, Addr addr, Cycle data_at)>;
+
+    /**
+     * @param dev       the channel's device model (not owned)
+     * @param scheduler the command-selection policy (owned)
+     * @param config    queue sizes, watermarks, mapping
+     */
+    MemoryController(DramDevice &dev,
+                     std::unique_ptr<Scheduler> scheduler,
+                     const ControllerConfig &config = ControllerConfig{});
+
+    /** Install the read-completion callback. */
+    void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
+
+    /** True when a read for @p addr can be accepted this cycle. */
+    bool canAcceptRead(Addr addr) const override;
+
+    /** True when a write for @p addr can be accepted this cycle. */
+    bool canAcceptWrite(Addr addr) const override;
+
+    /**
+     * Enqueue a read of the line containing @p addr.
+     * The caller must have checked canAcceptRead.
+     * @param waiter identifies the consumer for the completion callback
+     * @param now    current memory cycle
+     */
+    void enqueueRead(Addr addr, const Waiter &waiter,
+                     Cycle now) override;
+
+    /** Enqueue a write of the line containing @p addr. */
+    void enqueueWrite(Addr addr, Cycle now) override;
+
+    /** Advance one memory cycle: maybe issue one command. */
+    void tick(Cycle now);
+
+    /** True when no request (queued or in flight) remains. */
+    bool idle() const;
+
+    /** Queue occupancies. */
+    std::size_t readQueueLen() const { return readQ_.size(); }
+    std::size_t writeQueueLen() const { return writeQ_.size(); }
+
+    /** Aggregate statistics. */
+    const ControllerStats &stats() const { return stats_; }
+
+    /** The device this controller drives. */
+    const DramDevice &device() const { return dev_; }
+
+    /** The attached scheduler. */
+    const Scheduler &scheduler() const { return *scheduler_; }
+
+    /** The address mapping in use. */
+    const AddressMapping &mapping() const { return mapping_; }
+
+    /**
+     * Row-buffer hit rate per the paper's equation (3):
+     * (#column accesses - #activations) / #column accesses.
+     */
+    double hitRateEq3() const;
+
+  private:
+    /** A read whose data is still in flight from the device. */
+    struct PendingCompletion
+    {
+        Cycle dataAt;
+        Addr addr;
+        std::vector<Waiter> waiters;
+    };
+
+    Addr lineAddr(Addr addr) const;
+    SchedContext makeContext(Cycle now) const;
+
+    /** Deliver finished reads whose data has arrived by @p now. */
+    void processCompletions(Cycle now);
+
+    /** Try to advance a due refresh; true if a command slot was used
+     *  (or must stay reserved) for refresh this cycle. */
+    bool handleRefresh(Cycle now);
+
+    /** Enumerate all legal candidates at @p now into @p out. */
+    void enumerate(Cycle now, std::vector<Candidate> &out) const;
+
+    /** Issue the chosen candidate and retire its request if done. */
+    void issueCandidate(Candidate &cand, Cycle now);
+
+    DramDevice &dev_;
+    std::unique_ptr<Scheduler> scheduler_;
+    ControllerConfig cfg_;
+    AddressMapping mapping_;
+
+    RequestQueue readQ_;
+    RequestQueue writeQ_;
+    std::vector<PendingCompletion> inFlight_;
+    ReadCallback readCallback_;
+
+    std::uint64_t nextRequestId_ = 1;
+    ControllerStats stats_;
+    std::vector<Candidate> scratch_; //!< reused candidate buffer
+};
+
+} // namespace nuat
+
+#endif // NUAT_MEM_MEMORY_CONTROLLER_HH

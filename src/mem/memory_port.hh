@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The interface cores use to talk to the memory system — either one
+ * MemoryController directly, or a multi-channel mux in front of
+ * several.
+ */
+
+#ifndef NUAT_MEM_MEMORY_PORT_HH
+#define NUAT_MEM_MEMORY_PORT_HH
+
+#include "common/types.hh"
+#include "request.hh"
+
+namespace nuat {
+
+/** Request-side interface of the memory system. */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /** True when a read for @p addr can be accepted this cycle. */
+    virtual bool canAcceptRead(Addr addr) const = 0;
+
+    /** True when a write for @p addr can be accepted this cycle. */
+    virtual bool canAcceptWrite(Addr addr) const = 0;
+
+    /** Enqueue a read (caller must have checked canAcceptRead). */
+    virtual void enqueueRead(Addr addr, const Waiter &waiter,
+                             Cycle now) = 0;
+
+    /** Enqueue a write (caller must have checked canAcceptWrite). */
+    virtual void enqueueWrite(Addr addr, Cycle now) = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_MEM_MEMORY_PORT_HH

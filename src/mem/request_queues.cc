@@ -1,0 +1,60 @@
+#include "request_queues.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity)
+{
+    nuat_assert(capacity_ > 0);
+}
+
+void
+RequestQueue::push(std::unique_ptr<Request> req)
+{
+    nuat_assert(hasRoom(), "(queue overflow: caller must check hasRoom)");
+    queue_.push_back(std::move(req));
+}
+
+Request *
+RequestQueue::findLine(Addr addr)
+{
+    for (auto &r : queue_) {
+        if (r->addr == addr)
+            return r.get();
+    }
+    return nullptr;
+}
+
+const Request *
+RequestQueue::findLine(Addr addr) const
+{
+    return const_cast<RequestQueue *>(this)->findLine(addr);
+}
+
+std::unique_ptr<Request>
+RequestQueue::remove(const Request *req)
+{
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->get() == req) {
+            std::unique_ptr<Request> out = std::move(*it);
+            queue_.erase(it);
+            return out;
+        }
+    }
+    nuat_panic("request %llu not in queue",
+               static_cast<unsigned long long>(req->id));
+}
+
+bool
+RequestQueue::hasRowHit(unsigned rank, unsigned bank,
+                        std::uint32_t row) const
+{
+    for (const auto &r : queue_) {
+        if (r->rank == rank && r->bank == bank && r->row == row)
+            return true;
+    }
+    return false;
+}
+
+} // namespace nuat

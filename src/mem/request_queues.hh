@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Read / write request queues with line-merging support.
+ *
+ * Reads to a line that already has a pending read merge onto it (one
+ * DRAM access serves all waiters); writes to a line with a pending
+ * write coalesce (last-writer-wins, and the line is only written once);
+ * reads that hit a pending write are forwarded by the controller and
+ * never enter the read queue.
+ */
+
+#ifndef NUAT_MEM_REQUEST_QUEUES_HH
+#define NUAT_MEM_REQUEST_QUEUES_HH
+
+#include <deque>
+#include <memory>
+
+#include "common/types.hh"
+#include "request.hh"
+
+namespace nuat {
+
+/** A bounded FIFO of requests (arrival order preserved). */
+class RequestQueue
+{
+  public:
+    /** @param capacity maximum simultaneously queued requests */
+    explicit RequestQueue(std::size_t capacity);
+
+    /** True when another request can be accepted. */
+    bool hasRoom() const { return queue_.size() < capacity_; }
+
+    /** Current occupancy. */
+    std::size_t size() const { return queue_.size(); }
+
+    /** True when empty. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Configured capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Append @p req (takes ownership); panics when full. */
+    void push(std::unique_ptr<Request> req);
+
+    /** Find the queued request for line @p addr, or nullptr. */
+    Request *findLine(Addr addr);
+
+    /** Find the queued request for line @p addr, or nullptr. */
+    const Request *findLine(Addr addr) const;
+
+    /** Remove and return the request with identity @p req. */
+    std::unique_ptr<Request> remove(const Request *req);
+
+    /** Iterate requests in arrival order. */
+    auto begin() const { return queue_.begin(); }
+    auto end() const { return queue_.end(); }
+
+    /** True when any queued request targets @p row of rank/bank. */
+    bool hasRowHit(unsigned rank, unsigned bank, std::uint32_t row) const;
+
+  private:
+    std::size_t capacity_;
+    std::deque<std::unique_ptr<Request>> queue_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_MEM_REQUEST_QUEUES_HH

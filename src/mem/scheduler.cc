@@ -1,0 +1,18 @@
+#include "scheduler.hh"
+
+namespace nuat {
+
+void
+applyPagePolicy(Candidate &cand, PagePolicy policy, bool grace)
+{
+    if (policy != PagePolicy::kClose || !isColumnCmd(cand.cmd.type))
+        return;
+    if (grace && cand.morePendingToRow)
+        return; // keep the row open for the queued hits
+    if (cand.cmd.type == CmdType::kRead)
+        cand.cmd.type = CmdType::kReadAp;
+    else if (cand.cmd.type == CmdType::kWrite)
+        cand.cmd.type = CmdType::kWriteAp;
+}
+
+} // namespace nuat

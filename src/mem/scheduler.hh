@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The scheduling interface between the memory controller and its
+ * command-selection policy.
+ *
+ * Every memory cycle the controller enumerates all *issuable-now*
+ * candidate commands (the next required command of each queued request)
+ * and asks the scheduler to pick one.  The scheduler may also decorate
+ * the chosen command: convert a column access to its auto-precharge
+ * flavour (page-mode policy) or tighten an ACT's timing (NUAT's
+ * charge-aware derating).
+ */
+
+#ifndef NUAT_MEM_SCHEDULER_HH
+#define NUAT_MEM_SCHEDULER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/dram_device.hh"
+#include "request.hh"
+
+namespace nuat {
+
+/** One issuable command together with its driving request. */
+struct Candidate
+{
+    Command cmd;          //!< fully specified, legal at the current cycle
+    Request *req;         //!< the queued request this command advances
+    bool isWrite = false; //!< request direction (for op-type scoring)
+    bool isRowHit = false; //!< column command to an already open row
+
+    /**
+     * For column candidates: other queued requests also target this
+     * row.  Close-page policies keep the row open (no auto-precharge)
+     * exactly while this is true, following USIMM's baseline.
+     */
+    bool morePendingToRow = false;
+};
+
+/** Read-only controller state exposed to schedulers. */
+struct SchedContext
+{
+    Cycle now = 0;
+    const DramDevice *dev = nullptr;
+    std::size_t readQLen = 0;
+    std::size_t writeQLen = 0;
+    unsigned wqHighWatermark = 0;
+    unsigned wqLowWatermark = 0;
+};
+
+/**
+ * Write-queue drain hysteresis shared by all schedulers (paper Fig. 13):
+ * start draining when the write queue passes the high watermark, stop
+ * when it falls below the low watermark, keep the previous state in
+ * between.
+ */
+class WriteDrainState
+{
+  public:
+    /** Update from the current write-queue length. */
+    void
+    update(const SchedContext &ctx)
+    {
+        if (ctx.writeQLen > ctx.wqHighWatermark)
+            draining_ = true;
+        else if (ctx.writeQLen < ctx.wqLowWatermark)
+            draining_ = false;
+    }
+
+    /** True on the draining path (writes preferred). */
+    bool draining() const { return draining_; }
+
+  private:
+    bool draining_ = false;
+};
+
+/** Page-mode policy for the baseline schedulers. */
+enum class PagePolicy
+{
+    kOpen,  //!< rows stay open until a conflict forces a precharge
+    kClose, //!< auto-precharge when no pending request hits the row
+};
+
+/**
+ * Apply @p policy to a picked column candidate: converts to the
+ * auto-precharge flavour when the policy says the row should close.
+ *
+ * @param grace with close-page, keep the row open while other queued
+ *              requests still hit it (USIMM's baseline behaviour);
+ *              false gives textbook close-page (always auto-precharge)
+ */
+void applyPagePolicy(Candidate &cand, PagePolicy policy,
+                     bool grace = true);
+
+/** Command-selection policy. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Pick one of @p candidates (all legal at ctx.now) and optionally
+     * decorate it (auto-precharge flavour, ACT timing).
+     *
+     * @return index into @p candidates, or -1 to idle this cycle.
+     */
+    virtual int pick(std::vector<Candidate> &candidates,
+                     const SchedContext &ctx) = 0;
+
+    /**
+     * Observe every command actually issued, including controller-
+     * forced PREs and REFs that never went through pick().
+     */
+    virtual void onIssue(const Command &cmd, const SchedContext &ctx)
+    {
+        (void)cmd;
+        (void)ctx;
+    }
+
+    /** Called once per memory cycle before candidate enumeration. */
+    virtual void tick(const SchedContext &ctx) { (void)ctx; }
+
+    /** Human-readable policy name for reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_MEM_SCHEDULER_HH

@@ -1,0 +1,72 @@
+#include "adaptive_scheduler.hh"
+
+namespace nuat {
+
+AdaptiveFrFcfsScheduler::AdaptiveFrFcfsScheduler(Cycle sub_window,
+                                                 unsigned window_ratio,
+                                                 bool grace_close)
+    : phrc_(sub_window, window_ratio), graceClose_(grace_close)
+{
+}
+
+void
+AdaptiveFrFcfsScheduler::tick(const SchedContext &ctx)
+{
+    drain_.update(ctx);
+    phrc_.tick();
+    (void)ctx;
+}
+
+void
+AdaptiveFrFcfsScheduler::onIssue(const Command &cmd,
+                                 const SchedContext &ctx)
+{
+    (void)ctx;
+    if (cmd.type == CmdType::kAct)
+        phrc_.onActivation();
+    else if (isColumnCmd(cmd.type))
+        phrc_.onColumnAccess();
+}
+
+double
+AdaptiveFrFcfsScheduler::threshold(const SchedContext &ctx) const
+{
+    const double trp = static_cast<double>(ctx.dev->timing().tRP);
+    const double trcd = static_cast<double>(ctx.dev->timing().tRCD);
+    return trp / (trcd + trp);
+}
+
+int
+AdaptiveFrFcfsScheduler::pick(std::vector<Candidate> &candidates,
+                              const SchedContext &ctx)
+{
+    if (candidates.empty())
+        return -1;
+    drain_.update(ctx);
+    const bool prefer_writes = drain_.draining();
+
+    auto better = [&](const Candidate &a, const Candidate &b) {
+        const bool ap = a.isWrite == prefer_writes;
+        const bool bp = b.isWrite == prefer_writes;
+        if (ap != bp)
+            return ap;
+        if (a.isRowHit != b.isRowHit)
+            return a.isRowHit;
+        const Cycle aa = a.req ? a.req->arrivalAt : kNeverCycle;
+        const Cycle ba = b.req ? b.req->arrivalAt : kNeverCycle;
+        return aa < ba;
+    };
+    int best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (better(candidates[i], candidates[best]))
+            best = static_cast<int>(i);
+    }
+
+    const PagePolicy mode = phrc_.hitRate() > threshold(ctx)
+                                ? PagePolicy::kOpen
+                                : PagePolicy::kClose;
+    applyPagePolicy(candidates[best], mode, graceClose_);
+    return best;
+}
+
+} // namespace nuat

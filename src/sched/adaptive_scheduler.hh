@@ -1,0 +1,62 @@
+/**
+ * @file
+ * FR-FCFS with a *global* adaptive page policy — the intermediate
+ * design point between the fixed-policy baselines and NUAT's per-PB
+ * PPM.
+ *
+ * It uses the same PHRC hit-rate estimator and the same eq. (7)
+ * threshold as PPM, but with the single nominal tRCD for every row:
+ *
+ *     Threshold = tRP / (tRCD_nominal + tRP)
+ *
+ * Comparing this against NUAT-without-ES4/ES5 isolates exactly what
+ * the *per-PB* thresholds buy (the charge-aware half of PPM), as
+ * opposed to adaptivity in general — an ablation the paper does not
+ * include but its Sec. 6 argument invites.
+ */
+
+#ifndef NUAT_SCHED_ADAPTIVE_SCHEDULER_HH
+#define NUAT_SCHED_ADAPTIVE_SCHEDULER_HH
+
+#include "core/phrc.hh"
+#include "mem/scheduler.hh"
+
+namespace nuat {
+
+/** FR-FCFS + single-threshold adaptive open/close selection. */
+class AdaptiveFrFcfsScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param sub_window   PHRC sub-window [cycles]
+     * @param window_ratio PHRC window ratio
+     * @param grace_close  keep rows open for queued hits in close mode
+     */
+    AdaptiveFrFcfsScheduler(Cycle sub_window = 1024,
+                            unsigned window_ratio = 256,
+                            bool grace_close = true);
+
+    int pick(std::vector<Candidate> &candidates,
+             const SchedContext &ctx) override;
+
+    void onIssue(const Command &cmd, const SchedContext &ctx) override;
+
+    void tick(const SchedContext &ctx) override;
+
+    const char *name() const override { return "FR-FCFS(adaptive)"; }
+
+    /** The estimator (exposed for tests). */
+    const Phrc &phrc() const { return phrc_; }
+
+    /** Current break-even threshold (eq. 7 with nominal tRCD). */
+    double threshold(const SchedContext &ctx) const;
+
+  private:
+    Phrc phrc_;
+    bool graceClose_;
+    WriteDrainState drain_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_SCHED_ADAPTIVE_SCHEDULER_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FCFS (first-come, first-served) scheduler.
+ *
+ * Issues the oldest *issuable* candidate of the preferred direction
+ * (reads while filling, writes while draining the write queue), with no
+ * row-buffer awareness.  The paper notes that a NUAT table with only
+ * Elements 1 (OPERATION-TYPE) and 2 (WAIT) active degenerates to this
+ * policy; the test suite checks that equivalence.
+ */
+
+#ifndef NUAT_SCHED_FCFS_SCHEDULER_HH
+#define NUAT_SCHED_FCFS_SCHEDULER_HH
+
+#include "mem/scheduler.hh"
+
+namespace nuat {
+
+/** Oldest-ready-first scheduling with write-drain hysteresis. */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    /** @param policy page-mode policy applied to column commands */
+    explicit FcfsScheduler(PagePolicy policy = PagePolicy::kOpen)
+        : policy_(policy)
+    {
+    }
+
+    int pick(std::vector<Candidate> &candidates,
+             const SchedContext &ctx) override;
+
+    const char *name() const override { return "FCFS"; }
+
+    /** Current drain state (exposed for tests). */
+    bool draining() const { return drain_.draining(); }
+
+  private:
+    PagePolicy policy_;
+    WriteDrainState drain_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_SCHED_FCFS_SCHEDULER_HH

@@ -1,0 +1,47 @@
+#include "experiment_config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::kFcfs:
+        return "FCFS";
+      case SchedulerKind::kFrFcfsOpen:
+        return "FR-FCFS(open)";
+      case SchedulerKind::kFrFcfsClose:
+        return "FR-FCFS(close)";
+      case SchedulerKind::kFrFcfsAdaptive:
+        return "FR-FCFS(adaptive)";
+      case SchedulerKind::kNuat:
+        return "NUAT";
+    }
+    return "?";
+}
+
+void
+ExperimentConfig::validate() const
+{
+    nuat_assert(!workloads.empty(), "(no workloads configured)");
+    nuat_assert(numPb >= 1 && numPb <= 8);
+    nuat_assert(memOpsPerCore > 0);
+    nuat_assert(maxMemCycles > 0);
+    geometry.validate();
+    timing.validate();
+}
+
+CpuCycle
+RunResult::executionTime() const
+{
+    CpuCycle max = 0;
+    for (const CpuCycle c : coreFinish)
+        max = std::max(max, c);
+    return max;
+}
+
+} // namespace nuat

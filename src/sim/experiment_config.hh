@@ -1,0 +1,149 @@
+/**
+ * @file
+ * One experiment's full configuration (paper Table 3 defaults) and its
+ * result record.
+ */
+
+#ifndef NUAT_SIM_EXPERIMENT_CONFIG_HH
+#define NUAT_SIM_EXPERIMENT_CONFIG_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "charge/charge_params.hh"
+#include "core/nuat_config.hh"
+#include "cpu/rob.hh"
+#include "dram/dram_device.hh"
+#include "dram/power_model.hh"
+#include "mem/memory_controller.hh"
+#include "trace/workload_profile.hh"
+
+namespace nuat {
+
+/** Which scheduling policy drives the controller. */
+enum class SchedulerKind
+{
+    kFcfs,
+    kFrFcfsOpen,
+    kFrFcfsClose,
+    kFrFcfsAdaptive,
+    kNuat,
+};
+
+/** Short display name of a SchedulerKind. */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Everything needed to run one simulation. */
+struct ExperimentConfig
+{
+    /** One workload name per core (defines the core count). */
+    std::vector<std::string> workloads{"libq"};
+
+    /**
+     * When non-empty, overrides the by-name lookup: one profile per
+     * core (sizes must match `workloads`, whose names are still used
+     * for labels).  Lets users run hand-built workloads.
+     */
+    std::vector<WorkloadProfile> customProfiles;
+
+    /**
+     * Global scale on compute gaps (avgGap and interBurstGap of every
+     * profile).  < 1 makes every workload more memory-intensive;
+     * useful for load sweeps.
+     */
+    double gapScale = 1.0;
+
+    SchedulerKind scheduler = SchedulerKind::kNuat;
+
+    /** Number of PBs for NUAT (paper's main configuration: 5). */
+    unsigned numPb = 5;
+
+    /** NUAT Table weights (Table 4 defaults). */
+    NuatWeights weights;
+
+    /** NUAT feature toggles (for ablations). */
+    bool ppmEnabled = true;
+    bool pbElementEnabled = true;
+    bool boundaryElementEnabled = true;
+
+    /** Close-page grace (applies to the FR-FCFS(close) baseline and to
+     *  PPM's close mode alike). */
+    bool closeGrace = true;
+
+    /** NUAT starvation escape age bound [cycles]; 0 = paper-pure
+     *  (see NuatConfig::starvationLimit). */
+    Cycle nuatStarvationLimit = 200;
+
+    DramGeometry geometry;
+    TimingParams timing;
+    ControllerConfig controller;
+    ChargeParams charge;
+    RobParams rob;
+
+    /** Memory operations per core trace. */
+    std::uint64_t memOpsPerCore = 150000;
+
+    /** Hard cap on simulated memory cycles (runaway guard). */
+    Cycle maxMemCycles = 60000000;
+
+    /** RNG seed for trace synthesis. */
+    std::uint64_t seed = 1;
+
+    /** Number of cores. */
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(workloads.size());
+    }
+
+    /** Panics unless internally consistent. */
+    void validate() const;
+};
+
+/** Result of one simulation run. */
+struct RunResult
+{
+    std::string schedulerName;
+    std::vector<std::string> workloads;
+
+    Cycle memCycles = 0; //!< memory cycles until the last core finished
+    bool hitCycleCap = false;
+
+    ControllerStats ctrl;
+    DeviceCounters dev;
+
+    /** Per-core finish times [CPU cycles]. */
+    std::vector<CpuCycle> coreFinish;
+
+    /** Per-core retired instructions. */
+    std::vector<std::uint64_t> coreInstrs;
+
+    double hitRateEq3 = 0.0;
+
+    /** NUAT only: ACT distribution over PB# (zeros otherwise). */
+    std::array<std::uint64_t, 8> actsPerPb{};
+
+    /** NUAT only: PPM open/close decision counts. */
+    std::uint64_t ppmOpen = 0;
+    std::uint64_t ppmClose = 0;
+
+    /** Channel energy decomposition (IDD model). */
+    EnergyBreakdown energy;
+
+    /** Average read latency [memory cycles]. */
+    double avgReadLatency() const { return ctrl.avgReadLatency(); }
+
+    /** Read-latency percentile [memory cycles] (fraction in [0,1]). */
+    double
+    readLatencyPercentile(double fraction) const
+    {
+        return ctrl.readLatencyPercentile(fraction);
+    }
+
+    /** Total execution time [CPU cycles] (max core finish). */
+    CpuCycle executionTime() const;
+};
+
+} // namespace nuat
+
+#endif // NUAT_SIM_EXPERIMENT_CONFIG_HH

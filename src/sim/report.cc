@@ -1,0 +1,86 @@
+#include "report.hh"
+
+#include <cstdio>
+
+#include "common/table_printer.hh"
+#include "common/units.hh"
+#include "runner.hh"
+
+namespace nuat {
+
+std::string
+workloadLabel(const std::vector<std::string> &workloads)
+{
+    std::string out;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (i)
+            out += '+';
+        out += workloads[i];
+    }
+    return out;
+}
+
+std::string
+summarizeRun(const RunResult &r)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s on %s: %llu reads, avg read latency %.1f cycles (%.1f ns), "
+        "hit rate %.2f, exec %llu CPU cycles%s\n",
+        r.schedulerName.c_str(), workloadLabel(r.workloads).c_str(),
+        static_cast<unsigned long long>(r.ctrl.readsCompleted),
+        r.avgReadLatency(), kMemClock.toNs(1) * r.avgReadLatency(),
+        r.hitRateEq3,
+        static_cast<unsigned long long>(r.executionTime()),
+        r.hitCycleCap ? " [CYCLE CAP HIT]" : "");
+    return buf;
+}
+
+std::string
+compareRuns(const std::vector<RunResult> &results)
+{
+    TablePrinter table({"scheduler", "avg read lat (cyc)", "p99 (cyc)",
+                        "lat (ns)", "exec (CPU cyc)", "hit rate",
+                        "acts", "refs"});
+    for (const auto &r : results) {
+        table.addRow({r.schedulerName,
+                      TablePrinter::num(r.avgReadLatency(), 1),
+                      TablePrinter::num(r.readLatencyPercentile(0.99),
+                                        0),
+                      TablePrinter::num(
+                          kMemClock.toNs(1) * r.avgReadLatency(), 1),
+                      std::to_string(r.executionTime()),
+                      TablePrinter::num(r.hitRateEq3, 3),
+                      std::to_string(r.dev.acts),
+                      std::to_string(r.dev.refreshes)});
+    }
+    return table.render();
+}
+
+std::string
+describeConfig(const ExperimentConfig &cfg)
+{
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "system: %u core(s) @3.2GHz (ROB %u, fetch %u, retire %u) | "
+        "DDR3-1600 %u rank x %u banks x %uK rows x %uK cols | "
+        "tRCD/tRAS/tRC %llu/%llu/%llu cycles | RQ %zu WQ %zu "
+        "(HW %u LW %u) | %llu mem ops/core, seed %llu\n",
+        cfg.cores(), cfg.rob.size, cfg.rob.fetchWidth,
+        cfg.rob.retireWidth, cfg.geometry.ranks, cfg.geometry.banks,
+        cfg.geometry.rows / 1024, cfg.geometry.columns / 1024,
+        static_cast<unsigned long long>(cfg.timing.tRCD),
+        static_cast<unsigned long long>(cfg.timing.tRAS),
+        static_cast<unsigned long long>(cfg.timing.tRC),
+        cfg.controller.readQueueCapacity,
+        cfg.controller.writeQueueCapacity,
+        cfg.controller.writeQueueHighWatermark,
+        cfg.controller.writeQueueLowWatermark,
+        static_cast<unsigned long long>(cfg.memOpsPerCore),
+        static_cast<unsigned long long>(cfg.seed));
+    return buf;
+}
+
+} // namespace nuat

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable reporting of run results (used by examples and the
+ * figure benches).
+ */
+
+#ifndef NUAT_SIM_REPORT_HH
+#define NUAT_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "experiment_config.hh"
+
+namespace nuat {
+
+/** One-paragraph summary of a single run. */
+std::string summarizeRun(const RunResult &result);
+
+/**
+ * Side-by-side comparison table of several runs of the same workload
+ * under different schedulers (latency, execution time, hit rate).
+ */
+std::string compareRuns(const std::vector<RunResult> &results);
+
+/** Render the Table 3 system configuration block. */
+std::string describeConfig(const ExperimentConfig &cfg);
+
+/** Joins workload names as "a+b+c". */
+std::string workloadLabel(const std::vector<std::string> &workloads);
+
+} // namespace nuat
+
+#endif // NUAT_SIM_REPORT_HH

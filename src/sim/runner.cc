@@ -1,0 +1,35 @@
+#include "runner.hh"
+
+#include "system.hh"
+
+namespace nuat {
+
+RunResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    System system(cfg);
+    return system.run();
+}
+
+std::vector<RunResult>
+runSchedulerSweep(ExperimentConfig cfg,
+                  const std::vector<SchedulerKind> &kinds)
+{
+    std::vector<RunResult> results;
+    results.reserve(kinds.size());
+    for (const SchedulerKind kind : kinds) {
+        cfg.scheduler = kind;
+        results.push_back(runExperiment(cfg));
+    }
+    return results;
+}
+
+double
+percentReduction(double baseline, double ours)
+{
+    if (baseline == 0.0)
+        return 0.0;
+    return (baseline - ours) / baseline * 100.0;
+}
+
+} // namespace nuat

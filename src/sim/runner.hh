@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Convenience runners for single experiments and scheduler sweeps.
+ */
+
+#ifndef NUAT_SIM_RUNNER_HH
+#define NUAT_SIM_RUNNER_HH
+
+#include <vector>
+
+#include "experiment_config.hh"
+
+namespace nuat {
+
+/** Run one experiment to completion. */
+RunResult runExperiment(const ExperimentConfig &cfg);
+
+/**
+ * Run the same configuration under several schedulers (same seed, so
+ * the traces are identical).
+ * @return one result per kind, in order.
+ */
+std::vector<RunResult>
+runSchedulerSweep(ExperimentConfig cfg,
+                  const std::vector<SchedulerKind> &kinds);
+
+/** Percent improvement of @p ours vs @p baseline (positive = better,
+ *  i.e. smaller metric). */
+double percentReduction(double baseline, double ours);
+
+} // namespace nuat
+
+#endif // NUAT_SIM_RUNNER_HH

@@ -1,0 +1,267 @@
+#include "system.hh"
+
+#include "common/logging.hh"
+#include "core/nuat_scheduler.hh"
+#include "sched/adaptive_scheduler.hh"
+#include "sched/fcfs_scheduler.hh"
+#include "sched/frfcfs_scheduler.hh"
+#include "trace/workload_profile.hh"
+
+namespace nuat {
+
+ChannelMux::ChannelMux(const AddressMapping &mapping,
+                       std::vector<MemoryController *> channels)
+    : mapping_(mapping), channels_(std::move(channels))
+{
+    nuat_assert(!channels_.empty());
+}
+
+MemoryController &
+ChannelMux::route(Addr addr) const
+{
+    const unsigned ch = mapping_.decompose(addr).channel;
+    nuat_assert(ch < channels_.size());
+    return *channels_[ch];
+}
+
+bool
+ChannelMux::canAcceptRead(Addr addr) const
+{
+    return route(addr).canAcceptRead(addr);
+}
+
+bool
+ChannelMux::canAcceptWrite(Addr addr) const
+{
+    return route(addr).canAcceptWrite(addr);
+}
+
+void
+ChannelMux::enqueueRead(Addr addr, const Waiter &waiter, Cycle now)
+{
+    route(addr).enqueueRead(addr, waiter, now);
+}
+
+void
+ChannelMux::enqueueWrite(Addr addr, Cycle now)
+{
+    route(addr).enqueueWrite(addr, now);
+}
+
+std::unique_ptr<Scheduler>
+System::makeScheduler() const
+{
+    switch (cfg_.scheduler) {
+      case SchedulerKind::kFcfs:
+        return std::make_unique<FcfsScheduler>(PagePolicy::kOpen);
+      case SchedulerKind::kFrFcfsOpen:
+        return std::make_unique<FrFcfsScheduler>(PagePolicy::kOpen);
+      case SchedulerKind::kFrFcfsClose:
+        return std::make_unique<FrFcfsScheduler>(PagePolicy::kClose,
+                                                 cfg_.closeGrace);
+      case SchedulerKind::kFrFcfsAdaptive:
+        return std::make_unique<AdaptiveFrFcfsScheduler>(
+            1024, 256, cfg_.closeGrace);
+      case SchedulerKind::kNuat: {
+        NuatConfig nc = NuatConfig::fromDerate(*derate_, cfg_.numPb);
+        nc.weights = cfg_.weights;
+        nc.ppmEnabled = cfg_.ppmEnabled;
+        nc.graceClose = cfg_.closeGrace;
+        nc.starvationLimit = cfg_.nuatStarvationLimit;
+        nc.pbElementEnabled = cfg_.pbElementEnabled;
+        nc.boundaryElementEnabled = cfg_.boundaryElementEnabled;
+        return std::make_unique<NuatScheduler>(nc);
+      }
+    }
+    nuat_panic("unhandled scheduler kind");
+}
+
+System::System(const ExperimentConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+
+    const CellModel cell(cfg_.charge);
+    const SenseAmpModel sense_amp(cell);
+    NominalTiming nominal;
+    nominal.trcd = cfg_.timing.tRCD;
+    nominal.tras = cfg_.timing.tRAS;
+    nominal.trp = cfg_.timing.tRP;
+    derate_ = std::make_unique<TimingDerate>(sense_amp, nominal);
+
+    // One device + controller + scheduler instance per channel.
+    const unsigned channels = cfg_.geometry.channels;
+    DramGeometry chan_geom = cfg_.geometry;
+    chan_geom.channels = 1;
+    ControllerConfig ctrl_cfg = cfg_.controller;
+    ctrl_cfg.channels = channels;
+    std::vector<MemoryController *> ports;
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        devices_.push_back(std::make_unique<DramDevice>(
+            chan_geom, cfg_.timing, *derate_));
+        controllers_.push_back(std::make_unique<MemoryController>(
+            *devices_.back(), makeScheduler(), ctrl_cfg));
+        ports.push_back(controllers_.back().get());
+    }
+    mux_ = std::make_unique<ChannelMux>(
+        AddressMapping(cfg_.controller.mapping, cfg_.geometry), ports);
+
+    // Each core gets a disjoint base row so multi-core runs contend on
+    // banks/bus but not on row footprints (USIMM's per-core offset).
+    const unsigned cores = cfg_.cores();
+    nuat_assert(cfg_.customProfiles.empty() ||
+                    cfg_.customProfiles.size() == cores,
+                "(customProfiles must match workloads per core)");
+    const std::uint32_t stride = cfg_.geometry.rows / cores;
+    for (unsigned i = 0; i < cores; ++i) {
+        WorkloadProfile profile =
+            cfg_.customProfiles.empty()
+                ? WorkloadProfile::byName(cfg_.workloads[i])
+                : cfg_.customProfiles[i];
+        profile.avgGap *= cfg_.gapScale;
+        profile.interBurstGap *= cfg_.gapScale;
+        traces_.push_back(std::make_unique<SyntheticTrace>(
+            profile, cfg_.geometry, cfg_.seed + i * 7919,
+            cfg_.memOpsPerCore, (i * stride) % cfg_.geometry.rows));
+        cores_.push_back(std::make_unique<CoreModel>(
+            static_cast<int>(i), *traces_.back(), *mux_, cfg_.rob));
+    }
+
+    for (auto &mc : controllers_) {
+        mc->setReadCallback(
+            [this](const Waiter &w, Addr addr, Cycle data_at) {
+                (void)addr;
+                nuat_assert(w.coreId >= 0 &&
+                            static_cast<unsigned>(w.coreId) <
+                                cores_.size());
+                cores_[w.coreId]->onReadComplete(
+                    w.token,
+                    static_cast<CpuCycle>(data_at) * kCpuPerMemCycle);
+            });
+    }
+}
+
+MemoryController &
+System::controller(unsigned channel)
+{
+    nuat_assert(channel < controllers_.size());
+    return *controllers_[channel];
+}
+
+const DramDevice &
+System::device(unsigned channel) const
+{
+    nuat_assert(channel < devices_.size());
+    return *devices_[channel];
+}
+
+void
+System::stepMemCycle()
+{
+    for (auto &mc : controllers_)
+        mc->tick(now_);
+    const CpuCycle base = static_cast<CpuCycle>(now_) * kCpuPerMemCycle;
+    for (unsigned k = 0; k < kCpuPerMemCycle; ++k) {
+        for (auto &core : cores_)
+            core->tick(base + k);
+    }
+    ++now_;
+}
+
+bool
+System::done() const
+{
+    for (const auto &core : cores_) {
+        if (!core->done())
+            return false;
+    }
+    for (const auto &mc : controllers_) {
+        if (!mc->idle())
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Merge per-channel controller stats into one record. */
+void
+mergeStats(ControllerStats &into, const ControllerStats &from)
+{
+    into.readsAccepted += from.readsAccepted;
+    into.writesAccepted += from.writesAccepted;
+    into.readsMerged += from.readsMerged;
+    into.readsForwarded += from.readsForwarded;
+    into.writesCoalesced += from.writesCoalesced;
+    into.readsCompleted += from.readsCompleted;
+    into.readLatencySum += from.readLatencySum;
+    into.rowHitReads += from.rowHitReads;
+    into.rowHitWrites += from.rowHitWrites;
+    into.idleCycles += from.idleCycles;
+    into.tickCycles += from.tickCycles;
+    into.readLatencyHist.merge(from.readLatencyHist);
+    into.readQOccupancySum += from.readQOccupancySum;
+    into.writeQOccupancySum += from.writeQOccupancySum;
+}
+
+/** Merge per-channel device counters into one record. */
+void
+mergeCounters(DeviceCounters &into, const DeviceCounters &from)
+{
+    into.acts += from.acts;
+    into.pres += from.pres;
+    into.reads += from.reads;
+    into.writes += from.writes;
+    into.autoPres += from.autoPres;
+    into.refreshes += from.refreshes;
+    for (std::size_t i = 0; i < 16; ++i)
+        into.actsByTrcdReduction[i] += from.actsByTrcdReduction[i];
+}
+
+} // namespace
+
+RunResult
+System::run()
+{
+    while (!done() && now_ < cfg_.maxMemCycles)
+        stepMemCycle();
+
+    RunResult result;
+    result.schedulerName = schedulerKindName(cfg_.scheduler);
+    result.workloads = cfg_.workloads;
+    result.memCycles = now_;
+    result.hitCycleCap = !done();
+
+    for (unsigned ch = 0; ch < channels(); ++ch) {
+        mergeStats(result.ctrl, controllers_[ch]->stats());
+        mergeCounters(result.dev, devices_[ch]->counters());
+        if (const auto *nuat = dynamic_cast<const NuatScheduler *>(
+                &controllers_[ch]->scheduler())) {
+            for (std::size_t i = 0; i < result.actsPerPb.size(); ++i)
+                result.actsPerPb[i] += nuat->actsPerPb()[i];
+            result.ppmOpen += nuat->ppmOpenDecisions();
+            result.ppmClose += nuat->ppmCloseDecisions();
+        }
+    }
+    {
+        const double cols =
+            static_cast<double>(result.dev.reads + result.dev.writes);
+        const double hits = cols - static_cast<double>(result.dev.acts);
+        result.hitRateEq3 =
+            cols > 0.0 && hits > 0.0 ? hits / cols : 0.0;
+    }
+    {
+        const DramPowerModel power(cfg_.timing);
+        result.energy = power.estimate(result.dev, now_);
+    }
+    for (const auto &core : cores_) {
+        result.coreFinish.push_back(core->stats().finishedAt);
+        result.coreInstrs.push_back(core->stats().instrsRetired);
+    }
+    if (result.hitCycleCap) {
+        nuat_warn("run hit the %llu-cycle cap before draining",
+                  static_cast<unsigned long long>(cfg_.maxMemCycles));
+    }
+    return result;
+}
+
+} // namespace nuat

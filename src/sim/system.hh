@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Full-system wiring: charge model -> DRAM devices (one per channel) ->
+ * controllers + schedulers -> cores with synthetic traces.
+ *
+ * Multi-channel operation follows the Memory Scheduling Championship
+ * convention: channels interleave at cache-line granularity, each
+ * channel has its own controller and scheduler instance, and cores
+ * route requests through a ChannelMux.
+ */
+
+#ifndef NUAT_SIM_SYSTEM_HH
+#define NUAT_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "charge/cell_model.hh"
+#include "charge/sense_amp_model.hh"
+#include "charge/timing_derate.hh"
+#include "cpu/core_model.hh"
+#include "dram/dram_device.hh"
+#include "experiment_config.hh"
+#include "mem/memory_controller.hh"
+#include "mem/memory_port.hh"
+#include "trace/synthetic_trace.hh"
+
+namespace nuat {
+
+/** Routes core requests to the owning channel's controller. */
+class ChannelMux : public MemoryPort
+{
+  public:
+    /**
+     * @param mapping full-system mapping (decodes channel bits)
+     * @param channels one controller per channel (not owned)
+     */
+    ChannelMux(const AddressMapping &mapping,
+               std::vector<MemoryController *> channels);
+
+    bool canAcceptRead(Addr addr) const override;
+    bool canAcceptWrite(Addr addr) const override;
+    void enqueueRead(Addr addr, const Waiter &waiter,
+                     Cycle now) override;
+    void enqueueWrite(Addr addr, Cycle now) override;
+
+  private:
+    MemoryController &route(Addr addr) const;
+
+    AddressMapping mapping_;
+    std::vector<MemoryController *> channels_;
+};
+
+/** A fully wired simulated machine. */
+class System
+{
+  public:
+    /** Build everything from @p cfg (validated). */
+    explicit System(const ExperimentConfig &cfg);
+
+    /**
+     * Run until every core finishes (or the cycle cap is hit) and
+     * collect the (channel-aggregated) result record.
+     */
+    RunResult run();
+
+    /** Controller of @p channel (for inspection). */
+    MemoryController &controller(unsigned channel = 0);
+
+    /** Device of @p channel (for inspection). */
+    const DramDevice &device(unsigned channel = 0) const;
+
+    /** Number of channels. */
+    unsigned channels() const
+    {
+        return static_cast<unsigned>(controllers_.size());
+    }
+
+    /** The cores. */
+    const std::vector<std::unique_ptr<CoreModel>> &cores() const
+    {
+        return cores_;
+    }
+
+    /** Advance the machine by one memory cycle. */
+    void stepMemCycle();
+
+    /** True once every core and controller has drained. */
+    bool done() const;
+
+    /** Current memory cycle. */
+    Cycle now() const { return now_; }
+
+  private:
+    /** Build the scheduler requested by the config. */
+    std::unique_ptr<Scheduler> makeScheduler() const;
+
+    ExperimentConfig cfg_;
+    std::unique_ptr<TimingDerate> derate_;
+    std::vector<std::unique_ptr<DramDevice>> devices_;
+    std::vector<std::unique_ptr<MemoryController>> controllers_;
+    std::unique_ptr<ChannelMux> mux_;
+    std::vector<std::unique_ptr<SyntheticTrace>> traces_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    Cycle now_ = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_SIM_SYSTEM_HH

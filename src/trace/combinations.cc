@@ -1,0 +1,35 @@
+#include "combinations.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workload_profile.hh"
+
+namespace nuat {
+
+std::vector<std::vector<std::string>>
+workloadCombinations(unsigned cores, unsigned count, std::uint64_t seed)
+{
+    const auto &names = WorkloadProfile::allNames();
+    nuat_assert(cores > 0 && cores <= names.size());
+
+    Rng rng(seed);
+    std::vector<std::vector<std::string>> combos;
+    combos.reserve(count);
+    for (unsigned c = 0; c < count; ++c) {
+        // Partial Fisher-Yates over a scratch copy: the first `cores`
+        // entries become a uniform sample without replacement.
+        std::vector<std::string> pool = names;
+        std::vector<std::string> combo;
+        combo.reserve(cores);
+        for (unsigned k = 0; k < cores; ++k) {
+            const std::size_t j =
+                k + static_cast<std::size_t>(rng.below(pool.size() - k));
+            std::swap(pool[k], pool[j]);
+            combo.push_back(pool[k]);
+        }
+        combos.push_back(std::move(combo));
+    }
+    return combos;
+}
+
+} // namespace nuat

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Random multi-programmed workload combinations (paper Sec. 8: 32
+ * randomly selected combinations each for the 2- and 4-core
+ * evaluations).
+ */
+
+#ifndef NUAT_TRACE_COMBINATIONS_HH
+#define NUAT_TRACE_COMBINATIONS_HH
+
+#include <string>
+#include <vector>
+
+namespace nuat {
+
+/**
+ * Generate @p count combinations of @p cores workload names, drawn
+ * uniformly (with replacement across combinations, without replacement
+ * within one) from the 18 MSC workloads.  Deterministic in @p seed.
+ */
+std::vector<std::vector<std::string>>
+workloadCombinations(unsigned cores, unsigned count, std::uint64_t seed);
+
+} // namespace nuat
+
+#endif // NUAT_TRACE_COMBINATIONS_HH

@@ -1,0 +1,105 @@
+#include "synthetic_trace.hh"
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+SyntheticTrace::SyntheticTrace(const WorkloadProfile &profile,
+                               const DramGeometry &geometry,
+                               std::uint64_t seed, std::uint64_t max_ops,
+                               std::uint32_t base_row)
+    : profile_(profile), geom_(geometry),
+      mapping_(MappingScheme::kOpenPageBaseline, geometry), seed_(seed),
+      maxOps_(max_ops), baseRow_(base_row), rng_(seed)
+{
+    nuat_assert(profile_.footprintRows > 0 &&
+                profile_.footprintRows <= geom_.rows);
+    nuat_assert(base_row < geom_.rows);
+    randomJump();
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_.reseed(seed_);
+    produced_ = 0;
+    opsLeftInBurst_ = 0;
+    historyLen_ = 0;
+    historyNext_ = 0;
+    pos_ = DramCoord{}; // match the freshly constructed state exactly
+    randomJump();
+}
+
+double
+SyntheticTrace::localityNow() const
+{
+    double loc = profile_.rowLocality;
+    if (profile_.phasePeriod > 0) {
+        const std::uint64_t phase = produced_ % profile_.phasePeriod;
+        if (phase < profile_.phasePeriod / 2)
+            loc += profile_.phaseLocalityDelta;
+        else
+            loc -= profile_.phaseLocalityDelta;
+    }
+    if (loc < 0.0)
+        return 0.0;
+    return loc > 1.0 ? 1.0 : loc;
+}
+
+void
+SyntheticTrace::randomJump()
+{
+    // Remember where we were for later pageReuse returns.
+    history_[historyNext_] = pos_;
+    historyNext_ = (historyNext_ + 1) % kHistory;
+    if (historyLen_ < kHistory)
+        ++historyLen_;
+
+    if (historyLen_ > 0 && rng_.chance(profile_.pageReuse)) {
+        pos_ = history_[rng_.below(historyLen_)];
+        return;
+    }
+    pos_.channel = static_cast<unsigned>(rng_.below(geom_.channels));
+    pos_.rank = static_cast<unsigned>(rng_.below(geom_.ranks));
+    pos_.bank = static_cast<unsigned>(rng_.below(geom_.banks));
+    // Scatter the footprint over the whole row space with an odd,
+    // low-discrepancy stride (as an OS page allocator would): a
+    // workload's rows must sample every refresh-age region, not one
+    // contiguous PB.
+    const std::uint64_t idx = rng_.below(profile_.footprintRows);
+    pos_.row = static_cast<std::uint32_t>(
+        (baseRow_ + idx * kRowScatterStride) % geom_.rows);
+    pos_.col =
+        static_cast<std::uint32_t>(rng_.below(geom_.linesPerRow()));
+}
+
+bool
+SyntheticTrace::next(TraceEntry &out)
+{
+    if (produced_ >= maxOps_)
+        return false;
+
+    std::uint64_t gap;
+    if (opsLeftInBurst_ > 0) {
+        --opsLeftInBurst_;
+        gap = rng_.geometric(profile_.avgGap);
+    } else {
+        opsLeftInBurst_ = rng_.geometric(profile_.burstLen) ;
+        gap = rng_.geometric(profile_.interBurstGap);
+    }
+
+    if (rng_.chance(localityNow())) {
+        pos_.col = (pos_.col + 1) % geom_.linesPerRow();
+    } else {
+        randomJump();
+    }
+
+    out.nonMemGap = static_cast<std::uint32_t>(gap);
+    out.isWrite = !rng_.chance(profile_.readFraction);
+    out.dependent = !out.isWrite && rng_.chance(profile_.depFraction);
+    out.addr = mapping_.compose(pos_);
+    ++produced_;
+    return true;
+}
+
+} // namespace nuat

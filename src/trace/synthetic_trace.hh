@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic synthetic trace generation from a WorkloadProfile.
+ *
+ * The generator emits a burst-structured access stream: within a burst,
+ * accesses are close together (avgGap); bursts are separated by
+ * interBurstGap of compute.  Spatially, each access either continues
+ * sequentially in the current row (probability rowLocality, possibly
+ * phase-modulated) or jumps to a uniformly random (bank, row, column)
+ * within the footprint.  Addresses are laid out in the open-page
+ * baseline geometry (row-major), matching the paper's Table 3 mapping.
+ */
+
+#ifndef NUAT_TRACE_SYNTHETIC_TRACE_HH
+#define NUAT_TRACE_SYNTHETIC_TRACE_HH
+
+#include "common/random.hh"
+#include "cpu/trace.hh"
+#include "dram/timing_params.hh"
+#include "mem/address_mapping.hh"
+#include "workload_profile.hh"
+
+namespace nuat {
+
+/** A TraceSource synthesized from a WorkloadProfile. */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    /**
+     * @param profile  workload statistics
+     * @param geometry DRAM geometry the addresses should cover
+     * @param seed     RNG seed (determinism: same seed = same trace)
+     * @param max_ops  memory operations before the stream ends
+     * @param base_row first row of this stream's footprint (lets
+     *                 multi-core runs give each core disjoint rows)
+     */
+    SyntheticTrace(const WorkloadProfile &profile,
+                   const DramGeometry &geometry, std::uint64_t seed,
+                   std::uint64_t max_ops, std::uint32_t base_row = 0);
+
+    bool next(TraceEntry &out) override;
+
+    void reset() override;
+
+    const char *name() const override { return profile_.name.c_str(); }
+
+    /** Memory operations produced so far. */
+    std::uint64_t produced() const { return produced_; }
+
+  private:
+    /** Current effective row locality (phase-modulated). */
+    double localityNow() const;
+
+    /**
+     * Jump to a new spot: with probability pageReuse, return to a
+     * recently used row (cross-burst temporal locality); otherwise a
+     * uniformly random spot in the footprint.
+     */
+    void randomJump();
+
+    WorkloadProfile profile_;
+    DramGeometry geom_;
+    AddressMapping mapping_;
+    std::uint64_t seed_;
+    std::uint64_t maxOps_;
+    std::uint32_t baseRow_;
+
+    Rng rng_;
+    std::uint64_t produced_ = 0;
+    std::uint64_t opsLeftInBurst_ = 0;
+    DramCoord pos_;
+
+    /**
+     * Stride used to scatter footprint rows over the bank's full row
+     * space.  Odd (so it is coprime with any power-of-two row count)
+     * and close to the golden ratio of the default 8192 rows, giving
+     * low-discrepancy coverage: footprints of any size sample every
+     * refresh-age region (= every PB).
+     */
+    static constexpr std::uint64_t kRowScatterStride = 5063;
+
+    /** Recently visited rows, for pageReuse returns. */
+    static constexpr std::size_t kHistory = 8;
+    DramCoord history_[kHistory];
+    std::size_t historyLen_ = 0;
+    std::size_t historyNext_ = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_TRACE_SYNTHETIC_TRACE_HH

@@ -1,0 +1,75 @@
+#include "trace_file.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+FileTrace::FileTrace(std::string name, std::vector<TraceEntry> entries)
+    : name_(std::move(name)), entries_(std::move(entries))
+{
+}
+
+FileTrace
+FileTrace::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        nuat_fatal("cannot open trace file '%s'", path.c_str());
+
+    std::vector<TraceEntry> entries;
+    char op[8];
+    unsigned long long gap, addr;
+    int line = 0;
+    while (true) {
+        const int got =
+            std::fscanf(f, "%llu %7s %llx", &gap, op, &addr);
+        if (got == EOF)
+            break;
+        ++line;
+        if (got != 3 || (op[0] != 'R' && op[0] != 'W')) {
+            std::fclose(f);
+            nuat_fatal("parse error in '%s' at record %d", path.c_str(),
+                       line);
+        }
+        TraceEntry e;
+        e.nonMemGap = static_cast<std::uint32_t>(gap);
+        e.isWrite = (op[0] == 'W');
+        e.addr = static_cast<Addr>(addr);
+        entries.push_back(e);
+    }
+    std::fclose(f);
+    return FileTrace(path, std::move(entries));
+}
+
+bool
+FileTrace::next(TraceEntry &out)
+{
+    if (cursor_ >= entries_.size())
+        return false;
+    out = entries_[cursor_++];
+    return true;
+}
+
+std::uint64_t
+writeTraceFile(const std::string &path, TraceSource &source,
+               std::uint64_t max_ops)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        nuat_fatal("cannot create trace file '%s'", path.c_str());
+
+    std::uint64_t written = 0;
+    TraceEntry e;
+    while (written < max_ops && source.next(e)) {
+        std::fprintf(f, "%" PRIu32 " %c 0x%" PRIx64 "\n", e.nonMemGap,
+                     e.isWrite ? 'W' : 'R', e.addr);
+        ++written;
+    }
+    std::fclose(f);
+    return written;
+}
+
+} // namespace nuat

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * USIMM-compatible text trace files.
+ *
+ * Format, one memory instruction per line:
+ *
+ *     <non-mem-gap> <R|W> <hex-address>
+ *
+ * e.g. "37 R 0x1a2b3c40".  This matches the Memory Scheduling
+ * Championship trace layout closely enough that users with access to
+ * the original traces can convert them with a one-line awk script, and
+ * lets synthetic traces be exported for inspection.
+ */
+
+#ifndef NUAT_TRACE_TRACE_FILE_HH
+#define NUAT_TRACE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hh"
+
+namespace nuat {
+
+/** An in-memory trace loaded from (or destined for) a file. */
+class FileTrace : public TraceSource
+{
+  public:
+    /** Load @p path; fatal on parse errors. */
+    static FileTrace load(const std::string &path);
+
+    /** Wrap an already materialized entry list. */
+    FileTrace(std::string name, std::vector<TraceEntry> entries);
+
+    bool next(TraceEntry &out) override;
+    void reset() override { cursor_ = 0; }
+    const char *name() const override { return name_.c_str(); }
+
+    /** Number of records. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Direct access to the records. */
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+
+  private:
+    std::string name_;
+    std::vector<TraceEntry> entries_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Drain up to @p max_ops records from @p source and write them to
+ * @p path in the text format above.  Fatal on I/O errors.
+ * @return records written.
+ */
+std::uint64_t writeTraceFile(const std::string &path, TraceSource &source,
+                             std::uint64_t max_ops);
+
+} // namespace nuat
+
+#endif // NUAT_TRACE_TRACE_FILE_HH

@@ -1,0 +1,79 @@
+#include "trace_stats.hh"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "mem/address_mapping.hh"
+
+namespace nuat {
+
+TraceStats
+analyzeTrace(TraceSource &source, const DramGeometry &geometry,
+             std::uint64_t max_ops)
+{
+    const AddressMapping mapping(MappingScheme::kOpenPageBaseline,
+                                 geometry);
+    TraceStats s;
+    std::unordered_set<std::uint64_t> rows;
+    std::unordered_set<Addr> lines;
+
+    std::uint64_t reads = 0, deps = 0, same_row = 0, gap_sum = 0;
+    bool have_prev = false;
+    DramCoord prev{};
+
+    TraceEntry e;
+    while (s.ops < max_ops && source.next(e)) {
+        ++s.ops;
+        gap_sum += e.nonMemGap;
+        if (!e.isWrite) {
+            ++reads;
+            deps += e.dependent;
+        }
+        const DramCoord c = mapping.decompose(e.addr);
+        if (have_prev && c.rank == prev.rank && c.bank == prev.bank &&
+            c.channel == prev.channel && c.row == prev.row) {
+            ++same_row;
+        }
+        prev = c;
+        have_prev = true;
+        rows.insert((static_cast<std::uint64_t>(c.channel) << 40) |
+                    (static_cast<std::uint64_t>(c.rank) << 36) |
+                    (static_cast<std::uint64_t>(c.bank) << 32) | c.row);
+        lines.insert(e.addr &
+                     ~static_cast<Addr>(geometry.lineBytes - 1));
+    }
+
+    if (s.ops > 0) {
+        s.readFraction = static_cast<double>(reads) / s.ops;
+        s.avgGap = static_cast<double>(gap_sum) / s.ops;
+        if (s.ops > 1) {
+            s.rowLocality =
+                static_cast<double>(same_row) / (s.ops - 1);
+        }
+    }
+    if (reads > 0)
+        s.dependentFraction = static_cast<double>(deps) / reads;
+    s.uniqueRows = rows.size();
+    s.uniqueLines = lines.size();
+    if (!lines.empty())
+        s.lineReuse = static_cast<double>(s.ops) / lines.size();
+    return s;
+}
+
+std::string
+formatTraceStats(const TraceStats &s)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "ops %llu | reads %.0f%% (dependent %.0f%%) | avg gap %.1f "
+        "instrs | row locality %.2f | footprint %llu rows / %llu "
+        "lines | line reuse %.2fx",
+        static_cast<unsigned long long>(s.ops), s.readFraction * 100.0,
+        s.dependentFraction * 100.0, s.avgGap, s.rowLocality,
+        static_cast<unsigned long long>(s.uniqueRows),
+        static_cast<unsigned long long>(s.uniqueLines), s.lineReuse);
+    return buf;
+}
+
+} // namespace nuat

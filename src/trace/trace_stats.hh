@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Offline analysis of a trace stream: the measurable properties that
+ * drive scheduling results (intensity, read mix, locality, footprint,
+ * dependence).  Used to sanity-check synthetic generators against
+ * their profiles and to characterize imported trace files.
+ */
+
+#ifndef NUAT_TRACE_TRACE_STATS_HH
+#define NUAT_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/trace.hh"
+#include "dram/timing_params.hh"
+
+namespace nuat {
+
+/** Measured statistics of a trace prefix. */
+struct TraceStats
+{
+    std::uint64_t ops = 0;
+    double readFraction = 0.0;
+    double avgGap = 0.0;         //!< mean non-mem instrs per op
+    double rowLocality = 0.0;    //!< consecutive same-row fraction
+    double dependentFraction = 0.0; //!< dependent / reads
+    std::uint64_t uniqueRows = 0;   //!< distinct (bank,row) touched
+    std::uint64_t uniqueLines = 0;  //!< distinct cache lines touched
+    double lineReuse = 0.0;      //!< accesses per distinct line
+};
+
+/**
+ * Consume up to @p max_ops records from @p source and measure them.
+ * The source is left wherever the scan stopped (reset it if needed).
+ * @param geometry used to decompose addresses into rows
+ */
+TraceStats analyzeTrace(TraceSource &source, const DramGeometry &geometry,
+                        std::uint64_t max_ops);
+
+/** Render the stats as a short human-readable block. */
+std::string formatTraceStats(const TraceStats &stats);
+
+} // namespace nuat
+
+#endif // NUAT_TRACE_TRACE_STATS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic workload profiles for the 18 MSC workloads (paper Table 2).
+ *
+ * The Memory Scheduling Championship traces themselves are not
+ * redistributable, so each workload is modelled by the statistical
+ * properties that drive memory-scheduling results: memory intensity
+ * (compute gap between accesses), read fraction, row-buffer locality,
+ * burstiness, and footprint.  Values are chosen to reproduce the
+ * qualitative behaviour the paper reports per workload (e.g. leslie's
+ * large open-vs-close hit-rate gap with non-bursty arrivals, MT-fluid's
+ * data intensity, libq/stream's streaming locality).
+ */
+
+#ifndef NUAT_TRACE_WORKLOAD_PROFILE_HH
+#define NUAT_TRACE_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+namespace nuat {
+
+/** Statistical description of one workload's memory behaviour. */
+struct WorkloadProfile
+{
+    std::string name;
+
+    /** Mean non-memory instructions between memory ops inside a burst
+     *  (memory intensity; smaller = more intensive). */
+    double avgGap = 40.0;
+
+    /** Fraction of memory operations that are reads. */
+    double readFraction = 0.67;
+
+    /**
+     * Probability that an access stays in the current row (advancing
+     * sequentially); otherwise it jumps to a random row.
+     */
+    double rowLocality = 0.5;
+
+    /** Mean memory operations per burst. */
+    double burstLen = 4.0;
+
+    /** Mean non-memory instructions between bursts. */
+    double interBurstGap = 200.0;
+
+    /**
+     * Probability that a row jump returns to a recently used row
+     * (cross-burst temporal locality).  This is what makes open-page
+     * policies worthwhile: a row kept open can be re-hit by a later
+     * burst.  Workloads with high pageReuse favour open-page; workloads
+     * that never come back favour eager precharging.
+     */
+    double pageReuse = 0.2;
+
+    /** Rows of the footprint (per bank; accesses spread over all
+     *  banks). */
+    unsigned footprintRows = 2048;
+
+    /**
+     * Period, in memory ops, of a locality phase cycle; 0 disables
+     * phases.  Within each period the first half runs at rowLocality +
+     * phaseLocalityDelta and the second at rowLocality -
+     * phaseLocalityDelta (clamped), modelling workloads whose page-mode
+     * preference drifts faster than PHRC can track (the paper's Leslie
+     * analysis, Fig. 19).
+     */
+    unsigned phasePeriod = 0;
+
+    /** Locality swing applied by the phase cycle. */
+    double phaseLocalityDelta = 0.0;
+
+    /**
+     * Fraction of reads that are *dependent* (fetch stalls until their
+     * data returns — address computations, pointer chases).  High for
+     * irregular codes (biobench, canneal), low for streaming kernels.
+     * This is what couples execution time to memory latency.
+     */
+    double depFraction = 0.3;
+
+    /** Look up a profile by workload name; fatal on unknown names. */
+    static const WorkloadProfile &byName(const std::string &name);
+
+    /** All 18 MSC workload names, in the paper's Table 2 order. */
+    static const std::vector<std::string> &allNames();
+};
+
+} // namespace nuat
+
+#endif // NUAT_TRACE_WORKLOAD_PROFILE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the Sec. 10 binning process.
+ */
+
+#include <gtest/gtest.h>
+
+#include "charge/binning.hh"
+#include "common/logging.hh"
+
+namespace nuat {
+namespace {
+
+class BinningTest : public ::testing::Test
+{
+  protected:
+    BinningTest()
+        : cell_(), sa_(cell_), derate_(sa_), binning_(derate_)
+    {
+    }
+
+    CellModel cell_;
+    SenseAmpModel sa_;
+    TimingDerate derate_;
+    BinningProcess binning_;
+};
+
+TEST_F(BinningTest, NominalSiliconSupportsFiveBins)
+{
+    EXPECT_EQ(binning_.maxSafePb(1.0), 5u);
+}
+
+TEST_F(BinningTest, ZeroMarginStillSupportsWorstCaseBin)
+{
+    EXPECT_EQ(binning_.maxSafePb(0.0), 1u);
+}
+
+TEST_F(BinningTest, BinMonotoneInMargin)
+{
+    unsigned prev = 1;
+    for (double f = 0.0; f <= 1.2; f += 0.01) {
+        const unsigned bin = binning_.maxSafePb(f);
+        EXPECT_GE(bin, prev) << "margin " << f;
+        EXPECT_GE(bin, 1u);
+        EXPECT_LE(bin, 5u);
+        prev = bin;
+    }
+}
+
+TEST_F(BinningTest, ExtraMarginNeverHurts)
+{
+    EXPECT_EQ(binning_.maxSafePb(1.2), 5u);
+}
+
+TEST_F(BinningTest, EccBinsByBulkNotWorstCell)
+{
+    DieMargin die;
+    die.bulkFactor = 1.0;       // bulk silicon is fine
+    die.worstCellFactor = 0.3;  // a few weak cells
+    die.weakWords = 3;
+    const unsigned without = binning_.binOf(die, false);
+    const unsigned with = binning_.binOf(die, true);
+    EXPECT_LT(without, with);
+    EXPECT_EQ(with, 5u);
+}
+
+TEST_F(BinningTest, EccNeverLowersABin)
+{
+    for (double bulk = 0.2; bulk <= 1.1; bulk += 0.1) {
+        for (double delta = 0.0; delta <= bulk; delta += 0.1) {
+            DieMargin die;
+            die.bulkFactor = bulk;
+            die.worstCellFactor = bulk - delta;
+            EXPECT_GE(binning_.binOf(die, true),
+                      binning_.binOf(die, false));
+        }
+    }
+}
+
+TEST_F(BinningTest, PopulationIsDeterministic)
+{
+    const PvtParams pvt;
+    const auto a = binning_.binPopulation(20000, pvt, 3, true);
+    const auto b = binning_.binPopulation(20000, pvt, 3, true);
+    EXPECT_EQ(a.binCounts, b.binCounts);
+}
+
+TEST_F(BinningTest, PopulationCountsSumToDies)
+{
+    const PvtParams pvt;
+    const auto r = binning_.binPopulation(20000, pvt, 11, false);
+    std::uint64_t sum = 0;
+    for (const auto c : r.binCounts)
+        sum += c;
+    EXPECT_EQ(sum, 20000u);
+    EXPECT_EQ(r.dies, 20000u);
+}
+
+TEST_F(BinningTest, EccImprovesThePopulationMeanBin)
+{
+    const PvtParams pvt;
+    const auto no_ecc = binning_.binPopulation(50000, pvt, 5, false);
+    const auto ecc = binning_.binPopulation(50000, pvt, 5, true);
+    EXPECT_GT(ecc.meanBin(), no_ecc.meanBin());
+}
+
+TEST_F(BinningTest, LooserProcessSpreadsBinsDown)
+{
+    PvtParams tight;
+    tight.bulkSigma = 0.03;
+    PvtParams loose;
+    loose.bulkSigma = 0.2;
+    const auto t = binning_.binPopulation(50000, tight, 5, true);
+    const auto l = binning_.binPopulation(50000, loose, 5, true);
+    EXPECT_GT(t.meanBin(), l.meanBin());
+}
+
+TEST_F(BinningTest, MostTypicalDiesLandInFastBins)
+{
+    // Paper Sec. 10.1: "the worst-case is so rare" — with a typical
+    // corner, the majority of ECC-backed dies support 4-5 PBs.
+    const PvtParams pvt;
+    const auto r = binning_.binPopulation(50000, pvt, 5, true);
+    EXPECT_GT(r.binCounts[4] + r.binCounts[5], r.dies / 2);
+}
+
+} // namespace
+} // namespace nuat

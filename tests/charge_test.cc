@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the cell / sense-amp models and the monotone
+ * interpolator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "charge/cell_model.hh"
+#include "common/logging.hh"
+#include "charge/interp.hh"
+#include "charge/sense_amp_model.hh"
+
+namespace nuat {
+namespace {
+
+TEST(MonotoneCubic, PassesThroughAnchors)
+{
+    MonotoneCubic c({0.0, 1.0, 2.0, 5.0}, {10.0, 8.0, 3.0, 0.0});
+    EXPECT_DOUBLE_EQ(c.eval(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(c.eval(1.0), 8.0);
+    EXPECT_DOUBLE_EQ(c.eval(2.0), 3.0);
+    EXPECT_DOUBLE_EQ(c.eval(5.0), 0.0);
+}
+
+TEST(MonotoneCubic, MonotoneBetweenAnchors)
+{
+    MonotoneCubic c({0.0, 0.3, 1.0, 2.0, 4.0},
+                    {0.0, 2.0, 2.5, 7.0, 7.5});
+    double prev = c.eval(0.0);
+    for (double x = 0.01; x <= 4.0; x += 0.01) {
+        const double v = c.eval(x);
+        EXPECT_GE(v + 1e-9, prev) << "non-monotone at x=" << x;
+        prev = v;
+    }
+}
+
+TEST(MonotoneCubic, ClampsOutsideRange)
+{
+    MonotoneCubic c({1.0, 2.0}, {5.0, 9.0});
+    EXPECT_DOUBLE_EQ(c.eval(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(c.eval(3.0), 9.0);
+}
+
+TEST(CellModel, FullChargeAtZero)
+{
+    CellModel cell;
+    EXPECT_DOUBLE_EQ(cell.voltage(0.0), cell.params().vdd);
+}
+
+TEST(CellModel, RetentionEndpointMatchesParams)
+{
+    CellModel cell;
+    const double v_end = cell.voltage(cell.params().retentionNs);
+    EXPECT_NEAR(v_end,
+                cell.params().endVoltageFrac * cell.params().vdd, 1e-9);
+}
+
+TEST(CellModel, VoltageDecaysMonotonically)
+{
+    CellModel cell;
+    double prev = cell.voltage(0.0);
+    for (double t = 1e6; t <= 64e6; t += 1e6) {
+        const double v = cell.voltage(t);
+        EXPECT_LT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(CellModel, DeltaVPositiveThroughRetention)
+{
+    CellModel cell;
+    for (double t = 0.0; t <= 64e6; t += 0.5e6)
+        EXPECT_GT(cell.deltaV(t), 0.0) << "at t=" << t;
+}
+
+TEST(CellModel, DeltaVPositiveSlightlyPastRetention)
+{
+    // The refresh-slack guard needs a little margin past 64 ms.
+    CellModel cell;
+    EXPECT_GT(cell.deltaV(66e6), 0.0);
+}
+
+TEST(CellModel, TransferRatio)
+{
+    CellModel cell;
+    const auto &p = cell.params();
+    EXPECT_DOUBLE_EQ(cell.transferRatio(),
+                     p.cellCap / (p.cellCap + p.bitlineCap));
+    // dV at full charge = (VDD - VDD/2) * ratio.
+    EXPECT_NEAR(cell.deltaVFull(),
+                0.5 * p.vdd * cell.transferRatio(), 1e-12);
+}
+
+TEST(CellModel, RejectsUnreadableRetention)
+{
+    setPanicThrows(true);
+    ChargeParams p;
+    p.endVoltageFrac = 0.4; // cell would read as '0' at retention end
+    EXPECT_THROW(CellModel{p}, std::logic_error);
+    setPanicThrows(false);
+}
+
+TEST(SenseAmp, NoExtraDelayAtFullCharge)
+{
+    CellModel cell;
+    SenseAmpModel sa(cell);
+    EXPECT_NEAR(sa.senseDelayNs(cell.deltaVFull()), 0.0, 1e-9);
+    EXPECT_NEAR(sa.restoreDelayNs(cell.deltaVFull()), 0.0, 1e-9);
+}
+
+TEST(SenseAmp, MaxExtraDelayAtWorstCase)
+{
+    CellModel cell;
+    SenseAmpModel sa(cell);
+    EXPECT_NEAR(sa.senseDelayNs(cell.deltaVWorst()),
+                cell.params().maxTrcdReductionNs, 1e-6);
+    EXPECT_NEAR(sa.restoreDelayNs(cell.deltaVWorst()),
+                cell.params().maxTrasReductionNs, 1e-6);
+}
+
+TEST(SenseAmp, DelayGrowsAsChargeDecays)
+{
+    CellModel cell;
+    SenseAmpModel sa(cell);
+    double prev_sense = -1.0, prev_restore = -1.0;
+    for (double t = 0.0; t <= 64e6; t += 1e6) {
+        const double dv = cell.deltaV(t);
+        const double s = sa.senseDelayNs(dv);
+        const double r = sa.restoreDelayNs(dv);
+        EXPECT_GE(s + 1e-9, prev_sense);
+        EXPECT_GE(r + 1e-9, prev_restore);
+        prev_sense = s;
+        prev_restore = r;
+    }
+}
+
+TEST(SenseAmp, RestorePenaltyLargerAtWorstCase)
+{
+    // Fig. 9(a): over the full charge range the restore path loses
+    // more time (10.4 ns) than sensing alone (5.6 ns).
+    CellModel cell;
+    SenseAmpModel sa(cell);
+    const double dv = cell.deltaVWorst();
+    EXPECT_GT(sa.restoreDelayNs(dv), sa.senseDelayNs(dv));
+}
+
+TEST(SenseAmp, NonlinearityFrontLoaded)
+{
+    // The paper's Fig. 9(b) nonlinearity: the latency penalty
+    // accumulates fastest right after refresh (which is why PB0 spans
+    // only 3 of 32 slices in Table 4), so the first quarter of the
+    // retention period must cost more than the last quarter.
+    CellModel cell;
+    SenseAmpModel sa(cell);
+    const double T = cell.params().retentionNs;
+    const double first = sa.senseDelayNs(cell.deltaV(T / 4));
+    const double last = sa.senseDelayNs(cell.deltaV(T)) -
+                        sa.senseDelayNs(cell.deltaV(3 * T / 4));
+    EXPECT_GT(first, last);
+}
+
+} // namespace
+} // namespace nuat

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the common utilities: logging, RNG, bit helpers,
+ * statistics, table printing, and clock conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table_printer.hh"
+#include "common/units.hh"
+
+namespace nuat {
+namespace {
+
+class PanicThrowGuard
+{
+  public:
+    PanicThrowGuard() { setPanicThrows(true); }
+    ~PanicThrowGuard() { setPanicThrows(false); }
+};
+
+TEST(Logging, CaptureCollectsWarnAndInform)
+{
+    LogCapture::begin();
+    nuat_warn("something odd: %d", 42);
+    nuat_inform("status %s", "ok");
+    const std::string out = LogCapture::end();
+    EXPECT_NE(out.find("warn: something odd: 42"), std::string::npos);
+    EXPECT_NE(out.find("info: status ok"), std::string::npos);
+    EXPECT_FALSE(LogCapture::active());
+}
+
+TEST(Logging, PanicThrowsWhenEnabled)
+{
+    PanicThrowGuard guard;
+    EXPECT_THROW(nuat_panic("boom %d", 7), std::logic_error);
+    EXPECT_THROW(nuat_fatal("user error"), std::runtime_error);
+}
+
+TEST(Logging, AssertMessageIncludesCondition)
+{
+    PanicThrowGuard guard;
+    try {
+        nuat_assert(1 == 2, "(extra %d)", 5);
+        FAIL() << "assert did not throw";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("1 == 2"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("(extra 5)"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 400; ++i) {
+        const std::uint64_t v = rng.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values reachable
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect)
+{
+    Rng rng(13);
+    for (double mean : {1.0, 5.0, 40.0}) {
+        double sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(rng.geometric(mean));
+        EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.1);
+    }
+}
+
+TEST(Rng, GeometricZeroMeanIsZero)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.geometric(0.0), 0u);
+    EXPECT_EQ(rng.geometric(-1.0), 0u);
+}
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1023));
+}
+
+TEST(BitUtils, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(8192), 13u);
+}
+
+TEST(BitUtils, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(BitUtils, BitsAndInsertRoundTrip)
+{
+    const std::uint64_t v = 0xdeadbeefcafef00dull;
+    for (unsigned lsb : {0u, 5u, 32u}) {
+        for (unsigned width : {1u, 7u, 16u}) {
+            const std::uint64_t field = bits(v, lsb, width);
+            EXPECT_EQ(bits(insertBits(0, lsb, width, field), lsb, width),
+                      field);
+        }
+    }
+}
+
+TEST(BitUtils, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 5), 2u);
+    EXPECT_EQ(divCeil(11, 5), 3u);
+    EXPECT_EQ(divCeil(1, 100), 1u);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.7;
+        (i % 2 ? a : b).sample(v);
+        all.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5); // [0,50) in 5 buckets
+    h.sample(-1.0);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.5);
+    h.sample(49.9);
+    h.sample(50.0);
+    h.sample(500.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.summary().count(), 7u);
+}
+
+TEST(Histogram, PercentileInterpolates)
+{
+    Histogram h(0.0, 1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(StatSet, AddSetGetAndOrder)
+{
+    StatSet s;
+    s.add("a.x", 1.0, "first");
+    s.add("a.x", 2.0);
+    s.set("b.y", 7.0, "second");
+    EXPECT_DOUBLE_EQ(s.get("a.x"), 3.0);
+    EXPECT_DOUBLE_EQ(s.get("b.y"), 7.0);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    ASSERT_EQ(s.entries().size(), 2u);
+    EXPECT_EQ(s.entries()[0].name, "a.x");
+    EXPECT_NE(s.format().find("first"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "2.5"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Header and rows all have the same column start for "value".
+    const auto hdr = out.find("value");
+    EXPECT_NE(hdr, std::string::npos);
+}
+
+TEST(TablePrinter, Formatters)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::pct(0.123), "+12.3%");
+    EXPECT_EQ(TablePrinter::pct(-0.05), "-5.0%");
+}
+
+TEST(Clock, MemClockConversions)
+{
+    EXPECT_DOUBLE_EQ(kMemClock.periodNs(), 1.25);
+    EXPECT_EQ(kMemClock.toCyclesCeil(15.0), 12u);  // tRCD 15 ns
+    EXPECT_EQ(kMemClock.toCyclesCeil(15.1), 13u);
+    EXPECT_EQ(kMemClock.toCyclesFloor(5.6), 4u);   // Fig 9 reduction
+    EXPECT_EQ(kMemClock.toCyclesFloor(10.4), 8u);
+    EXPECT_DOUBLE_EQ(kMemClock.toNs(42), 52.5);    // tRC
+}
+
+TEST(Clock, CpuClockRatio)
+{
+    EXPECT_DOUBLE_EQ(kCpuClock.freqMhz() / kMemClock.freqMhz(),
+                     static_cast<double>(kCpuPerMemCycle));
+}
+
+} // namespace
+} // namespace nuat

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Memory-controller tests: end-to-end request timing, merging,
+ * forwarding, coalescing, refresh forcing, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "charge/timing_derate.hh"
+#include "mem/memory_controller.hh"
+#include "sched/frfcfs_scheduler.hh"
+
+namespace nuat {
+namespace {
+
+struct Completion
+{
+    Waiter waiter;
+    Addr addr;
+    Cycle dataAt;
+};
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest() : cell_(), sa_(cell_), derate_(sa_)
+    {
+        dev_ = std::make_unique<DramDevice>(DramGeometry{},
+                                            TimingParams{}, derate_);
+        mc_ = std::make_unique<MemoryController>(
+            *dev_, std::make_unique<FrFcfsScheduler>(PagePolicy::kOpen));
+        mc_->setReadCallback(
+            [this](const Waiter &w, Addr a, Cycle at) {
+                completions_.push_back(Completion{w, a, at});
+            });
+    }
+
+    /** Tick until @p cycle (exclusive upper bound on issued work). */
+    void
+    runTo(Cycle cycle)
+    {
+        while (now_ < cycle)
+            mc_->tick(now_++);
+    }
+
+    /** Tick until the controller drains (bounded). */
+    void
+    drain()
+    {
+        while (!mc_->idle() && now_ < 1000000)
+            mc_->tick(now_++);
+        ASSERT_TRUE(mc_->idle());
+    }
+
+    Waiter
+    waiter(std::uint64_t token) const
+    {
+        Waiter w;
+        w.coreId = 0;
+        w.token = token;
+        return w;
+    }
+
+    CellModel cell_;
+    SenseAmpModel sa_;
+    TimingDerate derate_;
+    std::unique_ptr<DramDevice> dev_;
+    std::unique_ptr<MemoryController> mc_;
+    std::vector<Completion> completions_;
+    Cycle now_ = 0;
+    const TimingParams tp_;
+};
+
+TEST_F(ControllerTest, ColdReadLatencyIsActPlusClPlusBurst)
+{
+    mc_->enqueueRead(0x10000, waiter(1), 0);
+    drain();
+    ASSERT_EQ(completions_.size(), 1u);
+    // tick(0) issues the ACT (same-cycle arrival is schedulable),
+    // column read at +tRCD, data tCL + tBL later.
+    EXPECT_EQ(completions_[0].dataAt, tp_.tRCD + tp_.tCL + tp_.tBL);
+    EXPECT_EQ(mc_->stats().readsCompleted, 1u);
+}
+
+TEST_F(ControllerTest, RowHitReadSkipsActivation)
+{
+    mc_->enqueueRead(0x10000, waiter(1), 0);
+    mc_->enqueueRead(0x10040, waiter(2), 0); // same row, next line
+    drain();
+    ASSERT_EQ(completions_.size(), 2u);
+    EXPECT_EQ(completions_[1].dataAt - completions_[0].dataAt,
+              tp_.tCCD);
+    EXPECT_EQ(mc_->stats().rowHitReads, 1u);
+    EXPECT_EQ(dev_->counters().acts, 1u);
+}
+
+TEST_F(ControllerTest, SameLineReadsMerge)
+{
+    mc_->enqueueRead(0x10000, waiter(1), 0);
+    mc_->enqueueRead(0x10008, waiter(2), 0); // same cache line
+    drain();
+    ASSERT_EQ(completions_.size(), 2u); // both waiters notified
+    EXPECT_EQ(completions_[0].dataAt, completions_[1].dataAt);
+    EXPECT_EQ(mc_->stats().readsMerged, 1u);
+    EXPECT_EQ(dev_->counters().reads, 1u); // one DRAM access
+}
+
+TEST_F(ControllerTest, ReadForwardedFromWriteQueue)
+{
+    mc_->enqueueWrite(0x20000, 0);
+    mc_->enqueueRead(0x20000, waiter(9), 0);
+    drain();
+    ASSERT_GE(completions_.size(), 1u);
+    EXPECT_EQ(completions_[0].dataAt, 0 + ControllerConfig{}.forwardLatency);
+    EXPECT_EQ(mc_->stats().readsForwarded, 1u);
+}
+
+TEST_F(ControllerTest, WritesCoalesce)
+{
+    mc_->enqueueWrite(0x30000, 0);
+    mc_->enqueueWrite(0x30008, 0); // same line
+    drain();
+    EXPECT_EQ(mc_->stats().writesCoalesced, 1u);
+    EXPECT_EQ(dev_->counters().writes, 1u);
+}
+
+TEST_F(ControllerTest, RowConflictPrechargesAndReactivates)
+{
+    // Two reads to different rows of the same bank.
+    const Addr row_a = 0x10000;
+    const Addr row_b = 0x10000 + 0x2000ull * 8; // next row, same bank
+    mc_->enqueueRead(row_a, waiter(1), 0);
+    drain();
+    completions_.clear();
+    const Cycle start = now_;
+    mc_->enqueueRead(row_b, waiter(2), now_);
+    drain();
+    ASSERT_EQ(completions_.size(), 1u);
+    // PRE (tRP) + ACT (tRCD) + CL + BL, give or take issue alignment.
+    EXPECT_GE(completions_[0].dataAt - start,
+              tp_.tRP + tp_.tRCD + tp_.tCL + tp_.tBL);
+    EXPECT_EQ(dev_->counters().pres, 1u);
+}
+
+TEST_F(ControllerTest, BackpressureReportsNoRoom)
+{
+    // Fill the read queue with reads to distinct lines in distinct
+    // rows so nothing merges.
+    std::size_t accepted = 0;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const Addr a = i * 0x2000ull * 8; // distinct banks/rows
+        if (!mc_->canAcceptRead(a))
+            break;
+        mc_->enqueueRead(a, waiter(i), 0);
+        ++accepted;
+    }
+    EXPECT_EQ(accepted, ControllerConfig{}.readQueueCapacity);
+    drain();
+    EXPECT_EQ(completions_.size(), accepted);
+}
+
+TEST_F(ControllerTest, RefreshForcedOnSchedule)
+{
+    // Run long enough to cross two REF deadlines with an open row.
+    mc_->enqueueRead(0x10000, waiter(1), 0);
+    runTo(2 * tp_.refInterval() + 1000);
+    EXPECT_GE(dev_->counters().refreshes, 2u);
+}
+
+TEST_F(ControllerTest, RefreshDrainsOpenBanksFirst)
+{
+    // Keep a row open right up to the refresh deadline; the controller
+    // must precharge it and still refresh within the slack window.
+    const Cycle due = dev_->refresh(0).nextDueAt();
+    runTo(due - 5);
+    mc_->enqueueRead(0x10000, waiter(1), now_);
+    runTo(due + tp_.tRAS + tp_.tRP + tp_.tRFC + 50);
+    EXPECT_EQ(dev_->counters().refreshes, 1u);
+}
+
+TEST_F(ControllerTest, HitRateEq3MatchesCounters)
+{
+    mc_->enqueueRead(0x10000, waiter(1), 0);
+    mc_->enqueueRead(0x10040, waiter(2), 0);
+    mc_->enqueueRead(0x10080, waiter(3), 0);
+    drain();
+    // 3 column accesses, 1 activation -> (3 - 1) / 3.
+    EXPECT_NEAR(mc_->hitRateEq3(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(ControllerTest, LatencyStatsAccumulate)
+{
+    mc_->enqueueRead(0x10000, waiter(1), 0);
+    drain();
+    const double lat = mc_->stats().avgReadLatency();
+    EXPECT_DOUBLE_EQ(lat,
+                     static_cast<double>(tp_.tRCD + tp_.tCL + tp_.tBL));
+}
+
+TEST_F(ControllerTest, IdleWhenDrained)
+{
+    EXPECT_TRUE(mc_->idle());
+    mc_->enqueueWrite(0x40, 0);
+    EXPECT_FALSE(mc_->idle());
+    drain();
+    EXPECT_TRUE(mc_->idle());
+}
+
+} // namespace
+} // namespace nuat

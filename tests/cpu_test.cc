@@ -1,0 +1,251 @@
+/**
+ * @file
+ * CPU-side tests: the ROB retire/complete machinery and the trace-
+ * driven core model against a scripted mock memory port.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/logging.hh"
+#include "cpu/core_model.hh"
+#include "cpu/rob.hh"
+
+namespace nuat {
+namespace {
+
+TEST(Rob, PushAndInOrderRetire)
+{
+    Rob rob(RobParams{});
+    rob.push(5);
+    rob.push(5);
+    rob.push(5);
+    EXPECT_EQ(rob.retire(4), 0u); // none done yet
+    EXPECT_EQ(rob.retire(5), 2u); // retire width 2
+    EXPECT_EQ(rob.retire(6), 1u);
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, ReadBlocksRetirementUntilComplete)
+{
+    Rob rob(RobParams{});
+    const std::uint64_t tok = rob.pushRead();
+    rob.push(2);
+    EXPECT_EQ(rob.retire(100), 0u); // head is a pending read
+    rob.complete(tok, 50);
+    EXPECT_EQ(rob.retire(100), 2u);
+}
+
+TEST(Rob, FullAtCapacity)
+{
+    RobParams p;
+    p.size = 4;
+    Rob rob(p);
+    for (int i = 0; i < 4; ++i)
+        rob.push(1);
+    EXPECT_TRUE(rob.full());
+    setPanicThrows(true);
+    EXPECT_THROW(rob.push(1), std::logic_error);
+    setPanicThrows(false);
+    EXPECT_EQ(rob.retire(1), 2u);
+    EXPECT_FALSE(rob.full());
+}
+
+TEST(Rob, CompleteStaleTokenPanics)
+{
+    setPanicThrows(true);
+    Rob rob(RobParams{});
+    const std::uint64_t tok = rob.pushRead();
+    rob.complete(tok, 1);
+    rob.retire(10);
+    EXPECT_THROW(rob.complete(tok, 20), std::logic_error);
+    setPanicThrows(false);
+}
+
+TEST(Rob, CompleteNonMemoryEntryPanics)
+{
+    setPanicThrows(true);
+    Rob rob(RobParams{});
+    const std::uint64_t tok = rob.push(5);
+    EXPECT_THROW(rob.complete(tok, 1), std::logic_error);
+    setPanicThrows(false);
+}
+
+/** Scripted trace with explicit entries. */
+class ScriptTrace : public TraceSource
+{
+  public:
+    explicit ScriptTrace(std::vector<TraceEntry> entries)
+        : entries_(std::move(entries))
+    {
+    }
+
+    bool
+    next(TraceEntry &out) override
+    {
+        if (cursor_ >= entries_.size())
+            return false;
+        out = entries_[cursor_++];
+        return true;
+    }
+
+    void reset() override { cursor_ = 0; }
+    const char *name() const override { return "script"; }
+
+  private:
+    std::vector<TraceEntry> entries_;
+    std::size_t cursor_ = 0;
+};
+
+/** Mock memory port: records requests, completes on demand. */
+class MockPort : public MemoryPort
+{
+  public:
+    bool canAcceptRead(Addr) const override { return acceptReads; }
+    bool canAcceptWrite(Addr) const override { return acceptWrites; }
+
+    void
+    enqueueRead(Addr addr, const Waiter &w, Cycle) override
+    {
+        reads.push_back({addr, w});
+    }
+
+    void
+    enqueueWrite(Addr addr, Cycle) override
+    {
+        writes.push_back(addr);
+    }
+
+    bool acceptReads = true;
+    bool acceptWrites = true;
+    std::deque<std::pair<Addr, Waiter>> reads;
+    std::vector<Addr> writes;
+};
+
+TraceEntry
+mem(std::uint32_t gap, bool write, Addr addr, bool dep = false)
+{
+    TraceEntry e;
+    e.nonMemGap = gap;
+    e.isWrite = write;
+    e.dependent = dep;
+    e.addr = addr;
+    return e;
+}
+
+TEST(CoreModel, IssuesReadsAndCompletes)
+{
+    ScriptTrace trace({mem(0, false, 0x40), mem(0, false, 0x80)});
+    MockPort port;
+    CoreModel core(0, trace, port);
+    core.tick(0);
+    EXPECT_EQ(port.reads.size(), 2u);
+    EXPECT_FALSE(core.done());
+    // Complete both reads; the core drains.
+    core.onReadComplete(port.reads[0].second.token, 10);
+    core.onReadComplete(port.reads[1].second.token, 10);
+    for (CpuCycle t = 11; t < 30 && !core.done(); ++t)
+        core.tick(t);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.stats().readsIssued, 2u);
+    EXPECT_EQ(core.stats().instrsRetired, 2u);
+}
+
+TEST(CoreModel, GapInstructionsConsumeFetchSlots)
+{
+    // 7 gap instructions + the memory op = 8 instructions = 2 cycles
+    // of 4-wide fetch before the read issues.
+    ScriptTrace trace({mem(7, false, 0x40)});
+    MockPort port;
+    CoreModel core(0, trace, port);
+    core.tick(0);
+    EXPECT_EQ(port.reads.size(), 0u);
+    core.tick(1);
+    EXPECT_EQ(port.reads.size(), 1u);
+}
+
+TEST(CoreModel, WritesRetireWithoutMemoryCompletion)
+{
+    ScriptTrace trace({mem(0, true, 0x40)});
+    MockPort port;
+    CoreModel core(0, trace, port);
+    for (CpuCycle t = 0; t < 20 && !core.done(); ++t)
+        core.tick(t);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(port.writes.size(), 1u);
+    EXPECT_EQ(core.stats().writesIssued, 1u);
+}
+
+TEST(CoreModel, StallsWhenWriteQueueFull)
+{
+    ScriptTrace trace({mem(0, true, 0x40), mem(0, false, 0x80)});
+    MockPort port;
+    port.acceptWrites = false;
+    CoreModel core(0, trace, port);
+    for (CpuCycle t = 0; t < 5; ++t)
+        core.tick(t);
+    EXPECT_EQ(port.writes.size(), 0u);
+    EXPECT_EQ(port.reads.size(), 0u); // in-order fetch blocked behind
+    EXPECT_GT(core.stats().fetchStallCycles, 0u);
+    port.acceptWrites = true;
+    core.tick(6);
+    EXPECT_EQ(port.writes.size(), 1u);
+    EXPECT_EQ(port.reads.size(), 1u);
+}
+
+TEST(CoreModel, DependentReadBlocksFetch)
+{
+    ScriptTrace trace({mem(0, false, 0x40, true),
+                       mem(0, false, 0x80)});
+    MockPort port;
+    CoreModel core(0, trace, port);
+    core.tick(0);
+    ASSERT_EQ(port.reads.size(), 1u); // second read blocked
+    core.tick(1);
+    EXPECT_EQ(port.reads.size(), 1u);
+    core.onReadComplete(port.reads[0].second.token, 2);
+    core.tick(2);
+    EXPECT_EQ(port.reads.size(), 2u);
+}
+
+TEST(CoreModel, NonDependentReadsOverlap)
+{
+    ScriptTrace trace({mem(0, false, 0x40), mem(0, false, 0x80),
+                       mem(0, false, 0xc0), mem(0, false, 0x100)});
+    MockPort port;
+    CoreModel core(0, trace, port);
+    core.tick(0);
+    EXPECT_EQ(port.reads.size(), 4u); // fetch width 4, full MLP
+}
+
+TEST(CoreModel, RobCapacityBoundsOutstandingWork)
+{
+    RobParams p;
+    p.size = 8;
+    std::vector<TraceEntry> entries;
+    for (int i = 0; i < 20; ++i)
+        entries.push_back(mem(0, false, 0x40 * (i + 1)));
+    ScriptTrace trace(entries);
+    MockPort port;
+    CoreModel core(0, trace, port, p);
+    for (CpuCycle t = 0; t < 10; ++t)
+        core.tick(t);
+    EXPECT_EQ(port.reads.size(), 8u); // ROB-limited
+}
+
+TEST(CoreModel, FinishTimeRecorded)
+{
+    ScriptTrace trace({mem(0, true, 0x40)});
+    MockPort port;
+    CoreModel core(0, trace, port);
+    for (CpuCycle t = 0; t < 30; ++t)
+        core.tick(t);
+    EXPECT_TRUE(core.done());
+    EXPECT_GT(core.stats().finishedAt, 0u);
+    EXPECT_LT(core.stats().finishedAt, 20u);
+}
+
+} // namespace
+} // namespace nuat

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for TimingDerate: Fig. 9 endpoints, Table 4 reproduction, and
+ * the safety of every derived PB grouping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "charge/timing_derate.hh"
+#include "common/logging.hh"
+
+namespace nuat {
+namespace {
+
+class DerateTest : public ::testing::Test
+{
+  protected:
+    DerateTest() : cell_(), senseAmp_(cell_), derate_(senseAmp_) {}
+
+    CellModel cell_;
+    SenseAmpModel senseAmp_;
+    TimingDerate derate_;
+};
+
+TEST_F(DerateTest, Fig9Endpoints)
+{
+    // Paper Fig. 9(a): tRCD reducible by 5.6 ns, tRAS by 10.4 ns at
+    // full charge; nothing at the retention worst case.
+    EXPECT_NEAR(derate_.trcdReductionNs(0.0), 5.6, 1e-6);
+    EXPECT_NEAR(derate_.trasReductionNs(0.0), 10.4, 1e-6);
+    EXPECT_NEAR(derate_.trcdReductionNs(64e6), 0.0, 1e-6);
+    EXPECT_NEAR(derate_.trasReductionNs(64e6), 0.0, 1e-6);
+}
+
+TEST_F(DerateTest, ReductionsMonotoneDecreasing)
+{
+    double prev_rcd = 1e9, prev_ras = 1e9;
+    for (double t = 0.0; t <= 64e6; t += 0.25e6) {
+        const double rcd = derate_.trcdReductionNs(t);
+        const double ras = derate_.trasReductionNs(t);
+        EXPECT_LE(rcd, prev_rcd + 1e-9);
+        EXPECT_LE(ras, prev_ras + 1e-9);
+        prev_rcd = rcd;
+        prev_ras = ras;
+    }
+}
+
+TEST_F(DerateTest, EffectiveAtFullChargeMatchesTable4Pb0)
+{
+    const RowTiming t = derate_.effective(0.0);
+    EXPECT_EQ(t.trcd, 8u);  // 12 - 4
+    EXPECT_EQ(t.tras, 22u); // 30 - 8
+    EXPECT_EQ(t.trc, 34u);  // 22 + 12
+}
+
+TEST_F(DerateTest, EffectiveAtWorstCaseIsNominal)
+{
+    const RowTiming t = derate_.effective(64e6);
+    EXPECT_EQ(t.trcd, 12u);
+    EXPECT_EQ(t.tras, 30u);
+    EXPECT_EQ(t.trc, 42u);
+}
+
+TEST_F(DerateTest, FiveGroupsReproducePaperTable4)
+{
+    const auto groups = derate_.deriveGroups(5);
+    ASSERT_EQ(groups.size(), 5u);
+    const unsigned expect_slices[5] = {3, 5, 6, 8, 10};
+    const Cycle expect_trcd[5] = {8, 9, 10, 11, 12};
+    const Cycle expect_tras[5] = {22, 24, 26, 28, 30};
+    const Cycle expect_trc[5] = {34, 36, 38, 40, 42};
+    for (unsigned i = 0; i < 5; ++i) {
+        EXPECT_EQ(groups[i].slices, expect_slices[i]) << "PB" << i;
+        EXPECT_EQ(groups[i].timing.trcd, expect_trcd[i]) << "PB" << i;
+        EXPECT_EQ(groups[i].timing.tras, expect_tras[i]) << "PB" << i;
+        EXPECT_EQ(groups[i].timing.trc, expect_trc[i]) << "PB" << i;
+    }
+}
+
+TEST_F(DerateTest, SinglePbIsNominalBaseline)
+{
+    const auto groups = derate_.deriveGroups(1);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].slices, 32u);
+    EXPECT_EQ(groups[0].timing.trcd, 12u);
+    EXPECT_EQ(groups[0].timing.trc, 42u);
+}
+
+class DerateGroupTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DerateGroupTest, GroupInvariants)
+{
+    const CellModel cell;
+    const SenseAmpModel sa(cell);
+    const TimingDerate derate(sa);
+    const unsigned num_pb = GetParam();
+    const auto groups = derate.deriveGroups(num_pb);
+    ASSERT_EQ(groups.size(), num_pb);
+
+    unsigned total = 0;
+    for (const auto &g : groups)
+        total += g.slices;
+    EXPECT_EQ(total, 32u);
+
+    // Rated timing must be non-decreasing from PB0 outward and the
+    // last PB must be the nominal baseline.
+    for (std::size_t i = 1; i < groups.size(); ++i) {
+        EXPECT_GE(groups[i].timing.trcd, groups[i - 1].timing.trcd);
+        EXPECT_GE(groups[i].timing.tras, groups[i - 1].timing.tras);
+    }
+    EXPECT_EQ(groups.back().timing.trcd, 12u);
+    EXPECT_EQ(groups.back().timing.tras, 30u);
+    for (const auto &g : groups)
+        EXPECT_EQ(g.timing.trc, g.timing.tras + 12u);
+}
+
+TEST_P(DerateGroupTest, RatedTimingSafeForEveryRowInGroup)
+{
+    // Safety: the PB's rated timing must be at least the true minimum
+    // at every elapsed time the PB covers, including the refresh-slack
+    // guard (0.5 ms of allowed REF lateness, under the 1 ms used at
+    // calibration).
+    const CellModel cell;
+    const SenseAmpModel sa(cell);
+    const TimingDerate derate(sa);
+    const auto groups = derate.deriveGroups(GetParam());
+    const double slice_ns = 64e6 / 32.0;
+    const double slack_ns = 0.5e6;
+
+    unsigned slice = 0;
+    for (const auto &g : groups) {
+        for (unsigned s = 0; s < g.slices; ++s, ++slice) {
+            for (double frac : {0.0, 0.5, 0.999}) {
+                const double t =
+                    (slice + frac) * slice_ns + slack_ns;
+                const RowTiming min = derate.effective(t);
+                EXPECT_GE(g.timing.trcd, min.trcd)
+                    << "slice " << slice << " frac " << frac;
+                EXPECT_GE(g.timing.tras, min.tras);
+                EXPECT_GE(g.timing.trc, min.trc);
+            }
+        }
+    }
+    EXPECT_EQ(slice, 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPbCounts, DerateGroupTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST_F(DerateTest, MoreGroupsThanSlicesRejected)
+{
+    setPanicThrows(true);
+    EXPECT_THROW(derate_.deriveGroups(33), std::logic_error);
+    setPanicThrows(false);
+}
+
+TEST_F(DerateTest, MoreGroupsNeverSlower)
+{
+    // Fig. 21's premise: adding PBs can only improve (or keep) every
+    // slice's rated timing.
+    for (unsigned k = 1; k < 5; ++k) {
+        const auto a = derate_.deriveGroups(k);
+        const auto b = derate_.deriveGroups(k + 1);
+        // Expand both to per-slice timings.
+        auto expand = [](const std::vector<PbGroup> &gs) {
+            std::vector<Cycle> out;
+            for (const auto &g : gs) {
+                for (unsigned s = 0; s < g.slices; ++s)
+                    out.push_back(g.timing.trcd);
+            }
+            return out;
+        };
+        const auto ta = expand(a), tb = expand(b);
+        for (std::size_t i = 0; i < 32; ++i)
+            EXPECT_LE(tb[i], ta[i]) << "slice " << i << " k=" << k;
+    }
+}
+
+} // namespace
+} // namespace nuat

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * PBR acquisition tests: equations (1)/(2), the Table 4 non-uniform
+ * grouping, rotation with the refresh counter, and boundary zones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "charge/timing_derate.hh"
+#include "common/logging.hh"
+#include "core/pbr.hh"
+
+namespace nuat {
+namespace {
+
+class PbrTest : public ::testing::Test
+{
+  protected:
+    PbrTest()
+        : cell_(), sa_(cell_), derate_(sa_),
+          cfg_(NuatConfig::fromDerate(derate_, 5)), pbr_(cfg_, 8192),
+          refresh_(8192, TimingParams{})
+    {
+    }
+
+    CellModel cell_;
+    SenseAmpModel sa_;
+    TimingDerate derate_;
+    NuatConfig cfg_;
+    PbrAcquisition pbr_;
+    RefreshEngine refresh_;
+};
+
+TEST_F(PbrTest, PrePbIsLinearShift)
+{
+    // Eq. (2): 8192 rows, 32 linear PBs -> shift by 8.
+    EXPECT_EQ(pbr_.prePbOf(0), 0u);
+    EXPECT_EQ(pbr_.prePbOf(255), 0u);
+    EXPECT_EQ(pbr_.prePbOf(256), 1u);
+    EXPECT_EQ(pbr_.prePbOf(8191), 31u);
+}
+
+TEST_F(PbrTest, GroupingMatchesTable4Boundaries)
+{
+    // PB0: PRE_PB 0-2, PB1: 3-7, PB2: 8-13, PB3: 14-21, PB4: 22-31.
+    auto pb_of_slice = [&](unsigned slice) {
+        return pbr_.pbOfAge(slice * 256);
+    };
+    EXPECT_EQ(pb_of_slice(0), 0u);
+    EXPECT_EQ(pb_of_slice(2), 0u);
+    EXPECT_EQ(pb_of_slice(3), 1u);
+    EXPECT_EQ(pb_of_slice(7), 1u);
+    EXPECT_EQ(pb_of_slice(8), 2u);
+    EXPECT_EQ(pb_of_slice(13), 2u);
+    EXPECT_EQ(pb_of_slice(14), 3u);
+    EXPECT_EQ(pb_of_slice(21), 3u);
+    EXPECT_EQ(pb_of_slice(22), 4u);
+    EXPECT_EQ(pb_of_slice(31), 4u);
+}
+
+TEST_F(PbrTest, PbMonotoneInAge)
+{
+    unsigned prev = 0;
+    for (std::uint32_t age = 0; age < 8192; age += 64) {
+        const unsigned pb = pbr_.pbOfAge(age);
+        EXPECT_GE(pb, prev);
+        prev = pb;
+    }
+}
+
+TEST_F(PbrTest, FreshRowsAreFastest)
+{
+    // LRRA itself (age 0) is always PB0; the oldest row is always the
+    // last PB.
+    EXPECT_EQ(pbr_.pbOfRow(refresh_, refresh_.lrra()), 0u);
+    const std::uint32_t oldest =
+        (refresh_.lrra() + 1) % refresh_.rows();
+    EXPECT_EQ(pbr_.pbOfRow(refresh_, oldest), 4u);
+}
+
+TEST_F(PbrTest, MembershipRotatesWithRefresh)
+{
+    // Fig. 1: a fixed row's PB# advances as the refresh counter moves
+    // away from it, and wraps to PB0 once the row is refreshed again.
+    const std::uint32_t row = 4096;
+    const unsigned before = pbr_.pbOfRow(refresh_, row);
+    // Advance the counter by 1024 rows (4 slices).
+    for (int i = 0; i < 1024 / 8; ++i)
+        refresh_.performRefresh((i + 1) * refresh_.interval());
+    const unsigned after = pbr_.pbOfRow(refresh_, row);
+    EXPECT_GE(after, before);
+    // Keep refreshing until the counter passes the row itself.
+    int steps = 0;
+    while (refresh_.relativeAge(row) > 8 && steps < 2000) {
+        refresh_.performRefresh(refresh_.nextDueAt());
+        ++steps;
+    }
+    EXPECT_EQ(pbr_.pbOfRow(refresh_, row), 0u);
+}
+
+TEST_F(PbrTest, RatedTimingMatchesTable4)
+{
+    EXPECT_EQ(pbr_.ratedTiming(0).trcd, 8u);
+    EXPECT_EQ(pbr_.ratedTiming(4).trcd, 12u);
+    EXPECT_EQ(pbr_.ratedTiming(2).tras, 26u);
+    EXPECT_EQ(pbr_.ratedTiming(3).trc, 40u);
+}
+
+TEST_F(PbrTest, ZoneWarningAtGrowingBoundary)
+{
+    // A row whose age is just below the PB0->PB1 boundary (3 slices =
+    // 768 rows) crosses it at the next REF (8 rows): warning zone.
+    const std::uint32_t lrra = refresh_.lrra();
+    const std::uint32_t row =
+        (lrra + refresh_.rows() - 767) % refresh_.rows(); // age 767
+    ASSERT_EQ(pbr_.pbOfAge(767), 0u);
+    ASSERT_EQ(pbr_.pbOfAge(767 + 8), 1u);
+    EXPECT_EQ(pbr_.zoneOfRow(refresh_, row), BoundaryZone::kWarning);
+}
+
+TEST_F(PbrTest, ZonePromisingBeforeOwnRefresh)
+{
+    // The oldest rows are about to be refreshed: next REF wraps their
+    // age to ~0, i.e. PB4 -> PB0: promising zone.
+    const std::uint32_t lrra = refresh_.lrra();
+    const std::uint32_t row =
+        (lrra + refresh_.rows() - 8190) % refresh_.rows(); // age 8190
+    EXPECT_EQ(pbr_.zoneOfRow(refresh_, row),
+              BoundaryZone::kPromising);
+}
+
+TEST_F(PbrTest, ZoneNoneInPbInterior)
+{
+    const std::uint32_t lrra = refresh_.lrra();
+    const std::uint32_t row =
+        (lrra + refresh_.rows() - 100) % refresh_.rows(); // age 100
+    EXPECT_EQ(pbr_.zoneOfRow(refresh_, row), BoundaryZone::kNone);
+}
+
+TEST_F(PbrTest, ZoneCountsMatchRefreshGranularity)
+{
+    // Exactly rowsPerRef rows sit in a transition region per internal
+    // PB boundary (4 boundaries) plus rowsPerRef in the wrap region.
+    unsigned warning = 0, promising = 0;
+    for (std::uint32_t age = 0; age < 8192; ++age) {
+        const std::uint32_t row =
+            (refresh_.lrra() + refresh_.rows() - age) %
+            refresh_.rows();
+        switch (pbr_.zoneOfRow(refresh_, row)) {
+          case BoundaryZone::kWarning:
+            ++warning;
+            break;
+          case BoundaryZone::kPromising:
+            ++promising;
+            break;
+          case BoundaryZone::kNone:
+            break;
+        }
+    }
+    EXPECT_EQ(warning, 4u * 8u);
+    EXPECT_EQ(promising, 8u);
+}
+
+TEST(PbrConfig, FourPbUsesThreeBitsWorth)
+{
+    // Paper Sec. 9.3: a 4PB configuration needs one fewer bit per
+    // queue entry than 5PB.  Sanity-check the derived 4PB grouping.
+    CellModel cell;
+    SenseAmpModel sa(cell);
+    TimingDerate derate(sa);
+    const NuatConfig cfg = NuatConfig::fromDerate(derate, 4);
+    PbrAcquisition pbr(cfg, 8192);
+    EXPECT_EQ(pbr.numPb(), 4u);
+    unsigned max_pb = 0;
+    for (std::uint32_t age = 0; age < 8192; age += 256)
+        max_pb = std::max(max_pb, pbr.pbOfAge(age));
+    EXPECT_EQ(max_pb, 3u);
+}
+
+TEST(PbrConfig, MismatchedRefreshEngineRejected)
+{
+    setPanicThrows(true);
+    CellModel cell;
+    SenseAmpModel sa(cell);
+    TimingDerate derate(sa);
+    const NuatConfig cfg = NuatConfig::fromDerate(derate, 5);
+    PbrAcquisition pbr(cfg, 4096);
+    RefreshEngine refresh(8192, TimingParams{});
+    EXPECT_THROW(pbr.pbOfRow(refresh, 0), std::logic_error);
+    setPanicThrows(false);
+}
+
+} // namespace
+} // namespace nuat

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * PHRC tests: the eq. (3)-(6) window arithmetic, optimistic seeding,
+ * convergence, and clamping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/phrc.hh"
+
+namespace nuat {
+namespace {
+
+/** Advance @p phrc by one full sub-window of @p cols / @p acts. */
+void
+feedSubWindow(Phrc &phrc, Cycle sub_window, unsigned cols,
+              unsigned acts)
+{
+    for (unsigned i = 0; i < cols; ++i)
+        phrc.onColumnAccess();
+    for (unsigned i = 0; i < acts; ++i)
+        phrc.onActivation();
+    for (Cycle c = 0; c < sub_window; ++c)
+        phrc.tick();
+}
+
+TEST(Phrc, StartsOptimistic)
+{
+    Phrc phrc(1024, 256);
+    EXPECT_DOUBLE_EQ(phrc.hitRate(), 1.0);
+}
+
+TEST(Phrc, SingleRolloverFollowsEquations)
+{
+    // Window_Ratio = 4; seed #Current = 4 cols / 0 acts.
+    Phrc phrc(16, 4);
+    feedSubWindow(phrc, 16, 10, 4);
+    EXPECT_EQ(phrc.rollovers(), 1u);
+    // Eq. (5): #A = 4/4 = 1 (cols), 0 (acts).
+    // Eq. (6): #Next = 4 + (10 - 1) = 13 cols; 0 + (4 - 0) = 4 acts.
+    EXPECT_DOUBLE_EQ(phrc.windowColumnAccesses(), 13.0);
+    EXPECT_DOUBLE_EQ(phrc.windowActivations(), 4.0);
+    // Eq. (3): (13 - 4) / 13.
+    EXPECT_NEAR(phrc.hitRate(), 9.0 / 13.0, 1e-12);
+}
+
+TEST(Phrc, NoRolloverBeforeSubWindowEnds)
+{
+    Phrc phrc(1024, 256);
+    for (Cycle c = 0; c < 1023; ++c)
+        phrc.tick();
+    EXPECT_EQ(phrc.rollovers(), 0u);
+    phrc.tick();
+    EXPECT_EQ(phrc.rollovers(), 1u);
+}
+
+TEST(Phrc, ConvergesToSteadyStateRatio)
+{
+    Phrc phrc(64, 8);
+    // Constant stream: 20 cols, 5 acts per sub-window -> hit rate 0.75
+    // and window counts converge to ratio * per-sub counts.
+    for (int i = 0; i < 200; ++i)
+        feedSubWindow(phrc, 64, 20, 5);
+    EXPECT_NEAR(phrc.hitRate(), 0.75, 0.01);
+    EXPECT_NEAR(phrc.windowColumnAccesses(), 8 * 20.0, 2.0);
+    EXPECT_NEAR(phrc.windowActivations(), 8 * 5.0, 1.0);
+}
+
+TEST(Phrc, TracksLocalityShiftWithLag)
+{
+    Phrc phrc(64, 8);
+    for (int i = 0; i < 100; ++i)
+        feedSubWindow(phrc, 64, 20, 2); // high locality, rate 0.9
+    const double high = phrc.hitRate();
+    EXPECT_NEAR(high, 0.9, 0.02);
+    // Switch to low locality; one sub-window is NOT enough to track
+    // (the paper's Fig. 19 leslie effect)...
+    feedSubWindow(phrc, 64, 20, 16);
+    EXPECT_GT(phrc.hitRate(), 0.5);
+    // ...but a window's worth of sub-windows converges.
+    for (int i = 0; i < 100; ++i)
+        feedSubWindow(phrc, 64, 20, 16);
+    EXPECT_NEAR(phrc.hitRate(), 0.2, 0.02);
+}
+
+TEST(Phrc, HitRateClampedToUnitInterval)
+{
+    Phrc phrc(16, 4);
+    // More activations than column accesses (write-heavy churn with
+    // conflicts): eq. (3) would go negative; PHRC clamps at 0.
+    for (int i = 0; i < 50; ++i)
+        feedSubWindow(phrc, 16, 2, 10);
+    EXPECT_DOUBLE_EQ(phrc.hitRate(), 0.0);
+}
+
+TEST(Phrc, IdlePeriodsDecayTowardsNeutral)
+{
+    Phrc phrc(16, 4);
+    for (int i = 0; i < 50; ++i)
+        feedSubWindow(phrc, 16, 20, 10);
+    // Now nothing happens for many windows: counts decay to zero and
+    // the estimator reports 0 (no evidence of hits).
+    for (int i = 0; i < 200; ++i)
+        feedSubWindow(phrc, 16, 0, 0);
+    EXPECT_LT(phrc.windowColumnAccesses(), 1.0);
+    EXPECT_DOUBLE_EQ(phrc.hitRate(), 0.0);
+}
+
+} // namespace
+} // namespace nuat

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the IDD-based DRAM energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dram/power_model.hh"
+#include "sim/runner.hh"
+
+namespace nuat {
+namespace {
+
+TEST(PowerModel, PerCommandEnergiesArePlausible)
+{
+    const DramPowerModel power{TimingParams{}};
+    // DDR3 ballparks: ACT/PRE a few nJ, bursts ~1 nJ, REF tens of nJ.
+    EXPECT_GT(power.actPreEnergyNj(42), 1.0);
+    EXPECT_LT(power.actPreEnergyNj(42), 20.0);
+    EXPECT_GT(power.readEnergyNj(), 0.3);
+    EXPECT_LT(power.readEnergyNj(), 5.0);
+    EXPECT_GT(power.writeEnergyNj(), power.readEnergyNj() * 0.9);
+    EXPECT_GT(power.refreshEnergyNj(), 10.0);
+}
+
+TEST(PowerModel, ShorterTrcCostsLessActEnergy)
+{
+    const DramPowerModel power{TimingParams{}};
+    EXPECT_LT(power.actPreEnergyNj(34), power.actPreEnergyNj(42));
+}
+
+TEST(PowerModel, DecompositionSumsAndScales)
+{
+    const DramPowerModel power{TimingParams{}};
+    DeviceCounters c;
+    c.acts = 1000;
+    c.actsByTrcdReduction[0] = 1000;
+    c.reads = 2000;
+    c.writes = 500;
+    c.refreshes = 10;
+    const EnergyBreakdown e = power.estimate(c, 1000000);
+    EXPECT_NEAR(e.total(),
+                e.actPre + e.read + e.write + e.refresh + e.background,
+                1e-9);
+    EXPECT_DOUBLE_EQ(e.actPre, 1000 * power.actPreEnergyNj(42));
+    EXPECT_DOUBLE_EQ(e.read, 2000 * power.readEnergyNj());
+    EXPECT_DOUBLE_EQ(e.refresh, 10 * power.refreshEnergyNj());
+    EXPECT_DOUBLE_EQ(e.deratingSavings, 0.0);
+    EXPECT_GT(e.avgPowerMw(1.25e6), 0.0);
+}
+
+TEST(PowerModel, DeratedActsSaveEnergy)
+{
+    const DramPowerModel power{TimingParams{}};
+    DeviceCounters nominal;
+    nominal.acts = 1000;
+    nominal.actsByTrcdReduction[0] = 1000;
+    DeviceCounters derated = nominal;
+    derated.actsByTrcdReduction[0] = 0;
+    derated.actsByTrcdReduction[4] = 1000; // all PB0
+    const auto en = power.estimate(nominal, 1000000);
+    const auto ed = power.estimate(derated, 1000000);
+    EXPECT_LT(ed.actPre, en.actPre);
+    EXPECT_GT(ed.deratingSavings, 0.0);
+    EXPECT_NEAR(ed.deratingSavings, en.actPre - ed.actPre, 1e-9);
+}
+
+TEST(PowerModel, InconsistentIddRejected)
+{
+    setPanicThrows(true);
+    IddParams idd;
+    idd.idd0 = 10.0; // below standby
+    EXPECT_THROW(DramPowerModel(TimingParams{}, kMemClock, idd),
+                 std::logic_error);
+    setPanicThrows(false);
+}
+
+TEST(PowerModel, EndToEndRunReportsEnergy)
+{
+    ExperimentConfig cfg;
+    cfg.workloads = {"mummer"};
+    cfg.memOpsPerCore = 10000;
+    cfg.scheduler = SchedulerKind::kNuat;
+    const auto r = runExperiment(cfg);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_GT(r.energy.actPre, 0.0);
+    EXPECT_GT(r.energy.background, 0.0);
+    EXPECT_GT(r.energy.deratingSavings, 0.0); // derated ACTs happened
+}
+
+TEST(PowerModel, NuatNeverCostsMoreActEnergyThanBaseline)
+{
+    ExperimentConfig cfg;
+    cfg.workloads = {"tigr"};
+    cfg.memOpsPerCore = 15000;
+    const auto rs = runSchedulerSweep(
+        cfg, {SchedulerKind::kFrFcfsOpen, SchedulerKind::kNuat});
+    // Same workload; NUAT's derated restores make each ACT cheaper.
+    const double base_per_act =
+        rs[0].energy.actPre / static_cast<double>(rs[0].dev.acts);
+    const double nuat_per_act =
+        rs[1].energy.actPre / static_cast<double>(rs[1].dev.acts);
+    EXPECT_LT(nuat_per_act, base_per_act);
+}
+
+} // namespace
+} // namespace nuat

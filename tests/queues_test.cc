@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the request queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/request_queues.hh"
+
+namespace nuat {
+namespace {
+
+std::unique_ptr<Request>
+makeReq(std::uint64_t id, Addr addr, unsigned bank = 0,
+        std::uint32_t row = 0)
+{
+    auto r = std::make_unique<Request>();
+    r->id = id;
+    r->addr = addr;
+    r->bank = bank;
+    r->row = row;
+    return r;
+}
+
+TEST(RequestQueue, CapacityAndRoom)
+{
+    RequestQueue q(2);
+    EXPECT_TRUE(q.hasRoom());
+    EXPECT_TRUE(q.empty());
+    q.push(makeReq(1, 0x40));
+    EXPECT_TRUE(q.hasRoom());
+    q.push(makeReq(2, 0x80));
+    EXPECT_FALSE(q.hasRoom());
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.capacity(), 2u);
+}
+
+TEST(RequestQueue, OverflowPanics)
+{
+    setPanicThrows(true);
+    RequestQueue q(1);
+    q.push(makeReq(1, 0x40));
+    EXPECT_THROW(q.push(makeReq(2, 0x80)), std::logic_error);
+    setPanicThrows(false);
+}
+
+TEST(RequestQueue, FindLine)
+{
+    RequestQueue q(4);
+    q.push(makeReq(1, 0x40));
+    q.push(makeReq(2, 0x80));
+    ASSERT_NE(q.findLine(0x80), nullptr);
+    EXPECT_EQ(q.findLine(0x80)->id, 2u);
+    EXPECT_EQ(q.findLine(0xc0), nullptr);
+}
+
+TEST(RequestQueue, RemoveReturnsOwnership)
+{
+    RequestQueue q(4);
+    q.push(makeReq(1, 0x40));
+    q.push(makeReq(2, 0x80));
+    Request *target = q.findLine(0x40);
+    auto removed = q.remove(target);
+    EXPECT_EQ(removed->id, 1u);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.findLine(0x40), nullptr);
+}
+
+TEST(RequestQueue, RemoveUnknownPanics)
+{
+    setPanicThrows(true);
+    RequestQueue q(4);
+    q.push(makeReq(1, 0x40));
+    Request ghost;
+    EXPECT_THROW(q.remove(&ghost), std::logic_error);
+    setPanicThrows(false);
+}
+
+TEST(RequestQueue, HasRowHit)
+{
+    RequestQueue q(4);
+    q.push(makeReq(1, 0x40, 3, 77));
+    EXPECT_TRUE(q.hasRowHit(0, 3, 77));
+    EXPECT_FALSE(q.hasRowHit(0, 3, 78));
+    EXPECT_FALSE(q.hasRowHit(0, 2, 77));
+    EXPECT_FALSE(q.hasRowHit(1, 3, 77));
+}
+
+TEST(RequestQueue, IterationInArrivalOrder)
+{
+    RequestQueue q(4);
+    q.push(makeReq(5, 0x40));
+    q.push(makeReq(6, 0x80));
+    q.push(makeReq(7, 0xc0));
+    std::uint64_t expect = 5;
+    for (const auto &r : q)
+        EXPECT_EQ(r->id, expect++);
+}
+
+} // namespace
+} // namespace nuat

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the refresh engine: counter arithmetic, schedule, and
+ * ground-truth history.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dram/refresh_engine.hh"
+
+namespace nuat {
+namespace {
+
+TimingParams
+smallTiming()
+{
+    TimingParams tp;
+    tp.tREFI = 100;
+    tp.rowsPerRef = 8;
+    return tp;
+}
+
+TEST(RefreshEngine, InitialSteadyState)
+{
+    const TimingParams tp = smallTiming();
+    RefreshEngine eng(64, tp);
+    EXPECT_EQ(eng.nextRow(), 0u);
+    EXPECT_EQ(eng.lrra(), 63u);
+    EXPECT_EQ(eng.nextDueAt(), tp.refInterval());
+    EXPECT_FALSE(eng.due(0));
+    EXPECT_TRUE(eng.due(tp.refInterval()));
+    // Row 0 is the oldest (refreshed a full period minus one interval
+    // ago); the last group was refreshed at cycle 0.
+    EXPECT_EQ(eng.lastRefreshAt(63), 0);
+    EXPECT_EQ(eng.lastRefreshAt(0),
+              -static_cast<std::int64_t>((64 / 8 - 1) *
+                                         tp.refInterval()));
+}
+
+TEST(RefreshEngine, RelativeAgeOrdersRowsByStaleness)
+{
+    RefreshEngine eng(64, smallTiming());
+    // LRRA = 63: row 63 just refreshed, row 0 oldest.
+    EXPECT_EQ(eng.relativeAge(63), 0u);
+    EXPECT_EQ(eng.relativeAge(62), 1u);
+    EXPECT_EQ(eng.relativeAge(0), 63u);
+}
+
+TEST(RefreshEngine, PerformRefreshAdvancesCounterAndDeadline)
+{
+    const TimingParams tp = smallTiming();
+    RefreshEngine eng(64, tp);
+    eng.performRefresh(tp.refInterval());
+    EXPECT_EQ(eng.nextRow(), 8u);
+    EXPECT_EQ(eng.lrra(), 7u);
+    EXPECT_EQ(eng.nextDueAt(), 2 * tp.refInterval());
+    EXPECT_EQ(eng.refreshesDone(), 1u);
+    for (std::uint32_t r = 0; r < 8; ++r) {
+        EXPECT_EQ(eng.lastRefreshAt(r),
+                  static_cast<std::int64_t>(tp.refInterval()));
+    }
+    // Rows 8.. untouched.
+    EXPECT_LT(eng.lastRefreshAt(8), 0);
+}
+
+TEST(RefreshEngine, CounterWrapsAroundRowSpace)
+{
+    const TimingParams tp = smallTiming();
+    RefreshEngine eng(64, tp);
+    for (int i = 0; i < 8; ++i)
+        eng.performRefresh((i + 1) * tp.refInterval());
+    EXPECT_EQ(eng.nextRow(), 0u); // full pass
+    EXPECT_EQ(eng.lrra(), 63u);
+    EXPECT_EQ(eng.refreshesDone(), 8u);
+}
+
+TEST(RefreshEngine, AbsoluteScheduleDoesNotDrift)
+{
+    const TimingParams tp = smallTiming();
+    RefreshEngine eng(64, tp);
+    // Issue the first REF 50 cycles late; the second deadline is still
+    // 2 * interval, not late + interval.
+    eng.performRefresh(tp.refInterval() + 50);
+    EXPECT_EQ(eng.nextDueAt(), 2 * tp.refInterval());
+}
+
+TEST(RefreshEngine, ElapsedNsUsesGroundTruth)
+{
+    const TimingParams tp = smallTiming();
+    RefreshEngine eng(64, tp);
+    eng.performRefresh(tp.refInterval());
+    const double period_ns = 1.25;
+    EXPECT_DOUBLE_EQ(
+        eng.elapsedNs(0, tp.refInterval() + 100, period_ns),
+        100 * period_ns);
+}
+
+TEST(RefreshEngine, FullRotationRestoresAges)
+{
+    const TimingParams tp = smallTiming();
+    RefreshEngine eng(128, tp);
+    const std::uint32_t age_before = eng.relativeAge(37);
+    for (int i = 0; i < 128 / 8; ++i)
+        eng.performRefresh((i + 1) * tp.refInterval());
+    EXPECT_EQ(eng.relativeAge(37), age_before);
+}
+
+TEST(RefreshEngine, RowsMustDivideByRowsPerRef)
+{
+    setPanicThrows(true);
+    TimingParams tp = smallTiming();
+    tp.rowsPerRef = 7;
+    EXPECT_THROW(RefreshEngine(64, tp), std::logic_error);
+    setPanicThrows(false);
+}
+
+TEST(RefreshEngine, PaperScaleConsistency)
+{
+    // 8K rows, 8 rows per REF at 8 x tREFI: one full pass must take
+    // one 64 ms retention period (paper Sec. 4).
+    TimingParams tp; // defaults: tREFI 6240 cycles, rowsPerRef 8
+    RefreshEngine eng(8192, tp);
+    const double pass_ns =
+        static_cast<double>(8192 / 8) * tp.refInterval() * 1.25;
+    EXPECT_NEAR(pass_ns, 64e6, 64e6 * 0.002);
+}
+
+} // namespace
+} // namespace nuat

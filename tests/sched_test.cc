@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Baseline-scheduler tests: FCFS ordering, FR-FCFS hit-first ordering,
+ * write-drain hysteresis, and page-policy decoration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "charge/timing_derate.hh"
+#include "sched/adaptive_scheduler.hh"
+#include "sched/fcfs_scheduler.hh"
+#include "sched/frfcfs_scheduler.hh"
+
+namespace nuat {
+namespace {
+
+Candidate
+makeCand(CmdType type, bool is_write, Cycle arrival, Request *req,
+         bool row_hit = false, bool more_pending = false)
+{
+    Candidate c;
+    c.cmd.type = type;
+    c.req = req;
+    c.isWrite = is_write;
+    c.isRowHit = row_hit;
+    c.morePendingToRow = more_pending;
+    req->arrivalAt = arrival;
+    req->isWrite = is_write;
+    return c;
+}
+
+SchedContext
+ctxWith(std::size_t wq_len)
+{
+    SchedContext ctx;
+    ctx.now = 1000;
+    ctx.readQLen = 4;
+    ctx.writeQLen = wq_len;
+    ctx.wqHighWatermark = 40;
+    ctx.wqLowWatermark = 20;
+    return ctx;
+}
+
+TEST(WriteDrain, HysteresisTransitions)
+{
+    WriteDrainState s;
+    EXPECT_FALSE(s.draining());
+    s.update(ctxWith(41));
+    EXPECT_TRUE(s.draining());
+    s.update(ctxWith(30)); // between watermarks: keep previous
+    EXPECT_TRUE(s.draining());
+    s.update(ctxWith(19));
+    EXPECT_FALSE(s.draining());
+    s.update(ctxWith(30));
+    EXPECT_FALSE(s.draining());
+}
+
+TEST(Fcfs, PicksOldestRead)
+{
+    FcfsScheduler sched;
+    Request r1, r2, r3;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kAct, false, 50, &r1),
+        makeCand(CmdType::kAct, false, 10, &r2),
+        makeCand(CmdType::kAct, false, 30, &r3),
+    };
+    EXPECT_EQ(sched.pick(cands, ctxWith(0)), 1);
+}
+
+TEST(Fcfs, PrefersReadsWhenFilling)
+{
+    FcfsScheduler sched;
+    Request r1, r2;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kWrite, true, 1, &r1, true),
+        makeCand(CmdType::kAct, false, 99, &r2),
+    };
+    EXPECT_EQ(sched.pick(cands, ctxWith(5)), 1);
+}
+
+TEST(Fcfs, PrefersWritesWhenDraining)
+{
+    FcfsScheduler sched;
+    Request r1, r2;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kWrite, true, 99, &r1, true),
+        makeCand(CmdType::kRead, false, 1, &r2, true),
+    };
+    EXPECT_EQ(sched.pick(cands, ctxWith(50)), 0);
+}
+
+TEST(Fcfs, IssuesWritesWhenOnlyWritesExist)
+{
+    FcfsScheduler sched;
+    Request r1;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kAct, true, 5, &r1),
+    };
+    EXPECT_EQ(sched.pick(cands, ctxWith(1)), 0);
+}
+
+TEST(Fcfs, EmptyCandidatesReturnsMinusOne)
+{
+    FcfsScheduler sched;
+    std::vector<Candidate> cands;
+    EXPECT_EQ(sched.pick(cands, ctxWith(0)), -1);
+}
+
+TEST(FrFcfs, HitsBeatOlderNonHits)
+{
+    FrFcfsScheduler sched(PagePolicy::kOpen);
+    Request r1, r2;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kAct, false, 1, &r1),
+        makeCand(CmdType::kRead, false, 500, &r2, true),
+    };
+    EXPECT_EQ(sched.pick(cands, ctxWith(0)), 1);
+}
+
+TEST(FrFcfs, AmongHitsOldestWins)
+{
+    FrFcfsScheduler sched(PagePolicy::kOpen);
+    Request r1, r2;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kRead, false, 70, &r1, true),
+        makeCand(CmdType::kRead, false, 20, &r2, true),
+    };
+    EXPECT_EQ(sched.pick(cands, ctxWith(0)), 1);
+}
+
+TEST(FrFcfs, DirectionOutranksHit)
+{
+    FrFcfsScheduler sched(PagePolicy::kOpen);
+    Request r1, r2;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kWrite, true, 1, &r1, true),
+        makeCand(CmdType::kAct, false, 90, &r2),
+    };
+    // Filling path: the read ACT outranks the write hit.
+    EXPECT_EQ(sched.pick(cands, ctxWith(0)), 1);
+}
+
+TEST(FrFcfs, OpenPolicyNeverAutoPrecharges)
+{
+    FrFcfsScheduler sched(PagePolicy::kOpen);
+    Request r1;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kRead, false, 1, &r1, true, false),
+    };
+    sched.pick(cands, ctxWith(0));
+    EXPECT_EQ(cands[0].cmd.type, CmdType::kRead);
+}
+
+TEST(FrFcfs, ClosePolicyAutoPrechargesLastAccess)
+{
+    FrFcfsScheduler sched(PagePolicy::kClose);
+    Request r1;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kRead, false, 1, &r1, true, false),
+    };
+    sched.pick(cands, ctxWith(0));
+    EXPECT_EQ(cands[0].cmd.type, CmdType::kReadAp);
+}
+
+TEST(FrFcfs, ClosePolicyWithGraceKeepsRowForPendingHits)
+{
+    FrFcfsScheduler sched(PagePolicy::kClose, true);
+    Request r1;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kWrite, true, 1, &r1, true, true),
+    };
+    sched.pick(cands, ctxWith(50));
+    EXPECT_EQ(cands[0].cmd.type, CmdType::kWrite);
+}
+
+TEST(FrFcfs, ClosePolicyWithoutGraceAlwaysAutoPrecharges)
+{
+    FrFcfsScheduler sched(PagePolicy::kClose, false);
+    Request r1;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kWrite, true, 1, &r1, true, true),
+    };
+    sched.pick(cands, ctxWith(50));
+    EXPECT_EQ(cands[0].cmd.type, CmdType::kWriteAp);
+}
+
+TEST(FrFcfs, NamesReflectPolicy)
+{
+    EXPECT_STREQ(FrFcfsScheduler(PagePolicy::kOpen).name(),
+                 "FR-FCFS(open)");
+    EXPECT_STREQ(FrFcfsScheduler(PagePolicy::kClose).name(),
+                 "FR-FCFS(close)");
+}
+
+class AdaptiveTest : public ::testing::Test
+{
+  protected:
+    AdaptiveTest() : cell_(), sa_(cell_), derate_(sa_)
+    {
+        dev_ = std::make_unique<DramDevice>(DramGeometry{},
+                                            TimingParams{}, derate_);
+    }
+
+    SchedContext
+    devCtx() const
+    {
+        SchedContext c = ctxWith(0);
+        c.dev = dev_.get();
+        return c;
+    }
+
+    CellModel cell_;
+    SenseAmpModel sa_;
+    TimingDerate derate_;
+    std::unique_ptr<DramDevice> dev_;
+};
+
+TEST_F(AdaptiveTest, ThresholdIsEq7WithNominalTrcd)
+{
+    AdaptiveFrFcfsScheduler sched;
+    // tRP 12, tRCD 12 -> 0.5.
+    EXPECT_NEAR(sched.threshold(devCtx()), 0.5, 1e-12);
+}
+
+TEST_F(AdaptiveTest, StartsInOpenMode)
+{
+    AdaptiveFrFcfsScheduler sched;
+    Request r;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kRead, false, 1, &r, true, false)};
+    sched.pick(cands, devCtx());
+    EXPECT_EQ(cands[0].cmd.type, CmdType::kRead);
+}
+
+TEST_F(AdaptiveTest, SwitchesToCloseOnMissHeavyHistory)
+{
+    AdaptiveFrFcfsScheduler sched(16, 4); // tiny window for the test
+    const SchedContext ctx = devCtx();
+    for (int i = 0; i < 400; ++i) {
+        Command act;
+        act.type = CmdType::kAct;
+        sched.onIssue(act, ctx);
+        Command rd;
+        rd.type = CmdType::kRead;
+        sched.onIssue(rd, ctx);
+        for (int t = 0; t < 16; ++t)
+            sched.tick(ctx);
+    }
+    EXPECT_LT(sched.phrc().hitRate(), 0.1);
+    Request r;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kRead, false, 1, &r, true, false)};
+    sched.pick(cands, devCtx());
+    EXPECT_EQ(cands[0].cmd.type, CmdType::kReadAp);
+}
+
+TEST_F(AdaptiveTest, RanksLikeFrFcfs)
+{
+    AdaptiveFrFcfsScheduler sched;
+    Request r1, r2;
+    std::vector<Candidate> cands = {
+        makeCand(CmdType::kAct, false, 1, &r1),
+        makeCand(CmdType::kRead, false, 500, &r2, true),
+    };
+    EXPECT_EQ(sched.pick(cands, devCtx()), 1); // hit first
+}
+
+TEST(PagePolicyHelper, OnlyColumnCommandsConvert)
+{
+    Request r1;
+    Candidate act = makeCand(CmdType::kAct, false, 0, &r1);
+    applyPagePolicy(act, PagePolicy::kClose, false);
+    EXPECT_EQ(act.cmd.type, CmdType::kAct);
+    Candidate pre = makeCand(CmdType::kPre, false, 0, &r1);
+    applyPagePolicy(pre, PagePolicy::kClose, false);
+    EXPECT_EQ(pre.cmd.type, CmdType::kPre);
+}
+
+} // namespace
+} // namespace nuat

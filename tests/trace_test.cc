@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Trace-layer tests: profile registry, synthetic generation statistics,
+ * determinism, file round trips, and workload combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "mem/address_mapping.hh"
+#include "trace/combinations.hh"
+#include "trace/synthetic_trace.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_stats.hh"
+#include "trace/workload_profile.hh"
+
+namespace nuat {
+namespace {
+
+TEST(WorkloadProfile, AllEighteenMscWorkloadsPresent)
+{
+    const auto &names = WorkloadProfile::allNames();
+    EXPECT_EQ(names.size(), 18u);
+    for (const char *expect :
+         {"comm1", "comm2", "comm3", "comm4", "comm5", "leslie",
+          "libq", "black", "face", "ferret", "fluid", "freq", "stream",
+          "swapt", "MT-canneal", "MT-fluid", "mummer", "tigr"}) {
+        bool found = false;
+        for (const auto &n : names)
+            found |= (n == expect);
+        EXPECT_TRUE(found) << expect;
+    }
+}
+
+TEST(WorkloadProfile, LookupByName)
+{
+    const auto &p = WorkloadProfile::byName("mummer");
+    EXPECT_EQ(p.name, "mummer");
+    EXPECT_GT(p.readFraction, 0.5);
+}
+
+TEST(WorkloadProfile, ProfilesAreSane)
+{
+    for (const auto &name : WorkloadProfile::allNames()) {
+        const auto &p = WorkloadProfile::byName(name);
+        EXPECT_GT(p.avgGap, 0.0) << name;
+        EXPECT_GT(p.readFraction, 0.0) << name;
+        EXPECT_LE(p.readFraction, 1.0) << name;
+        EXPECT_GE(p.rowLocality, 0.0) << name;
+        EXPECT_LE(p.rowLocality, 1.0) << name;
+        EXPECT_GE(p.pageReuse, 0.0) << name;
+        EXPECT_LE(p.pageReuse, 1.0) << name;
+        EXPECT_GE(p.depFraction, 0.0) << name;
+        EXPECT_LE(p.depFraction, 1.0) << name;
+        EXPECT_GT(p.footprintRows, 0u) << name;
+        EXPECT_LE(p.footprintRows, 8192u) << name;
+    }
+}
+
+TEST(SyntheticTrace, DeterministicForSameSeed)
+{
+    const auto &p = WorkloadProfile::byName("comm1");
+    SyntheticTrace a(p, DramGeometry{}, 42, 5000);
+    SyntheticTrace b(p, DramGeometry{}, 42, 5000);
+    TraceEntry ea, eb;
+    while (a.next(ea)) {
+        ASSERT_TRUE(b.next(eb));
+        EXPECT_EQ(ea.addr, eb.addr);
+        EXPECT_EQ(ea.isWrite, eb.isWrite);
+        EXPECT_EQ(ea.nonMemGap, eb.nonMemGap);
+        EXPECT_EQ(ea.dependent, eb.dependent);
+    }
+    EXPECT_FALSE(b.next(eb));
+}
+
+TEST(SyntheticTrace, ResetReplaysIdentically)
+{
+    const auto &p = WorkloadProfile::byName("libq");
+    SyntheticTrace t(p, DramGeometry{}, 7, 1000);
+    std::vector<Addr> first;
+    TraceEntry e;
+    while (t.next(e))
+        first.push_back(e.addr);
+    t.reset();
+    std::size_t i = 0;
+    while (t.next(e))
+        EXPECT_EQ(e.addr, first[i++]);
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(SyntheticTrace, HonoursMaxOps)
+{
+    const auto &p = WorkloadProfile::byName("tigr");
+    SyntheticTrace t(p, DramGeometry{}, 1, 123);
+    TraceEntry e;
+    std::uint64_t n = 0;
+    while (t.next(e))
+        ++n;
+    EXPECT_EQ(n, 123u);
+    EXPECT_EQ(t.produced(), 123u);
+}
+
+TEST(SyntheticTrace, ReadFractionMatchesProfile)
+{
+    const auto &p = WorkloadProfile::byName("mummer"); // 0.80 reads
+    SyntheticTrace t(p, DramGeometry{}, 3, 20000);
+    TraceEntry e;
+    unsigned reads = 0, total = 0;
+    while (t.next(e)) {
+        reads += !e.isWrite;
+        ++total;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / total, p.readFraction,
+                0.02);
+}
+
+TEST(SyntheticTrace, RowLocalityVisibleInAddressStream)
+{
+    const auto &p = WorkloadProfile::byName("libq"); // locality 0.78
+    DramGeometry g;
+    AddressMapping m(MappingScheme::kOpenPageBaseline, g);
+    SyntheticTrace t(p, g, 5, 20000);
+    TraceEntry e;
+    ASSERT_TRUE(t.next(e));
+    DramCoord prev = m.decompose(e.addr);
+    unsigned same_row = 0, total = 0;
+    while (t.next(e)) {
+        const DramCoord c = m.decompose(e.addr);
+        same_row += (c.row == prev.row && c.bank == prev.bank &&
+                     c.rank == prev.rank);
+        prev = c;
+        ++total;
+    }
+    EXPECT_NEAR(static_cast<double>(same_row) / total, p.rowLocality,
+                0.03);
+}
+
+TEST(SyntheticTrace, FootprintSamplesAllPbRegions)
+{
+    // The scatter stride must spread even small footprints across the
+    // whole 32-slice age space (otherwise a workload camps in one PB).
+    const auto &p = WorkloadProfile::byName("libq"); // 1024 rows
+    DramGeometry g;
+    AddressMapping m(MappingScheme::kOpenPageBaseline, g);
+    SyntheticTrace t(p, g, 11, 20000);
+    TraceEntry e;
+    std::set<unsigned> slices;
+    while (t.next(e))
+        slices.insert(m.decompose(e.addr).row / 256);
+    EXPECT_GE(slices.size(), 28u);
+}
+
+TEST(SyntheticTrace, DependentFractionRoughlyMatches)
+{
+    const auto &p = WorkloadProfile::byName("mummer");
+    SyntheticTrace t(p, DramGeometry{}, 13, 20000);
+    TraceEntry e;
+    unsigned dep = 0, reads = 0;
+    while (t.next(e)) {
+        if (!e.isWrite) {
+            ++reads;
+            dep += e.dependent;
+        } else {
+            EXPECT_FALSE(e.dependent);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(dep) / reads, p.depFraction, 0.03);
+}
+
+TEST(SyntheticTrace, MultiChannelAddressesCoverAllChannels)
+{
+    const auto &p = WorkloadProfile::byName("comm1");
+    DramGeometry g;
+    g.channels = 4;
+    AddressMapping m(MappingScheme::kOpenPageBaseline, g);
+    SyntheticTrace t(p, g, 17, 8000);
+    TraceEntry e;
+    std::set<unsigned> channels;
+    while (t.next(e))
+        channels.insert(m.decompose(e.addr).channel);
+    EXPECT_EQ(channels.size(), 4u);
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const auto &p = WorkloadProfile::byName("stream");
+    SyntheticTrace t(p, DramGeometry{}, 23, 500);
+    const std::string path = "/tmp/nuat_trace_test.txt";
+    EXPECT_EQ(writeTraceFile(path, t, 500), 500u);
+
+    FileTrace loaded = FileTrace::load(path);
+    EXPECT_EQ(loaded.size(), 500u);
+    t.reset();
+    TraceEntry a, b;
+    while (t.next(a)) {
+        ASSERT_TRUE(loaded.next(b));
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.isWrite, b.isWrite);
+        EXPECT_EQ(a.nonMemGap, b.nonMemGap);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Combinations, ShapeAndDeterminism)
+{
+    const auto a = workloadCombinations(4, 32, 99);
+    const auto b = workloadCombinations(4, 32, 99);
+    ASSERT_EQ(a.size(), 32u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].size(), 4u);
+        EXPECT_EQ(a[i], b[i]);
+        std::set<std::string> unique(a[i].begin(), a[i].end());
+        EXPECT_EQ(unique.size(), 4u) << "duplicate within combo " << i;
+    }
+}
+
+TEST(Combinations, DifferentSeedsDiffer)
+{
+    const auto a = workloadCombinations(2, 32, 1);
+    const auto b = workloadCombinations(2, 32, 2);
+    EXPECT_NE(a, b);
+}
+
+TEST(TraceStats, MeasuresProfileProperties)
+{
+    const auto &p = WorkloadProfile::byName("comm1");
+    SyntheticTrace t(p, DramGeometry{}, 31, 30000);
+    const TraceStats s = analyzeTrace(t, DramGeometry{}, 30000);
+    EXPECT_EQ(s.ops, 30000u);
+    EXPECT_NEAR(s.readFraction, p.readFraction, 0.02);
+    EXPECT_NEAR(s.rowLocality, p.rowLocality, 0.05);
+    EXPECT_GT(s.uniqueRows, 1000u);
+    EXPECT_GT(s.lineReuse, 1.0);
+    EXPECT_NE(formatTraceStats(s).find("row locality"),
+              std::string::npos);
+}
+
+TEST(TraceStats, EmptySourceYieldsZeros)
+{
+    FileTrace empty("none", {});
+    const TraceStats s = analyzeTrace(empty, DramGeometry{}, 100);
+    EXPECT_EQ(s.ops, 0u);
+    EXPECT_EQ(s.readFraction, 0.0);
+    EXPECT_EQ(s.uniqueRows, 0u);
+}
+
+TEST(TraceStats, RespectsOpsCap)
+{
+    const auto &p = WorkloadProfile::byName("libq");
+    SyntheticTrace t(p, DramGeometry{}, 1, 10000);
+    const TraceStats s = analyzeTrace(t, DramGeometry{}, 500);
+    EXPECT_EQ(s.ops, 500u);
+}
+
+TEST(Combinations, CoversWorkloadVariety)
+{
+    const auto combos = workloadCombinations(4, 32, 42);
+    std::set<std::string> seen;
+    for (const auto &c : combos)
+        seen.insert(c.begin(), c.end());
+    EXPECT_GE(seen.size(), 15u); // nearly all 18 appear somewhere
+}
+
+} // namespace
+} // namespace nuat

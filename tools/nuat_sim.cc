@@ -1,0 +1,190 @@
+/**
+ * @file
+ * nuat_sim — the command-line front end to the simulator.
+ *
+ *   nuat_sim [options]
+ *     --workloads a,b,c       one per core (default: ferret)
+ *     --scheduler s           nuat | fcfs | frfcfs-open | frfcfs-close
+ *     --compare               run all five schedulers side by side
+ *     --pb N                  NUAT PB count, 1..5 (default 5)
+ *     --channels N            memory channels (default 1)
+ *     --ops N                 memory ops per core (default 50000)
+ *     --seed N                trace RNG seed (default 1)
+ *     --gap-scale F           scale compute gaps (default 1.0)
+ *     --no-ppm                disable the PPM page-mode decision maker
+ *     --paper-pure            disable the starvation escape
+ *     --csv                   one machine-readable line per run
+ *     --help
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+
+using namespace nuat;
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char ch : arg) {
+        if (ch == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+SchedulerKind
+parseScheduler(const std::string &name)
+{
+    if (name == "nuat")
+        return SchedulerKind::kNuat;
+    if (name == "fcfs")
+        return SchedulerKind::kFcfs;
+    if (name == "frfcfs-open")
+        return SchedulerKind::kFrFcfsOpen;
+    if (name == "frfcfs-close")
+        return SchedulerKind::kFrFcfsClose;
+    if (name == "frfcfs-adaptive")
+        return SchedulerKind::kFrFcfsAdaptive;
+    nuat_fatal("unknown scheduler '%s' (nuat | fcfs | frfcfs-open | "
+               "frfcfs-close | frfcfs-adaptive)",
+               name.c_str());
+}
+
+void
+printCsv(const RunResult &r, std::uint64_t seed)
+{
+    std::printf("%s,%s,%llu,%.3f,%.3f,%.3f,%llu,%.4f,%llu,%llu,%.1f\n",
+                r.schedulerName.c_str(),
+                workloadLabel(r.workloads).c_str(),
+                static_cast<unsigned long long>(seed),
+                r.avgReadLatency(), r.readLatencyPercentile(0.95),
+                r.readLatencyPercentile(0.99),
+                static_cast<unsigned long long>(r.executionTime()),
+                r.hitRateEq3,
+                static_cast<unsigned long long>(r.dev.acts),
+                static_cast<unsigned long long>(r.dev.refreshes),
+                r.energy.total() / 1e6);
+}
+
+void
+usage()
+{
+    std::printf(
+        "nuat_sim — NUAT memory-controller simulator\n"
+        "  --workloads a,b,c   one per core (default ferret)\n"
+        "  --scheduler s       nuat | fcfs | frfcfs-open | "
+        "frfcfs-close\n"
+        "  --compare           run all five schedulers\n"
+        "  --pb N --channels N --ops N --seed N --gap-scale F\n"
+        "  --no-ppm --paper-pure --csv --help\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.workloads = {"ferret"};
+    cfg.memOpsPerCore = 50000;
+    bool compare = false;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                nuat_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--workloads") {
+            cfg.workloads = splitCommas(value());
+        } else if (arg == "--scheduler") {
+            cfg.scheduler = parseScheduler(value());
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg == "--pb") {
+            cfg.numPb = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--channels") {
+            cfg.geometry.channels =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--ops") {
+            cfg.memOpsPerCore = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--gap-scale") {
+            cfg.gapScale = std::atof(value());
+        } else if (arg == "--no-ppm") {
+            cfg.ppmEnabled = false;
+        } else if (arg == "--paper-pure") {
+            cfg.nuatStarvationLimit = 0;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            nuat_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (csv) {
+        std::printf("scheduler,workloads,seed,avg_lat_cyc,p95_lat_cyc,"
+                    "p99_lat_cyc,exec_cpu_cyc,hit_rate,acts,refreshes,"
+                    "energy_mj\n");
+    } else {
+        std::printf("%s\n", describeConfig(cfg).c_str());
+    }
+
+    if (compare) {
+        const auto results = runSchedulerSweep(
+            cfg,
+            {SchedulerKind::kFcfs, SchedulerKind::kFrFcfsOpen,
+             SchedulerKind::kFrFcfsClose, SchedulerKind::kFrFcfsAdaptive,
+             SchedulerKind::kNuat});
+        if (csv) {
+            for (const auto &r : results)
+                printCsv(r, cfg.seed);
+        } else {
+            std::printf("%s", compareRuns(results).c_str());
+        }
+        return 0;
+    }
+
+    const RunResult r = runExperiment(cfg);
+    if (csv) {
+        printCsv(r, cfg.seed);
+    } else {
+        std::printf("%s", summarizeRun(r).c_str());
+        std::printf("p95 / p99 read latency: %.0f / %.0f cycles\n",
+                    r.readLatencyPercentile(0.95),
+                    r.readLatencyPercentile(0.99));
+        std::printf("channel energy: %.2f mJ (ACT/PRE %.2f, RD %.2f, "
+                    "WR %.2f, REF %.2f, background %.2f; derating "
+                    "saved %.3f)\n",
+                    r.energy.total() / 1e6, r.energy.actPre / 1e6,
+                    r.energy.read / 1e6, r.energy.write / 1e6,
+                    r.energy.refresh / 1e6, r.energy.background / 1e6,
+                    r.energy.deratingSavings / 1e6);
+    }
+    return 0;
+}
