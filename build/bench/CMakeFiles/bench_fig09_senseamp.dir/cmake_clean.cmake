@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_senseamp.dir/bench_fig09_senseamp.cc.o"
+  "CMakeFiles/bench_fig09_senseamp.dir/bench_fig09_senseamp.cc.o.d"
+  "bench_fig09_senseamp"
+  "bench_fig09_senseamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_senseamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

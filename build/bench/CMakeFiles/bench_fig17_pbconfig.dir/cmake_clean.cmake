@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_pbconfig.dir/bench_fig17_pbconfig.cc.o"
+  "CMakeFiles/bench_fig17_pbconfig.dir/bench_fig17_pbconfig.cc.o.d"
+  "bench_fig17_pbconfig"
+  "bench_fig17_pbconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_pbconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_pbsweep.dir/bench_fig21_pbsweep.cc.o"
+  "CMakeFiles/bench_fig21_pbsweep.dir/bench_fig21_pbsweep.cc.o.d"
+  "bench_fig21_pbsweep"
+  "bench_fig21_pbsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_pbsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

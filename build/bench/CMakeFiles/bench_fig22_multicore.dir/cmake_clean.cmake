@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_multicore.dir/bench_fig22_multicore.cc.o"
+  "CMakeFiles/bench_fig22_multicore.dir/bench_fig22_multicore.cc.o.d"
+  "bench_fig22_multicore"
+  "bench_fig22_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_binning.dir/bench_fig23_binning.cc.o"
+  "CMakeFiles/bench_fig23_binning.dir/bench_fig23_binning.cc.o.d"
+  "bench_fig23_binning"
+  "bench_fig23_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_explorer.dir/pb_explorer.cc.o"
+  "CMakeFiles/pb_explorer.dir/pb_explorer.cc.o.d"
+  "pb_explorer"
+  "pb_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charge/binning.cc" "src/charge/CMakeFiles/nuat_charge.dir/binning.cc.o" "gcc" "src/charge/CMakeFiles/nuat_charge.dir/binning.cc.o.d"
+  "/root/repo/src/charge/cell_model.cc" "src/charge/CMakeFiles/nuat_charge.dir/cell_model.cc.o" "gcc" "src/charge/CMakeFiles/nuat_charge.dir/cell_model.cc.o.d"
+  "/root/repo/src/charge/interp.cc" "src/charge/CMakeFiles/nuat_charge.dir/interp.cc.o" "gcc" "src/charge/CMakeFiles/nuat_charge.dir/interp.cc.o.d"
+  "/root/repo/src/charge/sense_amp_model.cc" "src/charge/CMakeFiles/nuat_charge.dir/sense_amp_model.cc.o" "gcc" "src/charge/CMakeFiles/nuat_charge.dir/sense_amp_model.cc.o.d"
+  "/root/repo/src/charge/timing_derate.cc" "src/charge/CMakeFiles/nuat_charge.dir/timing_derate.cc.o" "gcc" "src/charge/CMakeFiles/nuat_charge.dir/timing_derate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nuat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_charge.dir/binning.cc.o"
+  "CMakeFiles/nuat_charge.dir/binning.cc.o.d"
+  "CMakeFiles/nuat_charge.dir/cell_model.cc.o"
+  "CMakeFiles/nuat_charge.dir/cell_model.cc.o.d"
+  "CMakeFiles/nuat_charge.dir/interp.cc.o"
+  "CMakeFiles/nuat_charge.dir/interp.cc.o.d"
+  "CMakeFiles/nuat_charge.dir/sense_amp_model.cc.o"
+  "CMakeFiles/nuat_charge.dir/sense_amp_model.cc.o.d"
+  "CMakeFiles/nuat_charge.dir/timing_derate.cc.o"
+  "CMakeFiles/nuat_charge.dir/timing_derate.cc.o.d"
+  "libnuat_charge.a"
+  "libnuat_charge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_charge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_common.dir/logging.cc.o"
+  "CMakeFiles/nuat_common.dir/logging.cc.o.d"
+  "CMakeFiles/nuat_common.dir/stats.cc.o"
+  "CMakeFiles/nuat_common.dir/stats.cc.o.d"
+  "CMakeFiles/nuat_common.dir/table_printer.cc.o"
+  "CMakeFiles/nuat_common.dir/table_printer.cc.o.d"
+  "libnuat_common.a"
+  "libnuat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

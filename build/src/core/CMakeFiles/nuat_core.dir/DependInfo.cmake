@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/nuat_config.cc" "src/core/CMakeFiles/nuat_core.dir/nuat_config.cc.o" "gcc" "src/core/CMakeFiles/nuat_core.dir/nuat_config.cc.o.d"
+  "/root/repo/src/core/nuat_scheduler.cc" "src/core/CMakeFiles/nuat_core.dir/nuat_scheduler.cc.o" "gcc" "src/core/CMakeFiles/nuat_core.dir/nuat_scheduler.cc.o.d"
+  "/root/repo/src/core/nuat_table.cc" "src/core/CMakeFiles/nuat_core.dir/nuat_table.cc.o" "gcc" "src/core/CMakeFiles/nuat_core.dir/nuat_table.cc.o.d"
+  "/root/repo/src/core/pbr.cc" "src/core/CMakeFiles/nuat_core.dir/pbr.cc.o" "gcc" "src/core/CMakeFiles/nuat_core.dir/pbr.cc.o.d"
+  "/root/repo/src/core/phrc.cc" "src/core/CMakeFiles/nuat_core.dir/phrc.cc.o" "gcc" "src/core/CMakeFiles/nuat_core.dir/phrc.cc.o.d"
+  "/root/repo/src/core/ppm.cc" "src/core/CMakeFiles/nuat_core.dir/ppm.cc.o" "gcc" "src/core/CMakeFiles/nuat_core.dir/ppm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/nuat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/charge/CMakeFiles/nuat_charge.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nuat_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nuat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

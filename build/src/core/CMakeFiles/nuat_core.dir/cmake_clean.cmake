@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_core.dir/nuat_config.cc.o"
+  "CMakeFiles/nuat_core.dir/nuat_config.cc.o.d"
+  "CMakeFiles/nuat_core.dir/nuat_scheduler.cc.o"
+  "CMakeFiles/nuat_core.dir/nuat_scheduler.cc.o.d"
+  "CMakeFiles/nuat_core.dir/nuat_table.cc.o"
+  "CMakeFiles/nuat_core.dir/nuat_table.cc.o.d"
+  "CMakeFiles/nuat_core.dir/pbr.cc.o"
+  "CMakeFiles/nuat_core.dir/pbr.cc.o.d"
+  "CMakeFiles/nuat_core.dir/phrc.cc.o"
+  "CMakeFiles/nuat_core.dir/phrc.cc.o.d"
+  "CMakeFiles/nuat_core.dir/ppm.cc.o"
+  "CMakeFiles/nuat_core.dir/ppm.cc.o.d"
+  "libnuat_core.a"
+  "libnuat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_cpu.dir/core_model.cc.o"
+  "CMakeFiles/nuat_cpu.dir/core_model.cc.o.d"
+  "CMakeFiles/nuat_cpu.dir/rob.cc.o"
+  "CMakeFiles/nuat_cpu.dir/rob.cc.o.d"
+  "libnuat_cpu.a"
+  "libnuat_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank_state.cc" "src/dram/CMakeFiles/nuat_dram.dir/bank_state.cc.o" "gcc" "src/dram/CMakeFiles/nuat_dram.dir/bank_state.cc.o.d"
+  "/root/repo/src/dram/command.cc" "src/dram/CMakeFiles/nuat_dram.dir/command.cc.o" "gcc" "src/dram/CMakeFiles/nuat_dram.dir/command.cc.o.d"
+  "/root/repo/src/dram/dram_device.cc" "src/dram/CMakeFiles/nuat_dram.dir/dram_device.cc.o" "gcc" "src/dram/CMakeFiles/nuat_dram.dir/dram_device.cc.o.d"
+  "/root/repo/src/dram/power_model.cc" "src/dram/CMakeFiles/nuat_dram.dir/power_model.cc.o" "gcc" "src/dram/CMakeFiles/nuat_dram.dir/power_model.cc.o.d"
+  "/root/repo/src/dram/refresh_engine.cc" "src/dram/CMakeFiles/nuat_dram.dir/refresh_engine.cc.o" "gcc" "src/dram/CMakeFiles/nuat_dram.dir/refresh_engine.cc.o.d"
+  "/root/repo/src/dram/timing_params.cc" "src/dram/CMakeFiles/nuat_dram.dir/timing_params.cc.o" "gcc" "src/dram/CMakeFiles/nuat_dram.dir/timing_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nuat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/charge/CMakeFiles/nuat_charge.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

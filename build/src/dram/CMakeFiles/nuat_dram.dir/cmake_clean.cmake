@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_dram.dir/bank_state.cc.o"
+  "CMakeFiles/nuat_dram.dir/bank_state.cc.o.d"
+  "CMakeFiles/nuat_dram.dir/command.cc.o"
+  "CMakeFiles/nuat_dram.dir/command.cc.o.d"
+  "CMakeFiles/nuat_dram.dir/dram_device.cc.o"
+  "CMakeFiles/nuat_dram.dir/dram_device.cc.o.d"
+  "CMakeFiles/nuat_dram.dir/power_model.cc.o"
+  "CMakeFiles/nuat_dram.dir/power_model.cc.o.d"
+  "CMakeFiles/nuat_dram.dir/refresh_engine.cc.o"
+  "CMakeFiles/nuat_dram.dir/refresh_engine.cc.o.d"
+  "CMakeFiles/nuat_dram.dir/timing_params.cc.o"
+  "CMakeFiles/nuat_dram.dir/timing_params.cc.o.d"
+  "libnuat_dram.a"
+  "libnuat_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

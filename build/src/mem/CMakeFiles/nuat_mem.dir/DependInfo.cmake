@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_mapping.cc" "src/mem/CMakeFiles/nuat_mem.dir/address_mapping.cc.o" "gcc" "src/mem/CMakeFiles/nuat_mem.dir/address_mapping.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/mem/CMakeFiles/nuat_mem.dir/memory_controller.cc.o" "gcc" "src/mem/CMakeFiles/nuat_mem.dir/memory_controller.cc.o.d"
+  "/root/repo/src/mem/request_queues.cc" "src/mem/CMakeFiles/nuat_mem.dir/request_queues.cc.o" "gcc" "src/mem/CMakeFiles/nuat_mem.dir/request_queues.cc.o.d"
+  "/root/repo/src/mem/scheduler.cc" "src/mem/CMakeFiles/nuat_mem.dir/scheduler.cc.o" "gcc" "src/mem/CMakeFiles/nuat_mem.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nuat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nuat_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/charge/CMakeFiles/nuat_charge.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_mem.dir/address_mapping.cc.o"
+  "CMakeFiles/nuat_mem.dir/address_mapping.cc.o.d"
+  "CMakeFiles/nuat_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/nuat_mem.dir/memory_controller.cc.o.d"
+  "CMakeFiles/nuat_mem.dir/request_queues.cc.o"
+  "CMakeFiles/nuat_mem.dir/request_queues.cc.o.d"
+  "CMakeFiles/nuat_mem.dir/scheduler.cc.o"
+  "CMakeFiles/nuat_mem.dir/scheduler.cc.o.d"
+  "libnuat_mem.a"
+  "libnuat_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnuat_mem.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive_scheduler.cc" "src/sched/CMakeFiles/nuat_sched.dir/adaptive_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/nuat_sched.dir/adaptive_scheduler.cc.o.d"
+  "/root/repo/src/sched/fcfs_scheduler.cc" "src/sched/CMakeFiles/nuat_sched.dir/fcfs_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/nuat_sched.dir/fcfs_scheduler.cc.o.d"
+  "/root/repo/src/sched/frfcfs_scheduler.cc" "src/sched/CMakeFiles/nuat_sched.dir/frfcfs_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/nuat_sched.dir/frfcfs_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/nuat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nuat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nuat_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/charge/CMakeFiles/nuat_charge.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nuat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_sched.dir/adaptive_scheduler.cc.o"
+  "CMakeFiles/nuat_sched.dir/adaptive_scheduler.cc.o.d"
+  "CMakeFiles/nuat_sched.dir/fcfs_scheduler.cc.o"
+  "CMakeFiles/nuat_sched.dir/fcfs_scheduler.cc.o.d"
+  "CMakeFiles/nuat_sched.dir/frfcfs_scheduler.cc.o"
+  "CMakeFiles/nuat_sched.dir/frfcfs_scheduler.cc.o.d"
+  "libnuat_sched.a"
+  "libnuat_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_sim.dir/experiment_config.cc.o"
+  "CMakeFiles/nuat_sim.dir/experiment_config.cc.o.d"
+  "CMakeFiles/nuat_sim.dir/report.cc.o"
+  "CMakeFiles/nuat_sim.dir/report.cc.o.d"
+  "CMakeFiles/nuat_sim.dir/runner.cc.o"
+  "CMakeFiles/nuat_sim.dir/runner.cc.o.d"
+  "CMakeFiles/nuat_sim.dir/system.cc.o"
+  "CMakeFiles/nuat_sim.dir/system.cc.o.d"
+  "libnuat_sim.a"
+  "libnuat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/combinations.cc" "src/trace/CMakeFiles/nuat_trace.dir/combinations.cc.o" "gcc" "src/trace/CMakeFiles/nuat_trace.dir/combinations.cc.o.d"
+  "/root/repo/src/trace/synthetic_trace.cc" "src/trace/CMakeFiles/nuat_trace.dir/synthetic_trace.cc.o" "gcc" "src/trace/CMakeFiles/nuat_trace.dir/synthetic_trace.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/nuat_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/nuat_trace.dir/trace_file.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/trace/CMakeFiles/nuat_trace.dir/trace_stats.cc.o" "gcc" "src/trace/CMakeFiles/nuat_trace.dir/trace_stats.cc.o.d"
+  "/root/repo/src/trace/workload_profile.cc" "src/trace/CMakeFiles/nuat_trace.dir/workload_profile.cc.o" "gcc" "src/trace/CMakeFiles/nuat_trace.dir/workload_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nuat_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nuat_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nuat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/nuat_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/charge/CMakeFiles/nuat_charge.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_trace.dir/combinations.cc.o"
+  "CMakeFiles/nuat_trace.dir/combinations.cc.o.d"
+  "CMakeFiles/nuat_trace.dir/synthetic_trace.cc.o"
+  "CMakeFiles/nuat_trace.dir/synthetic_trace.cc.o.d"
+  "CMakeFiles/nuat_trace.dir/trace_file.cc.o"
+  "CMakeFiles/nuat_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/nuat_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/nuat_trace.dir/trace_stats.cc.o.d"
+  "CMakeFiles/nuat_trace.dir/workload_profile.cc.o"
+  "CMakeFiles/nuat_trace.dir/workload_profile.cc.o.d"
+  "libnuat_trace.a"
+  "libnuat_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

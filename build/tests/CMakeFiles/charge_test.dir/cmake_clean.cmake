@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charge_test.dir/charge_test.cc.o"
+  "CMakeFiles/charge_test.dir/charge_test.cc.o.d"
+  "charge_test"
+  "charge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derate_test.dir/derate_test.cc.o"
+  "CMakeFiles/derate_test.dir/derate_test.cc.o.d"
+  "derate_test"
+  "derate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_scheduler_test.dir/nuat_scheduler_test.cc.o"
+  "CMakeFiles/nuat_scheduler_test.dir/nuat_scheduler_test.cc.o.d"
+  "nuat_scheduler_test"
+  "nuat_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

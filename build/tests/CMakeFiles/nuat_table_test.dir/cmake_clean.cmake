@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_table_test.dir/nuat_table_test.cc.o"
+  "CMakeFiles/nuat_table_test.dir/nuat_table_test.cc.o.d"
+  "nuat_table_test"
+  "nuat_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbr_test.dir/pbr_test.cc.o"
+  "CMakeFiles/pbr_test.dir/pbr_test.cc.o.d"
+  "pbr_test"
+  "pbr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phrc_test.dir/phrc_test.cc.o"
+  "CMakeFiles/phrc_test.dir/phrc_test.cc.o.d"
+  "phrc_test"
+  "phrc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

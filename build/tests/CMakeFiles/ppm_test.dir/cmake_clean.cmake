@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_test.dir/ppm_test.cc.o"
+  "CMakeFiles/ppm_test.dir/ppm_test.cc.o.d"
+  "ppm_test"
+  "ppm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

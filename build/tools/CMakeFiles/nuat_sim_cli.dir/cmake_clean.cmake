@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuat_sim_cli.dir/nuat_sim.cc.o"
+  "CMakeFiles/nuat_sim_cli.dir/nuat_sim.cc.o.d"
+  "nuat_sim"
+  "nuat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuat_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
