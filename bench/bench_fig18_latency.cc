@@ -17,11 +17,13 @@
 using namespace nuat;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Fig. 18", "read access latency: NUAT vs FR-FCFS "
                              "open/close (single core, 5PB)");
 
+    const unsigned threads = bench::threadsFromArgs(argc, argv);
+    bench::ThroughputReport tput("fig18", threads);
     const std::uint64_t ops = bench::opsPerCore(40000, 150000);
     TablePrinter table({"workload", "open (cyc)", "close (cyc)",
                         "NUAT (cyc)", "vs open", "vs close", "hit open",
@@ -30,13 +32,29 @@ main()
     double worst_open = 1e9, worst_close = 1e9;
     int n = 0;
 
-    for (const auto &name : WorkloadProfile::allNames()) {
+    // Flatten the workload × scheduler grid into one batch so the
+    // parallel runner can spread every run across the workers.
+    const auto names = WorkloadProfile::allNames();
+    const std::vector<SchedulerKind> kinds = {SchedulerKind::kFrFcfsOpen,
+                                              SchedulerKind::kFrFcfsClose,
+                                              SchedulerKind::kNuat};
+    std::vector<ExperimentConfig> grid;
+    grid.reserve(names.size() * kinds.size());
+    for (const auto &name : names) {
         ExperimentConfig cfg;
         cfg.workloads = {name};
         cfg.memOpsPerCore = ops;
-        const auto rs = runSchedulerSweep(
-            cfg, {SchedulerKind::kFrFcfsOpen, SchedulerKind::kFrFcfsClose,
-                  SchedulerKind::kNuat});
+        for (const SchedulerKind kind : kinds) {
+            cfg.scheduler = kind;
+            grid.push_back(cfg);
+        }
+    }
+    const auto all = runExperimentsParallel(grid, threads);
+    tput.add(all);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto &name = names[w];
+        const RunResult *rs = &all[w * kinds.size()];
         const double open = rs[0].avgReadLatency();
         const double close = rs[1].avgReadLatency();
         const double nuat = rs[2].avgReadLatency();
@@ -78,5 +96,6 @@ main()
     std::printf("(ops/core = %llu; set NUAT_BENCH_FULL=1 or "
                 "NUAT_BENCH_OPS for longer runs)\n",
                 static_cast<unsigned long long>(ops));
+    tput.report();
     return 0;
 }

@@ -14,11 +14,13 @@
 using namespace nuat;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Fig. 20", "total execution time: NUAT vs FR-FCFS "
                              "open/close (single core, 5PB)");
 
+    const unsigned threads = bench::threadsFromArgs(argc, argv);
+    bench::ThroughputReport tput("fig20", threads);
     const std::uint64_t ops = bench::opsPerCore(40000, 150000);
     TablePrinter table({"workload", "open (Mcyc)", "close (Mcyc)",
                         "NUAT (Mcyc)", "vs open", "vs close",
@@ -27,13 +29,27 @@ main()
     double best_open = -1e9;
     int n = 0;
 
-    for (const auto &name : WorkloadProfile::allNames()) {
+    const auto names = WorkloadProfile::allNames();
+    const std::vector<SchedulerKind> kinds = {SchedulerKind::kFrFcfsOpen,
+                                              SchedulerKind::kFrFcfsClose,
+                                              SchedulerKind::kNuat};
+    std::vector<ExperimentConfig> grid;
+    grid.reserve(names.size() * kinds.size());
+    for (const auto &name : names) {
         ExperimentConfig cfg;
         cfg.workloads = {name};
         cfg.memOpsPerCore = ops;
-        const auto rs = runSchedulerSweep(
-            cfg, {SchedulerKind::kFrFcfsOpen, SchedulerKind::kFrFcfsClose,
-                  SchedulerKind::kNuat});
+        for (const SchedulerKind kind : kinds) {
+            cfg.scheduler = kind;
+            grid.push_back(cfg);
+        }
+    }
+    const auto all = runExperimentsParallel(grid, threads);
+    tput.add(all);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto &name = names[w];
+        const RunResult *rs = &all[w * kinds.size()];
         const double open = static_cast<double>(rs[0].executionTime());
         const double close = static_cast<double>(rs[1].executionTime());
         const double nuat = static_cast<double>(rs[2].executionTime());
@@ -64,5 +80,6 @@ main()
     std::printf("(the paper's note holds here too: execution-time "
                 "gains trail latency gains when compute can hide "
                 "memory latency)\n");
+    tput.report();
     return 0;
 }

@@ -19,12 +19,14 @@
 using namespace nuat;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Fig. 21", "sensitivity to the number of PBs "
                              "(latency cycles saved vs the 2PB "
                              "configuration)");
 
+    const unsigned threads = bench::threadsFromArgs(argc, argv);
+    bench::ThroughputReport tput("fig21", threads);
     const std::uint64_t ops = bench::opsPerCore(30000, 80000);
     const unsigned combos_per_point = bench::fullScale() ? 24 : 12;
     // Memory-intensive, activation-heavy mixes expose the PB count
@@ -41,9 +43,11 @@ main()
             cores == 1 ? singles
                        : workloadCombinations(cores, combos_per_point,
                                               42);
-        double lat[6] = {};
+        // One flat (PB × combo) batch per core count keeps every
+        // worker busy across the whole sweep.
+        std::vector<ExperimentConfig> grid;
+        grid.reserve(4 * combos.size());
         for (unsigned pb = 2; pb <= 5; ++pb) {
-            double sum = 0.0;
             for (const auto &combo : combos) {
                 ExperimentConfig cfg;
                 cfg.workloads = combo;
@@ -51,8 +55,16 @@ main()
                 cfg.geometry.channels = cores;
                 cfg.scheduler = SchedulerKind::kNuat;
                 cfg.numPb = pb;
-                sum += runExperiment(cfg).avgReadLatency();
+                grid.push_back(cfg);
             }
+        }
+        const auto all = runExperimentsParallel(grid, threads);
+        tput.add(all);
+        double lat[6] = {};
+        for (unsigned pb = 2; pb <= 5; ++pb) {
+            double sum = 0.0;
+            for (std::size_t c = 0; c < combos.size(); ++c)
+                sum += all[(pb - 2) * combos.size() + c].avgReadLatency();
             lat[pb] = sum / combos.size();
         }
         table.addRow({std::to_string(cores) + "-core",
@@ -72,5 +84,6 @@ main()
     std::printf("Paper Sec. 9.3 also notes 5PB costs one more bit per "
                 "queue entry than 4PB (3 bits vs 2): with 64+64 queue "
                 "entries that is 128 bits of controller state.\n");
+    tput.report();
     return 0;
 }

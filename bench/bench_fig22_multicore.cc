@@ -20,27 +20,40 @@
 using namespace nuat;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::header("Fig. 22", "multi-core effects: execution-time "
                              "improvement by core count (NUAT 5PB)");
 
+    const unsigned threads = bench::threadsFromArgs(argc, argv);
+    bench::ThroughputReport tput("fig22", threads);
     const std::uint64_t ops = bench::opsPerCore(20000, 60000);
     const unsigned combos_n = bench::fullScale() ? 32 : 8;
+    const std::vector<SchedulerKind> kinds = {SchedulerKind::kFrFcfsOpen,
+                                              SchedulerKind::kFrFcfsClose,
+                                              SchedulerKind::kNuat};
 
     TablePrinter table({"cores", "combos", "exec vs open",
                         "exec vs close", "lat vs open", "lat vs close"});
     for (unsigned cores : {1u, 2u, 4u}) {
         const auto combos = workloadCombinations(cores, combos_n, 42);
-        double eo = 0.0, ec = 0.0, lo = 0.0, lc = 0.0;
+        std::vector<ExperimentConfig> grid;
+        grid.reserve(combos.size() * kinds.size());
         for (const auto &combo : combos) {
             ExperimentConfig cfg;
             cfg.workloads = combo;
             cfg.memOpsPerCore = ops;
             cfg.geometry.channels = cores;
-            const auto rs = runSchedulerSweep(
-                cfg, {SchedulerKind::kFrFcfsOpen,
-                      SchedulerKind::kFrFcfsClose, SchedulerKind::kNuat});
+            for (const SchedulerKind kind : kinds) {
+                cfg.scheduler = kind;
+                grid.push_back(cfg);
+            }
+        }
+        const auto all = runExperimentsParallel(grid, threads);
+        tput.add(all);
+        double eo = 0.0, ec = 0.0, lo = 0.0, lc = 0.0;
+        for (std::size_t c = 0; c < combos.size(); ++c) {
+            const RunResult *rs = &all[c * kinds.size()];
             eo += percentReduction(bench::avgCoreFinish(rs[0]),
                                    bench::avgCoreFinish(rs[2]));
             ec += percentReduction(bench::avgCoreFinish(rs[1]),
@@ -70,5 +83,6 @@ main()
                 "is flatter than the paper's.\n");
     std::printf("(combos = %u per core count; NUAT_BENCH_FULL=1 runs "
                 "the paper's 32)\n", combos_n);
+    tput.report();
     return 0;
 }

@@ -134,8 +134,41 @@ BM_SystemMemCycle(benchmark::State &state)
     System system(cfg);
     for (auto _ : state)
         system.stepMemCycle();
+    // Simulated memory cycles per wall-clock second (one iteration
+    // simulates exactly one memory cycle).
+    state.counters["Mcycles/s"] = benchmark::Counter(
+        1e-6, benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_SystemMemCycle)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"nuat"});
+
+/**
+ * End-to-end throughput through System::advance(), which includes the
+ * idle fast-forward: iterations cover a variable number of simulated
+ * cycles, so the Mcycles/s counter is the honest metric here.
+ */
+void
+BM_SystemAdvance(benchmark::State &state)
+{
+    ExperimentConfig cfg;
+    cfg.workloads = {"ferret"};
+    cfg.memOpsPerCore = ~std::uint64_t(0) >> 1;
+    cfg.maxMemCycles = ~Cycle(0) >> 1; // never stall the loop on the cap
+    cfg.scheduler =
+        state.range(0) ? SchedulerKind::kNuat : SchedulerKind::kFrFcfsOpen;
+    System system(cfg);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const Cycle before = system.now();
+        system.advance();
+        cycles += system.now() - before;
+    }
+    state.counters["Mcycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles) * 1e-6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemAdvance)
     ->Arg(0)
     ->Arg(1)
     ->ArgNames({"nuat"});

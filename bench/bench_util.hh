@@ -3,18 +3,23 @@
  * Shared helpers for the figure-reproduction benches.
  *
  * Environment knobs:
- *  - NUAT_BENCH_OPS:    memory operations per core (default per bench)
- *  - NUAT_BENCH_FULL=1: paper-scale runs (all 32 combos, longer traces)
+ *  - NUAT_BENCH_OPS:     memory operations per core (default per bench)
+ *  - NUAT_BENCH_FULL=1:  paper-scale runs (all 32 combos, longer traces)
+ *  - NUAT_BENCH_THREADS: worker threads (same as --threads N)
  */
 
 #ifndef NUAT_BENCH_BENCH_UTIL_HH
 #define NUAT_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "sim/experiment_config.hh"
+#include "sim/parallel_runner.hh"
 
 namespace nuat::bench {
 
@@ -54,6 +59,78 @@ header(const char *figure, const char *what)
                 "shapes comparable to the paper, absolute numbers are "
                 "not — see EXPERIMENTS.md)\n\n");
 }
+
+/**
+ * Worker-thread count: `--threads N` from the command line, else the
+ * NUAT_BENCH_THREADS environment variable, else 1 (serial).  0 means
+ * one worker per hardware thread.  Results are byte-identical for any
+ * value (see runExperimentsParallel).
+ */
+inline unsigned
+threadsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--threads") == 0)
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    if (const char *v = std::getenv("NUAT_BENCH_THREADS"))
+        return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    return 1;
+}
+
+/**
+ * Wall-clock + simulated-throughput reporter.  Construct at the top of
+ * main(), feed it every RunResult, and report() at the end; it prints
+ * a human-readable line plus one machine-readable JSON line.
+ */
+class ThroughputReport
+{
+  public:
+    explicit ThroughputReport(const char *bench, unsigned threads)
+        : bench_(bench), threads_(threads),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void add(const RunResult &r)
+    {
+        simCycles_ += r.memCycles;
+        ++runs_;
+    }
+
+    void
+    add(const std::vector<RunResult> &rs)
+    {
+        for (const auto &r : rs)
+            add(r);
+    }
+
+    void
+    report() const
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        const double mcyc = static_cast<double>(simCycles_) / 1e6;
+        const double rate = wall > 0.0 ? mcyc / wall : 0.0;
+        std::printf("\n[throughput] %s: %u runs, wall %.2f s, "
+                    "simulated %.1f Mcycles, %.1f Mcycles/s, "
+                    "threads=%u\n",
+                    bench_, runs_, wall, mcyc, rate, threads_);
+        std::printf("{\"bench\":\"%s\",\"runs\":%u,\"wall_s\":%.3f,"
+                    "\"sim_mcycles\":%.3f,\"mcycles_per_s\":%.1f,"
+                    "\"threads\":%u}\n",
+                    bench_, runs_, wall, mcyc, rate, threads_);
+    }
+
+  private:
+    const char *bench_;
+    unsigned threads_;
+    unsigned runs_ = 0;
+    std::uint64_t simCycles_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace nuat::bench
 

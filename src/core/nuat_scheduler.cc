@@ -1,6 +1,7 @@
 #include "nuat_scheduler.hh"
 
 #include "common/logging.hh"
+#include "sim/experiment_config.hh"
 
 namespace nuat {
 
@@ -28,6 +29,26 @@ NuatScheduler::tick(const SchedContext &ctx)
     ensureInit(ctx);
     drain_.update(ctx);
     phrc_.tick();
+}
+
+void
+NuatScheduler::fastForward(Cycle cycles, const SchedContext &ctx)
+{
+    // Equivalent to `cycles` tick() calls with empty queues: the drain
+    // state update is idempotent for a fixed queue length, and PHRC
+    // advances its window clock in bulk.
+    ensureInit(ctx);
+    drain_.update(ctx);
+    phrc_.tickN(cycles);
+}
+
+void
+NuatScheduler::reportExtra(RunResult &result) const
+{
+    for (std::size_t i = 0; i < result.actsPerPb.size(); ++i)
+        result.actsPerPb[i] += actsPerPb_[i];
+    result.ppmOpen += ppmOpen_;
+    result.ppmClose += ppmClose_;
 }
 
 void

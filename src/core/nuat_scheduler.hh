@@ -39,6 +39,10 @@ class NuatScheduler : public Scheduler
 
     void tick(const SchedContext &ctx) override;
 
+    void fastForward(Cycle cycles, const SchedContext &ctx) override;
+
+    void reportExtra(RunResult &result) const override;
+
     const char *name() const override { return "NUAT"; }
 
     /** The configuration in use. */

@@ -37,6 +37,17 @@ Phrc::tick()
     subActs_ = 0;
 }
 
+void
+Phrc::tickN(Cycle cycles)
+{
+    while (cycles >= subWindow_ - cycleInSub_) {
+        cycles -= subWindow_ - cycleInSub_;
+        cycleInSub_ = subWindow_ - 1;
+        tick(); // crosses the boundary: rolls the sub-window over
+    }
+    cycleInSub_ += cycles;
+}
+
 double
 Phrc::hitRate() const
 {

@@ -53,6 +53,13 @@ class Phrc
     /** Advance one cycle; rolls the sub-window when it fills. */
     void tick();
 
+    /**
+     * Advance @p cycles at once, byte-identical to @p cycles tick()
+     * calls.  O(sub-windows crossed), so idle fast-forward costs one
+     * rollover per 1024 skipped cycles instead of one call per cycle.
+     */
+    void tickN(Cycle cycles);
+
     /** Pseudo hit rate per eq. (3), clamped to [0, 1]. */
     double hitRate() const;
 

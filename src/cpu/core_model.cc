@@ -33,6 +33,30 @@ CoreModel::onReadComplete(std::uint64_t token, CpuCycle now)
         blockedOnRead_ = false;
 }
 
+CpuCycle
+CoreModel::nextBusyAt(CpuCycle now) const
+{
+    if (done()) {
+        // finishedAt == 0 means a tick still has to stamp it.
+        return stats_.finishedAt == 0 ? now : kNeverCycle;
+    }
+    if (!blockedOnRead_)
+        return now; // actively fetching or draining: busy every cycle
+    // Blocked until read data returns: fetch is a guaranteed no-op, so
+    // the only core-internal event is the ROB head becoming retirable.
+    const CpuCycle retire_at = rob_.nextRetireAt();
+    return retire_at <= now ? now : retire_at;
+}
+
+void
+CoreModel::skipStalled(CpuCycle cycles)
+{
+    // A finished core's tick returns before the stall accounting; a
+    // blocked core counts every cycle as a fetch stall.
+    if (!done())
+        stats_.fetchStallCycles += cycles;
+}
+
 void
 CoreModel::tick(CpuCycle now)
 {

@@ -50,6 +50,25 @@ class CoreModel
     /** Advance one CPU cycle: retire, then fetch. */
     void tick(CpuCycle now);
 
+    /**
+     * Earliest CPU cycle at or after @p now at which tick() could do
+     * real work (retire an instruction, fetch, or issue a memory
+     * request).  Returns @p now when the core may act immediately and
+     * kNeverCycle when nothing core-internal will ever wake it (it is
+     * finished, or blocked until a read completion arrives from the
+     * memory system).  Conservative: used by the system's idle
+     * fast-forward to bound how far it may safely skip.
+     */
+    CpuCycle nextBusyAt(CpuCycle now) const;
+
+    /**
+     * Account @p cycles ticks during which this core provably does
+     * nothing (the caller established nextBusyAt() lies beyond the
+     * span): only the fetch-stall counter advances, exactly as that
+     * many real no-op ticks would.
+     */
+    void skipStalled(CpuCycle cycles);
+
     /** Memory-read completion (wired to the controller's callback). */
     void onReadComplete(std::uint64_t token, CpuCycle now);
 

@@ -8,32 +8,32 @@ Rob::Rob(const RobParams &params) : params_(params)
 {
     nuat_assert(params_.size > 0 && params_.fetchWidth > 0 &&
                 params_.retireWidth > 0);
+    entries_.resize(params_.size);
 }
 
 std::uint64_t
 Rob::push(CpuCycle done_at)
 {
     nuat_assert(!full(), "(push into a full ROB)");
-    entries_.push_back(Entry{done_at, false});
-    return headSeq_ + entries_.size() - 1;
+    entries_[slot(count_)] = Entry{done_at, false};
+    return headSeq_ + count_++;
 }
 
 std::uint64_t
 Rob::pushRead()
 {
     nuat_assert(!full(), "(push into a full ROB)");
-    entries_.push_back(Entry{kNeverCycle, true});
-    return headSeq_ + entries_.size() - 1;
+    entries_[slot(count_)] = Entry{kNeverCycle, true};
+    return headSeq_ + count_++;
 }
 
 void
 Rob::complete(std::uint64_t token, CpuCycle now)
 {
-    nuat_assert(token >= headSeq_ &&
-                    token - headSeq_ < entries_.size(),
+    nuat_assert(token >= headSeq_ && token - headSeq_ < count_,
                 "(stale ROB token %llu)",
                 static_cast<unsigned long long>(token));
-    Entry &e = entries_[static_cast<std::size_t>(token - headSeq_)];
+    Entry &e = entries_[slot(static_cast<std::size_t>(token - headSeq_))];
     nuat_assert(e.waitingMem, "(completing a non-memory ROB entry)");
     e.waitingMem = false;
     e.doneAt = now;
@@ -43,11 +43,12 @@ unsigned
 Rob::retire(CpuCycle now)
 {
     unsigned retired = 0;
-    while (retired < params_.retireWidth && !entries_.empty()) {
-        const Entry &e = entries_.front();
+    while (retired < params_.retireWidth && count_ != 0) {
+        const Entry &e = entries_[head_];
         if (e.waitingMem || e.doneAt > now)
             break;
-        entries_.pop_front();
+        head_ = slot(1);
+        --count_;
         ++headSeq_;
         ++retired;
     }

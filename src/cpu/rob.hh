@@ -12,7 +12,7 @@
 #define NUAT_CPU_ROB_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -34,13 +34,13 @@ class Rob
     explicit Rob(const RobParams &params);
 
     /** True when no instruction can enter. */
-    bool full() const { return entries_.size() >= params_.size; }
+    bool full() const { return count_ >= params_.size; }
 
     /** Occupancy. */
-    std::size_t occupancy() const { return entries_.size(); }
+    std::size_t occupancy() const { return count_; }
 
     /** True when no instruction remains. */
-    bool empty() const { return entries_.empty(); }
+    bool empty() const { return count_ == 0; }
 
     /**
      * Enter an instruction completing at @p done_at (CPU cycle).
@@ -63,6 +63,18 @@ class Rob
      */
     unsigned retire(CpuCycle now);
 
+    /**
+     * Earliest cycle the head entry becomes retirable, or kNeverCycle
+     * when the ROB is empty or the head waits on memory.  A retire()
+     * before that cycle is guaranteed to pop nothing.
+     */
+    CpuCycle nextRetireAt() const
+    {
+        if (count_ == 0 || entries_[head_].waitingMem)
+            return kNeverCycle;
+        return entries_[head_].doneAt;
+    }
+
     /** The parameters in use. */
     const RobParams &params() const { return params_; }
 
@@ -73,8 +85,21 @@ class Rob
         bool waitingMem;
     };
 
+    /** Ring-buffer slot holding the entry @p offset past the head. */
+    std::size_t slot(std::size_t offset) const
+    {
+        std::size_t s = head_ + offset;
+        if (s >= entries_.size())
+            s -= entries_.size();
+        return s;
+    }
+
     RobParams params_;
-    std::deque<Entry> entries_; //!< program order, oldest at the front
+    /** Fixed ring of params_.size slots (the ROB has hard capacity;
+     *  a ring avoids per-instruction deque traffic on the hot path). */
+    std::vector<Entry> entries_;
+    std::size_t head_ = 0;      //!< slot of the oldest entry
+    std::size_t count_ = 0;     //!< live entries
     std::uint64_t headSeq_ = 0; //!< sequence id of the oldest entry
 };
 

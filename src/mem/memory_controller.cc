@@ -21,6 +21,15 @@ MemoryController::MemoryController(DramDevice &dev,
     nuat_assert(scheduler_ != nullptr);
     nuat_assert(cfg_.writeQueueLowWatermark < cfg_.writeQueueHighWatermark);
     nuat_assert(cfg_.writeQueueHighWatermark < cfg_.writeQueueCapacity);
+
+    const unsigned ranks = dev_.geometry().ranks;
+    const unsigned banks = dev_.geometry().banks;
+    demand_.reset(ranks, banks);
+    readQ_.attachDemandTracker(&demand_);
+    writeQ_.attachDemandTracker(&demand_);
+    actSeenEpoch_.assign(static_cast<std::size_t>(ranks) * banks, 0);
+    actSeenRow_.assign(static_cast<std::size_t>(ranks) * banks, kNoRow);
+    preSeenEpoch_.assign(static_cast<std::size_t>(ranks) * banks, 0);
 }
 
 Addr
@@ -191,51 +200,27 @@ MemoryController::handleRefresh(Cycle now)
 }
 
 void
-MemoryController::enumerate(Cycle now, std::vector<Candidate> &out) const
+MemoryController::enumerate(Cycle now, std::vector<Candidate> &out)
 {
     out.clear();
 
     const unsigned banks = dev_.geometry().banks;
-    const unsigned ranks = dev_.geometry().ranks;
 
-    // Per-(bank,row) demand counts, computed once per cycle.  Used both
-    // to suppress precharges of rows with pending hits (FR-FCFS
+    // Per-(bank,row) demand counts come from the incrementally
+    // maintained tracker (updated on queue push/remove).  Used both to
+    // suppress precharges of rows with pending hits (FR-FCFS
     // semantics; NUAT's HIT element agrees) and to tell close-page
     // policies whether a column access is the row's last pending one.
-    struct RowDemand
-    {
-        std::uint32_t row;
-        unsigned count;
-    };
-    std::vector<std::vector<RowDemand>> demand(ranks * banks);
-    auto countRequest = [&](const Request &req) {
-        auto &list = demand[req.rank * banks + req.bank];
-        for (auto &d : list) {
-            if (d.row == req.row) {
-                ++d.count;
-                return;
-            }
-        }
-        list.push_back(RowDemand{req.row, 1});
-    };
-    for (const auto &req : readQ_)
-        countRequest(*req);
-    for (const auto &req : writeQ_)
-        countRequest(*req);
-
     auto demandFor = [&](unsigned rank, unsigned bank,
                          std::uint32_t row) -> unsigned {
-        for (const auto &d : demand[rank * banks + bank]) {
-            if (d.row == row)
-                return d.count;
-        }
-        return 0;
+        return demand_.demandFor(rank, bank, row);
     };
 
     // Dedup masks: one ACT candidate per (bank,row), one PRE per bank.
-    // 64 banks x ranks is small, use flat vectors.
-    std::vector<std::uint32_t> actRowSeen(ranks * banks, kNoRow);
-    std::vector<bool> preSeen(ranks * banks, false);
+    // The persistent flat arrays are epoch-tagged, so advancing the
+    // epoch invalidates every slot without touching memory.
+    ++enumEpoch_;
+    const std::uint64_t epoch = enumEpoch_;
 
     const RowTiming nominal{dev_.timing().tRCD, dev_.timing().tRAS,
                             dev_.timing().tRC};
@@ -262,24 +247,26 @@ MemoryController::enumerate(Cycle now, std::vector<Candidate> &out) const
             if (dev_.canIssue(cand.cmd, now))
                 out.push_back(cand);
         } else if (b.isClosed()) {
-            if (actRowSeen[flat] == req->row)
+            if (actSeenEpoch_[flat] == epoch &&
+                actSeenRow_[flat] == req->row)
                 return;
             cand.cmd.type = CmdType::kAct;
             cand.cmd.row = req->row;
             cand.cmd.actTiming = nominal;
             if (dev_.canIssue(cand.cmd, now)) {
-                actRowSeen[flat] = req->row;
+                actSeenEpoch_[flat] = epoch;
+                actSeenRow_[flat] = req->row;
                 out.push_back(cand);
             }
         } else {
             // Row conflict: precharge, unless the open row still has
             // pending hits or a PRE candidate already exists.
-            if (preSeen[flat] ||
+            if (preSeenEpoch_[flat] == epoch ||
                 demandFor(req->rank, req->bank, b.openRow()) > 0)
                 return;
             cand.cmd.type = CmdType::kPre;
             if (dev_.canIssue(cand.cmd, now)) {
-                preSeen[flat] = true;
+                preSeenEpoch_[flat] = epoch;
                 out.push_back(cand);
             }
         }
@@ -355,6 +342,31 @@ MemoryController::tick(Cycle now)
     }
     nuat_assert(static_cast<std::size_t>(idx) < scratch_.size());
     issueCandidate(scratch_[idx], now);
+}
+
+void
+MemoryController::skipIdle(Cycle now, Cycle cycles)
+{
+    nuat_assert(readQ_.empty() && writeQ_.empty(),
+                "(skipIdle with queued requests)");
+    nuat_assert(nextCompletionAt() >= now + cycles,
+                "(skipIdle across an in-flight completion)");
+    // Each skipped cycle would have ticked with empty queues: count it,
+    // enumerate nothing, idle.  Occupancy sums gain zero.
+    stats_.tickCycles += cycles;
+    stats_.idleCycles += cycles;
+    scheduler_->fastForward(cycles, makeContext(now));
+}
+
+Cycle
+MemoryController::nextCompletionAt() const
+{
+    Cycle earliest = kNeverCycle;
+    for (const auto &f : inFlight_) {
+        if (f.dataAt < earliest)
+            earliest = f.dataAt;
+    }
+    return earliest;
 }
 
 bool

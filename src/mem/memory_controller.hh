@@ -145,6 +145,19 @@ class MemoryController : public MemoryPort
     /** Advance one memory cycle: maybe issue one command. */
     void tick(Cycle now);
 
+    /**
+     * Account @p cycles ticks starting at @p now during which this
+     * controller provably does nothing: both queues empty, no refresh
+     * due and no in-flight completion before now + cycles (the caller
+     * guarantees the latter two by capping the span).  Updates the
+     * per-cycle counters and the scheduler's cycle-driven state exactly
+     * as that many real ticks would.
+     */
+    void skipIdle(Cycle now, Cycle cycles);
+
+    /** Earliest in-flight read completion, or kNeverCycle. */
+    Cycle nextCompletionAt() const;
+
     /** True when no request (queued or in flight) remains. */
     bool idle() const;
 
@@ -190,7 +203,7 @@ class MemoryController : public MemoryPort
     bool handleRefresh(Cycle now);
 
     /** Enumerate all legal candidates at @p now into @p out. */
-    void enumerate(Cycle now, std::vector<Candidate> &out) const;
+    void enumerate(Cycle now, std::vector<Candidate> &out);
 
     /** Issue the chosen candidate and retire its request if done. */
     void issueCandidate(Candidate &cand, Cycle now);
@@ -208,6 +221,17 @@ class MemoryController : public MemoryPort
     std::uint64_t nextRequestId_ = 1;
     ControllerStats stats_;
     std::vector<Candidate> scratch_; //!< reused candidate buffer
+
+    /** Row demand over both queues, maintained on push/remove. */
+    RowDemandTracker demand_;
+
+    // Persistent per-(rank,bank) dedup masks for enumerate().  Epoch
+    // tagging (a slot is valid only when its epoch matches the current
+    // enumeration's) avoids clearing ranks*banks entries every cycle.
+    std::vector<std::uint64_t> actSeenEpoch_;
+    std::vector<std::uint32_t> actSeenRow_;
+    std::vector<std::uint64_t> preSeenEpoch_;
+    std::uint64_t enumEpoch_ = 0;
 };
 
 } // namespace nuat

@@ -4,15 +4,72 @@
 
 namespace nuat {
 
+void
+RowDemandTracker::reset(unsigned ranks, unsigned banks)
+{
+    banks_ = banks;
+    perBank_.assign(static_cast<std::size_t>(ranks) * banks, {});
+}
+
+void
+RowDemandTracker::add(const Request &req)
+{
+    auto &list = perBank_[req.rank * banks_ + req.bank];
+    for (auto &d : list) {
+        if (d.row == req.row) {
+            ++d.count;
+            return;
+        }
+    }
+    list.push_back(RowDemand{req.row, 1});
+}
+
+void
+RowDemandTracker::remove(const Request &req)
+{
+    auto &list = perBank_[req.rank * banks_ + req.bank];
+    for (auto &d : list) {
+        if (d.row == req.row) {
+            if (--d.count == 0) {
+                d = list.back();
+                list.pop_back();
+            }
+            return;
+        }
+    }
+    nuat_panic("removing request %llu with no tracked row demand",
+               static_cast<unsigned long long>(req.id));
+}
+
+unsigned
+RowDemandTracker::demandFor(unsigned rank, unsigned bank,
+                            std::uint32_t row) const
+{
+    for (const auto &d : perBank_[rank * banks_ + bank]) {
+        if (d.row == row)
+            return d.count;
+    }
+    return 0;
+}
+
 RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity)
 {
     nuat_assert(capacity_ > 0);
 }
 
 void
+RequestQueue::attachDemandTracker(RowDemandTracker *tracker)
+{
+    nuat_assert(queue_.empty(), "(attach while the queue holds requests)");
+    demand_ = tracker;
+}
+
+void
 RequestQueue::push(std::unique_ptr<Request> req)
 {
     nuat_assert(hasRoom(), "(queue overflow: caller must check hasRoom)");
+    if (demand_)
+        demand_->add(*req);
     queue_.push_back(std::move(req));
 }
 
@@ -39,6 +96,8 @@ RequestQueue::remove(const Request *req)
         if (it->get() == req) {
             std::unique_ptr<Request> out = std::move(*it);
             queue_.erase(it);
+            if (demand_)
+                demand_->remove(*out);
             return out;
         }
     }

@@ -14,11 +14,53 @@
 
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "common/types.hh"
 #include "request.hh"
 
 namespace nuat {
+
+/**
+ * Incremental per-(rank,bank) row-demand counts over one or more
+ * request queues.
+ *
+ * The controller's candidate enumeration needs, every cycle, the
+ * number of queued requests targeting each (rank, bank, row) — to
+ * suppress precharges of rows with pending hits and to tell close-page
+ * policies whether a column access is the row's last pending one.
+ * Rebuilding that map from both queues each cycle dominates the tick;
+ * instead the queues it is attached to update it on push/remove, so
+ * lookups are allocation-free and O(rows pending in the bank).
+ */
+class RowDemandTracker
+{
+  public:
+    /** Size for @p ranks x @p banks; drops all counts. */
+    void reset(unsigned ranks, unsigned banks);
+
+    /** Count @p req (called by RequestQueue::push). */
+    void add(const Request &req);
+
+    /** Uncount @p req (called by RequestQueue::remove). */
+    void remove(const Request &req);
+
+    /** Queued requests targeting @p row of (@p rank, @p bank). */
+    unsigned demandFor(unsigned rank, unsigned bank,
+                       std::uint32_t row) const;
+
+  private:
+    struct RowDemand
+    {
+        std::uint32_t row;
+        unsigned count;
+    };
+
+    unsigned banks_ = 0;
+    /** Indexed rank * banks_ + bank; inner vectors keep their
+     *  capacity across swap-removes, so steady state never allocates. */
+    std::vector<std::vector<RowDemand>> perBank_;
+};
 
 /** A bounded FIFO of requests (arrival order preserved). */
 class RequestQueue
@@ -26,6 +68,10 @@ class RequestQueue
   public:
     /** @param capacity maximum simultaneously queued requests */
     explicit RequestQueue(std::size_t capacity);
+
+    /** Mirror queue contents into @p tracker (may be shared with other
+     *  queues; must outlive this queue; attach while empty). */
+    void attachDemandTracker(RowDemandTracker *tracker);
 
     /** True when another request can be accepted. */
     bool hasRoom() const { return queue_.size() < capacity_; }
@@ -61,6 +107,7 @@ class RequestQueue
   private:
     std::size_t capacity_;
     std::deque<std::unique_ptr<Request>> queue_;
+    RowDemandTracker *demand_ = nullptr;
 };
 
 } // namespace nuat

@@ -23,6 +23,8 @@
 
 namespace nuat {
 
+struct RunResult;
+
 /** One issuable command together with its driving request. */
 struct Candidate
 {
@@ -121,6 +123,27 @@ class Scheduler
 
     /** Called once per memory cycle before candidate enumeration. */
     virtual void tick(const SchedContext &ctx) { (void)ctx; }
+
+    /**
+     * Advance internal per-cycle state across an idle span, exactly as
+     * if tick() had been called @p cycles times with @p ctx (empty
+     * queues, no commands issued).  Overrides must leave the scheduler
+     * in the byte-identical state the tick-by-tick path would reach —
+     * this is what lets the system fast-forward provably idle cycles
+     * without changing any result.
+     */
+    virtual void fastForward(Cycle cycles, const SchedContext &ctx)
+    {
+        (void)cycles;
+        (void)ctx;
+    }
+
+    /**
+     * Merge scheduler-specific statistics (e.g. NUAT's per-PB ACT
+     * distribution) into @p result.  Replaces RTTI probing in the
+     * system's result-merge loop; the default contributes nothing.
+     */
+    virtual void reportExtra(RunResult &result) const { (void)result; }
 
     /** Human-readable policy name for reports. */
     virtual const char *name() const = 0;

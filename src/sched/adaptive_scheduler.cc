@@ -18,6 +18,14 @@ AdaptiveFrFcfsScheduler::tick(const SchedContext &ctx)
 }
 
 void
+AdaptiveFrFcfsScheduler::fastForward(Cycle cycles,
+                                     const SchedContext &ctx)
+{
+    drain_.update(ctx);
+    phrc_.tickN(cycles);
+}
+
+void
 AdaptiveFrFcfsScheduler::onIssue(const Command &cmd,
                                  const SchedContext &ctx)
 {

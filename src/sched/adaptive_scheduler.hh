@@ -43,6 +43,8 @@ class AdaptiveFrFcfsScheduler : public Scheduler
 
     void tick(const SchedContext &ctx) override;
 
+    void fastForward(Cycle cycles, const SchedContext &ctx) override;
+
     const char *name() const override { return "FR-FCFS(adaptive)"; }
 
     /** The estimator (exposed for tests). */

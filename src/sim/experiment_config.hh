@@ -87,6 +87,14 @@ struct ExperimentConfig
     /** Hard cap on simulated memory cycles (runaway guard). */
     Cycle maxMemCycles = 60000000;
 
+    /**
+     * Skip provably idle memory cycles (all queues empty, nothing due)
+     * in one jump instead of ticking through them.  Results are
+     * byte-identical either way; the toggle exists for the regression
+     * test and for debugging.
+     */
+    bool idleFastForward = true;
+
     /** RNG seed for trace synthesis. */
     std::uint64_t seed = 1;
 
@@ -108,6 +116,9 @@ struct RunResult
 
     Cycle memCycles = 0; //!< memory cycles until the last core finished
     bool hitCycleCap = false;
+
+    /** Memory cycles covered by the idle fast-forward (0 when off). */
+    Cycle idleCyclesSkipped = 0;
 
     ControllerStats ctrl;
     DeviceCounters dev;

@@ -1,0 +1,59 @@
+#include "parallel_runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "runner.hh"
+
+namespace nuat {
+
+unsigned
+resolveRunnerThreads(unsigned threads, std::size_t jobs)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (static_cast<std::size_t>(threads) > jobs)
+        threads = static_cast<unsigned>(jobs);
+    return threads == 0 ? 1 : threads;
+}
+
+std::vector<RunResult>
+runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
+                       unsigned threads)
+{
+    std::vector<RunResult> results(configs.size());
+    if (configs.empty())
+        return results;
+
+    threads = resolveRunnerThreads(threads, configs.size());
+    if (threads == 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            results[i] = runExperiment(configs[i]);
+        return results;
+    }
+
+    // Work-stealing by atomic index: each worker claims the next
+    // unclaimed config and writes its result into that config's slot.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= configs.size())
+                return;
+            results[i] = runExperiment(configs[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace nuat

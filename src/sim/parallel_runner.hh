@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Multi-core experiment harness.
+ *
+ * Every figure bench and sweep is a batch of completely independent
+ * simulations (each System owns its devices, controllers, traces and
+ * cores, and nothing in the simulator touches shared mutable state),
+ * so they parallelize trivially.  Results are written into a slot per
+ * input config, which makes the output deterministic and byte-identical
+ * to running the same configs serially, regardless of how the OS
+ * schedules the workers.
+ */
+
+#ifndef NUAT_SIM_PARALLEL_RUNNER_HH
+#define NUAT_SIM_PARALLEL_RUNNER_HH
+
+#include <vector>
+
+#include "experiment_config.hh"
+
+namespace nuat {
+
+/**
+ * Worker count for @p threads: 0 picks the hardware concurrency, and
+ * the result is clamped to @p jobs (no idle workers).
+ */
+unsigned resolveRunnerThreads(unsigned threads, std::size_t jobs);
+
+/**
+ * Run every config to completion, @p threads experiments at a time.
+ *
+ * @param configs one experiment per entry
+ * @param threads worker threads; 0 = all hardware threads, 1 = run
+ *                inline (no thread is spawned)
+ * @return one result per config, in input order — identical to what a
+ *         serial loop over runExperiment would produce
+ */
+std::vector<RunResult>
+runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
+                       unsigned threads = 0);
+
+} // namespace nuat
+
+#endif // NUAT_SIM_PARALLEL_RUNNER_HH

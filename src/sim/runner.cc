@@ -1,5 +1,6 @@
 #include "runner.hh"
 
+#include "parallel_runner.hh"
 #include "system.hh"
 
 namespace nuat {
@@ -13,15 +14,16 @@ runExperiment(const ExperimentConfig &cfg)
 
 std::vector<RunResult>
 runSchedulerSweep(ExperimentConfig cfg,
-                  const std::vector<SchedulerKind> &kinds)
+                  const std::vector<SchedulerKind> &kinds,
+                  unsigned threads)
 {
-    std::vector<RunResult> results;
-    results.reserve(kinds.size());
+    std::vector<ExperimentConfig> configs;
+    configs.reserve(kinds.size());
     for (const SchedulerKind kind : kinds) {
         cfg.scheduler = kind;
-        results.push_back(runExperiment(cfg));
+        configs.push_back(cfg);
     }
-    return results;
+    return runExperimentsParallel(configs, threads);
 }
 
 double

@@ -18,11 +18,14 @@ RunResult runExperiment(const ExperimentConfig &cfg);
 /**
  * Run the same configuration under several schedulers (same seed, so
  * the traces are identical).
- * @return one result per kind, in order.
+ * @param threads worker threads for the runs (see
+ *                runExperimentsParallel); 1 = serial, the default
+ * @return one result per kind, in order (independent of @p threads).
  */
 std::vector<RunResult>
 runSchedulerSweep(ExperimentConfig cfg,
-                  const std::vector<SchedulerKind> &kinds);
+                  const std::vector<SchedulerKind> &kinds,
+                  unsigned threads = 1);
 
 /** Percent improvement of @p ours vs @p baseline (positive = better,
  *  i.e. smaller metric). */

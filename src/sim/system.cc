@@ -167,6 +167,62 @@ System::stepMemCycle()
     ++now_;
 }
 
+void
+System::fastForwardIdle()
+{
+    // A queued request could become issuable any cycle; only a system
+    // with completely empty queues is predictable enough to skip.
+    for (const auto &mc : controllers_) {
+        if (mc->readQueueLen() != 0 || mc->writeQueueLen() != 0)
+            return;
+    }
+
+    // Earliest cycle anything can happen: an in-flight read completes,
+    // a refresh deadline arrives, or a core can retire / fetch / issue.
+    Cycle target = cfg_.maxMemCycles;
+    for (const auto &mc : controllers_) {
+        const Cycle c = mc->nextCompletionAt();
+        if (c < target)
+            target = c;
+    }
+    for (const auto &dev : devices_) {
+        for (unsigned r = 0; r < dev->geometry().ranks; ++r) {
+            const Cycle due = dev->refresh(r).nextDueAt();
+            if (due < target)
+                target = due;
+        }
+    }
+    const CpuCycle cpu_now = static_cast<CpuCycle>(now_) * kCpuPerMemCycle;
+    for (const auto &core : cores_) {
+        const CpuCycle busy = core->nextBusyAt(cpu_now);
+        if (busy == kNeverCycle)
+            continue;
+        const Cycle busy_mem = static_cast<Cycle>(busy / kCpuPerMemCycle);
+        if (busy_mem < target)
+            target = busy_mem;
+    }
+    if (target <= now_)
+        return;
+
+    const Cycle skipped = target - now_;
+    for (auto &mc : controllers_)
+        mc->skipIdle(now_, skipped);
+    for (auto &core : cores_)
+        core->skipStalled(static_cast<CpuCycle>(skipped) *
+                          kCpuPerMemCycle);
+    idleCyclesSkipped_ += skipped;
+    now_ = target;
+}
+
+void
+System::advance()
+{
+    if (cfg_.idleFastForward)
+        fastForwardIdle();
+    if (now_ < cfg_.maxMemCycles)
+        stepMemCycle();
+}
+
 bool
 System::done() const
 {
@@ -223,24 +279,19 @@ RunResult
 System::run()
 {
     while (!done() && now_ < cfg_.maxMemCycles)
-        stepMemCycle();
+        advance();
 
     RunResult result;
     result.schedulerName = schedulerKindName(cfg_.scheduler);
     result.workloads = cfg_.workloads;
     result.memCycles = now_;
     result.hitCycleCap = !done();
+    result.idleCyclesSkipped = idleCyclesSkipped_;
 
     for (unsigned ch = 0; ch < channels(); ++ch) {
         mergeStats(result.ctrl, controllers_[ch]->stats());
         mergeCounters(result.dev, devices_[ch]->counters());
-        if (const auto *nuat = dynamic_cast<const NuatScheduler *>(
-                &controllers_[ch]->scheduler())) {
-            for (std::size_t i = 0; i < result.actsPerPb.size(); ++i)
-                result.actsPerPb[i] += nuat->actsPerPb()[i];
-            result.ppmOpen += nuat->ppmOpenDecisions();
-            result.ppmClose += nuat->ppmCloseDecisions();
-        }
+        controllers_[ch]->scheduler().reportExtra(result);
     }
     {
         const double cols =

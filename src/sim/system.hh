@@ -85,15 +85,35 @@ class System
     /** Advance the machine by one memory cycle. */
     void stepMemCycle();
 
+    /**
+     * Advance the machine: fast-forward across a provably idle span
+     * when the config enables it and one exists (all controller queues
+     * empty, nothing due), then step one real memory cycle.  Produces
+     * byte-identical state and statistics to calling stepMemCycle()
+     * in a loop.
+     */
+    void advance();
+
     /** True once every core and controller has drained. */
     bool done() const;
 
     /** Current memory cycle. */
     Cycle now() const { return now_; }
 
+    /** Memory cycles covered by the idle fast-forward so far. */
+    Cycle idleCyclesSkipped() const { return idleCyclesSkipped_; }
+
   private:
     /** Build the scheduler requested by the config. */
     std::unique_ptr<Scheduler> makeScheduler() const;
+
+    /**
+     * Fast-forward now_ to the next cycle at which any component can
+     * act, when that cycle is provably in the future (no queued
+     * requests anywhere, no completion / refresh / core event before
+     * it).  No-op when something can happen this cycle.
+     */
+    void fastForwardIdle();
 
     ExperimentConfig cfg_;
     std::unique_ptr<TimingDerate> derate_;
@@ -103,6 +123,7 @@ class System
     std::vector<std::unique_ptr<SyntheticTrace>> traces_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
     Cycle now_ = 0;
+    Cycle idleCyclesSkipped_ = 0;
 };
 
 } // namespace nuat

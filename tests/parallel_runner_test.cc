@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner and the idle fast-forward:
+ * parallel results must be byte-identical to serial ones, and runs
+ * with the fast-forward on/off must produce identical statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/parallel_runner.hh"
+#include "sim/runner.hh"
+
+namespace nuat {
+namespace {
+
+/** 2 workloads x 2 schedulers, small enough to run many times. */
+std::vector<ExperimentConfig>
+smallGrid()
+{
+    std::vector<ExperimentConfig> configs;
+    for (const char *workload : {"ferret", "libq"}) {
+        for (const SchedulerKind kind :
+             {SchedulerKind::kFrFcfsOpen, SchedulerKind::kNuat}) {
+            ExperimentConfig cfg;
+            cfg.workloads = {workload};
+            cfg.memOpsPerCore = 4000;
+            cfg.scheduler = kind;
+            configs.push_back(cfg);
+        }
+    }
+    return configs;
+}
+
+/** Every observable statistic except idleCyclesSkipped (the one field
+ *  that intentionally differs when the fast-forward is disabled). */
+void
+expectSameStats(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.schedulerName, b.schedulerName);
+    EXPECT_EQ(a.workloads, b.workloads);
+    EXPECT_EQ(a.memCycles, b.memCycles);
+    EXPECT_EQ(a.hitCycleCap, b.hitCycleCap);
+
+    EXPECT_EQ(a.ctrl.readsAccepted, b.ctrl.readsAccepted);
+    EXPECT_EQ(a.ctrl.writesAccepted, b.ctrl.writesAccepted);
+    EXPECT_EQ(a.ctrl.readsMerged, b.ctrl.readsMerged);
+    EXPECT_EQ(a.ctrl.readsForwarded, b.ctrl.readsForwarded);
+    EXPECT_EQ(a.ctrl.writesCoalesced, b.ctrl.writesCoalesced);
+    EXPECT_EQ(a.ctrl.readsCompleted, b.ctrl.readsCompleted);
+    EXPECT_EQ(a.ctrl.readLatencySum, b.ctrl.readLatencySum);
+    EXPECT_EQ(a.ctrl.rowHitReads, b.ctrl.rowHitReads);
+    EXPECT_EQ(a.ctrl.rowHitWrites, b.ctrl.rowHitWrites);
+    EXPECT_EQ(a.ctrl.idleCycles, b.ctrl.idleCycles);
+    EXPECT_EQ(a.ctrl.tickCycles, b.ctrl.tickCycles);
+
+    EXPECT_EQ(a.dev.acts, b.dev.acts);
+    EXPECT_EQ(a.dev.pres, b.dev.pres);
+    EXPECT_EQ(a.dev.reads, b.dev.reads);
+    EXPECT_EQ(a.dev.writes, b.dev.writes);
+    EXPECT_EQ(a.dev.autoPres, b.dev.autoPres);
+    EXPECT_EQ(a.dev.refreshes, b.dev.refreshes);
+
+    EXPECT_EQ(a.coreFinish, b.coreFinish);
+    EXPECT_EQ(a.coreInstrs, b.coreInstrs);
+    EXPECT_EQ(a.hitRateEq3, b.hitRateEq3);
+    EXPECT_EQ(a.actsPerPb, b.actsPerPb);
+    EXPECT_EQ(a.ppmOpen, b.ppmOpen);
+    EXPECT_EQ(a.ppmClose, b.ppmClose);
+    EXPECT_EQ(a.energy.total(), b.energy.total());
+    EXPECT_EQ(a.readLatencyPercentile(0.95),
+              b.readLatencyPercentile(0.95));
+    EXPECT_EQ(a.readLatencyPercentile(0.99),
+              b.readLatencyPercentile(0.99));
+}
+
+TEST(ResolveRunnerThreads, ClampsToJobsAndNeverZero)
+{
+    EXPECT_EQ(resolveRunnerThreads(1, 100), 1u);
+    EXPECT_EQ(resolveRunnerThreads(16, 4), 4u);
+    EXPECT_EQ(resolveRunnerThreads(3, 0), 1u);
+    EXPECT_GE(resolveRunnerThreads(0, 8), 1u);
+}
+
+TEST(ParallelRunner, MatchesSerialResults)
+{
+    const auto configs = smallGrid();
+
+    std::vector<RunResult> serial;
+    for (const auto &cfg : configs)
+        serial.push_back(runExperiment(cfg));
+
+    for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+        const auto parallel = runExperimentsParallel(configs, threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " config=" + std::to_string(i));
+            expectSameStats(serial[i], parallel[i]);
+            EXPECT_EQ(serial[i].idleCyclesSkipped,
+                      parallel[i].idleCyclesSkipped);
+        }
+    }
+}
+
+TEST(ParallelRunner, SweepThreadsParameterKeepsOrder)
+{
+    ExperimentConfig cfg;
+    cfg.workloads = {"libq"};
+    cfg.memOpsPerCore = 4000;
+    const std::vector<SchedulerKind> kinds = {SchedulerKind::kFcfs,
+                                              SchedulerKind::kFrFcfsOpen,
+                                              SchedulerKind::kNuat};
+    const auto serial = runSchedulerSweep(cfg, kinds, 1);
+    const auto parallel = runSchedulerSweep(cfg, kinds, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("kind=" + std::to_string(i));
+        expectSameStats(serial[i], parallel[i]);
+    }
+}
+
+TEST(IdleFastForward, StatsIdenticalWithAndWithoutSkipping)
+{
+    for (auto cfg : smallGrid()) {
+        cfg.idleFastForward = true;
+        const RunResult fast = runExperiment(cfg);
+        cfg.idleFastForward = false;
+        const RunResult slow = runExperiment(cfg);
+
+        SCOPED_TRACE(fast.schedulerName + "/" + fast.workloads[0]);
+        expectSameStats(fast, slow);
+        EXPECT_EQ(slow.idleCyclesSkipped, 0u);
+    }
+}
+
+TEST(IdleFastForward, SkipsCyclesOnBlockingWorkloads)
+{
+    // Single-core runs block on every dependent read, leaving the
+    // controller provably idle until the in-flight data returns — the
+    // fast-forward must cover a nonzero share of those cycles.
+    ExperimentConfig cfg;
+    cfg.workloads = {"libq"};
+    cfg.memOpsPerCore = 4000;
+    cfg.scheduler = SchedulerKind::kNuat;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_GT(r.idleCyclesSkipped, 0u);
+    EXPECT_LE(r.idleCyclesSkipped, r.memCycles);
+}
+
+} // namespace
+} // namespace nuat

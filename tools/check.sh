@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full check: optimized build + tests, then an ASan/UBSan build + tests.
+# Run from the repository root:  ./tools/check.sh [extra ctest args...]
+#
+# TSan is available separately (the parallel runner is the only
+# threaded code):  cmake -B build-tsan -DENABLE_TSAN=ON && ...
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "=== Release build + tests ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "$JOBS"
+ctest --test-dir build-release -j "$JOBS" --output-on-failure "$@"
+
+echo
+echo "=== ASan/UBSan build + tests ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DENABLE_ASAN=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan -j "$JOBS" --output-on-failure "$@"
+
+echo
+echo "All checks passed."

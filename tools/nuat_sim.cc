@@ -13,6 +13,8 @@
  *     --gap-scale F           scale compute gaps (default 1.0)
  *     --no-ppm                disable the PPM page-mode decision maker
  *     --paper-pure            disable the starvation escape
+ *     --threads N             workers for --compare (0 = all cores,
+ *                             default 1; results are identical)
  *     --csv                   one machine-readable line per run
  *     --help
  */
@@ -94,6 +96,7 @@ usage()
         "frfcfs-close\n"
         "  --compare           run all five schedulers\n"
         "  --pb N --channels N --ops N --seed N --gap-scale F\n"
+        "  --threads N         workers for --compare (0 = all cores)\n"
         "  --no-ppm --paper-pure --csv --help\n");
 }
 
@@ -107,6 +110,7 @@ main(int argc, char **argv)
     cfg.memOpsPerCore = 50000;
     bool compare = false;
     bool csv = false;
+    unsigned threads = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -136,6 +140,8 @@ main(int argc, char **argv)
             cfg.ppmEnabled = false;
         } else if (arg == "--paper-pure") {
             cfg.nuatStarvationLimit = 0;
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(std::atoi(value()));
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--help") {
@@ -160,7 +166,8 @@ main(int argc, char **argv)
             cfg,
             {SchedulerKind::kFcfs, SchedulerKind::kFrFcfsOpen,
              SchedulerKind::kFrFcfsClose, SchedulerKind::kFrFcfsAdaptive,
-             SchedulerKind::kNuat});
+             SchedulerKind::kNuat},
+            threads);
         if (csv) {
             for (const auto &r : results)
                 printCsv(r, cfg.seed);
