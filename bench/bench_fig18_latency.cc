@@ -44,6 +44,7 @@ main(int argc, char **argv)
         ExperimentConfig cfg;
         cfg.workloads = {name};
         cfg.memOpsPerCore = ops;
+        cfg.audit = bench::auditEnabled();
         for (const SchedulerKind kind : kinds) {
             cfg.scheduler = kind;
             grid.push_back(cfg);
@@ -97,5 +98,5 @@ main(int argc, char **argv)
                 "NUAT_BENCH_OPS for longer runs)\n",
                 static_cast<unsigned long long>(ops));
     tput.report();
-    return 0;
+    return bench::auditVerdict(all);
 }

@@ -39,6 +39,7 @@ main(int argc, char **argv)
         ExperimentConfig cfg;
         cfg.workloads = {name};
         cfg.memOpsPerCore = ops;
+        cfg.audit = bench::auditEnabled();
         for (const SchedulerKind kind : kinds) {
             cfg.scheduler = kind;
             grid.push_back(cfg);
@@ -81,5 +82,5 @@ main(int argc, char **argv)
                 "gains trail latency gains when compute can hide "
                 "memory latency)\n");
     tput.report();
-    return 0;
+    return bench::auditVerdict(all);
 }

@@ -6,6 +6,8 @@
  *  - NUAT_BENCH_OPS:     memory operations per core (default per bench)
  *  - NUAT_BENCH_FULL=1:  paper-scale runs (all 32 combos, longer traces)
  *  - NUAT_BENCH_THREADS: worker threads (same as --threads N)
+ *  - NUAT_BENCH_AUDIT=1: attach the shadow protocol auditor to every
+ *                        run; the bench exits 2 on any violation
  */
 
 #ifndef NUAT_BENCH_BENCH_UTIL_HH
@@ -38,6 +40,39 @@ opsPerCore(std::uint64_t quick_default, std::uint64_t full_default)
     if (const char *v = std::getenv("NUAT_BENCH_OPS"))
         return std::strtoull(v, nullptr, 10);
     return fullScale() ? full_default : quick_default;
+}
+
+/** True when NUAT_BENCH_AUDIT=1 requests audited runs. */
+inline bool
+auditEnabled()
+{
+    const char *v = std::getenv("NUAT_BENCH_AUDIT");
+    return v && v[0] == '1';
+}
+
+/**
+ * Audit verdict over a finished batch: prints a summary when auditing
+ * was on and returns the bench's exit code (2 on any violation, else
+ * 0), so `return bench::auditVerdict(all);` is the whole integration.
+ */
+inline int
+auditVerdict(const std::vector<RunResult> &results)
+{
+    if (!auditEnabled())
+        return 0;
+    std::uint64_t commands = 0, violations = 0;
+    for (const auto &r : results) {
+        commands += r.auditCommandsChecked;
+        violations += r.auditViolations;
+        for (const auto &msg : r.auditMessages)
+            std::printf("audit:   %s\n", msg.c_str());
+    }
+    std::printf("[audit] %zu runs, %llu commands checked, %llu "
+                "violations\n",
+                results.size(),
+                static_cast<unsigned long long>(commands),
+                static_cast<unsigned long long>(violations));
+    return violations ? 2 : 0;
 }
 
 /** Mean of per-core finish times [CPU cycles]. */

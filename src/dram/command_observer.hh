@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Observation hook for the DRAM command stream.
+ *
+ * The device notifies every attached observer about each command it
+ * actually issues (including controller-forced PREs and REFs).
+ * Observers are strictly passive: they must not mutate the device, and
+ * the device's behaviour is byte-identical with or without them.  The
+ * shadow protocol auditor and the command-trace writer are the two
+ * in-tree observers.
+ */
+
+#ifndef NUAT_DRAM_COMMAND_OBSERVER_HH
+#define NUAT_DRAM_COMMAND_OBSERVER_HH
+
+#include "command.hh"
+#include "common/types.hh"
+
+namespace nuat {
+
+/** Passive listener on a device's issued-command stream. */
+class CommandObserver
+{
+  public:
+    virtual ~CommandObserver() = default;
+
+    /** Called for every command the device issues, in issue order. */
+    virtual void onCommand(const Command &cmd, Cycle now) = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_DRAM_COMMAND_OBSERVER_HH

@@ -159,6 +159,13 @@ DramDevice::canIssue(const Command &cmd, Cycle now) const
     return false;
 }
 
+void
+DramDevice::addObserver(CommandObserver *obs)
+{
+    nuat_assert(obs != nullptr);
+    observers_.push_back(obs);
+}
+
 IssueResult
 DramDevice::issue(const Command &cmd, Cycle now)
 {
@@ -167,6 +174,8 @@ DramDevice::issue(const Command &cmd, Cycle now)
                    cmd.name(), cmd.rank, cmd.bank,
                    static_cast<unsigned long long>(now));
     }
+    for (CommandObserver *obs : observers_)
+        obs->onCommand(cmd, now);
     lastCmdAt_ = now;
 
     RankState &r = ranks_[cmd.rank];

@@ -22,6 +22,7 @@
 #include "bank_state.hh"
 #include "charge/timing_derate.hh"
 #include "command.hh"
+#include "command_observer.hh"
 #include "common/types.hh"
 #include "common/units.hh"
 #include "refresh_engine.hh"
@@ -124,6 +125,16 @@ class DramDevice
     /** Command counters. */
     const DeviceCounters &counters() const { return counters_; }
 
+    /**
+     * Attach @p obs to the issued-command stream (not owned; must
+     * outlive the device).  Observers are notified in attach order for
+     * every command that passes the legality gate, before the device
+     * applies it — so an auditing observer sees even a command the
+     * device itself would reject (e.g. a charge violation) and can
+     * record it independently.
+     */
+    void addObserver(CommandObserver *obs);
+
   private:
     bool canIssueAct(const Command &cmd, Cycle now) const;
     bool canIssueRef(const Command &cmd, Cycle now) const;
@@ -143,6 +154,7 @@ class DramDevice
     Cycle lastDataEndAt_ = 0;       //!< end of the last data burst
 
     DeviceCounters counters_;
+    std::vector<CommandObserver *> observers_;
 };
 
 } // namespace nuat

@@ -98,6 +98,24 @@ struct ExperimentConfig
     /** RNG seed for trace synthesis. */
     std::uint64_t seed = 1;
 
+    /**
+     * Attach a shadow protocol auditor (an independent re-check of the
+     * DDR3 rules and the NUAT charge-safety invariant) to every
+     * channel.  Violations are counted into the RunResult instead of
+     * panicking, so sweeps can assert on the totals.
+     */
+    bool audit = false;
+
+    /** Verbatim audit-violation messages kept per run. */
+    std::size_t auditMaxMessages = 8;
+
+    /**
+     * When non-empty, tee the issued-command stream of every channel
+     * into this file for later replay (replayCommandTrace, or
+     * `nuat_sim --replay-trace`).
+     */
+    std::string dumpTracePath;
+
     /** Number of cores. */
     unsigned cores() const
     {
@@ -140,6 +158,18 @@ struct RunResult
 
     /** Channel energy decomposition (IDD model). */
     EnergyBreakdown energy;
+
+    /** True when the run carried a shadow protocol auditor. */
+    bool audited = false;
+
+    /** Commands the auditor checked (all channels). */
+    std::uint64_t auditCommandsChecked = 0;
+
+    /** Protocol / charge-safety violations the auditor flagged. */
+    std::uint64_t auditViolations = 0;
+
+    /** First few violation messages, verbatim. */
+    std::vector<std::string> auditMessages;
 
     /** Average read latency [memory cycles]. */
     double avgReadLatency() const { return ctrl.avgReadLatency(); }

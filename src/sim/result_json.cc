@@ -1,0 +1,138 @@
+#include "result_json.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nuat {
+
+namespace {
+
+/** %.17g renders a double round-trip exactly and locale-free. */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+num(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Minimal escaping: the strings we emit are names and mnemonics. */
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+runResultToJson(const RunResult &r)
+{
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"schedulerName\": " << quoted(r.schedulerName) << ",\n";
+    o << "  \"workloads\": [";
+    for (std::size_t i = 0; i < r.workloads.size(); ++i)
+        o << (i ? ", " : "") << quoted(r.workloads[i]);
+    o << "],\n";
+    o << "  \"memCycles\": " << num(r.memCycles) << ",\n";
+    o << "  \"hitCycleCap\": " << (r.hitCycleCap ? "true" : "false")
+      << ",\n";
+    o << "  \"idleCyclesSkipped\": " << num(r.idleCyclesSkipped)
+      << ",\n";
+
+    o << "  \"ctrl\": {\n";
+    o << "    \"readsAccepted\": " << num(r.ctrl.readsAccepted) << ",\n";
+    o << "    \"writesAccepted\": " << num(r.ctrl.writesAccepted)
+      << ",\n";
+    o << "    \"readsMerged\": " << num(r.ctrl.readsMerged) << ",\n";
+    o << "    \"readsForwarded\": " << num(r.ctrl.readsForwarded)
+      << ",\n";
+    o << "    \"writesCoalesced\": " << num(r.ctrl.writesCoalesced)
+      << ",\n";
+    o << "    \"readsCompleted\": " << num(r.ctrl.readsCompleted)
+      << ",\n";
+    o << "    \"readLatencySum\": " << num(r.ctrl.readLatencySum)
+      << ",\n";
+    o << "    \"rowHitReads\": " << num(r.ctrl.rowHitReads) << ",\n";
+    o << "    \"rowHitWrites\": " << num(r.ctrl.rowHitWrites) << ",\n";
+    o << "    \"idleCycles\": " << num(r.ctrl.idleCycles) << ",\n";
+    o << "    \"tickCycles\": " << num(r.ctrl.tickCycles) << ",\n";
+    o << "    \"readQOccupancySum\": " << num(r.ctrl.readQOccupancySum)
+      << ",\n";
+    o << "    \"writeQOccupancySum\": "
+      << num(r.ctrl.writeQOccupancySum) << ",\n";
+    o << "    \"avgReadLatency\": " << num(r.ctrl.avgReadLatency())
+      << ",\n";
+    o << "    \"readLatencyP50\": "
+      << num(r.ctrl.readLatencyPercentile(0.50)) << ",\n";
+    o << "    \"readLatencyP95\": "
+      << num(r.ctrl.readLatencyPercentile(0.95)) << ",\n";
+    o << "    \"readLatencyP99\": "
+      << num(r.ctrl.readLatencyPercentile(0.99)) << "\n";
+    o << "  },\n";
+
+    o << "  \"dev\": {\n";
+    o << "    \"acts\": " << num(r.dev.acts) << ",\n";
+    o << "    \"pres\": " << num(r.dev.pres) << ",\n";
+    o << "    \"reads\": " << num(r.dev.reads) << ",\n";
+    o << "    \"writes\": " << num(r.dev.writes) << ",\n";
+    o << "    \"autoPres\": " << num(r.dev.autoPres) << ",\n";
+    o << "    \"refreshes\": " << num(r.dev.refreshes) << ",\n";
+    o << "    \"actsByTrcdReduction\": [";
+    for (std::size_t i = 0; i < 16; ++i)
+        o << (i ? ", " : "") << num(r.dev.actsByTrcdReduction[i]);
+    o << "]\n";
+    o << "  },\n";
+
+    o << "  \"coreFinish\": [";
+    for (std::size_t i = 0; i < r.coreFinish.size(); ++i)
+        o << (i ? ", " : "") << num(r.coreFinish[i]);
+    o << "],\n";
+    o << "  \"coreInstrs\": [";
+    for (std::size_t i = 0; i < r.coreInstrs.size(); ++i)
+        o << (i ? ", " : "") << num(r.coreInstrs[i]);
+    o << "],\n";
+    o << "  \"hitRateEq3\": " << num(r.hitRateEq3) << ",\n";
+    o << "  \"actsPerPb\": [";
+    for (std::size_t i = 0; i < r.actsPerPb.size(); ++i)
+        o << (i ? ", " : "") << num(r.actsPerPb[i]);
+    o << "],\n";
+    o << "  \"ppmOpen\": " << num(r.ppmOpen) << ",\n";
+    o << "  \"ppmClose\": " << num(r.ppmClose) << ",\n";
+
+    o << "  \"energy\": {\n";
+    o << "    \"actPre\": " << num(r.energy.actPre) << ",\n";
+    o << "    \"read\": " << num(r.energy.read) << ",\n";
+    o << "    \"write\": " << num(r.energy.write) << ",\n";
+    o << "    \"refresh\": " << num(r.energy.refresh) << ",\n";
+    o << "    \"background\": " << num(r.energy.background) << ",\n";
+    o << "    \"deratingSavings\": " << num(r.energy.deratingSavings)
+      << "\n";
+    o << "  },\n";
+
+    o << "  \"audited\": " << (r.audited ? "true" : "false") << ",\n";
+    o << "  \"auditCommandsChecked\": " << num(r.auditCommandsChecked)
+      << ",\n";
+    o << "  \"auditViolations\": " << num(r.auditViolations) << "\n";
+    o << "}\n";
+    return o.str();
+}
+
+} // namespace nuat

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Canonical JSON serialization of a RunResult.
+ *
+ * The encoding is deterministic — fixed key order, doubles printed with
+ * %.17g (round-trip exact), no locale dependence — so two RunResults
+ * are equal iff their JSON strings are byte-identical.  The golden
+ * regression suite relies on this: snapshots under tests/golden/ are
+ * compared as strings, and tools/regen_golden.sh rewrites them.
+ */
+
+#ifndef NUAT_SIM_RESULT_JSON_HH
+#define NUAT_SIM_RESULT_JSON_HH
+
+#include <string>
+
+#include "experiment_config.hh"
+
+namespace nuat {
+
+/** Serialize @p result as canonical, pretty-printed JSON. */
+std::string runResultToJson(const RunResult &result);
+
+} // namespace nuat
+
+#endif // NUAT_SIM_RESULT_JSON_HH

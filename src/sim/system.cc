@@ -105,6 +105,28 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
     mux_ = std::make_unique<ChannelMux>(
         AddressMapping(cfg_.controller.mapping, cfg_.geometry), ports);
 
+    // Passive command-stream observers: the shadow auditor re-checks
+    // every issued command against its own protocol model, the trace
+    // writer tees the stream to disk.  Neither perturbs the run.
+    if (cfg_.audit) {
+        for (unsigned ch = 0; ch < channels; ++ch) {
+            AuditorConfig acfg;
+            acfg.geometry = chan_geom;
+            acfg.timing = cfg_.timing;
+            acfg.derate = derate_.get();
+            acfg.maxMessages = cfg_.auditMaxMessages;
+            auditors_.push_back(std::make_unique<ProtocolAuditor>(acfg));
+            devices_[ch]->addObserver(auditors_.back().get());
+        }
+    }
+    if (!cfg_.dumpTracePath.empty()) {
+        traceWriter_ = std::make_unique<CommandTraceWriter>(
+            cfg_.dumpTracePath, channels, chan_geom, cfg_.timing,
+            cfg_.charge);
+        for (unsigned ch = 0; ch < channels; ++ch)
+            devices_[ch]->addObserver(traceWriter_->channelTap(ch));
+    }
+
     // Each core gets a disjoint base row so multi-core runs contend on
     // banks/bus but not on row footprints (USIMM's per-core offset).
     const unsigned cores = cfg_.cores();
@@ -307,6 +329,19 @@ System::run()
     for (const auto &core : cores_) {
         result.coreFinish.push_back(core->stats().finishedAt);
         result.coreInstrs.push_back(core->stats().instrsRetired);
+    }
+    if (!auditors_.empty()) {
+        AuditReport merged;
+        for (const auto &auditor : auditors_)
+            merged.merge(auditor->report(), cfg_.auditMaxMessages);
+        result.audited = true;
+        result.auditCommandsChecked = merged.commandsChecked;
+        result.auditViolations = merged.violations;
+        result.auditMessages = std::move(merged.messages);
+    }
+    if (traceWriter_ && !traceWriter_->finish()) {
+        nuat_warn("command-trace write to '%s' failed",
+                  cfg_.dumpTracePath.c_str());
     }
     if (result.hitCycleCap) {
         nuat_warn("run hit the %llu-cycle cap before draining",

@@ -24,6 +24,8 @@
 #include "mem/memory_controller.hh"
 #include "mem/memory_port.hh"
 #include "trace/synthetic_trace.hh"
+#include "verify/protocol_auditor.hh"
+#include "verify/trace_capture.hh"
 
 namespace nuat {
 
@@ -103,6 +105,13 @@ class System
     /** Memory cycles covered by the idle fast-forward so far. */
     Cycle idleCyclesSkipped() const { return idleCyclesSkipped_; }
 
+    /** Auditor of @p channel; null unless cfg.audit. */
+    const ProtocolAuditor *auditor(unsigned channel = 0) const
+    {
+        return channel < auditors_.size() ? auditors_[channel].get()
+                                          : nullptr;
+    }
+
   private:
     /** Build the scheduler requested by the config. */
     std::unique_ptr<Scheduler> makeScheduler() const;
@@ -122,6 +131,8 @@ class System
     std::unique_ptr<ChannelMux> mux_;
     std::vector<std::unique_ptr<SyntheticTrace>> traces_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
+    std::vector<std::unique_ptr<ProtocolAuditor>> auditors_;
+    std::unique_ptr<CommandTraceWriter> traceWriter_;
     Cycle now_ = 0;
     Cycle idleCyclesSkipped_ = 0;
 };

@@ -1,0 +1,446 @@
+#include "protocol_auditor.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+const char *
+auditRuleName(AuditRule rule)
+{
+    switch (rule) {
+      case AuditRule::kBusConflict:
+        return "bus-conflict";
+      case AuditRule::kBankState:
+        return "bank-state";
+      case AuditRule::kActTiming:
+        return "act-timing";
+      case AuditRule::kTrcd:
+        return "tRCD";
+      case AuditRule::kTrp:
+        return "tRP";
+      case AuditRule::kTras:
+        return "tRAS";
+      case AuditRule::kTrc:
+        return "tRC";
+      case AuditRule::kTrrd:
+        return "tRRD";
+      case AuditRule::kTfaw:
+        return "tFAW";
+      case AuditRule::kTccd:
+        return "tCCD";
+      case AuditRule::kTwtr:
+        return "tWTR";
+      case AuditRule::kTrtw:
+        return "tRTW";
+      case AuditRule::kTrtrs:
+        return "tRTRS";
+      case AuditRule::kTrtp:
+        return "tRTP";
+      case AuditRule::kTwr:
+        return "tWR";
+      case AuditRule::kTrfc:
+        return "tRFC";
+      case AuditRule::kRefPrecharge:
+        return "ref-precharge";
+      case AuditRule::kRefLate:
+        return "ref-late";
+      case AuditRule::kChargeSafety:
+        return "charge-safety";
+      case AuditRule::kNumRules:
+        break;
+    }
+    return "?";
+}
+
+void
+AuditReport::merge(const AuditReport &other, std::size_t max_messages)
+{
+    commandsChecked += other.commandsChecked;
+    violations += other.violations;
+    for (std::size_t i = 0; i < violationsByRule.size(); ++i)
+        violationsByRule[i] += other.violationsByRule[i];
+    for (const auto &m : other.messages) {
+        if (messages.size() >= max_messages)
+            break;
+        messages.push_back(m);
+    }
+}
+
+ProtocolAuditor::ProtocolAuditor(const AuditorConfig &cfg) : cfg_(cfg)
+{
+    cfg_.geometry.validate();
+    cfg_.timing.validate();
+    nuat_assert(cfg_.geometry.channels == 1,
+                "(one auditor per channel, like the device)");
+    nuat_assert(cfg_.geometry.rows % cfg_.timing.rowsPerRef == 0);
+
+    const TimingParams &tp = cfg_.timing;
+    const std::uint32_t rows = cfg_.geometry.rows;
+    const std::uint32_t groups = rows / tp.rowsPerRef;
+    ranks_.resize(cfg_.geometry.ranks);
+    for (ShadowRank &rank : ranks_) {
+        rank.banks.resize(cfg_.geometry.banks);
+        // Steady-state refresh preload, rebuilt from the schedule's
+        // definition: group g was refreshed (groups - 1 - g) intervals
+        // before cycle 0 and the counter sits at row 0.
+        rank.rowRefreshedAt.resize(rows);
+        for (std::uint32_t g = 0; g < groups; ++g) {
+            const std::int64_t at =
+                -static_cast<std::int64_t>(groups - 1 - g) *
+                static_cast<std::int64_t>(tp.refInterval());
+            for (unsigned r = 0; r < tp.rowsPerRef; ++r)
+                rank.rowRefreshedAt[g * tp.rowsPerRef + r] = at;
+        }
+        rank.refNextRow = 0;
+        rank.refDueAt = tp.refInterval();
+    }
+}
+
+void
+ProtocolAuditor::flag(AuditRule rule, const Command &cmd, Cycle now,
+                      const char *fmt, ...)
+{
+    ++report_.violations;
+    ++report_.violationsByRule[static_cast<std::size_t>(rule)];
+    if (report_.messages.size() >= cfg_.maxMessages)
+        return;
+
+    char detail[192];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(detail, sizeof(detail), fmt, args);
+    va_end(args);
+
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "cycle %llu: %s rank %u bank %u: [%s] %s",
+                  static_cast<unsigned long long>(now), cmd.name(),
+                  cmd.rank, cmd.bank, auditRuleName(rule), detail);
+    report_.messages.emplace_back(line);
+}
+
+void
+ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
+                          ShadowRank &rank, ShadowBank &bank)
+{
+    const TimingParams &tp = cfg_.timing;
+
+    if (cmd.row >= cfg_.geometry.rows) {
+        flag(AuditRule::kBankState, cmd, now, "row %u out of range",
+             cmd.row);
+        return;
+    }
+    if (bank.openRow != kNoRow) {
+        flag(AuditRule::kBankState, cmd, now,
+             "ACT with row %u still open (skipped PRE)", bank.openRow);
+    }
+    const RowTiming &t = cmd.actTiming;
+    if (t.trcd == 0 || t.tras < t.trcd || t.trc <= t.tras) {
+        flag(AuditRule::kActTiming, cmd, now,
+             "malformed timing %llu/%llu/%llu",
+             static_cast<unsigned long long>(t.trcd),
+             static_cast<unsigned long long>(t.tras),
+             static_cast<unsigned long long>(t.trc));
+    }
+    if (now < bank.preDoneAt) {
+        flag(AuditRule::kTrp, cmd, now,
+             "precharge completes at %llu",
+             static_cast<unsigned long long>(bank.preDoneAt));
+    }
+    if (bank.everActivated && now < bank.lastActAt + bank.lastActTrc) {
+        flag(AuditRule::kTrc, cmd, now,
+             "previous ACT at %llu, effective tRC %llu",
+             static_cast<unsigned long long>(bank.lastActAt),
+             static_cast<unsigned long long>(bank.lastActTrc));
+    }
+    if (rank.actCount > 0) {
+        const Cycle prev = rank.actTimes[(rank.actCount - 1) % 4];
+        if (now < prev + tp.tRRD) {
+            flag(AuditRule::kTrrd, cmd, now,
+                 "previous rank ACT at %llu",
+                 static_cast<unsigned long long>(prev));
+        }
+    }
+    if (rank.actCount >= 4) {
+        const Cycle fourth_last = rank.actTimes[rank.actCount % 4];
+        if (now < fourth_last + tp.tFAW) {
+            flag(AuditRule::kTfaw, cmd, now,
+                 "fourth-last ACT at %llu",
+                 static_cast<unsigned long long>(fourth_last));
+        }
+    }
+    if (now < rank.refEndsAt) {
+        flag(AuditRule::kTrfc, cmd, now, "REF busy until %llu",
+             static_cast<unsigned long long>(rank.refEndsAt));
+    }
+
+    // NUAT safety invariant: the requested activation timing may not
+    // beat the physics of the row's remaining charge, evaluated from
+    // the auditor's own refresh bookkeeping.
+    if (cfg_.derate != nullptr) {
+        const std::int64_t delta = static_cast<std::int64_t>(now) -
+                                   rank.rowRefreshedAt[cmd.row];
+        const double elapsed_ns =
+            static_cast<double>(std::max<std::int64_t>(delta, 0)) *
+            cfg_.clock.periodNs();
+        const RowTiming min = cfg_.derate->effective(elapsed_ns);
+        if (t.trcd < min.trcd || t.tras < min.tras || t.trc < min.trc) {
+            flag(AuditRule::kChargeSafety, cmd, now,
+                 "row %u rated %llu/%llu/%llu, charge allows "
+                 "%llu/%llu/%llu",
+                 cmd.row, static_cast<unsigned long long>(t.trcd),
+                 static_cast<unsigned long long>(t.tras),
+                 static_cast<unsigned long long>(t.trc),
+                 static_cast<unsigned long long>(min.trcd),
+                 static_cast<unsigned long long>(min.tras),
+                 static_cast<unsigned long long>(min.trc));
+        }
+    }
+
+    bank.openRow = cmd.row;
+    bank.actAt = now;
+    bank.actTiming = t;
+    bank.everActivated = true;
+    bank.lastActAt = now;
+    bank.lastActTrc = t.trc;
+    bank.readInRow = false;
+    bank.writeInRow = false;
+    rank.actTimes[rank.actCount % 4] = now;
+    ++rank.actCount;
+}
+
+void
+ProtocolAuditor::applyAutoPre(const Command &cmd, Cycle now,
+                              ShadowBank &bank)
+{
+    (void)cmd;
+    (void)now;
+    const TimingParams &tp = cfg_.timing;
+    // The internal precharge folds in at its earliest legal point:
+    // after tRAS from the activation and after the read / write
+    // recovery of every column access in the row (the access that
+    // triggered it included — it was recorded just before this call).
+    Cycle pre_at = bank.actAt + bank.actTiming.tras;
+    if (bank.readInRow)
+        pre_at = std::max(pre_at, bank.lastReadAt + tp.tRTP);
+    if (bank.writeInRow) {
+        pre_at = std::max(pre_at,
+                          bank.lastWriteAt + tp.tCWL + tp.tBL + tp.tWR);
+    }
+    bank.openRow = kNoRow;
+    bank.preDoneAt = pre_at + tp.tRP;
+}
+
+void
+ProtocolAuditor::checkColumn(const Command &cmd, Cycle now,
+                             ShadowRank &rank, ShadowBank &bank)
+{
+    (void)rank;
+    const TimingParams &tp = cfg_.timing;
+    const bool is_read = isReadCmd(cmd.type);
+
+    if (bank.openRow == kNoRow) {
+        flag(AuditRule::kBankState, cmd, now,
+             "column access to a closed bank");
+        return;
+    }
+    if (cmd.row != kNoRow && cmd.row != bank.openRow) {
+        flag(AuditRule::kBankState, cmd, now,
+             "column access targets row %u but row %u is open",
+             cmd.row, bank.openRow);
+    }
+    if (now < bank.actAt + bank.actTiming.trcd) {
+        flag(AuditRule::kTrcd, cmd, now,
+             "ACT at %llu, effective tRCD %llu",
+             static_cast<unsigned long long>(bank.actAt),
+             static_cast<unsigned long long>(bank.actTiming.trcd));
+    }
+
+    if (is_read) {
+        if (anyRead_ && now < lastReadCmdAt_ + tp.tCCD) {
+            flag(AuditRule::kTccd, cmd, now, "previous read at %llu",
+                 static_cast<unsigned long long>(lastReadCmdAt_));
+        }
+        if (anyWrite_ &&
+            now < lastWriteCmdAt_ + tp.tCWL + tp.tBL + tp.tWTR) {
+            flag(AuditRule::kTwtr, cmd, now,
+                 "write at %llu, data end + tWTR not reached",
+                 static_cast<unsigned long long>(lastWriteCmdAt_));
+        }
+        if (anyData_ && cmd.rank != lastDataRank_ &&
+            now + tp.tCL < lastDataEndAt_ + tp.tRTRS) {
+            flag(AuditRule::kTrtrs, cmd, now,
+                 "rank switch, previous burst ends at %llu",
+                 static_cast<unsigned long long>(lastDataEndAt_));
+        }
+    } else {
+        if (anyWrite_ && now < lastWriteCmdAt_ + tp.tCCD) {
+            flag(AuditRule::kTccd, cmd, now, "previous write at %llu",
+                 static_cast<unsigned long long>(lastWriteCmdAt_));
+        }
+        if (anyRead_) {
+            // Read-to-write turnaround, expressed as the device's
+            // command-spacing rule: wr >= rd + tCL + tBL + tRTW - tCWL.
+            const std::int64_t earliest =
+                static_cast<std::int64_t>(lastReadCmdAt_) +
+                static_cast<std::int64_t>(tp.tCL + tp.tBL + tp.tRTW) -
+                static_cast<std::int64_t>(tp.tCWL);
+            if (static_cast<std::int64_t>(now) < earliest) {
+                flag(AuditRule::kTrtw, cmd, now,
+                     "previous read at %llu",
+                     static_cast<unsigned long long>(lastReadCmdAt_));
+            }
+        }
+        if (anyData_ && cmd.rank != lastDataRank_ &&
+            now + tp.tCWL < lastDataEndAt_ + tp.tRTRS) {
+            flag(AuditRule::kTrtrs, cmd, now,
+                 "rank switch, previous burst ends at %llu",
+                 static_cast<unsigned long long>(lastDataEndAt_));
+        }
+    }
+
+    if (is_read) {
+        bank.lastReadAt = now;
+        bank.readInRow = true;
+        lastReadCmdAt_ = now;
+        anyRead_ = true;
+        lastDataEndAt_ = now + tp.tCL + tp.tBL;
+    } else {
+        bank.lastWriteAt = now;
+        bank.writeInRow = true;
+        lastWriteCmdAt_ = now;
+        anyWrite_ = true;
+        lastDataEndAt_ = now + tp.tCWL + tp.tBL;
+    }
+    lastDataRank_ = cmd.rank;
+    anyData_ = true;
+
+    if (isAutoPre(cmd.type))
+        applyAutoPre(cmd, now, bank);
+}
+
+void
+ProtocolAuditor::checkPre(const Command &cmd, Cycle now,
+                          ShadowBank &bank)
+{
+    const TimingParams &tp = cfg_.timing;
+    if (bank.openRow == kNoRow) {
+        flag(AuditRule::kBankState, cmd, now,
+             "PRE to an already closed bank");
+        return;
+    }
+    if (now < bank.actAt + bank.actTiming.tras) {
+        flag(AuditRule::kTras, cmd, now,
+             "ACT at %llu, effective tRAS %llu",
+             static_cast<unsigned long long>(bank.actAt),
+             static_cast<unsigned long long>(bank.actTiming.tras));
+    }
+    if (bank.readInRow && now < bank.lastReadAt + tp.tRTP) {
+        flag(AuditRule::kTrtp, cmd, now, "read at %llu",
+             static_cast<unsigned long long>(bank.lastReadAt));
+    }
+    if (bank.writeInRow &&
+        now < bank.lastWriteAt + tp.tCWL + tp.tBL + tp.tWR) {
+        flag(AuditRule::kTwr, cmd, now,
+             "write at %llu, recovery not complete",
+             static_cast<unsigned long long>(bank.lastWriteAt));
+    }
+    bank.openRow = kNoRow;
+    bank.preDoneAt = now + tp.tRP;
+}
+
+void
+ProtocolAuditor::checkRef(const Command &cmd, Cycle now,
+                          ShadowRank &rank)
+{
+    const TimingParams &tp = cfg_.timing;
+    for (unsigned b = 0; b < rank.banks.size(); ++b) {
+        const ShadowBank &bank = rank.banks[b];
+        if (bank.openRow != kNoRow) {
+            flag(AuditRule::kRefPrecharge, cmd, now,
+                 "bank %u has row %u open", b, bank.openRow);
+            break;
+        }
+        if (now < bank.preDoneAt) {
+            flag(AuditRule::kRefPrecharge, cmd, now,
+                 "bank %u precharge completes at %llu", b,
+                 static_cast<unsigned long long>(bank.preDoneAt));
+            break;
+        }
+    }
+    if (now < rank.refEndsAt) {
+        flag(AuditRule::kTrfc, cmd, now,
+             "previous REF busy until %llu",
+             static_cast<unsigned long long>(rank.refEndsAt));
+    }
+    if (now > rank.refDueAt + tp.maxRefreshSlack) {
+        flag(AuditRule::kRefLate, cmd, now,
+             "due at %llu, %llu cycles past the slack guard",
+             static_cast<unsigned long long>(rank.refDueAt),
+             static_cast<unsigned long long>(
+                 now - rank.refDueAt - tp.maxRefreshSlack));
+    }
+
+    rank.refEndsAt = now + tp.tRFC;
+    rank.everRefreshed = true;
+    for (unsigned r = 0; r < tp.rowsPerRef; ++r) {
+        rank.rowRefreshedAt[(rank.refNextRow + r) %
+                            cfg_.geometry.rows] =
+            static_cast<std::int64_t>(now);
+    }
+    rank.refNextRow =
+        (rank.refNextRow + tp.rowsPerRef) % cfg_.geometry.rows;
+    rank.refDueAt += tp.refInterval();
+}
+
+void
+ProtocolAuditor::observe(const Command &cmd, Cycle now)
+{
+    ++report_.commandsChecked;
+
+    if (anyCommand_ && now <= lastCmdAt_) {
+        flag(AuditRule::kBusConflict, cmd, now,
+             "command bus already used at %llu",
+             static_cast<unsigned long long>(lastCmdAt_));
+    }
+    anyCommand_ = true;
+    lastCmdAt_ = std::max(lastCmdAt_, now);
+
+    if (cmd.rank >= ranks_.size()) {
+        flag(AuditRule::kBankState, cmd, now, "rank out of range");
+        return;
+    }
+    ShadowRank &rank = ranks_[cmd.rank];
+    if (cmd.type == CmdType::kRef) {
+        checkRef(cmd, now, rank);
+        return;
+    }
+    if (cmd.bank >= rank.banks.size()) {
+        flag(AuditRule::kBankState, cmd, now, "bank out of range");
+        return;
+    }
+    ShadowBank &bank = rank.banks[cmd.bank];
+
+    switch (cmd.type) {
+      case CmdType::kAct:
+        checkAct(cmd, now, rank, bank);
+        break;
+      case CmdType::kPre:
+        checkPre(cmd, now, bank);
+        break;
+      case CmdType::kRead:
+      case CmdType::kWrite:
+      case CmdType::kReadAp:
+      case CmdType::kWriteAp:
+        checkColumn(cmd, now, rank, bank);
+        break;
+      case CmdType::kRef:
+        break; // handled above
+    }
+}
+
+} // namespace nuat

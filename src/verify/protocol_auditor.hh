@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Shadow protocol auditor — an independent re-implementation of the
+ * DDR3 legality rules plus the NUAT charge-safety invariant.
+ *
+ * The auditor observes the issued-command stream of one channel and
+ * replays it against its own, from-scratch model of the protocol:
+ * per-bank state machine, per-activation tRCD/tRAS/tRC, tRP, per-rank
+ * tRRD / tFAW / tRFC, channel-level tCCD / tWTR / read-write
+ * turnaround / tRTRS, the refresh schedule (tREFI, lateness guard) and
+ * — independently of the device's ground-truth bookkeeping — the NUAT
+ * safety invariant that no ACT may carry a timing faster than the
+ * charge remaining in its row allows.
+ *
+ * It shares no state-tracking code with DramDevice / BankState: where
+ * the device maintains "earliest allowed at" timestamps, the auditor
+ * records raw command-event times and evaluates each constraint from
+ * its defining rule at check time.  A bug must therefore be made twice,
+ * in two different forms, to slip through both.
+ *
+ * The auditor never panics: violations are counted per rule and
+ * aggregated (with a capped message list) so a differential harness
+ * can sweep many configurations and assert the totals are zero.
+ * Checking one command is O(1).
+ */
+
+#ifndef NUAT_VERIFY_PROTOCOL_AUDITOR_HH
+#define NUAT_VERIFY_PROTOCOL_AUDITOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "charge/timing_derate.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "dram/command_observer.hh"
+#include "dram/timing_params.hh"
+
+namespace nuat {
+
+/** The individually counted protocol rules. */
+enum class AuditRule : unsigned
+{
+    kBusConflict,  //!< two commands on the command bus in one cycle
+    kBankState,    //!< command illegal in the bank's current state
+    kActTiming,    //!< malformed ACT timing (trcd/tras/trc ordering)
+    kTrcd,         //!< column access before ACT + tRCD
+    kTrp,          //!< ACT before the precharge completed (tRP)
+    kTras,         //!< PRE before ACT + tRAS
+    kTrc,          //!< ACT before previous same-bank ACT + tRC
+    kTrrd,         //!< ACT before previous same-rank ACT + tRRD
+    kTfaw,         //!< fifth ACT inside the four-activate window
+    kTccd,         //!< column command inside the tCCD gap
+    kTwtr,         //!< read before write data end + tWTR
+    kTrtw,         //!< write inside the read-to-write turnaround
+    kTrtrs,        //!< rank switch inside the tRTRS data-bus gap
+    kTrtp,         //!< PRE before read + tRTP
+    kTwr,          //!< PRE before write recovery completed (tWR)
+    kTrfc,         //!< command to a rank inside a REF's tRFC window
+    kRefPrecharge, //!< REF with a bank not (fully) precharged
+    kRefLate,      //!< REF beyond the schedule's lateness guard
+    kChargeSafety, //!< ACT timing faster than the row's charge allows
+    kNumRules,
+};
+
+/** Short name of @p rule (e.g. "tRCD"). */
+const char *auditRuleName(AuditRule rule);
+
+/** Configuration of one channel's auditor. */
+struct AuditorConfig
+{
+    DramGeometry geometry; //!< single-channel geometry
+    TimingParams timing;
+
+    /**
+     * Charge model for the NUAT safety invariant; may be null, in
+     * which case the kChargeSafety check is skipped (protocol rules
+     * are still enforced).  Not owned.
+     */
+    const TimingDerate *derate = nullptr;
+
+    /** Bus clock for cycle -> ns conversion in the charge check. */
+    Clock clock = kMemClock;
+
+    /** Violation messages kept verbatim (counts are always exact). */
+    std::size_t maxMessages = 8;
+};
+
+/** Aggregated audit outcome of one channel (or one replayed trace). */
+struct AuditReport
+{
+    std::uint64_t commandsChecked = 0;
+    std::uint64_t violations = 0;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(AuditRule::kNumRules)>
+        violationsByRule{};
+    std::vector<std::string> messages; //!< first maxMessages, verbatim
+
+    /** Merge @p other into this report (message cap @p max_messages). */
+    void merge(const AuditReport &other, std::size_t max_messages);
+};
+
+/** Shadow re-checker for one channel's command stream. */
+class ProtocolAuditor : public CommandObserver
+{
+  public:
+    explicit ProtocolAuditor(const AuditorConfig &cfg);
+
+    /** Check @p cmd issued at @p now and advance the shadow state. */
+    void observe(const Command &cmd, Cycle now);
+
+    /** CommandObserver: forwards to observe(). */
+    void onCommand(const Command &cmd, Cycle now) override
+    {
+        observe(cmd, now);
+    }
+
+    /** Total rule violations recorded so far. */
+    std::uint64_t violationCount() const { return report_.violations; }
+
+    /** Violations recorded for @p rule. */
+    std::uint64_t
+    violationCount(AuditRule rule) const
+    {
+        return report_.violationsByRule[static_cast<std::size_t>(rule)];
+    }
+
+    /** Commands checked so far. */
+    std::uint64_t commandsChecked() const
+    {
+        return report_.commandsChecked;
+    }
+
+    /** The aggregate report. */
+    const AuditReport &report() const { return report_; }
+
+  private:
+    /** Shadow state of one bank, kept as raw command-event times. */
+    struct ShadowBank
+    {
+        std::uint32_t openRow = kNoRow;
+        Cycle actAt = 0;          //!< time of the ACT that opened openRow
+        RowTiming actTiming{0, 0, 0}; //!< timing carried by that ACT
+        bool everActivated = false;
+        Cycle lastActAt = 0;      //!< last ACT (survives precharge)
+        Cycle lastActTrc = 0;     //!< trc carried by that ACT
+        Cycle preDoneAt = 0;      //!< when the last precharge completes
+        Cycle lastReadAt = 0;     //!< last read in the current open row
+        Cycle lastWriteAt = 0;    //!< last write in the current open row
+        bool readInRow = false;
+        bool writeInRow = false;
+    };
+
+    /** Shadow state of one rank. */
+    struct ShadowRank
+    {
+        std::vector<ShadowBank> banks;
+        std::array<Cycle, 4> actTimes{}; //!< ring of recent ACT times
+        unsigned actCount = 0;           //!< total ACTs (ring occupancy)
+        Cycle refEndsAt = 0;             //!< end of in-flight REF (tRFC)
+        bool everRefreshed = false;
+
+        // Shadow refresh schedule + per-row last-refresh bookkeeping,
+        // rebuilt from first principles (steady-state preload, linear
+        // counter, absolute deadlines).
+        std::uint32_t refNextRow = 0;
+        Cycle refDueAt = 0;
+        std::vector<std::int64_t> rowRefreshedAt;
+    };
+
+    void flag(AuditRule rule, const Command &cmd, Cycle now,
+              const char *fmt, ...)
+        __attribute__((format(printf, 5, 6)));
+
+    void checkAct(const Command &cmd, Cycle now, ShadowRank &rank,
+                  ShadowBank &bank);
+    void checkColumn(const Command &cmd, Cycle now, ShadowRank &rank,
+                     ShadowBank &bank);
+    void checkPre(const Command &cmd, Cycle now, ShadowBank &bank);
+    void checkRef(const Command &cmd, Cycle now, ShadowRank &rank);
+
+    /** Fold the precharge implied by an auto-precharge column access
+     *  into the bank's shadow state at its earliest legal point. */
+    void applyAutoPre(const Command &cmd, Cycle now, ShadowBank &bank);
+
+    AuditorConfig cfg_;
+    AuditReport report_;
+
+    std::vector<ShadowRank> ranks_;
+
+    // Channel-level shadow state (command and data bus).
+    bool anyCommand_ = false;
+    Cycle lastCmdAt_ = 0;
+    bool anyRead_ = false, anyWrite_ = false;
+    Cycle lastReadCmdAt_ = 0;  //!< any read flavour, any bank
+    Cycle lastWriteCmdAt_ = 0; //!< any write flavour, any bank
+    bool anyData_ = false;
+    unsigned lastDataRank_ = 0;
+    Cycle lastDataEndAt_ = 0;
+};
+
+} // namespace nuat
+
+#endif // NUAT_VERIFY_PROTOCOL_AUDITOR_HH

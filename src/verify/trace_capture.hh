@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Command-trace capture and deterministic replay.
+ *
+ * CommandTraceWriter tees every issued DRAM command of every channel
+ * into a self-describing text file: a header records the geometry,
+ * timing parameters, charge-model parameters and bus clock, then one
+ * line per command records the channel, cycle, mnemonic, target and
+ * (for ACT) the requested activation timing.
+ *
+ * replayCommandTrace() re-reads such a file with no simulator in the
+ * loop: it rebuilds the charge model from the header and runs every
+ * command through a fresh ProtocolAuditor per channel.  Because both
+ * the trace format and the auditor are deterministic, a captured run
+ * can be re-audited later (or on another machine) with identical
+ * results.
+ */
+
+#ifndef NUAT_VERIFY_TRACE_CAPTURE_HH
+#define NUAT_VERIFY_TRACE_CAPTURE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "charge/charge_params.hh"
+#include "common/units.hh"
+#include "dram/command_observer.hh"
+#include "dram/timing_params.hh"
+#include "protocol_auditor.hh"
+
+namespace nuat {
+
+/** Writes the issued-command stream of all channels to a text file. */
+class CommandTraceWriter
+{
+  public:
+    /**
+     * Open @p path and write the header.  @p chan_geom is the geometry
+     * of ONE channel (channels == 1), repeated @p channels times.
+     * Panics if the file cannot be opened.
+     */
+    CommandTraceWriter(const std::string &path, unsigned channels,
+                      const DramGeometry &chan_geom,
+                      const TimingParams &tp, const ChargeParams &charge,
+                      const Clock &clock = kMemClock);
+
+    /**
+     * The observer to attach to channel @p channel's device.  Owned by
+     * the writer; valid for the writer's lifetime.
+     */
+    CommandObserver *channelTap(unsigned channel);
+
+    /** Commands written so far. */
+    std::uint64_t commandsWritten() const { return commands_; }
+
+    /** Flush and report stream health (false after any write error). */
+    bool finish();
+
+  private:
+    /** Per-channel adapter stamping the channel id onto each record. */
+    struct Tap : CommandObserver
+    {
+        CommandTraceWriter *writer;
+        unsigned channel;
+
+        void
+        onCommand(const Command &cmd, Cycle now) override
+        {
+            writer->record(channel, cmd, now);
+        }
+    };
+
+    void record(unsigned channel, const Command &cmd, Cycle now);
+
+    std::ofstream out_;
+    std::vector<std::unique_ptr<Tap>> taps_;
+    std::uint64_t commands_ = 0;
+};
+
+/** Outcome of replaying a captured trace through fresh auditors. */
+struct TraceReplayResult
+{
+    bool parsed = false;  //!< header + every line understood
+    std::string error;    //!< parse failure description when !parsed
+    unsigned channels = 0;
+    AuditReport report;   //!< merged across channels
+};
+
+/**
+ * Replay the trace at @p path through one ProtocolAuditor per channel
+ * (charge model rebuilt from the header) and return the merged report.
+ */
+TraceReplayResult replayCommandTrace(const std::string &path,
+                                     std::size_t max_messages = 8);
+
+} // namespace nuat
+
+#endif // NUAT_VERIFY_TRACE_CAPTURE_HH

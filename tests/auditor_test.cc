@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Mutation self-test of the shadow protocol auditor.
+ *
+ * A verification tool is only trustworthy if it demonstrably catches
+ * the bugs it exists for, so every DDR3 rule the auditor implements is
+ * exercised twice here: once with a legal command sequence (expecting
+ * silence) and once with a deliberately corrupted sequence — a timing
+ * shaved by one cycle, a skipped PRE, a late REF — expecting exactly
+ * that rule to fire.  Also covers trace capture -> replay round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "charge/cell_model.hh"
+#include "charge/sense_amp_model.hh"
+#include "charge/timing_derate.hh"
+#include "verify/protocol_auditor.hh"
+#include "verify/trace_capture.hh"
+
+using namespace nuat;
+
+namespace {
+
+// Default DDR3-1600 numbers the sequences below are hand-computed for
+// (tRCD 12, tRAS 30, tRP 12, tRC 42, tCL 11, tCWL 8, tBL 4, tCCD 4,
+// tRRD 6, tFAW 32, tWTR 6, tRTW 2, tRTP 6, tWR 12).
+constexpr RowTiming kNominal{12, 30, 42};
+
+Command
+act(unsigned bank, std::uint32_t row, RowTiming timing = kNominal)
+{
+    Command cmd;
+    cmd.type = CmdType::kAct;
+    cmd.bank = bank;
+    cmd.row = row;
+    cmd.actTiming = timing;
+    return cmd;
+}
+
+Command
+col(CmdType type, unsigned bank)
+{
+    Command cmd;
+    cmd.type = type;
+    cmd.bank = bank;
+    return cmd;
+}
+
+Command
+pre(unsigned bank)
+{
+    Command cmd;
+    cmd.type = CmdType::kPre;
+    cmd.bank = bank;
+    return cmd;
+}
+
+Command
+ref()
+{
+    Command cmd;
+    cmd.type = CmdType::kRef;
+    return cmd;
+}
+
+ProtocolAuditor
+makeAuditor()
+{
+    return ProtocolAuditor{AuditorConfig{}};
+}
+
+} // namespace
+
+TEST(AuditorTest, LegalSequenceIsSilent)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 10);
+    auditor.observe(col(CmdType::kRead, 0), 22);  // tRCD met exactly
+    auditor.observe(col(CmdType::kRead, 0), 26);  // tCCD met exactly
+    auditor.observe(pre(0), 40);                  // tRAS / tRTP met
+    auditor.observe(act(0, 6), 52);               // tRP / tRC met
+    auditor.observe(col(CmdType::kReadAp, 0), 64);
+    EXPECT_EQ(auditor.violationCount(), 0u);
+    EXPECT_EQ(auditor.commandsChecked(), 6u);
+}
+
+TEST(AuditorTest, CatchesTrcdShavedByOneCycle)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 10);
+    auditor.observe(col(CmdType::kRead, 0), 21); // one cycle early
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrcd), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTrpViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(pre(0), 35);
+    auditor.observe(act(0, 6), 46); // precharge completes at 47
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrp), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTrasViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(pre(0), 29); // one cycle before ACT + tRAS
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTras), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTrcViolation)
+{
+    // With the default parameters tRC == tRAS + tRP, so the PRE path
+    // always subsumes tRC; a slow custom tRC makes it bind alone.
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5, RowTiming{12, 30, 50}), 0);
+    auditor.observe(pre(0), 30);
+    auditor.observe(act(0, 6), 45); // tRP fine (42), tRC 50 not
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrc), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTrrdViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(act(1, 5), 5); // one cycle inside tRRD
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrrd), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTfawViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(act(1, 5), 6);
+    auditor.observe(act(2, 5), 12);
+    auditor.observe(act(3, 5), 18);
+    auditor.observe(act(4, 5), 24); // tRRD fine, 4-ACT window is not
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTfaw), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTccdViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(col(CmdType::kRead, 0), 12);
+    auditor.observe(col(CmdType::kRead, 0), 15); // one inside tCCD
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTccd), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTwtrViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(col(CmdType::kWrite, 0), 12);
+    // Write data ends 12 + tCWL + tBL = 24; read legal from 30.
+    auditor.observe(col(CmdType::kRead, 0), 29);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTwtr), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesReadToWriteTurnaround)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(col(CmdType::kRead, 0), 12);
+    // Write legal from 12 + tCL + tBL + tRTW - tCWL = 21.
+    auditor.observe(col(CmdType::kWrite, 0), 20);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrtw), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTrtpViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(col(CmdType::kRead, 0), 26);
+    auditor.observe(pre(0), 31); // tRAS fine (30), read + tRTP = 32
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrtp), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesTwrViolation)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(col(CmdType::kWrite, 0), 12);
+    // Recovery completes 12 + tCWL + tBL + tWR = 36.
+    auditor.observe(pre(0), 35);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTwr), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesSkippedPrecharge)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 1), 0);
+    auditor.observe(act(0, 2), 50); // row 1 still open
+    EXPECT_EQ(auditor.violationCount(AuditRule::kBankState), 1u);
+}
+
+TEST(AuditorTest, CatchesPreToClosedBank)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(pre(0), 10);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kBankState), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesColumnToClosedBank)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(col(CmdType::kRead, 3), 10);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kBankState), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesCommandBusConflict)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 10);
+    auditor.observe(act(1, 5), 10); // same bus cycle
+    EXPECT_EQ(auditor.violationCount(AuditRule::kBusConflict), 1u);
+}
+
+TEST(AuditorTest, CatchesMalformedActTiming)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5, RowTiming{12, 11, 42}), 0); // tras < trcd
+    EXPECT_EQ(auditor.violationCount(AuditRule::kActTiming), 1u);
+}
+
+TEST(AuditorTest, CatchesRefWithOpenBank)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(act(0, 5), 0);
+    auditor.observe(ref(), 40);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefPrecharge), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesActInsideTrfc)
+{
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(ref(), 0);
+    auditor.observe(act(0, 5), 100); // tRFC = 128
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrfc), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesLateRefresh)
+{
+    // First REF is due at refInterval() = 49920; the slack guard
+    // allows 400000 cycles of slip, so 449921 is one cycle too late.
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(ref(), 449921);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefLate), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+
+    ProtocolAuditor on_time = makeAuditor();
+    on_time.observe(ref(), 449920);
+    EXPECT_EQ(on_time.violationCount(), 0u);
+}
+
+TEST(AuditorTest, CatchesChargeSafetyViolation)
+{
+    const CellModel cell{ChargeParams{}};
+    const SenseAmpModel sense_amp{cell};
+    const TimingDerate derate{sense_amp};
+
+    AuditorConfig cfg;
+    cfg.derate = &derate;
+    ProtocolAuditor auditor{cfg};
+
+    // The steady-state preload leaves row 0 one interval short of the
+    // full retention period (the PB with the *least* charge) and the
+    // last refresh group fresh at cycle 0.  The fastest rated timing
+    // (full-charge reductions: tRCD -4, tRAS -8) is therefore safe on
+    // row 8191 but a data-corrupting lie on row 0.
+    const RowTiming fastest{8, 22, 34};
+    auditor.observe(act(0, 8191, fastest), 10);
+    EXPECT_EQ(auditor.violationCount(), 0u);
+    auditor.observe(act(1, 0, fastest), 20);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kChargeSafety), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+
+    // Nominal timing is safe on any row inside the retention period.
+    auditor.observe(act(2, 0), 30);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, ViolationMessagesAreCappedButCountsExact)
+{
+    AuditorConfig cfg;
+    cfg.maxMessages = 2;
+    ProtocolAuditor auditor{cfg};
+    for (int i = 0; i < 5; ++i)
+        auditor.observe(pre(0), 10 + 2 * i); // closed bank every time
+    EXPECT_EQ(auditor.violationCount(), 5u);
+    EXPECT_EQ(auditor.report().messages.size(), 2u);
+    EXPECT_NE(auditor.report().messages[0].find("bank-state"),
+              std::string::npos);
+}
+
+TEST(AuditorTest, ReportMergeAddsCountsAndRules)
+{
+    ProtocolAuditor a = makeAuditor();
+    a.observe(pre(0), 10);
+    ProtocolAuditor b = makeAuditor();
+    b.observe(act(0, 5), 10);
+    b.observe(col(CmdType::kRead, 0), 21); // one cycle inside tRCD
+
+    AuditReport merged;
+    merged.merge(a.report(), 8);
+    merged.merge(b.report(), 8);
+    EXPECT_EQ(merged.commandsChecked, 3u);
+    EXPECT_EQ(merged.violations, 2u);
+    EXPECT_EQ(merged.violationsByRule[static_cast<std::size_t>(
+                  AuditRule::kBankState)],
+              1u);
+    EXPECT_EQ(merged.violationsByRule[static_cast<std::size_t>(
+                  AuditRule::kTrcd)],
+              1u);
+}
+
+TEST(AuditorTest, TraceRoundTripPreservesVerdict)
+{
+    const std::string path =
+        testing::TempDir() + "auditor_roundtrip.trace";
+    {
+        CommandTraceWriter writer(path, 1, DramGeometry{},
+                                  TimingParams{}, ChargeParams{});
+        CommandObserver *tap = writer.channelTap(0);
+        tap->onCommand(act(0, 8191), 10);
+        tap->onCommand(col(CmdType::kRead, 0), 22);
+        tap->onCommand(pre(0), 40);
+        ASSERT_TRUE(writer.finish());
+        EXPECT_EQ(writer.commandsWritten(), 3u);
+    }
+    const TraceReplayResult clean = replayCommandTrace(path);
+    ASSERT_TRUE(clean.parsed) << clean.error;
+    EXPECT_EQ(clean.channels, 1u);
+    EXPECT_EQ(clean.report.commandsChecked, 3u);
+    EXPECT_EQ(clean.report.violations, 0u);
+
+    // Corrupt the captured read by one cycle: replay must flag tRCD.
+    {
+        CommandTraceWriter writer(path, 1, DramGeometry{},
+                                  TimingParams{}, ChargeParams{});
+        CommandObserver *tap = writer.channelTap(0);
+        tap->onCommand(act(0, 8191), 10);
+        tap->onCommand(col(CmdType::kRead, 0), 21);
+        tap->onCommand(pre(0), 40);
+        ASSERT_TRUE(writer.finish());
+    }
+    const TraceReplayResult bad = replayCommandTrace(path);
+    ASSERT_TRUE(bad.parsed) << bad.error;
+    EXPECT_EQ(bad.report.violations, 1u);
+    EXPECT_EQ(bad.report.violationsByRule[static_cast<std::size_t>(
+                  AuditRule::kTrcd)],
+              1u);
+    std::remove(path.c_str());
+}
+
+TEST(AuditorTest, ReplayRejectsGarbage)
+{
+    const std::string path = testing::TempDir() + "auditor_garbage.trace";
+    {
+        std::ofstream out(path);
+        out << "not a trace\n";
+    }
+    const TraceReplayResult res = replayCommandTrace(path);
+    EXPECT_FALSE(res.parsed);
+    EXPECT_FALSE(res.error.empty());
+    std::remove(path.c_str());
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Differential verification harness.
+ *
+ * Sweeps randomized experiment configurations across all scheduler
+ * families with the shadow protocol auditor attached and asserts, for
+ * every run:
+ *   - the auditor (an independent re-implementation of the DDR3 rules
+ *     and the NUAT charge-safety invariant) saw zero violations,
+ *   - no request was lost or double-counted (conservation identities
+ *     between controller stats and device counters),
+ *   - the run drained (no cycle-cap hit, every core finished).
+ *
+ * A second pass re-runs a subset with idle fast-forward disabled and
+ * requires byte-identical statistics, pinning down the optimization's
+ * "results are identical either way" contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/parallel_runner.hh"
+#include "sim/result_json.hh"
+#include "sim/runner.hh"
+
+using namespace nuat;
+
+namespace {
+
+const char *const kWorkloadPool[] = {"libq",  "ferret", "stream",
+                                     "comm1", "black",  "mummer",
+                                     "leslie", "fluid"};
+
+/** Deterministically randomized config #i (small enough to run fast). */
+ExperimentConfig
+randomConfig(unsigned i)
+{
+    Rng rng(0xd1ff0000 + i);
+    ExperimentConfig cfg;
+
+    const unsigned cores = 1 + static_cast<unsigned>(rng.below(3));
+    cfg.workloads.clear();
+    for (unsigned c = 0; c < cores; ++c) {
+        cfg.workloads.push_back(
+            kWorkloadPool[rng.below(std::size(kWorkloadPool))]);
+    }
+
+    // Rotate through the scheduler families; both FR-FCFS page
+    // policies take turns in their slot.
+    switch (i % 4) {
+      case 0:
+        cfg.scheduler = SchedulerKind::kFcfs;
+        break;
+      case 1:
+        cfg.scheduler = (i / 4) % 2 ? SchedulerKind::kFrFcfsClose
+                                    : SchedulerKind::kFrFcfsOpen;
+        break;
+      case 2:
+        cfg.scheduler = SchedulerKind::kFrFcfsAdaptive;
+        break;
+      default:
+        cfg.scheduler = SchedulerKind::kNuat;
+        break;
+    }
+
+    cfg.numPb = 1 + static_cast<unsigned>(rng.below(5));
+    cfg.ppmEnabled = rng.below(2) != 0;
+    cfg.closeGrace = rng.below(2) != 0;
+    cfg.nuatStarvationLimit = rng.below(2) ? 200 : 0;
+    cfg.geometry.channels = rng.below(4) ? 1 : 2;
+    cfg.gapScale = 0.5 + 0.1 * static_cast<double>(rng.below(10));
+    cfg.memOpsPerCore = 1500 + rng.below(1500);
+    cfg.seed = 1 + rng.below(1000000);
+    cfg.audit = true;
+    return cfg;
+}
+
+/** Lost/duplicated requests show up as a broken identity here. */
+void
+checkConservation(const RunResult &r, const std::string &label)
+{
+    EXPECT_EQ(r.ctrl.readsCompleted,
+              r.ctrl.readsAccepted - r.ctrl.readsMerged)
+        << label;
+    EXPECT_EQ(r.dev.reads, r.ctrl.readsAccepted - r.ctrl.readsMerged -
+                               r.ctrl.readsForwarded)
+        << label;
+    EXPECT_EQ(r.dev.writes,
+              r.ctrl.writesAccepted - r.ctrl.writesCoalesced)
+        << label;
+}
+
+std::string
+describe(const RunResult &r, unsigned i)
+{
+    std::string s = "config #" + std::to_string(i) + " [" +
+                    r.schedulerName + "]";
+    for (const auto &w : r.workloads)
+        s += " " + w;
+    for (const auto &msg : r.auditMessages)
+        s += "\n  " + msg;
+    return s;
+}
+
+} // namespace
+
+TEST(DifferentialTest, RandomizedSweepIsViolationFree)
+{
+    constexpr unsigned kConfigs = 24; // >= 6 per scheduler family
+    std::vector<ExperimentConfig> configs;
+    for (unsigned i = 0; i < kConfigs; ++i)
+        configs.push_back(randomConfig(i));
+
+    const std::vector<RunResult> results =
+        runExperimentsParallel(configs, 0);
+    ASSERT_EQ(results.size(), configs.size());
+
+    for (unsigned i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        const std::string label = describe(r, i);
+        EXPECT_FALSE(r.hitCycleCap) << label;
+        ASSERT_TRUE(r.audited) << label;
+        EXPECT_GT(r.auditCommandsChecked, 0u) << label;
+        EXPECT_EQ(r.auditViolations, 0u) << label;
+        checkConservation(r, label);
+        ASSERT_EQ(r.coreFinish.size(), configs[i].workloads.size());
+        for (const CpuCycle finish : r.coreFinish)
+            EXPECT_GT(finish, 0u) << label;
+    }
+}
+
+TEST(DifferentialTest, FastForwardOnOffIsStatIdentical)
+{
+    // One config per scheduler family, audited, both fast-forward
+    // settings; everything except idleCyclesSkipped must match.
+    for (const unsigned i : {0u, 1u, 2u, 3u, 5u}) {
+        ExperimentConfig cfg = randomConfig(i);
+        cfg.memOpsPerCore = 1200; // two full runs each, keep it quick
+
+        cfg.idleFastForward = true;
+        RunResult fast = runExperiment(cfg);
+        cfg.idleFastForward = false;
+        RunResult slow = runExperiment(cfg);
+
+        EXPECT_EQ(slow.idleCyclesSkipped, 0u);
+        fast.idleCyclesSkipped = 0;
+        slow.idleCyclesSkipped = 0;
+        EXPECT_EQ(runResultToJson(fast), runResultToJson(slow))
+            << describe(fast, i);
+        EXPECT_EQ(fast.auditViolations, 0u);
+    }
+}

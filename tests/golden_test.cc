@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Golden-stats regression suite.
+ *
+ * Runs a small fixed workload set under every scheduler and compares
+ * the full RunResult — serialized through the canonical JSON encoder —
+ * byte-for-byte against snapshots in tests/golden/.  Any behavioural
+ * change to the simulator (scheduling order, timing, stats accounting)
+ * shows up as a diff here, so intentional changes must regenerate the
+ * snapshots (tools/regen_golden.sh) and review the diff in the PR.
+ *
+ * Set NUAT_REGEN_GOLDEN=1 to rewrite the snapshots instead of
+ * comparing (that is all regen_golden.sh does).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/result_json.hh"
+#include "sim/runner.hh"
+
+using namespace nuat;
+
+namespace {
+
+struct GoldenCase
+{
+    std::string name; //!< snapshot file stem
+    ExperimentConfig cfg;
+};
+
+const char *
+schedulerKey(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::kFcfs:
+        return "fcfs";
+      case SchedulerKind::kFrFcfsOpen:
+        return "frfcfs_open";
+      case SchedulerKind::kFrFcfsClose:
+        return "frfcfs_close";
+      case SchedulerKind::kFrFcfsAdaptive:
+        return "frfcfs_adaptive";
+      case SchedulerKind::kNuat:
+        return "nuat";
+    }
+    return "?";
+}
+
+/** The fixed grid: three small workload setups x all five schedulers. */
+std::vector<GoldenCase>
+goldenCases()
+{
+    const SchedulerKind kinds[] = {
+        SchedulerKind::kFcfs, SchedulerKind::kFrFcfsOpen,
+        SchedulerKind::kFrFcfsClose, SchedulerKind::kFrFcfsAdaptive,
+        SchedulerKind::kNuat};
+
+    std::vector<GoldenCase> cases;
+    for (const SchedulerKind kind : kinds) {
+        {
+            ExperimentConfig cfg;
+            cfg.workloads = {"libq"};
+            cfg.memOpsPerCore = 2500;
+            cfg.seed = 7;
+            cfg.audit = true;
+            cfg.scheduler = kind;
+            cases.push_back(
+                {std::string("libq_") + schedulerKey(kind), cfg});
+        }
+        {
+            ExperimentConfig cfg;
+            cfg.workloads = {"ferret"};
+            cfg.memOpsPerCore = 2500;
+            cfg.seed = 11;
+            cfg.audit = true;
+            cfg.scheduler = kind;
+            cases.push_back(
+                {std::string("ferret_") + schedulerKey(kind), cfg});
+        }
+        {
+            ExperimentConfig cfg;
+            cfg.workloads = {"comm1", "stream"};
+            cfg.memOpsPerCore = 2000;
+            cfg.seed = 3;
+            cfg.audit = true;
+            cfg.scheduler = kind;
+            cases.push_back(
+                {std::string("comm1_stream_") + schedulerKey(kind),
+                 cfg});
+        }
+    }
+    return cases;
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(NUAT_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+} // namespace
+
+TEST(GoldenTest, StatsMatchSnapshots)
+{
+    const bool regen = std::getenv("NUAT_REGEN_GOLDEN") != nullptr;
+
+    for (const GoldenCase &c : goldenCases()) {
+        const RunResult result = runExperiment(c.cfg);
+        EXPECT_EQ(result.auditViolations, 0u) << c.name;
+        const std::string json = runResultToJson(result);
+        const std::string path = goldenPath(c.name);
+
+        if (regen) {
+            std::ofstream out(path);
+            ASSERT_TRUE(out) << "cannot write " << path;
+            out << json;
+            continue;
+        }
+
+        std::ifstream in(path);
+        ASSERT_TRUE(in) << "missing snapshot " << path
+                        << " — run tools/regen_golden.sh";
+        std::ostringstream expected;
+        expected << in.rdbuf();
+        EXPECT_EQ(json, expected.str())
+            << c.name
+            << ": stats diverged from the snapshot; if the change is "
+               "intentional, run tools/regen_golden.sh and commit the "
+               "diff";
+    }
+}

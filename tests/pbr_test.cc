@@ -161,6 +161,60 @@ TEST_F(PbrTest, ZoneCountsMatchRefreshGranularity)
     EXPECT_EQ(promising, 8u);
 }
 
+TEST_F(PbrTest, MembershipWrapsWithRefreshPointer)
+{
+    // Drive the refresh pointer through a full rotation of the row
+    // space and past the wrap.  A fixed row's PB# must be monotone
+    // non-decreasing while it waits (it only gets staler) and snap
+    // back to PB0 exactly when its own group is refreshed again —
+    // including the second time around, after the pointer wrapped.
+    const std::uint32_t row = 16; // refreshed by the 3rd REF of a pass
+    const unsigned per_pass = 8192 / 8;
+    unsigned prev_pb = pbr_.pbOfRow(refresh_, row);
+    unsigned refreshed_count = 0;
+    for (unsigned k = 1; k <= per_pass + 10; ++k) {
+        refresh_.performRefresh(k * refresh_.interval());
+        const unsigned pb = pbr_.pbOfRow(refresh_, row);
+        if (refresh_.relativeAge(row) < 8) {
+            EXPECT_EQ(pb, 0u) << "REF #" << k;
+            ++refreshed_count;
+            prev_pb = 0;
+        } else {
+            EXPECT_GE(pb, prev_pb) << "REF #" << k;
+            prev_pb = pb;
+        }
+    }
+    // Seen fresh twice: once in the first pass, once after the wrap.
+    EXPECT_EQ(refreshed_count, 2u);
+}
+
+TEST_F(PbrTest, RatedTimingNeverBeatsGroundTruthAcrossWrap)
+{
+    // The PBR safety contract, checked against the charge model's
+    // ground truth over a rotation and beyond the pointer wrap: the
+    // rated timing of the PB a row is classified into must never be
+    // faster than what the row's actual elapsed-since-refresh time
+    // allows.  (This is the same invariant the shadow auditor enforces
+    // on live command streams.)
+    const unsigned per_pass = 8192 / 8;
+    const double period_ns = derate_.clock().periodNs();
+    for (unsigned k = 1; k <= per_pass + 20; ++k) {
+        refresh_.performRefresh(k * refresh_.interval());
+        if (k % 97 != 0 && k != per_pass + 1)
+            continue; // sample sparsely, but right after the wrap
+        const Cycle now = k * refresh_.interval();
+        for (std::uint32_t row = 0; row < 8192; row += 61) {
+            const RowTiming rated =
+                pbr_.ratedTiming(pbr_.pbOfRow(refresh_, row));
+            const RowTiming truth = derate_.effective(
+                refresh_.elapsedNs(row, now, period_ns));
+            ASSERT_GE(rated.trcd, truth.trcd) << "row " << row;
+            ASSERT_GE(rated.tras, truth.tras) << "row " << row;
+            ASSERT_GE(rated.trc, truth.trc) << "row " << row;
+        }
+    }
+}
+
 TEST(PbrConfig, FourPbUsesThreeBitsWorth)
 {
     // Paper Sec. 9.3: a 4PB configuration needs one fewer bit per

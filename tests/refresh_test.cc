@@ -106,6 +106,34 @@ TEST(RefreshEngine, FullRotationRestoresAges)
     EXPECT_EQ(eng.relativeAge(37), age_before);
 }
 
+TEST(RefreshEngine, ScheduleViewMatchesGroundTruthAcrossWrap)
+{
+    // With every REF issued exactly on schedule, the schedule-derived
+    // view (relativeAge, what PBR classifies on) and the ground truth
+    // (lastRefreshAt, what the charge model decays on) must stay in
+    // lock-step — including after the counter wraps around the row
+    // space, where the subtraction in relativeAge() goes modular and
+    // the preloaded negative history has been fully overwritten.  A
+    // divergence here is exactly the bug class that would let PBR rate
+    // a stale row as fresh.
+    const TimingParams tp = smallTiming();
+    const std::uint32_t rows = 64;
+    RefreshEngine eng(rows, tp);
+    const auto interval = static_cast<std::int64_t>(tp.refInterval());
+
+    const unsigned per_pass = rows / tp.rowsPerRef; // 8 REFs per pass
+    for (unsigned k = 1; k <= 3 * per_pass + 5; ++k) {
+        eng.performRefresh(k * tp.refInterval());
+        const std::int64_t now = static_cast<std::int64_t>(k) * interval;
+        for (std::uint32_t row = 0; row < rows; ++row) {
+            const std::int64_t slices =
+                eng.relativeAge(row) / tp.rowsPerRef;
+            ASSERT_EQ(eng.lastRefreshAt(row), now - slices * interval)
+                << "row " << row << " after REF #" << k;
+        }
+    }
+}
+
 TEST(RefreshEngine, RowsMustDivideByRowsPerRef)
 {
     setPanicThrows(true);

@@ -75,6 +75,43 @@ TEST(SyntheticTrace, DeterministicForSameSeed)
     EXPECT_FALSE(b.next(eb));
 }
 
+TEST(SyntheticTrace, SameSeedStreamsAreByteIdentical)
+{
+    // Stronger than the field-wise check above: serialize the entire
+    // request stream of two independent instantiations — for every
+    // workload, with the base-row offset the System applies — and
+    // require the byte strings to be identical.  This is the guard the
+    // golden and differential suites stand on: identical configs must
+    // produce identical request streams before anything downstream can
+    // be expected to reproduce.
+    auto serialize = [](SyntheticTrace &t) {
+        std::string bytes;
+        TraceEntry e;
+        while (t.next(e)) {
+            const char *p = reinterpret_cast<const char *>(&e.addr);
+            bytes.append(p, sizeof(e.addr));
+            bytes.push_back(e.isWrite ? 1 : 0);
+            bytes.push_back(e.dependent ? 1 : 0);
+            p = reinterpret_cast<const char *>(&e.nonMemGap);
+            bytes.append(p, sizeof(e.nonMemGap));
+        }
+        return bytes;
+    };
+    for (const auto &name : WorkloadProfile::allNames()) {
+        const auto &p = WorkloadProfile::byName(name);
+        SyntheticTrace a(p, DramGeometry{}, 1234, 2000, 4096);
+        SyntheticTrace b(p, DramGeometry{}, 1234, 2000, 4096);
+        const std::string bytes = serialize(a);
+        EXPECT_FALSE(bytes.empty()) << name;
+        EXPECT_EQ(bytes, serialize(b)) << name;
+
+        // A different seed must not reproduce the stream (the guard
+        // would be vacuous if the serialization ignored the RNG).
+        SyntheticTrace c(p, DramGeometry{}, 1235, 2000, 4096);
+        EXPECT_NE(bytes, serialize(c)) << name;
+    }
+}
+
 TEST(SyntheticTrace, ResetReplaysIdentically)
 {
     const auto &p = WorkloadProfile::byName("libq");

@@ -1,6 +1,13 @@
 #!/usr/bin/env bash
-# Full check: optimized build + tests, then an ASan/UBSan build + tests.
-# Run from the repository root:  ./tools/check.sh [extra ctest args...]
+# Full check: optimized build + tests (including the differential and
+# golden suites), audited smoke runs of the figure benches, then an
+# ASan/UBSan build + tests.
+#
+# Run from the repository root:
+#   ./tools/check.sh [--quick] [extra ctest args...]
+#
+# --quick: Release build + tests + audited bench smoke only (skips the
+#          sanitizer build; for fast local iteration).
 #
 # TSan is available separately (the parallel runner is the only
 # threaded code):  cmake -B build-tsan -DENABLE_TSAN=ON && ...
@@ -9,10 +16,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+    shift
+fi
+
 echo "=== Release build + tests ==="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-release -j "$JOBS"
 ctest --test-dir build-release -j "$JOBS" --output-on-failure "$@"
+
+echo
+echo "=== Audited bench smoke (fig18/fig20, tiny traces) ==="
+# Every issued DRAM command of these runs is re-checked by the shadow
+# protocol auditor; the bench exits 2 on any violation.
+NUAT_BENCH_AUDIT=1 NUAT_BENCH_OPS=2000 NUAT_BENCH_THREADS=0 \
+    ./build-release/bench/bench_fig18_latency >/dev/null
+NUAT_BENCH_AUDIT=1 NUAT_BENCH_OPS=2000 NUAT_BENCH_THREADS=0 \
+    ./build-release/bench/bench_fig20_exectime >/dev/null
+echo "bench audit clean"
+
+if [[ "$QUICK" == "1" ]]; then
+    echo
+    echo "Quick checks passed (sanitizer build skipped)."
+    exit 0
+fi
 
 echo
 echo "=== ASan/UBSan build + tests ==="

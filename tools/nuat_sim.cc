@@ -16,6 +16,11 @@
  *     --threads N             workers for --compare (0 = all cores,
  *                             default 1; results are identical)
  *     --csv                   one machine-readable line per run
+ *     --audit                 attach the shadow protocol auditor; the
+ *                             exit code is 2 if it flags any violation
+ *     --dump-trace FILE       tee the issued-command stream to FILE
+ *     --replay-trace FILE     re-audit a captured trace (no simulation);
+ *                             exit code 2 on violations
  *     --help
  */
 
@@ -28,6 +33,7 @@
 #include "common/logging.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
+#include "verify/trace_capture.hh"
 
 using namespace nuat;
 
@@ -97,7 +103,43 @@ usage()
         "  --compare           run all five schedulers\n"
         "  --pb N --channels N --ops N --seed N --gap-scale F\n"
         "  --threads N         workers for --compare (0 = all cores)\n"
+        "  --audit             shadow protocol auditor (exit 2 on "
+        "violations)\n"
+        "  --dump-trace FILE   tee the issued-command stream to FILE\n"
+        "  --replay-trace FILE re-audit a captured trace\n"
         "  --no-ppm --paper-pure --csv --help\n");
+}
+
+/** Print an audited run's verdict; true when violations were found. */
+bool
+reportAudit(const RunResult &r)
+{
+    if (!r.audited)
+        return false;
+    std::printf("audit: %llu commands checked, %llu violations\n",
+                static_cast<unsigned long long>(r.auditCommandsChecked),
+                static_cast<unsigned long long>(r.auditViolations));
+    for (const auto &msg : r.auditMessages)
+        std::printf("audit:   %s\n", msg.c_str());
+    return r.auditViolations != 0;
+}
+
+/** --replay-trace: re-audit a captured command trace, no simulator. */
+int
+replayTrace(const std::string &path)
+{
+    const TraceReplayResult res = replayCommandTrace(path);
+    if (!res.parsed)
+        nuat_fatal("replay failed: %s", res.error.c_str());
+    std::printf("replayed %llu commands over %u channel(s): "
+                "%llu violations\n",
+                static_cast<unsigned long long>(
+                    res.report.commandsChecked),
+                res.channels,
+                static_cast<unsigned long long>(res.report.violations));
+    for (const auto &msg : res.report.messages)
+        std::printf("audit:   %s\n", msg.c_str());
+    return res.report.violations ? 2 : 0;
 }
 
 } // namespace
@@ -111,6 +153,7 @@ main(int argc, char **argv)
     bool compare = false;
     bool csv = false;
     unsigned threads = 1;
+    std::string replay_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -142,6 +185,12 @@ main(int argc, char **argv)
             cfg.nuatStarvationLimit = 0;
         } else if (arg == "--threads") {
             threads = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--audit") {
+            cfg.audit = true;
+        } else if (arg == "--dump-trace") {
+            cfg.dumpTracePath = value();
+        } else if (arg == "--replay-trace") {
+            replay_path = value();
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--help") {
@@ -152,6 +201,9 @@ main(int argc, char **argv)
             nuat_fatal("unknown option '%s'", arg.c_str());
         }
     }
+
+    if (!replay_path.empty())
+        return replayTrace(replay_path);
 
     if (csv) {
         std::printf("scheduler,workloads,seed,avg_lat_cyc,p95_lat_cyc,"
@@ -174,7 +226,10 @@ main(int argc, char **argv)
         } else {
             std::printf("%s", compareRuns(results).c_str());
         }
-        return 0;
+        bool bad = false;
+        for (const auto &r : results)
+            bad = reportAudit(r) || bad;
+        return bad ? 2 : 0;
     }
 
     const RunResult r = runExperiment(cfg);
@@ -193,5 +248,5 @@ main(int argc, char **argv)
                     r.energy.refresh / 1e6, r.energy.background / 1e6,
                     r.energy.deratingSavings / 1e6);
     }
-    return 0;
+    return reportAudit(r) ? 2 : 0;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate the golden-stats snapshots under tests/golden/.
+#
+# Usage: tools/regen_golden.sh [build-dir]
+#
+# Runs the golden_test binary in regeneration mode, which rewrites one
+# JSON snapshot per (workload set, scheduler) cell.  Review the diff:
+# every changed field is a behavioural change of the simulator.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+bin="$build/tests/golden_test"
+
+if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $build --target golden_test)" >&2
+    exit 1
+fi
+
+mkdir -p "$repo/tests/golden"
+NUAT_REGEN_GOLDEN=1 "$bin"
+echo "regenerated $(ls "$repo"/tests/golden/*.json | wc -l) snapshots in tests/golden/"
+git -C "$repo" --no-pager diff --stat -- tests/golden || true
