@@ -50,6 +50,7 @@ main(int argc, char **argv)
             grid.push_back(cfg);
         }
     }
+    bench::applyMetricsEnv(grid, "fig18");
     const auto all = runExperimentsParallel(grid, threads);
     tput.add(all);
 

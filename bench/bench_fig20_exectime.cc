@@ -45,6 +45,7 @@ main(int argc, char **argv)
             grid.push_back(cfg);
         }
     }
+    bench::applyMetricsEnv(grid, "fig20");
     const auto all = runExperimentsParallel(grid, threads);
     tput.add(all);
 

@@ -8,6 +8,9 @@
  *  - NUAT_BENCH_THREADS: worker threads (same as --threads N)
  *  - NUAT_BENCH_AUDIT=1: attach the shadow protocol auditor to every
  *                        run; the bench exits 2 on any violation
+ *  - NUAT_BENCH_METRICS=DIR: stream each run's interval metric samples
+ *                        (JSON Lines, see OBSERVABILITY.md) into
+ *                        DIR/<bench>-<run#>.jsonl
  */
 
 #ifndef NUAT_BENCH_BENCH_UTIL_HH
@@ -73,6 +76,24 @@ auditVerdict(const std::vector<RunResult> &results)
                 static_cast<unsigned long long>(commands),
                 static_cast<unsigned long long>(violations));
     return violations ? 2 : 0;
+}
+
+/**
+ * NUAT_BENCH_METRICS=DIR: give every run in @p grid its own metric
+ * stream at DIR/<bench>-<run#>.jsonl.  No-op when the variable is
+ * unset, so the default bench run stays metrics-free (and therefore
+ * identical to the committed baselines).
+ */
+inline void
+applyMetricsEnv(std::vector<ExperimentConfig> &grid, const char *bench)
+{
+    const char *dir = std::getenv("NUAT_BENCH_METRICS");
+    if (!dir || !dir[0])
+        return;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        grid[i].metricsOutPath = std::string(dir) + "/" + bench + "-" +
+                                 std::to_string(i) + ".jsonl";
+    }
 }
 
 /** Mean of per-core finish times [CPU cycles]. */

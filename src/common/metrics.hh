@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Metrics & telemetry: a registry of named counters, gauges and
+ * fixed-bucket histograms, plus an interval sampler that emits the
+ * registry as a JSONL time series and (optionally) chrome://tracing
+ * counter events.
+ *
+ * Design rules (PR 1's hot-path discipline):
+ *  - Registration is cold (simulation setup); components resolve raw
+ *    Counter/Gauge/Histogram pointers once and bump them with plain
+ *    increments afterwards — no lookups, no allocation per cycle.
+ *  - Instrumentation sites are wrapped in NUAT_METRIC(...), which
+ *    compiles to nothing when the library is built with
+ *    -DNUAT_METRICS=OFF (NUAT_METRICS_ENABLED == 0): the disabled
+ *    build carries zero overhead, not even a null check.
+ *  - With metrics compiled in but not attached (the default at run
+ *    time), every site is a single never-taken branch on a null
+ *    pointer.  Attaching a registry never perturbs simulation
+ *    behaviour: all instrumentation is observation-only, so metrics-on
+ *    and metrics-off runs produce byte-identical RunResults.
+ *
+ * Sampling model: cumulative values.  Every JSONL record carries the
+ * full current value of every metric, stamped with the memory cycle of
+ * the interval boundary it covers; consumers difference adjacent
+ * records for per-interval rates.  The final record of a run therefore
+ * agrees with the run's aggregate statistics — metrics_test pins that
+ * invariant.  See OBSERVABILITY.md for the schema and metric names.
+ */
+
+#ifndef NUAT_COMMON_METRICS_HH
+#define NUAT_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats.hh"
+#include "types.hh"
+
+/** Compile-time gate; the build system defines it 0 or 1 globally. */
+#ifndef NUAT_METRICS_ENABLED
+#define NUAT_METRICS_ENABLED 1
+#endif
+
+/**
+ * Wrap an instrumentation statement: compiled out entirely when
+ * metrics support is disabled at build time.
+ */
+#if NUAT_METRICS_ENABLED
+#define NUAT_METRIC(stmt)                                              \
+    do {                                                               \
+        stmt;                                                          \
+    } while (false)
+#else
+#define NUAT_METRIC(stmt)                                              \
+    do {                                                               \
+    } while (false)
+#endif
+
+namespace nuat {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    /** Add @p n events. */
+    void inc(std::uint64_t n = 1) { v_ += n; }
+
+    /** Current count. */
+    std::uint64_t value() const { return v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+/** A point-in-time value (set) or running double sum (add). */
+class Gauge
+{
+  public:
+    /** Replace the value. */
+    void set(double v) { v_ = v; }
+
+    /** Accumulate into the value. */
+    void add(double delta) { v_ += delta; }
+
+    /** Current value. */
+    double value() const { return v_; }
+
+  private:
+    double v_ = 0.0;
+};
+
+/**
+ * Named, ordered collection of metrics.  Lookup happens only at
+ * registration; re-registering a name returns the existing instance
+ * (so several components may share a metric) and panics on a kind or
+ * bucketing mismatch.
+ */
+class MetricRegistry
+{
+  public:
+    enum class Kind
+    {
+        kCounter,
+        kGauge,
+        kHistogram,
+    };
+
+    /** One registered metric (exactly one payload is non-null). */
+    struct Entry
+    {
+        std::string name;
+        std::string description;
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    /** Get or create the named counter. */
+    Counter &counter(const std::string &name,
+                     const std::string &description = "");
+
+    /** Get or create the named gauge. */
+    Gauge &gauge(const std::string &name,
+                 const std::string &description = "");
+
+    /**
+     * Get or create the named fixed-bucket histogram (see Histogram:
+     * bucket i covers [lo + i*width, lo + (i+1)*width), plus
+     * under/overflow).  Re-registration must repeat the bucketing.
+     */
+    Histogram &histogram(const std::string &name, double lo,
+                         double width, unsigned buckets,
+                         const std::string &description = "");
+
+    /**
+     * Register a hook run immediately before every sample is
+     * serialized.  Components use hooks to publish pull-style gauges
+     * (current queue depth, PHRC estimate, refresh-pointer position)
+     * without paying any per-cycle cost.
+     */
+    void addSampleHook(std::function<void()> hook);
+
+    /** Run every registered sample hook. */
+    void runSampleHooks() const;
+
+    /** All metrics in registration order. */
+    const std::vector<std::unique_ptr<Entry>> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Serialize the current values as the three JSON maps
+     * `"counters":{...},"gauges":{...},"histograms":{...}` (no
+     * surrounding braces; the sampler owns the record framing).
+     */
+    void writeValuesJson(std::ostream &out) const;
+
+  private:
+    Entry &findOrCreate(const std::string &name,
+                        const std::string &description, Kind kind);
+
+    std::vector<std::unique_ptr<Entry>> entries_;
+    std::vector<std::function<void()>> hooks_;
+};
+
+/**
+ * chrome://tracing sink: renders every counter and gauge as a counter
+ * track ("ph":"C") in the Trace Event JSON array format.  Load the
+ * output in chrome://tracing or Perfetto; ts is the memory cycle.
+ */
+class TraceEventSink
+{
+  public:
+    /** Writes the opening of the event array to @p out (not owned). */
+    explicit TraceEventSink(std::ostream &out);
+
+    /** Emit one counter event. */
+    void counterEvent(const std::string &name, Cycle t, double value);
+
+    /** Close the event array (idempotent). */
+    void finish();
+
+  private:
+    std::ostream &out_;
+    bool first_ = true;
+    bool finished_ = false;
+};
+
+/**
+ * Emits one JSONL record per elapsed interval boundary.
+ *
+ * Boundaries sit at k*interval for k = 1, 2, ...; advanceTo(now)
+ * emits every boundary in (last emitted, now] — an idle fast-forward
+ * that jumps several boundaries yields one record per boundary, each
+ * stamped with its boundary cycle (the values are those at the first
+ * cycle the simulator reached at or after the boundary).  finish()
+ * appends a trailing record for a run that ends between boundaries,
+ * so the last record always reflects the complete run.
+ */
+class IntervalSampler
+{
+  public:
+    /**
+     * @param registry metrics to serialize (not owned)
+     * @param interval cycles between samples (must be positive)
+     * @param jsonl    JSONL destination, may be null (not owned)
+     * @param trace    optional chrome://tracing sink (not owned)
+     */
+    IntervalSampler(MetricRegistry &registry, Cycle interval,
+                    std::ostream *jsonl,
+                    TraceEventSink *trace = nullptr);
+
+    /** Emit a record for every boundary at or before @p now. */
+    void advanceTo(Cycle now);
+
+    /** Final partial record at @p now (no-op if already emitted). */
+    void finish(Cycle now);
+
+    /** Records emitted so far. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** The sampling interval [cycles]. */
+    Cycle interval() const { return interval_; }
+
+  private:
+    void emit(Cycle t);
+
+    MetricRegistry &registry_;
+    Cycle interval_;
+    Cycle nextAt_;
+    Cycle lastEmittedAt_ = 0;
+    std::uint64_t samples_ = 0;
+    std::ostream *jsonl_;
+    TraceEventSink *trace_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_METRICS_HH

@@ -58,6 +58,24 @@ Histogram::sample(double v)
 }
 
 void
+Histogram::sampleN(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    summary_.sampleN(v, n);
+    if (v < lo_) {
+        underflow_ += n;
+        return;
+    }
+    const double idx = (v - lo_) / width_;
+    if (idx >= static_cast<double>(counts_.size())) {
+        overflow_ += n;
+        return;
+    }
+    counts_[static_cast<unsigned>(idx)] += n;
+}
+
+void
 Histogram::merge(const Histogram &other)
 {
     nuat_assert(lo_ == other.lo_ && width_ == other.width_ &&

@@ -30,6 +30,21 @@ class RunningStat
         ++count_;
     }
 
+    /** Record @p n identical samples at once (idle fast-forward). */
+    void
+    sampleN(double v, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        if (count_ == 0 || v < min_)
+            min_ = v;
+        if (count_ == 0 || v > max_)
+            max_ = v;
+        sum_ += v * static_cast<double>(n);
+        sumSq_ += v * v * static_cast<double>(n);
+        count_ += n;
+    }
+
     /** Merge another RunningStat into this one. */
     void merge(const RunningStat &other);
 
@@ -79,6 +94,10 @@ class Histogram
     /** Record one sample (also feeds the embedded RunningStat). */
     void sample(double v);
 
+    /** Record @p n identical samples at once, byte-identical to @p n
+     *  sample(v) calls (idle fast-forward support). */
+    void sampleN(double v, std::uint64_t n);
+
     /** Count in regular bucket @p i. */
     std::uint64_t bucketCount(unsigned i) const;
 
@@ -93,6 +112,12 @@ class Histogram
 
     /** Number of regular buckets. */
     unsigned buckets() const { return static_cast<unsigned>(counts_.size()); }
+
+    /** Lower bound of the first bucket. */
+    double lo() const { return lo_; }
+
+    /** Width of each regular bucket. */
+    double width() const { return width_; }
 
     /** Summary statistics over all samples. */
     const RunningStat &summary() const { return summary_; }

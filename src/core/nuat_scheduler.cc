@@ -1,14 +1,98 @@
 #include "nuat_scheduler.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "sim/experiment_config.hh"
 
 namespace nuat {
+
+/** Raw metric handles; only the first numPb() per-PB slots are
+ *  registered, the rest stay null and are never touched. */
+struct NuatScheduler::NuatMetrics
+{
+    std::array<Counter *, 8> actPb{};
+    std::array<Counter *, 8> colPb{};
+    std::array<Gauge *, 8> hitRatePb{};
+    std::array<Gauge *, 5> scoreEs{};
+    Counter *ppmOpen = nullptr;
+    Counter *ppmClose = nullptr;
+    Counter *starvationEscapes = nullptr;
+    Counter *picks = nullptr;
+    Gauge *phrcHitRate = nullptr;
+    Gauge *phrcWindowCols = nullptr;
+    Gauge *phrcWindowActs = nullptr;
+    Gauge *phrcRollovers = nullptr;
+};
 
 NuatScheduler::NuatScheduler(const NuatConfig &cfg)
     : cfg_(cfg), table_(cfg), phrc_(cfg.subWindow, cfg.windowRatio)
 {
     cfg_.validate();
+}
+
+NuatScheduler::~NuatScheduler() = default;
+
+void
+NuatScheduler::attachMetrics(MetricRegistry &registry,
+                             const std::string &prefix)
+{
+    nuat_assert(!metrics_, "(attachMetrics called twice)");
+    metrics_ = std::make_unique<NuatMetrics>();
+    NuatMetrics &m = *metrics_;
+    for (unsigned pb = 0; pb < cfg_.numPb(); ++pb) {
+        const std::string k = std::to_string(pb);
+        m.actPb[pb] = &registry.counter(prefix + "act_pb" + k,
+                                        "ACTs issued to PB" + k);
+        m.colPb[pb] = &registry.counter(
+            prefix + "col_pb" + k,
+            "column accesses to open rows in PB" + k);
+        m.hitRatePb[pb] = &registry.gauge(
+            prefix + "hit_rate_pb" + k,
+            "eq. (3) hit rate of PB" + k + " so far");
+    }
+    for (unsigned e = 0; e < m.scoreEs.size(); ++e) {
+        m.scoreEs[e] = &registry.gauge(
+            prefix + "score_es" + std::to_string(e + 1),
+            "cumulative weighted Element " + std::to_string(e + 1) +
+                " contribution of chosen candidates");
+    }
+    m.ppmOpen = &registry.counter(prefix + "ppm_open",
+                                  "column commands kept open-page");
+    m.ppmClose = &registry.counter(
+        prefix + "ppm_close", "column commands auto-precharged by PPM");
+    m.starvationEscapes = &registry.counter(
+        prefix + "starvation_escapes",
+        "picks decided by the starvation escape boost");
+    m.picks =
+        &registry.counter(prefix + "picks", "scheduler picks issued");
+    m.phrcHitRate =
+        &registry.gauge(prefix + "phrc_hit_rate",
+                        "PHRC pseudo hit-rate estimate, eq. (3)");
+    m.phrcWindowCols = &registry.gauge(
+        prefix + "phrc_window_cols",
+        "PHRC estimated column accesses in the current window");
+    m.phrcWindowActs = &registry.gauge(
+        prefix + "phrc_window_acts",
+        "PHRC estimated activations in the current window");
+    m.phrcRollovers = &registry.gauge(
+        prefix + "phrc_rollovers", "PHRC sub-window boundaries so far");
+    registry.addSampleHook([this] {
+        NuatMetrics &mm = *metrics_;
+        mm.phrcHitRate->set(phrc_.hitRate());
+        mm.phrcWindowCols->set(phrc_.windowColumnAccesses());
+        mm.phrcWindowActs->set(phrc_.windowActivations());
+        mm.phrcRollovers->set(static_cast<double>(phrc_.rollovers()));
+        for (unsigned pb = 0; pb < cfg_.numPb(); ++pb) {
+            const double cols =
+                static_cast<double>(mm.colPb[pb]->value());
+            const double acts =
+                static_cast<double>(mm.actPb[pb]->value());
+            mm.hitRatePb[pb]->set(
+                cols > 0.0 && cols > acts ? (cols - acts) / cols : 0.0);
+        }
+    });
 }
 
 void
@@ -74,6 +158,8 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
     double best_score = 0.0;
     Cycle best_arrival = kNeverCycle;
     unsigned best_pb = 0;
+    [[maybe_unused]] ScoreInputs best_in;
+    [[maybe_unused]] bool best_starved = false;
 
     for (std::size_t i = 0; i < candidates.size(); ++i) {
         const Candidate &c = candidates[i];
@@ -96,8 +182,9 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
         // Starvation escape (see NuatConfig::starvationLimit): lift
         // over-age requests above every table score; ties (two starving
         // requests) still break oldest-first below.
-        if (cfg_.starvationLimit > 0 &&
-            in.waitCycles > cfg_.starvationLimit) {
+        const bool starved = cfg_.starvationLimit > 0 &&
+                             in.waitCycles > cfg_.starvationLimit;
+        if (starved) {
             s += 10.0 * (table_.weights().w1 + 2.0 * table_.weights().w3);
         }
         const Cycle arrival = c.req ? c.req->arrivalAt : kNeverCycle;
@@ -107,27 +194,63 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
             best_score = s;
             best_arrival = arrival;
             best_pb = in.pb;
+            NUAT_METRIC(if (metrics_) {
+                best_in = in;
+                best_starved = starved;
+            });
         }
     }
 
     Candidate &chosen = candidates[best];
+    NUAT_METRIC(if (metrics_) {
+        metrics_->picks->inc();
+        if (best_starved)
+            metrics_->starvationEscapes->inc();
+        metrics_->scoreEs[0]->add(table_.es1(best_in));
+        metrics_->scoreEs[1]->add(table_.es2(best_in));
+        metrics_->scoreEs[2]->add(table_.es3(best_in));
+        metrics_->scoreEs[3]->add(table_.es4(best_in));
+        metrics_->scoreEs[4]->add(table_.es5(best_in));
+    });
     if (chosen.cmd.type == CmdType::kAct) {
         // Run the activation at the PB's rated (charge-safe) timing.
         chosen.cmd.actTiming = pbr_->ratedTiming(best_pb);
         ++actsPerPb_[best_pb < actsPerPb_.size() ? best_pb
                                                  : actsPerPb_.size() - 1];
-    } else if (isColumnCmd(chosen.cmd.type) && cfg_.ppmEnabled) {
-        // PPM: per-PB page-mode selection against the PHRC estimate.
-        const auto &refresh = ctx.dev->refresh(chosen.cmd.rank);
-        const std::uint32_t open_row =
-            ctx.dev->bank(chosen.cmd.rank, chosen.cmd.bank).openRow();
-        const unsigned pb = pbr_->pbOfRow(refresh, open_row);
-        const PagePolicy mode = ppm_->modeFor(pb, phrc_.hitRate());
-        applyPagePolicy(chosen, mode, cfg_.graceClose);
-        if (mode == PagePolicy::kClose)
-            ++ppmClose_;
-        else
-            ++ppmOpen_;
+        NUAT_METRIC(if (metrics_) {
+            metrics_
+                ->actPb[best_pb < cfg_.numPb() ? best_pb
+                                               : cfg_.numPb() - 1]
+                ->inc();
+        });
+    } else if (isColumnCmd(chosen.cmd.type)) {
+        bool want_pb = cfg_.ppmEnabled;
+        NUAT_METRIC(want_pb = want_pb || metrics_ != nullptr);
+        if (want_pb) {
+            const auto &refresh = ctx.dev->refresh(chosen.cmd.rank);
+            const std::uint32_t open_row =
+                ctx.dev->bank(chosen.cmd.rank, chosen.cmd.bank)
+                    .openRow();
+            const unsigned pb = pbr_->pbOfRow(refresh, open_row);
+            NUAT_METRIC(if (metrics_) {
+                metrics_
+                    ->colPb[pb < cfg_.numPb() ? pb : cfg_.numPb() - 1]
+                    ->inc();
+            });
+            if (cfg_.ppmEnabled) {
+                // PPM: per-PB page-mode selection against the PHRC
+                // estimate.
+                const PagePolicy mode = ppm_->modeFor(pb, phrc_.hitRate());
+                applyPagePolicy(chosen, mode, cfg_.graceClose);
+                if (mode == PagePolicy::kClose) {
+                    ++ppmClose_;
+                    NUAT_METRIC(if (metrics_) metrics_->ppmClose->inc());
+                } else {
+                    ++ppmOpen_;
+                    NUAT_METRIC(if (metrics_) metrics_->ppmOpen->inc());
+                }
+            }
+        }
     }
     return best;
 }

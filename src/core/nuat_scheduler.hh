@@ -32,8 +32,18 @@ class NuatScheduler : public Scheduler
   public:
     explicit NuatScheduler(const NuatConfig &cfg);
 
+    ~NuatScheduler() override; // out-of-line: NuatMetrics incomplete
+
     int pick(std::vector<Candidate> &candidates,
              const SchedContext &ctx) override;
+
+    /**
+     * Export per-PB ACT/column counts and hit rates, PPM decisions,
+     * PHRC window state, the starvation-escape count, and cumulative
+     * per-element score contributions under @p prefix.
+     */
+    void attachMetrics(MetricRegistry &registry,
+                       const std::string &prefix) override;
 
     void onIssue(const Command &cmd, const SchedContext &ctx) override;
 
@@ -80,6 +90,10 @@ class NuatScheduler : public Scheduler
     std::array<std::uint64_t, 8> actsPerPb_{};
     std::uint64_t ppmClose_ = 0;
     std::uint64_t ppmOpen_ = 0;
+
+    /** Resolved metric handles; null unless attachMetrics was called. */
+    struct NuatMetrics;
+    std::unique_ptr<NuatMetrics> metrics_;
 };
 
 } // namespace nuat

@@ -3,8 +3,84 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace nuat {
+
+/** Raw metric handles, resolved once at attach time (see metrics.hh:
+ *  all hot-path updates are plain increments through these). */
+struct MemoryController::CtrlMetrics
+{
+    Counter *cmdAct;
+    Counter *cmdPre;
+    Counter *cmdRead;
+    Counter *cmdReadAp;
+    Counter *cmdWrite;
+    Counter *cmdWriteAp;
+    Counter *cmdRef;
+    Counter *forcedPre; //!< PREs forced by refresh draining
+    Counter *readsForwarded;
+    Counter *readsMerged;
+    Counter *writesCoalesced;
+    Counter *readsCompleted;
+    Histogram *readLatency;
+    Histogram *readqOccupancy;
+    Histogram *writeqOccupancy;
+    Gauge *readqLen;
+    Gauge *writeqLen;
+};
+
+MemoryController::~MemoryController() = default;
+
+void
+MemoryController::attachMetrics(MetricRegistry &registry,
+                                unsigned channel)
+{
+    nuat_assert(!metrics_, "(attachMetrics called twice)");
+    const std::string p = "ctrl" + std::to_string(channel) + ".";
+    metrics_ = std::make_unique<CtrlMetrics>();
+    CtrlMetrics &m = *metrics_;
+    m.cmdAct = &registry.counter(p + "cmd_act", "ACT commands issued");
+    m.cmdPre =
+        &registry.counter(p + "cmd_pre", "explicit PRE commands issued");
+    m.cmdRead = &registry.counter(p + "cmd_read", "READ commands issued");
+    m.cmdReadAp = &registry.counter(p + "cmd_read_ap",
+                                    "READ+auto-precharge commands");
+    m.cmdWrite =
+        &registry.counter(p + "cmd_write", "WRITE commands issued");
+    m.cmdWriteAp = &registry.counter(p + "cmd_write_ap",
+                                     "WRITE+auto-precharge commands");
+    m.cmdRef = &registry.counter(p + "cmd_ref", "REF commands issued");
+    m.forcedPre = &registry.counter(
+        p + "forced_pre", "PREs forced while draining for refresh");
+    m.readsForwarded = &registry.counter(
+        p + "reads_forwarded", "reads served from the write queue");
+    m.readsMerged = &registry.counter(
+        p + "reads_merged", "reads merged onto a pending access");
+    m.writesCoalesced = &registry.counter(
+        p + "writes_coalesced", "writes coalesced in the write queue");
+    m.readsCompleted =
+        &registry.counter(p + "reads_completed", "reads completed");
+    m.readLatency = &registry.histogram(
+        p + "read_latency", 0.0, 8.0, 64,
+        "read latency enqueue->data [cycles], 8-cycle buckets");
+    m.readqOccupancy = &registry.histogram(
+        p + "readq_occupancy", 0.0, 1.0, 64,
+        "read-queue length sampled every tick");
+    m.writeqOccupancy = &registry.histogram(
+        p + "writeq_occupancy", 0.0, 1.0, 64,
+        "write-queue length sampled every tick");
+    m.readqLen =
+        &registry.gauge(p + "readq_len", "read-queue length now");
+    m.writeqLen =
+        &registry.gauge(p + "writeq_len", "write-queue length now");
+    registry.addSampleHook([this] {
+        metrics_->readqLen->set(static_cast<double>(readQ_.size()));
+        metrics_->writeqLen->set(static_cast<double>(writeQ_.size()));
+    });
+    scheduler_->attachMetrics(registry,
+                              "sched" + std::to_string(channel) + ".");
+}
 
 MemoryController::MemoryController(DramDevice &dev,
                                    std::unique_ptr<Scheduler> scheduler,
@@ -82,6 +158,12 @@ MemoryController::enqueueRead(Addr addr, const Waiter &waiter, Cycle now)
     if (writeQ_.findLine(line)) {
         ++stats_.readsForwarded;
         ++stats_.readsCompleted;
+        NUAT_METRIC(if (metrics_) {
+            metrics_->readsForwarded->inc();
+            metrics_->readsCompleted->inc();
+            metrics_->readLatency->sample(
+                static_cast<double>(cfg_.forwardLatency));
+        });
         stats_.readLatencySum += static_cast<double>(cfg_.forwardLatency);
         stats_.readLatencyHist.sample(
             static_cast<double>(cfg_.forwardLatency));
@@ -93,12 +175,14 @@ MemoryController::enqueueRead(Addr addr, const Waiter &waiter, Cycle now)
     // Merge onto a pending read to the same line.
     if (Request *pending = readQ_.findLine(line)) {
         ++stats_.readsMerged;
+        NUAT_METRIC(if (metrics_) metrics_->readsMerged->inc());
         pending->waiters.push_back(waiter);
         return;
     }
     for (auto &f : inFlight_) {
         if (f.addr == line) {
             ++stats_.readsMerged;
+            NUAT_METRIC(if (metrics_) metrics_->readsMerged->inc());
             f.waiters.push_back(waiter);
             return;
         }
@@ -127,6 +211,7 @@ MemoryController::enqueueWrite(Addr addr, Cycle now)
 
     if (writeQ_.findLine(line)) {
         ++stats_.writesCoalesced; // last-writer-wins, one DRAM write
+        NUAT_METRIC(if (metrics_) metrics_->writesCoalesced->inc());
         return;
     }
 
@@ -174,6 +259,7 @@ MemoryController::handleRefresh(Cycle now)
         ref.rank = r;
         if (dev_.canIssue(ref, now)) {
             dev_.issue(ref, now);
+            NUAT_METRIC(if (metrics_) metrics_->cmdRef->inc());
             scheduler_->onIssue(ref, makeContext(now));
             return true;
         }
@@ -188,6 +274,10 @@ MemoryController::handleRefresh(Cycle now)
             pre.bank = b;
             if (dev_.canIssue(pre, now)) {
                 dev_.issue(pre, now);
+                NUAT_METRIC(if (metrics_) {
+                    metrics_->cmdPre->inc();
+                    metrics_->forcedPre->inc();
+                });
                 scheduler_->onIssue(pre, makeContext(now));
                 return true;
             }
@@ -287,8 +377,10 @@ MemoryController::issueCandidate(Candidate &cand, Cycle now)
     switch (cand.cmd.type) {
       case CmdType::kAct:
         cand.req->hadOwnAct = true;
+        NUAT_METRIC(if (metrics_) metrics_->cmdAct->inc());
         break;
       case CmdType::kPre:
+        NUAT_METRIC(if (metrics_) metrics_->cmdPre->inc());
         break;
       case CmdType::kRead:
       case CmdType::kReadAp: {
@@ -298,6 +390,14 @@ MemoryController::issueCandidate(Candidate &cand, Cycle now)
             static_cast<double>(result.dataAt - req->arrivalAt);
         stats_.readLatencyHist.sample(
             static_cast<double>(result.dataAt - req->arrivalAt));
+        NUAT_METRIC(if (metrics_) {
+            (cand.cmd.type == CmdType::kReadAp ? metrics_->cmdReadAp
+                                               : metrics_->cmdRead)
+                ->inc();
+            metrics_->readsCompleted->inc();
+            metrics_->readLatency->sample(
+                static_cast<double>(result.dataAt - req->arrivalAt));
+        });
         if (!req->hadOwnAct)
             ++stats_.rowHitReads;
         inFlight_.push_back(PendingCompletion{result.dataAt, req->addr,
@@ -307,6 +407,11 @@ MemoryController::issueCandidate(Candidate &cand, Cycle now)
       case CmdType::kWrite:
       case CmdType::kWriteAp: {
         std::unique_ptr<Request> req = writeQ_.remove(cand.req);
+        NUAT_METRIC(if (metrics_) {
+            (cand.cmd.type == CmdType::kWriteAp ? metrics_->cmdWriteAp
+                                                : metrics_->cmdWrite)
+                ->inc();
+        });
         if (!req->hadOwnAct)
             ++stats_.rowHitWrites;
         break;
@@ -322,6 +427,12 @@ MemoryController::tick(Cycle now)
     ++stats_.tickCycles;
     stats_.readQOccupancySum += static_cast<double>(readQ_.size());
     stats_.writeQOccupancySum += static_cast<double>(writeQ_.size());
+    NUAT_METRIC(if (metrics_) {
+        metrics_->readqOccupancy->sample(
+            static_cast<double>(readQ_.size()));
+        metrics_->writeqOccupancy->sample(
+            static_cast<double>(writeQ_.size()));
+    });
 
     processCompletions(now);
     scheduler_->tick(makeContext(now));
@@ -355,6 +466,10 @@ MemoryController::skipIdle(Cycle now, Cycle cycles)
     // enumerate nothing, idle.  Occupancy sums gain zero.
     stats_.tickCycles += cycles;
     stats_.idleCycles += cycles;
+    NUAT_METRIC(if (metrics_) {
+        metrics_->readqOccupancy->sampleN(0.0, cycles);
+        metrics_->writeqOccupancy->sampleN(0.0, cycles);
+    });
     scheduler_->fastForward(cycles, makeContext(now));
 }
 

@@ -32,6 +32,8 @@
 
 namespace nuat {
 
+class MetricRegistry;
+
 /** Controller configuration (paper Table 3 defaults). */
 struct ControllerConfig
 {
@@ -121,8 +123,20 @@ class MemoryController : public MemoryPort
                      std::unique_ptr<Scheduler> scheduler,
                      const ControllerConfig &config = ControllerConfig{});
 
+    ~MemoryController(); // out-of-line: CtrlMetrics is incomplete here
+
     /** Install the read-completion callback. */
     void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
+
+    /**
+     * Register this controller's metrics (command counts, queue
+     * occupancy, read-latency histogram) under "ctrl<channel>." and
+     * forward to the scheduler as "sched<channel>.".  Observation-only:
+     * attaching changes no scheduling decision or statistic.  Call at
+     * most once, before the first tick; @p registry must outlive the
+     * controller's last tick.
+     */
+    void attachMetrics(MetricRegistry &registry, unsigned channel);
 
     /** True when a read for @p addr can be accepted this cycle. */
     bool canAcceptRead(Addr addr) const override;
@@ -221,6 +235,11 @@ class MemoryController : public MemoryPort
     std::uint64_t nextRequestId_ = 1;
     ControllerStats stats_;
     std::vector<Candidate> scratch_; //!< reused candidate buffer
+
+    /** Resolved metric handles; null unless attachMetrics was called
+     *  (every instrumentation site is one never-taken branch then). */
+    struct CtrlMetrics;
+    std::unique_ptr<CtrlMetrics> metrics_;
 
     /** Row demand over both queues, maintained on push/remove. */
     RowDemandTracker demand_;

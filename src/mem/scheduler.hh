@@ -14,6 +14,7 @@
 #ifndef NUAT_MEM_SCHEDULER_HH
 #define NUAT_MEM_SCHEDULER_HH
 
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -24,6 +25,7 @@
 namespace nuat {
 
 struct RunResult;
+class MetricRegistry;
 
 /** One issuable command together with its driving request. */
 struct Candidate
@@ -144,6 +146,21 @@ class Scheduler
      * system's result-merge loop; the default contributes nothing.
      */
     virtual void reportExtra(RunResult &result) const { (void)result; }
+
+    /**
+     * Register this scheduler's metrics under @p prefix (e.g.
+     * "sched0.") and keep raw handles for hot-path updates.  Called at
+     * most once, before the first tick; @p registry must outlive the
+     * scheduler.  Attaching never changes scheduling decisions — the
+     * instrumentation is observation-only.  The default exports
+     * nothing.
+     */
+    virtual void attachMetrics(MetricRegistry &registry,
+                               const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
 
     /** Human-readable policy name for reports. */
     virtual const char *name() const = 0;

@@ -31,6 +31,8 @@ ExperimentConfig::validate() const
     nuat_assert(numPb >= 1 && numPb <= 8);
     nuat_assert(memOpsPerCore > 0);
     nuat_assert(maxMemCycles > 0);
+    nuat_assert(!metricsEnabled() || metricsInterval > 0,
+                "(metricsInterval must be positive)");
     geometry.validate();
     timing.validate();
 }

@@ -116,6 +116,30 @@ struct ExperimentConfig
      */
     std::string dumpTracePath;
 
+    /**
+     * When non-empty, stream cumulative metric samples to this file as
+     * JSON Lines, one record per metricsInterval memory cycles (see
+     * OBSERVABILITY.md for the schema).  Requires the NUAT_METRICS
+     * build option (default ON); ignored with a warning when the
+     * metrics subsystem is compiled out.
+     */
+    std::string metricsOutPath;
+
+    /**
+     * When non-empty, also render every counter and gauge sample as
+     * chrome://tracing counter events into this file.
+     */
+    std::string traceEventsPath;
+
+    /** Sampling interval [memory cycles] for the metric streams. */
+    Cycle metricsInterval = 10000;
+
+    /** True when any metric output stream is requested. */
+    bool metricsEnabled() const
+    {
+        return !metricsOutPath.empty() || !traceEventsPath.empty();
+    }
+
     /** Number of cores. */
     unsigned cores() const
     {
@@ -170,6 +194,15 @@ struct RunResult
 
     /** First few violation messages, verbatim. */
     std::vector<std::string> auditMessages;
+
+    /** True when the run streamed interval metrics. */
+    bool metricsEnabled = false;
+
+    /** Metric records emitted (including the trailing partial one). */
+    std::uint64_t metricsSamples = 0;
+
+    /** Metric sampling interval used [memory cycles] (0 when off). */
+    Cycle metricsIntervalCycles = 0;
 
     /** Average read latency [memory cycles]. */
     double avgReadLatency() const { return ctrl.avgReadLatency(); }

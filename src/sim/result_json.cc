@@ -127,6 +127,16 @@ runResultToJson(const RunResult &r)
       << "\n";
     o << "  },\n";
 
+    // Emitted only for metrics-carrying runs so that the default
+    // (metrics-off) snapshots stay byte-identical across builds.
+    if (r.metricsEnabled) {
+        o << "  \"metrics\": {\n";
+        o << "    \"samples\": " << num(r.metricsSamples) << ",\n";
+        o << "    \"intervalCycles\": " << num(r.metricsIntervalCycles)
+          << "\n";
+        o << "  },\n";
+    }
+
     o << "  \"audited\": " << (r.audited ? "true" : "false") << ",\n";
     o << "  \"auditCommandsChecked\": " << num(r.auditCommandsChecked)
       << ",\n";

@@ -5,6 +5,29 @@
 
 namespace nuat {
 
+namespace {
+
+/** Filesystem-safe short key of a SchedulerKind (CLI spelling). */
+const char *
+schedulerKindKey(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::kFcfs:
+        return "fcfs";
+      case SchedulerKind::kFrFcfsOpen:
+        return "frfcfs-open";
+      case SchedulerKind::kFrFcfsClose:
+        return "frfcfs-close";
+      case SchedulerKind::kFrFcfsAdaptive:
+        return "frfcfs-adaptive";
+      case SchedulerKind::kNuat:
+        return "nuat";
+    }
+    return "unknown";
+}
+
+} // namespace
+
 RunResult
 runExperiment(const ExperimentConfig &cfg)
 {
@@ -22,6 +45,19 @@ runSchedulerSweep(ExperimentConfig cfg,
     for (const SchedulerKind kind : kinds) {
         cfg.scheduler = kind;
         configs.push_back(cfg);
+        if (kinds.size() > 1) {
+            // Per-run output streams would clobber each other across
+            // the sweep; suffix the paths with the scheduler key.
+            ExperimentConfig &c = configs.back();
+            const std::string suffix =
+                std::string(".") + schedulerKindKey(kind);
+            if (!c.metricsOutPath.empty())
+                c.metricsOutPath += suffix;
+            if (!c.traceEventsPath.empty())
+                c.traceEventsPath += suffix;
+            if (!c.dumpTracePath.empty())
+                c.dumpTracePath += suffix;
+        }
     }
     return runExperimentsParallel(configs, threads);
 }

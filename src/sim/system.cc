@@ -160,6 +160,81 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
                     static_cast<CpuCycle>(data_at) * kCpuPerMemCycle);
             });
     }
+
+    if (cfg_.metricsEnabled())
+        setupMetrics();
+}
+
+void
+System::setupMetrics()
+{
+#if NUAT_METRICS_ENABLED
+    metrics_ = std::make_unique<MetricRegistry>();
+    for (unsigned ch = 0; ch < channels(); ++ch)
+        controllers_[ch]->attachMetrics(*metrics_, ch);
+
+    // System-level pull gauges, published by a sample hook so the
+    // simulation loop never touches them.
+    Gauge *bus = &metrics_->gauge(
+        "sys.bus_utilization",
+        "data-bus busy fraction so far: (reads+writes)*tBL / "
+        "(cycles*channels)");
+    std::vector<Gauge *> refresh_rows;
+    for (unsigned ch = 0; ch < channels(); ++ch) {
+        refresh_rows.push_back(&metrics_->gauge(
+            "dram" + std::to_string(ch) + ".refresh_next_row",
+            "refresh pointer: next row the engine will refresh "
+            "(rank 0)"));
+    }
+    metrics_->addSampleHook([this, bus, refresh_rows] {
+        std::uint64_t xfers = 0;
+        for (const auto &dev : devices_) {
+            xfers += dev->counters().reads + dev->counters().writes;
+        }
+        const double capacity = static_cast<double>(now_) *
+                                static_cast<double>(channels());
+        bus->set(capacity > 0.0
+                     ? static_cast<double>(xfers) *
+                           static_cast<double>(cfg_.timing.tBL) /
+                           capacity
+                     : 0.0);
+        for (std::size_t ch = 0; ch < refresh_rows.size(); ++ch) {
+            refresh_rows[ch]->set(static_cast<double>(
+                devices_[ch]->refresh(0).nextRow()));
+        }
+    });
+
+    std::ostream *jsonl = nullptr;
+    if (!cfg_.metricsOutPath.empty()) {
+        metricsOut_ =
+            std::make_unique<std::ofstream>(cfg_.metricsOutPath);
+        if (!*metricsOut_) {
+            nuat_warn("cannot open metrics output '%s'",
+                      cfg_.metricsOutPath.c_str());
+            metricsOut_.reset();
+        } else {
+            jsonl = metricsOut_.get();
+        }
+    }
+    TraceEventSink *trace = nullptr;
+    if (!cfg_.traceEventsPath.empty()) {
+        traceOut_ =
+            std::make_unique<std::ofstream>(cfg_.traceEventsPath);
+        if (!*traceOut_) {
+            nuat_warn("cannot open trace-events output '%s'",
+                      cfg_.traceEventsPath.c_str());
+            traceOut_.reset();
+        } else {
+            traceSink_ = std::make_unique<TraceEventSink>(*traceOut_);
+            trace = traceSink_.get();
+        }
+    }
+    sampler_ = std::make_unique<IntervalSampler>(
+        *metrics_, cfg_.metricsInterval, jsonl, trace);
+#else
+    nuat_warn("metrics output requested, but the metrics subsystem "
+              "was compiled out (NUAT_METRICS=OFF)");
+#endif
 }
 
 MemoryController &
@@ -300,8 +375,15 @@ mergeCounters(DeviceCounters &into, const DeviceCounters &from)
 RunResult
 System::run()
 {
-    while (!done() && now_ < cfg_.maxMemCycles)
+    while (!done() && now_ < cfg_.maxMemCycles) {
         advance();
+        NUAT_METRIC(if (sampler_) sampler_->advanceTo(now_));
+    }
+    NUAT_METRIC(if (sampler_) {
+        sampler_->finish(now_);
+        if (traceSink_)
+            traceSink_->finish();
+    });
 
     RunResult result;
     result.schedulerName = schedulerKindName(cfg_.scheduler);
@@ -339,6 +421,11 @@ System::run()
         result.auditViolations = merged.violations;
         result.auditMessages = std::move(merged.messages);
     }
+    NUAT_METRIC(if (sampler_) {
+        result.metricsEnabled = true;
+        result.metricsSamples = sampler_->samples();
+        result.metricsIntervalCycles = sampler_->interval();
+    });
     if (traceWriter_ && !traceWriter_->finish()) {
         nuat_warn("command-trace write to '%s' failed",
                   cfg_.dumpTracePath.c_str());

@@ -12,12 +12,14 @@
 #ifndef NUAT_SIM_SYSTEM_HH
 #define NUAT_SIM_SYSTEM_HH
 
+#include <fstream>
 #include <memory>
 #include <vector>
 
 #include "charge/cell_model.hh"
 #include "charge/sense_amp_model.hh"
 #include "charge/timing_derate.hh"
+#include "common/metrics.hh"
 #include "cpu/core_model.hh"
 #include "dram/dram_device.hh"
 #include "experiment_config.hh"
@@ -112,6 +114,15 @@ class System
                                           : nullptr;
     }
 
+    /**
+     * The metric registry; null unless the config requested metric
+     * output and the metrics subsystem is compiled in.
+     */
+    const MetricRegistry *metricsRegistry() const
+    {
+        return metrics_.get();
+    }
+
   private:
     /** Build the scheduler requested by the config. */
     std::unique_ptr<Scheduler> makeScheduler() const;
@@ -124,7 +135,17 @@ class System
      */
     void fastForwardIdle();
 
+    /** Build the metric registry + sampler when the config asks. */
+    void setupMetrics();
+
     ExperimentConfig cfg_;
+    // Declared before the components whose sample hooks capture them,
+    // so the registry (and its hooks) outlives every captured pointer.
+    std::unique_ptr<MetricRegistry> metrics_;
+    std::unique_ptr<std::ofstream> metricsOut_;
+    std::unique_ptr<std::ofstream> traceOut_;
+    std::unique_ptr<TraceEventSink> traceSink_;
+    std::unique_ptr<IntervalSampler> sampler_;
     std::unique_ptr<TimingDerate> derate_;
     std::vector<std::unique_ptr<DramDevice>> devices_;
     std::vector<std::unique_ptr<MemoryController>> controllers_;

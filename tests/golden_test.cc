@@ -104,6 +104,20 @@ goldenPath(const std::string &name)
     return std::string(NUAT_GOLDEN_DIR) + "/" + name + ".json";
 }
 
+/**
+ * Regeneration target: NUAT_GOLDEN_OUT_DIR when set (drift checking —
+ * regen_golden.sh --check diffs it against tests/golden/), else the
+ * committed snapshot directory.
+ */
+std::string
+goldenOutPath(const std::string &name)
+{
+    const char *dir = std::getenv("NUAT_GOLDEN_OUT_DIR");
+    if (dir && dir[0])
+        return std::string(dir) + "/" + name + ".json";
+    return goldenPath(name);
+}
+
 } // namespace
 
 TEST(GoldenTest, StatsMatchSnapshots)
@@ -117,8 +131,9 @@ TEST(GoldenTest, StatsMatchSnapshots)
         const std::string path = goldenPath(c.name);
 
         if (regen) {
-            std::ofstream out(path);
-            ASSERT_TRUE(out) << "cannot write " << path;
+            const std::string out_path = goldenOutPath(c.name);
+            std::ofstream out(out_path);
+            ASSERT_TRUE(out) << "cannot write " << out_path;
             out << json;
             continue;
         }

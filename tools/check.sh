@@ -4,22 +4,59 @@
 # ASan/UBSan build + tests.
 #
 # Run from the repository root:
-#   ./tools/check.sh [--quick] [extra ctest args...]
+#   ./tools/check.sh [--quick] [--sanitize asan|tsan] [extra ctest args...]
 #
 # --quick: Release build + tests + audited bench smoke only (skips the
 #          sanitizer build; for fast local iteration).
 #
-# TSan is available separately (the parallel runner is the only
-# threaded code):  cmake -B build-tsan -DENABLE_TSAN=ON && ...
+# --sanitize asan: ONLY the ASan/UBSan build + full test suite (the CI
+#          sanitizer job).
+# --sanitize tsan: ONLY the TSan build + the threaded tests (the
+#          parallel runner is the sole threaded code, so the TSan job
+#          runs the parallel_runner suite rather than everything).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 QUICK=0
-if [[ "${1:-}" == "--quick" ]]; then
-    QUICK=1
-    shift
+SANITIZE=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --quick)
+        QUICK=1
+        shift
+        ;;
+      --sanitize)
+        SANITIZE="${2:?--sanitize needs asan or tsan}"
+        shift 2
+        ;;
+      *)
+        break
+        ;;
+    esac
+done
+
+if [[ "$SANITIZE" == "asan" ]]; then
+    echo "=== ASan/UBSan build + tests ==="
+    cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DENABLE_ASAN=ON >/dev/null
+    cmake --build build-asan -j "$JOBS"
+    ctest --test-dir build-asan -j "$JOBS" --output-on-failure "$@"
+    echo "ASan/UBSan checks passed."
+    exit 0
+elif [[ "$SANITIZE" == "tsan" ]]; then
+    echo "=== TSan build + threaded tests ==="
+    cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DENABLE_TSAN=ON >/dev/null
+    cmake --build build-tsan -j "$JOBS"
+    ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
+          -R 'parallel_runner' "$@"
+    echo "TSan checks passed."
+    exit 0
+elif [[ -n "$SANITIZE" ]]; then
+    echo "error: --sanitize must be asan or tsan, got '$SANITIZE'" >&2
+    exit 2
 fi
 
 echo "=== Release build + tests ==="

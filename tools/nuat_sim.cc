@@ -21,6 +21,13 @@
  *     --dump-trace FILE       tee the issued-command stream to FILE
  *     --replay-trace FILE     re-audit a captured trace (no simulation);
  *                             exit code 2 on violations
+ *     --metrics-out FILE      stream interval metric samples to FILE as
+ *                             JSON Lines (see OBSERVABILITY.md); with
+ *                             --compare, FILE gets a per-scheduler
+ *                             suffix (.nuat, .fcfs, ...)
+ *     --metrics-interval N    memory cycles between metric samples
+ *                             (default 10000)
+ *     --trace-events FILE     write chrome://tracing counter events
  *     --help
  */
 
@@ -107,6 +114,10 @@ usage()
         "violations)\n"
         "  --dump-trace FILE   tee the issued-command stream to FILE\n"
         "  --replay-trace FILE re-audit a captured trace\n"
+        "  --metrics-out FILE  interval metric samples (JSON Lines)\n"
+        "  --metrics-interval N  cycles between samples (default "
+        "10000)\n"
+        "  --trace-events FILE chrome://tracing counter events\n"
         "  --no-ppm --paper-pure --csv --help\n");
 }
 
@@ -191,6 +202,12 @@ main(int argc, char **argv)
             cfg.dumpTracePath = value();
         } else if (arg == "--replay-trace") {
             replay_path = value();
+        } else if (arg == "--metrics-out") {
+            cfg.metricsOutPath = value();
+        } else if (arg == "--metrics-interval") {
+            cfg.metricsInterval = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--trace-events") {
+            cfg.traceEventsPath = value();
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--help") {
@@ -247,6 +264,14 @@ main(int argc, char **argv)
                     r.energy.read / 1e6, r.energy.write / 1e6,
                     r.energy.refresh / 1e6, r.energy.background / 1e6,
                     r.energy.deratingSavings / 1e6);
+        if (r.metricsEnabled) {
+            std::printf("metrics: %llu samples, one every %llu "
+                        "cycles\n",
+                        static_cast<unsigned long long>(
+                            r.metricsSamples),
+                        static_cast<unsigned long long>(
+                            r.metricsIntervalCycles));
+        }
     }
     return reportAudit(r) ? 2 : 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Collect a fresh performance baseline for tools/bench_gate.py.
+#
+# Runs the figure benches and bench_micro against the given build
+# directory, writes BENCH_<rev>.json, and installs it as
+# bench/baseline.json (the file CI compares every PR against).
+# Re-run on a quiet machine after intentional performance changes and
+# commit the refreshed bench/baseline.json.
+#
+# Usage: tools/run_bench_baseline.sh [build-dir]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if [[ ! -x "$build/bench/bench_micro" ]]; then
+    echo "error: $build/bench/bench_micro not found; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+rev="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+out="$repo/BENCH_${rev}.json"
+
+python3 "$repo/tools/bench_gate.py" collect \
+    --build-dir "$build" --out "$out"
+
+cp "$out" "$repo/bench/baseline.json"
+echo "baseline installed: bench/baseline.json (from $out)"
