@@ -49,8 +49,8 @@ runAvg(const std::vector<std::vector<std::string>> &combos,
         exec += nuat::bench::avgCoreFinish(r);
         p99 += r.readLatencyPercentile(0.99);
     }
-    return Point{lat / combos.size(), exec / combos.size(),
-                 p99 / combos.size()};
+    const double n = static_cast<double>(combos.size());
+    return Point{lat / n, exec / n, p99 / n};
 }
 
 } // namespace

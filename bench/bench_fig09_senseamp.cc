@@ -22,23 +22,23 @@ main()
     const CellModel cell;
     const SenseAmpModel sa(cell);
     const TimingDerate derate(sa);
-    const double retention = cell.params().retentionNs;
+    const Nanoseconds retention = cell.params().retentionNs;
 
     TablePrinter table({"elapsed (ms)", "Vcell (V)", "dV (mV)",
                         "sense +ns", "restore +ns", "tRCD red (ns)",
                         "tRAS red (ns)", "tRCD red (cyc)",
                         "tRAS red (cyc)"});
     for (int i = 0; i <= 16; ++i) {
-        const double t = retention * i / 16.0;
+        const Nanoseconds t = retention * (i / 16.0);
         const double dv = cell.deltaV(t);
         const RowTiming eff = derate.effective(t);
-        table.addRow({TablePrinter::num(t / 1e6, 1),
+        table.addRow({TablePrinter::num(t.value() / 1e6, 1),
                       TablePrinter::num(cell.voltage(t), 3),
                       TablePrinter::num(dv * 1e3, 1),
-                      TablePrinter::num(sa.senseDelayNs(dv), 2),
-                      TablePrinter::num(sa.restoreDelayNs(dv), 2),
-                      TablePrinter::num(derate.trcdReductionNs(t), 2),
-                      TablePrinter::num(derate.trasReductionNs(t), 2),
+                      TablePrinter::num(sa.senseDelay(dv).value(), 2),
+                      TablePrinter::num(sa.restoreDelay(dv).value(), 2),
+                      TablePrinter::num(derate.trcdReduction(t).value(), 2),
+                      TablePrinter::num(derate.trasReduction(t).value(), 2),
                       std::to_string(12 - eff.trcd),
                       std::to_string(30 - eff.tras)});
     }
@@ -46,20 +46,22 @@ main()
 
     std::printf("Fig. 9(a) endpoints — paper: tRCD reducible by 5.6 ns, "
                 "tRAS by 10.4 ns; measured: %.2f ns / %.2f ns\n",
-                derate.trcdReductionNs(0.0), derate.trasReductionNs(0.0));
+                derate.trcdReduction(Nanoseconds{0.0}).value(),
+                derate.trasReduction(Nanoseconds{0.0}).value());
     std::printf("At 800 MHz — paper: up to 4 / 8 cycles; measured: "
                 "%llu / %llu cycles\n",
-                static_cast<unsigned long long>(12 -
-                                                derate.effective(0.0).trcd),
                 static_cast<unsigned long long>(
-                    30 - derate.effective(0.0).tras));
+                    12 - derate.effective(Nanoseconds{0.0}).trcd),
+                static_cast<unsigned long long>(
+                    30 - derate.effective(Nanoseconds{0.0}).tras));
 
     // Fig. 9(b): nonlinearity — reduction lost per quarter period.
     std::printf("\nFig. 9(b) nonlinearity (tRCD reduction consumed per "
                 "quarter of the retention period):\n");
-    double prev = derate.trcdReductionNs(0.0);
+    double prev = derate.trcdReduction(Nanoseconds{0.0}).value();
     for (int q = 1; q <= 4; ++q) {
-        const double cur = derate.trcdReductionNs(retention * q / 4.0);
+        const double cur =
+            derate.trcdReduction(retention * (q / 4.0)).value();
         std::printf("  quarter %d: %.2f ns\n", q, prev - cur);
         prev = cur;
     }

@@ -43,7 +43,7 @@ main()
                           std::to_string(g.timing.trcd),
                           std::to_string(g.timing.tras),
                           std::to_string(g.timing.trc),
-                          TablePrinter::num(ppm.threshold(pb), 3)});
+                          TablePrinter::num(ppm.threshold(PbIdx{pb}), 3)});
         }
         std::printf("%s\n", table.render().c_str());
     }

@@ -71,11 +71,13 @@ main(int argc, char **argv)
         // comm1 analysis hook: fraction of NUAT ACTs landing in the
         // two slowest PBs (paper: 80% for comm1, 59% average).
         std::uint64_t acts = 0, slow = 0;
-        for (int pb = 0; pb < 5; ++pb)
+        for (std::size_t pb = 0; pb < 5; ++pb)
             acts += rs[2].actsPerPb[pb];
         slow = rs[2].actsPerPb[3] + rs[2].actsPerPb[4];
         const double slow_frac =
-            acts ? static_cast<double>(slow) / acts : 0.0;
+            acts ? static_cast<double>(slow) /
+                       static_cast<double>(acts)
+                 : 0.0;
 
         table.addRow({name, TablePrinter::num(open, 1),
                       TablePrinter::num(close, 1),

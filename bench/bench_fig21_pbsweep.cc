@@ -65,7 +65,7 @@ main(int argc, char **argv)
             double sum = 0.0;
             for (std::size_t c = 0; c < combos.size(); ++c)
                 sum += all[(pb - 2) * combos.size() + c].avgReadLatency();
-            lat[pb] = sum / combos.size();
+            lat[pb] = sum / static_cast<double>(combos.size());
         }
         table.addRow({std::to_string(cores) + "-core",
                       TablePrinter::num(lat[2], 1),

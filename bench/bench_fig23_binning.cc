@@ -61,7 +61,9 @@ main()
                                             ecc ? "yes" : "no"};
             for (unsigned k = 1; k <= 5; ++k) {
                 row.push_back(TablePrinter::pct(
-                    static_cast<double>(r.binCounts[k]) / dies, 1));
+                    static_cast<double>(r.binCounts[k]) /
+                        static_cast<double>(dies),
+                    1));
             }
             row.push_back(TablePrinter::num(r.meanBin(), 2));
             table.addRow(row);

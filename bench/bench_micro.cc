@@ -41,7 +41,7 @@ BM_PbrLookup(benchmark::State &state)
     RefreshEngine refresh(8192, tp);
     std::uint32_t row = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(pbr.pbOfRow(refresh, row));
+        benchmark::DoNotOptimize(pbr.pbOfRow(refresh, RowId{row}));
         row = (row + 977) & 8191;
     }
 }
@@ -57,7 +57,7 @@ BM_ZoneLookup(benchmark::State &state)
     RefreshEngine refresh(8192, tp);
     std::uint32_t row = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(pbr.zoneOfRow(refresh, row));
+        benchmark::DoNotOptimize(pbr.zoneOfRow(refresh, RowId{row}));
         row = (row + 977) & 8191;
     }
 }
@@ -74,7 +74,7 @@ BM_TableScore(benchmark::State &state)
     in.numPb = 5;
     in.waitCycles = 123;
     for (auto _ : state) {
-        in.pb = (in.pb + 1) % 5;
+        in.pb = PbIdx{(in.pb.value() + 1) % 5};
         benchmark::DoNotOptimize(table.score(in));
     }
 }
@@ -87,7 +87,7 @@ BM_DeviceCanIssue(benchmark::State &state)
     DramDevice dev(DramGeometry{}, TimingParams{}, f.derate);
     Command act;
     act.type = CmdType::kAct;
-    act.row = 100;
+    act.row = RowId{100};
     act.actTiming = RowTiming{12, 30, 42};
     Cycle now = 0;
     for (auto _ : state) {
@@ -101,12 +101,12 @@ void
 BM_ChargeEffectiveTiming(benchmark::State &state)
 {
     ChargeFixture f;
-    double t = 0.0;
+    Nanoseconds t{0.0};
     for (auto _ : state) {
         benchmark::DoNotOptimize(f.derate.effective(t));
-        t += 1e5;
-        if (t > 64e6)
-            t = 0.0;
+        t += Nanoseconds{1e5};
+        if (t > Nanoseconds{64e6})
+            t = Nanoseconds{0.0};
     }
 }
 BENCHMARK(BM_ChargeEffectiveTiming);

@@ -103,7 +103,9 @@ avgCoreFinish(const RunResult &r)
     double sum = 0.0;
     for (const auto c : r.coreFinish)
         sum += static_cast<double>(c);
-    return r.coreFinish.empty() ? 0.0 : sum / r.coreFinish.size();
+    if (r.coreFinish.empty())
+        return 0.0;
+    return sum / static_cast<double>(r.coreFinish.size());
 }
 
 /** Print the standard bench header. */

@@ -31,13 +31,13 @@ main()
     std::printf("1. Charge decay -> effective row timing "
                 "(tRCD/tRAS/tRC at 800 MHz):\n");
     for (double ms : {0.0, 2.0, 6.0, 16.0, 28.0, 44.0, 63.9}) {
-        const RowTiming t = derate.effective(ms * 1e6);
+        const RowTiming t = derate.effective(Nanoseconds{ms * 1e6});
         std::printf("   %5.1f ms after refresh: %2llu / %2llu / %2llu "
                     "cycles (dV = %5.1f mV)\n",
                     ms, static_cast<unsigned long long>(t.trcd),
                     static_cast<unsigned long long>(t.tras),
                     static_cast<unsigned long long>(t.trc),
-                    cell.deltaV(ms * 1e6) * 1e3);
+                    cell.deltaV(Nanoseconds{ms * 1e6}) * 1e3);
     }
 
     std::printf("\n2. PB rotation for row 4096 (Fig. 1): the refresh "
@@ -45,13 +45,13 @@ main()
                 "covers %u rows every %llu cycles.\n",
                 refresh.rowsPerRef(),
                 static_cast<unsigned long long>(refresh.interval()));
-    const std::uint32_t row = 4096;
+    const RowId row{4096};
     for (int step = 0; step <= 8; ++step) {
         std::printf("   after %4d REFs: relative age %4u rows -> "
                     "PRE_PB %2u -> PB%u (rated tRCD %llu)\n",
                     step * 128, refresh.relativeAge(row),
-                    pbr.prePbOf(refresh.relativeAge(row)),
-                    pbr.pbOfRow(refresh, row),
+                    pbr.prePbOf(refresh.relativeAge(row)).value(),
+                    pbr.pbOfRow(refresh, row).value(),
                     static_cast<unsigned long long>(
                         pbr.ratedTiming(pbr.pbOfRow(refresh, row))
                             .trcd));
@@ -63,8 +63,8 @@ main()
                 "(Fig. 14; W = warning, P = promising, . = interior):"
                 "\n   ");
     for (std::uint32_t age = 760; age < 784; ++age) {
-        const std::uint32_t r =
-            (refresh.lrra() + refresh.rows() - age) % refresh.rows();
+        const RowId r{(refresh.lrra().value() + refresh.rows() - age) %
+                      refresh.rows()};
         switch (pbr.zoneOfRow(refresh, r)) {
           case BoundaryZone::kWarning:
             std::printf("W");

@@ -43,8 +43,8 @@ main(int argc, char **argv)
 
     std::printf("NUAT activations by partitioned bank (PB0 = fastest):"
                 "\n");
-    for (int pb = 0; pb < 5; ++pb) {
-        std::printf("  PB%d: %8llu ACTs (tRCD %d cycles)\n", pb,
+    for (unsigned pb = 0; pb < 5; ++pb) {
+        std::printf("  PB%u: %8llu ACTs (tRCD %u cycles)\n", pb,
                     static_cast<unsigned long long>(r.actsPerPb[pb]),
                     8 + pb);
     }

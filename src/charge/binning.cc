@@ -14,7 +14,8 @@ BinningResult::meanBin() const
         return 0.0;
     double sum = 0.0;
     for (std::size_t k = 0; k < binCounts.size(); ++k)
-        sum += static_cast<double>(k) * binCounts[k];
+        sum += static_cast<double>(k) *
+               static_cast<double>(binCounts[k]);
     return sum / static_cast<double>(dies);
 }
 
@@ -36,9 +37,9 @@ BinningProcess::maxSafePb(double margin_factor) const
     // nominal (the Table 4 ladder).
     const Clock &clock = derate_.clock();
     const Cycle rcd = clock.toCyclesFloor(
-        margin_factor * derate_.trcdReductionNs(0.0));
+        margin_factor * derate_.trcdReduction(Nanoseconds{0.0}));
     const Cycle ras = clock.toCyclesFloor(
-        margin_factor * derate_.trasReductionNs(0.0));
+        margin_factor * derate_.trasReduction(Nanoseconds{0.0}));
     const Cycle depth = std::min<Cycle>(rcd, ras / 2);
     const unsigned bin = 1 + static_cast<unsigned>(depth);
     return bin > maxPb_ ? maxPb_ : bin;

@@ -10,26 +10,26 @@ CellModel::CellModel(const ChargeParams &params) : params_(params)
 {
     nuat_assert(params_.vdd > 0.0);
     nuat_assert(params_.cellCap > 0.0 && params_.bitlineCap > 0.0);
-    nuat_assert(params_.retentionNs > 0.0);
+    nuat_assert(params_.retentionNs > Nanoseconds{0.0});
     // The worst-case cell must still be readable: its voltage has to
     // stay above the VDD/2 bit-line precharge level.
     nuat_assert(params_.endVoltageFrac > 0.5 && params_.endVoltageFrac < 1.0,
                 "(endVoltageFrac %.3f outside (0.5, 1))",
                 params_.endVoltageFrac);
-    tauNs_ = params_.retentionNs / std::log(1.0 / params_.endVoltageFrac);
+    tau_ = params_.retentionNs / std::log(1.0 / params_.endVoltageFrac);
 }
 
 double
-CellModel::voltage(double elapsed_ns) const
+CellModel::voltage(Nanoseconds elapsed) const
 {
-    nuat_assert(elapsed_ns >= 0.0);
-    return params_.vdd * std::exp(-elapsed_ns / tauNs_);
+    nuat_assert(elapsed >= Nanoseconds{0.0});
+    return params_.vdd * std::exp(-(elapsed / tau_));
 }
 
 double
-CellModel::deltaV(double elapsed_ns) const
+CellModel::deltaV(Nanoseconds elapsed) const
 {
-    const double headroom = voltage(elapsed_ns) - 0.5 * params_.vdd;
+    const double headroom = voltage(elapsed) - 0.5 * params_.vdd;
     return headroom * transferRatio();
 }
 

@@ -32,18 +32,18 @@ class CellModel
     /** Build the model; derives the leakage time constant. */
     explicit CellModel(const ChargeParams &params = ChargeParams{});
 
-    /** Stored cell voltage [V] @p elapsed_ns after the last refresh. */
-    double voltage(double elapsed_ns) const;
+    /** Stored cell voltage [V] @p elapsed after the last refresh. */
+    double voltage(Nanoseconds elapsed) const;
 
     /**
      * Sense-amp seed voltage dV [V] when the row is activated
-     * @p elapsed_ns after its last refresh.  Always positive within the
+     * @p elapsed after its last refresh.  Always positive within the
      * retention period.
      */
-    double deltaV(double elapsed_ns) const;
+    double deltaV(Nanoseconds elapsed) const;
 
     /** dV at full charge (elapsed == 0). */
-    double deltaVFull() const { return deltaV(0.0); }
+    double deltaVFull() const { return deltaV(Nanoseconds{0.0}); }
 
     /** dV at the retention worst case (elapsed == retention). */
     double deltaVWorst() const { return deltaV(params_.retentionNs); }
@@ -56,7 +56,7 @@ class CellModel
 
   private:
     ChargeParams params_;
-    double tauNs_; //!< leakage time constant [ns]
+    Nanoseconds tau_; //!< leakage time constant
 };
 
 } // namespace nuat

@@ -14,6 +14,8 @@
 #ifndef NUAT_CHARGE_CHARGE_PARAMS_HH
 #define NUAT_CHARGE_CHARGE_PARAMS_HH
 
+#include "common/types.hh"
+
 namespace nuat {
 
 /** Parameters of the analytical cell / sense-amp model. */
@@ -28,8 +30,8 @@ struct ChargeParams
     /** Bit-line capacitance [F] (55 nm class, ~85 fF). */
     double bitlineCap = 85e-15;
 
-    /** DRAM retention / refresh period [ns] (64 ms). */
-    double retentionNs = 64e6;
+    /** DRAM retention / refresh period (64 ms). */
+    Nanoseconds retentionNs{64e6};
 
     /**
      * Fraction of VDD still stored in a worst-case cell at the end of
@@ -40,15 +42,15 @@ struct ChargeParams
 
     /**
      * Maximum tRCD reduction at full charge relative to the retention
-     * worst case [ns] (paper Fig. 9(a): 5.6 ns).
+     * worst case (paper Fig. 9(a): 5.6 ns).
      */
-    double maxTrcdReductionNs = 5.6;
+    Nanoseconds maxTrcdReductionNs{5.6};
 
     /**
      * Maximum tRAS reduction at full charge relative to the retention
-     * worst case [ns] (paper Fig. 9(a): 10.4 ns).
+     * worst case (paper Fig. 9(a): 10.4 ns).
      */
-    double maxTrasReductionNs = 10.4;
+    Nanoseconds maxTrasReductionNs{10.4};
 };
 
 } // namespace nuat

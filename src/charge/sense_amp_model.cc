@@ -33,11 +33,11 @@ constexpr std::size_t kAnchors = sizeof(kAnchorU) / sizeof(kAnchorU[0]);
 
 MonotoneCubic
 SenseAmpModel::buildSpline(const CellModel &cell, const double *reductions,
-                           double max_reduction_ns)
+                           Nanoseconds max_reduction)
 {
-    const double retention = cell.params().retentionNs;
+    const Nanoseconds retention = cell.params().retentionNs;
     const double dv_full = cell.deltaVFull();
-    const double scale = max_reduction_ns / reductions[0];
+    const double scale = max_reduction.value() / reductions[0];
 
     std::vector<double> xs(kAnchors);
     std::vector<double> ys(kAnchors);
@@ -68,16 +68,16 @@ SenseAmpModel::xOf(double dv) const
     return dv >= full ? 0.0 : std::log(full / dv);
 }
 
-double
-SenseAmpModel::senseDelayNs(double dv) const
+Nanoseconds
+SenseAmpModel::senseDelay(double dv) const
 {
-    return sense_.eval(xOf(dv));
+    return Nanoseconds{sense_.eval(xOf(dv))};
 }
 
-double
-SenseAmpModel::restoreDelayNs(double dv) const
+Nanoseconds
+SenseAmpModel::restoreDelay(double dv) const
 {
-    return restore_.eval(xOf(dv));
+    return Nanoseconds{restore_.eval(xOf(dv))};
 }
 
 } // namespace nuat

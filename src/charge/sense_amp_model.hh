@@ -41,18 +41,18 @@ class SenseAmpModel
     explicit SenseAmpModel(const CellModel &cell);
 
     /**
-     * Extra *sensing* delay [ns] at seed voltage @p dv, relative to a
+     * Extra *sensing* delay at seed voltage @p dv, relative to a
      * fully charged cell.  0 at dV_full, maxTrcdReductionNs at dV_worst.
      * Gates tRCD.
      */
-    double senseDelayNs(double dv) const;
+    Nanoseconds senseDelay(double dv) const;
 
     /**
-     * Extra *sensing + restore* delay [ns] at seed voltage @p dv,
+     * Extra *sensing + restore* delay at seed voltage @p dv,
      * relative to a fully charged cell.  0 at dV_full,
      * maxTrasReductionNs at dV_worst.  Gates tRAS.
      */
-    double restoreDelayNs(double dv) const;
+    Nanoseconds restoreDelay(double dv) const;
 
     /** The cell model used for calibration. */
     const CellModel &cell() const { return cell_; }
@@ -64,7 +64,7 @@ class SenseAmpModel
     /** Builds one calibrated delay spline over x = ln(dV_full / dV). */
     static MonotoneCubic buildSpline(const CellModel &cell,
                                      const double *reductions,
-                                     double max_reduction_ns);
+                                     Nanoseconds max_reduction);
 
     CellModel cell_;
     MonotoneCubic sense_;

@@ -21,35 +21,35 @@ TimingDerate::TimingDerate(const SenseAmpModel &sense_amp,
                 "(derating exceeds nominal timing)");
 }
 
-double
-TimingDerate::retentionNs() const
+Nanoseconds
+TimingDerate::retention() const
 {
     return senseAmp_.cell().params().retentionNs;
 }
 
-double
-TimingDerate::trcdReductionNs(double elapsed_ns) const
+Nanoseconds
+TimingDerate::trcdReduction(Nanoseconds elapsed) const
 {
-    const double max_red = senseAmp_.cell().params().maxTrcdReductionNs;
-    const double dv = senseAmp_.cell().deltaV(elapsed_ns);
-    const double red = max_red - senseAmp_.senseDelayNs(dv);
-    return std::max(0.0, red);
+    const Nanoseconds max_red = senseAmp_.cell().params().maxTrcdReductionNs;
+    const double dv = senseAmp_.cell().deltaV(elapsed);
+    const Nanoseconds red = max_red - senseAmp_.senseDelay(dv);
+    return std::max(Nanoseconds{0.0}, red);
 }
 
-double
-TimingDerate::trasReductionNs(double elapsed_ns) const
+Nanoseconds
+TimingDerate::trasReduction(Nanoseconds elapsed) const
 {
-    const double max_red = senseAmp_.cell().params().maxTrasReductionNs;
-    const double dv = senseAmp_.cell().deltaV(elapsed_ns);
-    const double red = max_red - senseAmp_.restoreDelayNs(dv);
-    return std::max(0.0, red);
+    const Nanoseconds max_red = senseAmp_.cell().params().maxTrasReductionNs;
+    const double dv = senseAmp_.cell().deltaV(elapsed);
+    const Nanoseconds red = max_red - senseAmp_.restoreDelay(dv);
+    return std::max(Nanoseconds{0.0}, red);
 }
 
 RowTiming
-TimingDerate::effective(double elapsed_ns) const
+TimingDerate::effective(Nanoseconds elapsed) const
 {
-    const Cycle rcd_red = clock_.toCyclesFloor(trcdReductionNs(elapsed_ns));
-    const Cycle ras_red = clock_.toCyclesFloor(trasReductionNs(elapsed_ns));
+    const Cycle rcd_red = clock_.toCyclesFloor(trcdReduction(elapsed));
+    const Cycle ras_red = clock_.toCyclesFloor(trasReduction(elapsed));
     RowTiming t;
     t.trcd = nominal_.trcd - rcd_red;
     t.tras = nominal_.tras - ras_red;
@@ -59,21 +59,20 @@ TimingDerate::effective(double elapsed_ns) const
 
 std::vector<PbGroup>
 TimingDerate::deriveGroups(unsigned num_pb, unsigned num_slices,
-                           double slack_ns) const
+                           Nanoseconds slack) const
 {
     nuat_assert(num_pb >= 1, "(need at least one PB)");
     nuat_assert(num_slices >= num_pb, "(more PBs than slices)");
 
-    const double retention = retentionNs();
-    const double slice_ns = retention / num_slices;
+    const Nanoseconds slice = retention() / num_slices;
 
     // Classify every slice by its safe whole-cycle reduction level at
     // the slice's oldest edge plus the refresh-slack guard.
     std::vector<PbGroup> groups;
     for (unsigned s = 0; s < num_slices; ++s) {
-        const double worst = (s + 1) * slice_ns + slack_ns;
-        const Cycle rcd_red = clock_.toCyclesFloor(trcdReductionNs(worst));
-        const Cycle ras_red = clock_.toCyclesFloor(trasReductionNs(worst));
+        const Nanoseconds worst = (s + 1) * slice + slack;
+        const Cycle rcd_red = clock_.toCyclesFloor(trcdReduction(worst));
+        const Cycle ras_red = clock_.toCyclesFloor(trasReduction(worst));
         if (!groups.empty() &&
             groups.back().trcdReduction == rcd_red &&
             groups.back().trasReduction == ras_red) {
@@ -122,7 +121,8 @@ TimingDerate::deriveGroups(unsigned num_pb, unsigned num_slices,
             }
         }
         groups[best + 1].slices += groups[best].slices;
-        groups.erase(groups.begin() + best);
+        groups.erase(groups.begin() +
+                     static_cast<std::ptrdiff_t>(best));
     }
 
     return groups;

@@ -64,27 +64,25 @@ class TimingDerate
                  const NominalTiming &nominal = NominalTiming{},
                  const Clock &clock = kMemClock);
 
-    /** Continuous tRCD reduction [ns] available @p elapsed_ns after
-     *  refresh. */
-    double trcdReductionNs(double elapsed_ns) const;
+    /** Continuous tRCD reduction available @p elapsed after refresh. */
+    Nanoseconds trcdReduction(Nanoseconds elapsed) const;
 
-    /** Continuous tRAS reduction [ns] available @p elapsed_ns after
-     *  refresh. */
-    double trasReductionNs(double elapsed_ns) const;
+    /** Continuous tRAS reduction available @p elapsed after refresh. */
+    Nanoseconds trasReduction(Nanoseconds elapsed) const;
 
     /**
-     * True minimum timing for a row activated @p elapsed_ns after its
+     * True minimum timing for a row activated @p elapsed after its
      * last refresh.  Reductions are rounded *down* to whole cycles, so
      * the result is always safe.
      */
-    RowTiming effective(double elapsed_ns) const;
+    RowTiming effective(Nanoseconds elapsed) const;
 
     /**
      * Group @p num_slices linear slices of the retention period into
      * @p num_pb partitioned banks.
      *
      * Slices are first classified by their whole-cycle reduction level
-     * at the slice's oldest edge (plus @p slack_ns of refresh-schedule
+     * at the slice's oldest edge (plus @p slack of refresh-schedule
      * guard), then adjacent levels are merged pairwise — always keeping
      * the slower rating — until @p num_pb groups remain, choosing the
      * merge that forfeits the least total reduction.  For num_pb == 5
@@ -93,11 +91,12 @@ class TimingDerate
      *
      * @param num_pb     target number of PBs (1 = no derating)
      * @param num_slices #LP, the linear division (paper uses 32)
-     * @param slack_ns   guard for refresh-schedule jitter
+     * @param slack      guard for refresh-schedule jitter
      */
     std::vector<PbGroup> deriveGroups(unsigned num_pb,
                                       unsigned num_slices = 32,
-                                      double slack_ns = 1e6) const;
+                                      Nanoseconds slack = Nanoseconds{
+                                          1e6}) const;
 
     /** The nominal timing reductions are applied to. */
     const NominalTiming &nominal() const { return nominal_; }
@@ -108,8 +107,8 @@ class TimingDerate
     /** The bus clock in use. */
     const Clock &clock() const { return clock_; }
 
-    /** Retention period [ns] (from the cell model). */
-    double retentionNs() const;
+    /** Retention period (from the cell model). */
+    Nanoseconds retention() const;
 
   private:
     SenseAmpModel senseAmp_;

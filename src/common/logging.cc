@@ -18,7 +18,7 @@ vformat(const char *fmt, va_list ap)
     va_list ap2;
     va_copy(ap2, ap);
     int n = std::vsnprintf(nullptr, 0, fmt, ap);
-    std::string out(n > 0 ? n : 0, '\0');
+    std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
     if (n > 0)
         std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
     va_end(ap2);

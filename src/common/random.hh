@@ -67,7 +67,8 @@ class Rng
     {
         nuat_assert(bound != 0);
         // Rejection sampling to avoid modulo bias.
-        const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % bound);
+        const std::uint64_t limit =
+            ~std::uint64_t(0) - (~std::uint64_t(0) % bound);
         std::uint64_t v;
         do {
             v = next();
@@ -87,7 +88,7 @@ class Rng
     double
     uniform()
     {
-        return (next() >> 11) * 0x1.0p-53;
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
     /** Bernoulli draw: true with probability @p p. */

@@ -31,7 +31,7 @@ RunningStat::variance() const
     if (count_ == 0)
         return 0.0;
     const double m = mean();
-    double v = sumSq_ / count_ - m * m;
+    double v = sumSq_ / static_cast<double>(count_) - m * m;
     return v > 0.0 ? v : 0.0;
 }
 
@@ -109,7 +109,8 @@ Histogram::percentile(double fraction) const
     for (unsigned i = 0; i < counts_.size(); ++i) {
         const double next = seen + static_cast<double>(counts_[i]);
         if (target <= next && counts_[i] > 0) {
-            const double within = (target - seen) / counts_[i];
+            const double within =
+                (target - seen) / static_cast<double>(counts_[i]);
             return lo_ + (i + within) * width_;
         }
         seen = next;

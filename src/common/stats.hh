@@ -55,7 +55,10 @@ class RunningStat
     double sum() const { return sum_; }
 
     /** Mean of samples (0 if empty). */
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
 
     /** Population variance (0 if empty). */
     double variance() const;

@@ -1,11 +1,22 @@
 /**
  * @file
  * Fundamental scalar types shared by every NUAT module.
+ *
+ * Besides the plain cycle/address aliases, this header defines the
+ * project's *strong* types: zero-cost wrappers that make the compiler
+ * reject the unit and index mix-ups NUAT is most exposed to —
+ * nanoseconds flowing into cycle arithmetic without a clock, a linear
+ * PRE_PB slice index used as a grouped PB number (Table 4's 3/5/6/8/10
+ * split means they disagree almost everywhere), or a row id used to
+ * index a bank vector.  All wrappers compile to the bare integer /
+ * double they hold; cross-assignment between distinct wrappers is a
+ * compile error (see tests/strong_types_test.cc).
  */
 
 #ifndef NUAT_COMMON_TYPES_HH
 #define NUAT_COMMON_TYPES_HH
 
+#include <compare>
 #include <cstdint>
 
 namespace nuat {
@@ -22,11 +33,118 @@ using CpuCycle = std::uint64_t;
 /** A physical byte address. */
 using Addr = std::uint64_t;
 
-/** Sentinel meaning "no row is open" / "no valid row". */
-constexpr std::uint32_t kNoRow = 0xffffffffu;
-
 /** Sentinel for an unknown / unset cycle. */
 constexpr Cycle kNeverCycle = ~Cycle(0);
+
+/**
+ * A duration in nanoseconds — the analog/datasheet time domain, as
+ * opposed to the Cycle clock domain.  There is deliberately no implicit
+ * conversion in either direction: crossing domains requires a Clock
+ * (common/units.hh), which is the only place the tCK anchor lives.
+ */
+class Nanoseconds
+{
+  public:
+    constexpr Nanoseconds() = default;
+    constexpr explicit Nanoseconds(double ns) : ns_(ns) {}
+
+    /** The raw count of nanoseconds. */
+    constexpr double value() const { return ns_; }
+
+    constexpr Nanoseconds operator+(Nanoseconds o) const
+    {
+        return Nanoseconds{ns_ + o.ns_};
+    }
+    constexpr Nanoseconds operator-(Nanoseconds o) const
+    {
+        return Nanoseconds{ns_ - o.ns_};
+    }
+    constexpr Nanoseconds operator-() const { return Nanoseconds{-ns_}; }
+    constexpr Nanoseconds operator*(double k) const
+    {
+        return Nanoseconds{ns_ * k};
+    }
+    constexpr Nanoseconds operator/(double k) const
+    {
+        return Nanoseconds{ns_ / k};
+    }
+    /** Duration ratio (dimensionless). */
+    constexpr double operator/(Nanoseconds o) const { return ns_ / o.ns_; }
+
+    constexpr Nanoseconds &operator+=(Nanoseconds o)
+    {
+        ns_ += o.ns_;
+        return *this;
+    }
+    constexpr Nanoseconds &operator-=(Nanoseconds o)
+    {
+        ns_ -= o.ns_;
+        return *this;
+    }
+
+    constexpr auto operator<=>(const Nanoseconds &) const = default;
+
+  private:
+    double ns_ = 0.0;
+};
+
+constexpr Nanoseconds
+operator*(double k, Nanoseconds ns)
+{
+    return ns * k;
+}
+
+/**
+ * A strongly typed index: wraps @p Rep but is a distinct type per @p
+ * Tag, so a RankId cannot silently become a BankId (or a SliceIdx a
+ * PbIdx).  Construction from the raw representation is explicit;
+ * consumers that genuinely need the integer (vector indexing, printf)
+ * call value().  Ordering compares the raw values.
+ */
+template <typename Tag, typename Rep>
+class StrongIndex
+{
+  public:
+    using rep_type = Rep;
+
+    constexpr StrongIndex() = default;
+    constexpr explicit StrongIndex(Rep v) : v_(v) {}
+
+    /** The raw index (for container indexing / formatting). */
+    constexpr Rep value() const { return v_; }
+
+    constexpr auto operator<=>(const StrongIndex &) const = default;
+
+  private:
+    Rep v_ = 0;
+};
+
+/** Rank coordinate within a channel. */
+using RankId = StrongIndex<struct RankIdTag, std::uint32_t>;
+
+/** Bank coordinate within a rank. */
+using BankId = StrongIndex<struct BankIdTag, std::uint32_t>;
+
+/** Row coordinate within a bank. */
+using RowId = StrongIndex<struct RowIdTag, std::uint32_t>;
+
+/**
+ * Linear PRE_PB slice index (paper eq. 2): the retention period divided
+ * into #LP uniform slices, 0 = youngest.  NOT interchangeable with
+ * PbIdx — the grouped PB a slice belongs to depends on the non-uniform
+ * Table 4 grouping.
+ */
+using SliceIdx = StrongIndex<struct SliceIdxTag, std::uint32_t>;
+
+/**
+ * Grouped partitioned-bank number (paper Sec. 5.3): 0 = fastest group.
+ * Obtained from a SliceIdx only through PbrAcquisition's grouping
+ * table.
+ */
+using PbIdx = StrongIndex<struct PbIdxTag, std::uint32_t>;
+
+/** Sentinel meaning "no row is open" / "no valid row". */
+constexpr RowId kNoRow{0xffffffffu};
 
 } // namespace nuat
 

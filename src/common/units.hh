@@ -25,36 +25,39 @@ class Clock
     explicit constexpr Clock(double freq_mhz) : freqMhz_(freq_mhz) {}
 
     /** Clock period in nanoseconds. */
-    constexpr double periodNs() const { return 1000.0 / freqMhz_; }
+    constexpr Nanoseconds period() const
+    {
+        return Nanoseconds{1000.0 / freqMhz_};
+    }
 
     /** Frequency in MHz. */
     constexpr double freqMhz() const { return freqMhz_; }
 
     /**
-     * Convert a duration in nanoseconds to a whole number of cycles,
-     * rounding *up* (a timing constraint of 15 ns needs 12 full cycles
-     * at 1.25 ns, but 15.1 ns needs 13).
+     * Convert a duration to a whole number of cycles, rounding *up* (a
+     * timing constraint of 15 ns needs 12 full cycles at 1.25 ns, but
+     * 15.1 ns needs 13).
      */
     Cycle
-    toCyclesCeil(double ns) const
+    toCyclesCeil(Nanoseconds ns) const
     {
-        return static_cast<Cycle>(std::ceil(ns / periodNs() - 1e-9));
+        return static_cast<Cycle>(std::ceil(ns / period() - 1e-9));
     }
 
     /**
-     * Convert a duration in nanoseconds to cycles rounding *down*.
-     * Used for latency head-room (how many whole cycles we may shave).
+     * Convert a duration to cycles rounding *down*.  Used for latency
+     * head-room (how many whole cycles we may shave).
      */
     Cycle
-    toCyclesFloor(double ns) const
+    toCyclesFloor(Nanoseconds ns) const
     {
-        return static_cast<Cycle>(std::floor(ns / periodNs() + 1e-9));
+        return static_cast<Cycle>(std::floor(ns / period() + 1e-9));
     }
 
     /** Convert cycles to nanoseconds. */
-    constexpr double toNs(Cycle cycles) const
+    constexpr Nanoseconds toNs(Cycle cycles) const
     {
-        return static_cast<double>(cycles) * periodNs();
+        return static_cast<double>(cycles) * period();
     }
 
   private:
@@ -71,17 +74,17 @@ inline constexpr Clock kCpuClock{3200.0};
 inline constexpr unsigned kCpuPerMemCycle = 4;
 
 /** Milliseconds expressed in nanoseconds. */
-constexpr double
+constexpr Nanoseconds
 msToNs(double ms)
 {
-    return ms * 1e6;
+    return Nanoseconds{ms * 1e6};
 }
 
 /** Microseconds expressed in nanoseconds. */
-constexpr double
+constexpr Nanoseconds
 usToNs(double us)
 {
-    return us * 1e3;
+    return Nanoseconds{us * 1e3};
 }
 
 } // namespace nuat

@@ -31,7 +31,8 @@ NuatConfig::validate() const
     nuat_assert(subWindow > 0 && windowRatio > 0);
     nuat_assert(es2Cap >= 0.0);
     // Sec. 7.3 priority ordering: w1 >= w3 > max(ES4) > max(ES5) > max(ES2).
-    const double max_es4 = weights.w4 * groups.size();
+    const double max_es4 =
+        weights.w4 * static_cast<double>(groups.size());
     const double max_es5 = weights.w5;
     if (!(weights.w1 >= weights.w3 && weights.w3 > max_es4 &&
           max_es4 > max_es5 && max_es5 > es2Cap)) {

@@ -157,7 +157,7 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
     int best = -1;
     double best_score = 0.0;
     Cycle best_arrival = kNeverCycle;
-    unsigned best_pb = 0;
+    PbIdx best_pb{0};
     [[maybe_unused]] ScoreInputs best_in;
     [[maybe_unused]] bool best_starved = false;
 
@@ -201,7 +201,7 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
         }
     }
 
-    Candidate &chosen = candidates[best];
+    Candidate &chosen = candidates[static_cast<std::size_t>(best)];
     NUAT_METRIC(if (metrics_) {
         metrics_->picks->inc();
         if (best_starved)
@@ -215,12 +215,11 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
     if (chosen.cmd.type == CmdType::kAct) {
         // Run the activation at the PB's rated (charge-safe) timing.
         chosen.cmd.actTiming = pbr_->ratedTiming(best_pb);
-        ++actsPerPb_[best_pb < actsPerPb_.size() ? best_pb
-                                                 : actsPerPb_.size() - 1];
+        const std::size_t bp = best_pb.value();
+        ++actsPerPb_[bp < actsPerPb_.size() ? bp
+                                            : actsPerPb_.size() - 1];
         NUAT_METRIC(if (metrics_) {
-            metrics_
-                ->actPb[best_pb < cfg_.numPb() ? best_pb
-                                               : cfg_.numPb() - 1]
+            metrics_->actPb[bp < cfg_.numPb() ? bp : cfg_.numPb() - 1]
                 ->inc();
         });
     } else if (isColumnCmd(chosen.cmd.type)) {
@@ -228,13 +227,14 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
         NUAT_METRIC(want_pb = want_pb || metrics_ != nullptr);
         if (want_pb) {
             const auto &refresh = ctx.dev->refresh(chosen.cmd.rank);
-            const std::uint32_t open_row =
+            const RowId open_row =
                 ctx.dev->bank(chosen.cmd.rank, chosen.cmd.bank)
                     .openRow();
-            const unsigned pb = pbr_->pbOfRow(refresh, open_row);
+            const PbIdx pb = pbr_->pbOfRow(refresh, open_row);
             NUAT_METRIC(if (metrics_) {
+                const std::size_t p = pb.value();
                 metrics_
-                    ->colPb[pb < cfg_.numPb() ? pb : cfg_.numPb() - 1]
+                    ->colPb[p < cfg_.numPb() ? p : cfg_.numPb() - 1]
                     ->inc();
             });
             if (cfg_.ppmEnabled) {

@@ -47,7 +47,7 @@ NuatTable::es4(const ScoreInputs &in) const
         return 0.0;
     // Faster PB (smaller PB#) -> larger score: activate rows while
     // they are still fast; PB# grows with time.
-    return weights_.w4 * static_cast<double>(in.numPb - in.pb);
+    return weights_.w4 * static_cast<double>(in.numPb - in.pb.value());
 }
 
 double

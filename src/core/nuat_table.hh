@@ -38,7 +38,7 @@ struct ScoreInputs
     bool isRowHit = false;     //!< column command to an open row
     Cycle waitCycles = 0;      //!< now - request arrival
     bool draining = false;     //!< write-queue hysteresis state
-    unsigned pb = 0;           //!< PB# (ACT candidates)
+    PbIdx pb{0};               //!< PB# (ACT candidates)
     unsigned numPb = 1;        //!< #D, the configured PB count
     BoundaryZone zone = BoundaryZone::kNone;
 };

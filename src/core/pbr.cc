@@ -17,27 +17,26 @@ PbrAcquisition::PbrAcquisition(const NuatConfig &cfg, std::uint32_t rows)
     pbOfPrePb_.reserve(cfg_.numLinearPb);
     for (unsigned pb = 0; pb < cfg_.numPb(); ++pb) {
         for (unsigned s = 0; s < cfg_.groups[pb].slices; ++s)
-            pbOfPrePb_.push_back(pb);
+            pbOfPrePb_.push_back(PbIdx{pb});
     }
     nuat_assert(pbOfPrePb_.size() == cfg_.numLinearPb);
 }
 
-unsigned
+SliceIdx
 PbrAcquisition::prePbOf(std::uint32_t relative_age) const
 {
     nuat_assert(relative_age < rows_);
-    return relative_age >> shift_;
+    return SliceIdx{relative_age >> shift_};
 }
 
-unsigned
+PbIdx
 PbrAcquisition::pbOfAge(std::uint32_t relative_age) const
 {
-    return pbOfPrePb_[prePbOf(relative_age)];
+    return pbOfPrePb_[prePbOf(relative_age).value()];
 }
 
-unsigned
-PbrAcquisition::pbOfRow(const RefreshEngine &refresh,
-                        std::uint32_t row) const
+PbIdx
+PbrAcquisition::pbOfRow(const RefreshEngine &refresh, RowId row) const
 {
     nuat_assert(refresh.rows() == rows_,
                 "(PBR built for %u rows, refresh engine has %u)", rows_,
@@ -46,27 +45,26 @@ PbrAcquisition::pbOfRow(const RefreshEngine &refresh,
 }
 
 BoundaryZone
-PbrAcquisition::zoneOfRow(const RefreshEngine &refresh,
-                          std::uint32_t row) const
+PbrAcquisition::zoneOfRow(const RefreshEngine &refresh, RowId row) const
 {
     const std::uint32_t age = refresh.relativeAge(row);
-    const unsigned cur = pbOfAge(age);
+    const PbIdx cur = pbOfAge(age);
     // After the next REF the counter advances by rowsPerRef rows, so
     // this row's relative age grows by the same amount — unless the row
     // itself is refreshed, which wraps its age to the youngest slice.
     const std::uint32_t next_age =
         (age + refresh.rowsPerRef()) % rows_;
-    const unsigned next = pbOfAge(next_age);
+    const PbIdx next = pbOfAge(next_age);
     if (next == cur)
         return BoundaryZone::kNone;
     return next > cur ? BoundaryZone::kWarning : BoundaryZone::kPromising;
 }
 
 const RowTiming &
-PbrAcquisition::ratedTiming(unsigned pb) const
+PbrAcquisition::ratedTiming(PbIdx pb) const
 {
-    nuat_assert(pb < cfg_.numPb());
-    return cfg_.groups[pb].timing;
+    nuat_assert(pb.value() < cfg_.numPb());
+    return cfg_.groups[pb.value()].timing;
 }
 
 } // namespace nuat

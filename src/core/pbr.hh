@@ -43,24 +43,23 @@ class PbrAcquisition
     PbrAcquisition(const NuatConfig &cfg, std::uint32_t rows);
 
     /** Linear division, eq. (2): relative age -> PRE_PB index. */
-    unsigned prePbOf(std::uint32_t relative_age) const;
+    SliceIdx prePbOf(std::uint32_t relative_age) const;
 
     /** Non-linear grouping: relative age -> PB#. */
-    unsigned pbOfAge(std::uint32_t relative_age) const;
+    PbIdx pbOfAge(std::uint32_t relative_age) const;
 
     /** PB# of @p row given the rank's current refresh position. */
-    unsigned pbOfRow(const RefreshEngine &refresh,
-                     std::uint32_t row) const;
+    PbIdx pbOfRow(const RefreshEngine &refresh, RowId row) const;
 
     /**
      * Element-5 zone of @p row: whether the next REF moves the row
      * into a different PB, and in which direction.
      */
     BoundaryZone zoneOfRow(const RefreshEngine &refresh,
-                           std::uint32_t row) const;
+                           RowId row) const;
 
     /** Rated (safe) activation timing of @p pb. */
-    const RowTiming &ratedTiming(unsigned pb) const;
+    const RowTiming &ratedTiming(PbIdx pb) const;
 
     /** Number of PBs. */
     unsigned numPb() const { return cfg_.numPb(); }
@@ -72,7 +71,7 @@ class PbrAcquisition
     NuatConfig cfg_;
     std::uint32_t rows_;
     unsigned shift_;                     //!< log2 #R - log2 #LP
-    std::vector<unsigned> pbOfPrePb_;    //!< PRE_PB -> PB lookup
+    std::vector<PbIdx> pbOfPrePb_;       //!< PRE_PB -> PB lookup
 };
 
 } // namespace nuat

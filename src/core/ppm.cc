@@ -16,14 +16,14 @@ PpmDecisionMaker::PpmDecisionMaker(const NuatConfig &cfg, Cycle trp)
 }
 
 double
-PpmDecisionMaker::threshold(unsigned pb) const
+PpmDecisionMaker::threshold(PbIdx pb) const
 {
-    nuat_assert(pb < thresholds_.size());
-    return thresholds_[pb];
+    nuat_assert(pb.value() < thresholds_.size());
+    return thresholds_[pb.value()];
 }
 
 PagePolicy
-PpmDecisionMaker::modeFor(unsigned pb, double hit_rate) const
+PpmDecisionMaker::modeFor(PbIdx pb, double hit_rate) const
 {
     return hit_rate > threshold(pb) ? PagePolicy::kOpen
                                     : PagePolicy::kClose;

@@ -34,10 +34,10 @@ class PpmDecisionMaker
     PpmDecisionMaker(const NuatConfig &cfg, Cycle trp);
 
     /** Break-even hit rate of @p pb (eq. 7). */
-    double threshold(unsigned pb) const;
+    double threshold(PbIdx pb) const;
 
     /** Page mode for @p pb at the current pseudo hit rate. */
-    PagePolicy modeFor(unsigned pb, double hit_rate) const;
+    PagePolicy modeFor(PbIdx pb, double hit_rate) const;
 
     /** Number of PBs. */
     unsigned numPb() const

@@ -7,9 +7,10 @@
 namespace nuat {
 
 void
-BankState::onAct(Cycle now, std::uint32_t row, const RowTiming &timing)
+BankState::onAct(Cycle now, RowId row, const RowTiming &timing)
 {
-    nuat_assert(isClosed(), "(ACT to a bank with row %u open)", openRow_);
+    nuat_assert(isClosed(), "(ACT to a bank with row %u open)",
+                openRow_.value());
     nuat_assert(now >= actAllowedAt_);
     nuat_assert(row != kNoRow);
     nuat_assert(timing.trcd > 0 && timing.tras >= timing.trcd &&

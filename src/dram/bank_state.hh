@@ -31,7 +31,7 @@ class BankState
 {
   public:
     /** Row currently open, or kNoRow when (being) precharged. */
-    std::uint32_t openRow() const { return openRow_; }
+    RowId openRow() const { return openRow_; }
 
     /** True when no row is open (precharged or precharging). */
     bool isClosed() const { return openRow_ == kNoRow; }
@@ -61,7 +61,7 @@ class BankState
     const RowTiming &actTiming() const { return actTiming_; }
 
     /** Apply an ACT at @p now with effective timing @p timing. */
-    void onAct(Cycle now, std::uint32_t row, const RowTiming &timing);
+    void onAct(Cycle now, RowId row, const RowTiming &timing);
 
     /** Apply a column read (no auto-precharge) at @p now. */
     void onRead(Cycle now, const TimingParams &tp);
@@ -82,7 +82,7 @@ class BankState
     void onRefresh(Cycle done_at);
 
   private:
-    std::uint32_t openRow_ = kNoRow;
+    RowId openRow_ = kNoRow;
     Cycle actAllowedAt_ = 0;
     Cycle rdAllowedAt_ = 0;
     Cycle wrAllowedAt_ = 0;

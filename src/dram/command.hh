@@ -50,10 +50,10 @@ isAutoPre(CmdType t)
 struct Command
 {
     CmdType type = CmdType::kAct;
-    unsigned rank = 0;
-    unsigned bank = 0;          //!< ignored for kRef
-    std::uint32_t row = kNoRow; //!< kAct only
-    std::uint32_t col = 0;      //!< column commands only (cache-line col)
+    RankId rank{0};
+    BankId bank{0};        //!< ignored for kRef
+    RowId row = kNoRow;    //!< kAct only
+    std::uint32_t col = 0; //!< column commands only (cache-line col)
 
     /**
      * For kAct: the activation timing the controller intends to run the

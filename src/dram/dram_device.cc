@@ -54,31 +54,33 @@ DramDevice::DramDevice(const DramGeometry &geometry, const TimingParams &tp,
 }
 
 const BankState &
-DramDevice::bank(unsigned rank, unsigned bank_idx) const
+DramDevice::bank(RankId rank, BankId bank_idx) const
 {
-    nuat_assert(rank < ranks_.size() && bank_idx < geom_.banks);
-    return ranks_[rank].banks[bank_idx];
+    nuat_assert(rank.value() < ranks_.size() &&
+                bank_idx.value() < geom_.banks);
+    return ranks_[rank.value()].banks[bank_idx.value()];
 }
 
 BankState &
-DramDevice::bankRef(unsigned rank, unsigned bank_idx)
+DramDevice::bankRef(RankId rank, BankId bank_idx)
 {
-    nuat_assert(rank < ranks_.size() && bank_idx < geom_.banks);
-    return ranks_[rank].banks[bank_idx];
+    nuat_assert(rank.value() < ranks_.size() &&
+                bank_idx.value() < geom_.banks);
+    return ranks_[rank.value()].banks[bank_idx.value()];
 }
 
 const RankState &
-DramDevice::rank(unsigned rank_idx) const
+DramDevice::rank(RankId rank_idx) const
 {
-    nuat_assert(rank_idx < ranks_.size());
-    return ranks_[rank_idx];
+    nuat_assert(rank_idx.value() < ranks_.size());
+    return ranks_[rank_idx.value()];
 }
 
 const RefreshEngine &
-DramDevice::refresh(unsigned rank_idx) const
+DramDevice::refresh(RankId rank_idx) const
 {
-    nuat_assert(rank_idx < ranks_.size());
-    return ranks_[rank_idx].refresh;
+    nuat_assert(rank_idx.value() < ranks_.size());
+    return ranks_[rank_idx.value()].refresh;
 }
 
 bool
@@ -92,19 +94,17 @@ DramDevice::refreshDue(Cycle now) const
 }
 
 RowTiming
-DramDevice::trueRowTiming(unsigned rank_idx, std::uint32_t row,
-                          Cycle now) const
+DramDevice::trueRowTiming(RankId rank_idx, RowId row, Cycle now) const
 {
     const auto &eng = refresh(rank_idx);
-    const double elapsed = eng.elapsedNs(row, now, clock_.periodNs());
-    return derate_.effective(elapsed);
+    return derate_.effective(eng.elapsedSinceRefresh(row, now, clock_));
 }
 
 bool
 DramDevice::canIssueAct(const Command &cmd, Cycle now) const
 {
-    const RankState &r = ranks_[cmd.rank];
-    const BankState &b = r.banks[cmd.bank];
+    const RankState &r = ranks_[cmd.rank.value()];
+    const BankState &b = r.banks[cmd.bank.value()];
     return b.isClosed() && now >= b.actAllowedAt() &&
            now >= r.actAllowedAt && now >= r.refBusyUntil &&
            !r.fawBlocked(now, tp_);
@@ -113,7 +113,7 @@ DramDevice::canIssueAct(const Command &cmd, Cycle now) const
 bool
 DramDevice::canIssueRef(const Command &cmd, Cycle now) const
 {
-    const RankState &r = ranks_[cmd.rank];
+    const RankState &r = ranks_[cmd.rank.value()];
     if (now < r.refBusyUntil)
         return false;
     for (const auto &b : r.banks) {
@@ -126,15 +126,17 @@ DramDevice::canIssueRef(const Command &cmd, Cycle now) const
 bool
 DramDevice::canIssue(const Command &cmd, Cycle now) const
 {
-    nuat_assert(cmd.rank < ranks_.size());
-    nuat_assert(cmd.type == CmdType::kRef || cmd.bank < geom_.banks);
+    nuat_assert(cmd.rank.value() < ranks_.size());
+    nuat_assert(cmd.type == CmdType::kRef ||
+                cmd.bank.value() < geom_.banks);
 
     // Command bus: one command per cycle.
     if (lastCmdAt_ != kNeverCycle && now <= lastCmdAt_)
         return false;
 
-    const RankState &r = ranks_[cmd.rank];
-    const BankState &b = r.banks[cmd.type == CmdType::kRef ? 0 : cmd.bank];
+    const RankState &r = ranks_[cmd.rank.value()];
+    const BankState &b =
+        r.banks[cmd.type == CmdType::kRef ? 0 : cmd.bank.value()];
 
     switch (cmd.type) {
       case CmdType::kAct:
@@ -171,14 +173,14 @@ DramDevice::issue(const Command &cmd, Cycle now)
 {
     if (!canIssue(cmd, now)) {
         nuat_panic("illegal %s to rank %u bank %u at cycle %llu",
-                   cmd.name(), cmd.rank, cmd.bank,
+                   cmd.name(), cmd.rank.value(), cmd.bank.value(),
                    static_cast<unsigned long long>(now));
     }
     for (CommandObserver *obs : observers_)
         obs->onCommand(cmd, now);
     lastCmdAt_ = now;
 
-    RankState &r = ranks_[cmd.rank];
+    RankState &r = ranks_[cmd.rank.value()];
     IssueResult result;
 
     switch (cmd.type) {
@@ -192,7 +194,7 @@ DramDevice::issue(const Command &cmd, Cycle now)
             nuat_panic("charge violation: ACT row %u requested "
                        "tRCD/tRAS/tRC %llu/%llu/%llu but charge allows "
                        "only %llu/%llu/%llu",
-                       cmd.row,
+                       cmd.row.value(),
                        static_cast<unsigned long long>(cmd.actTiming.trcd),
                        static_cast<unsigned long long>(cmd.actTiming.tras),
                        static_cast<unsigned long long>(cmd.actTiming.trc),
@@ -200,7 +202,7 @@ DramDevice::issue(const Command &cmd, Cycle now)
                        static_cast<unsigned long long>(min.tras),
                        static_cast<unsigned long long>(min.trc));
         }
-        r.banks[cmd.bank].onAct(now, cmd.row, cmd.actTiming);
+        r.banks[cmd.bank.value()].onAct(now, cmd.row, cmd.actTiming);
         r.recordAct(now, tp_);
         ++counters_.acts;
         const Cycle red = tp_.tRCD - cmd.actTiming.trcd;
@@ -208,15 +210,15 @@ DramDevice::issue(const Command &cmd, Cycle now)
         break;
       }
       case CmdType::kPre:
-        r.banks[cmd.bank].onPre(now, tp_);
+        r.banks[cmd.bank.value()].onPre(now, tp_);
         ++counters_.pres;
         break;
       case CmdType::kRead:
       case CmdType::kReadAp:
         if (cmd.type == CmdType::kRead) {
-            r.banks[cmd.bank].onRead(now, tp_);
+            r.banks[cmd.bank.value()].onRead(now, tp_);
         } else {
-            r.banks[cmd.bank].onReadAp(now, tp_);
+            r.banks[cmd.bank.value()].onReadAp(now, tp_);
             ++counters_.autoPres;
         }
         ++counters_.reads;
@@ -232,9 +234,9 @@ DramDevice::issue(const Command &cmd, Cycle now)
       case CmdType::kWrite:
       case CmdType::kWriteAp:
         if (cmd.type == CmdType::kWrite) {
-            r.banks[cmd.bank].onWrite(now, tp_);
+            r.banks[cmd.bank.value()].onWrite(now, tp_);
         } else {
-            r.banks[cmd.bank].onWriteAp(now, tp_);
+            r.banks[cmd.bank.value()].onWriteAp(now, tp_);
             ++counters_.autoPres;
         }
         ++counters_.writes;

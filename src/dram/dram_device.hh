@@ -95,13 +95,13 @@ class DramDevice
     IssueResult issue(const Command &cmd, Cycle now);
 
     /** Bank state accessor. */
-    const BankState &bank(unsigned rank, unsigned bank_idx) const;
+    const BankState &bank(RankId rank, BankId bank_idx) const;
 
     /** Rank state accessor. */
-    const RankState &rank(unsigned rank_idx) const;
+    const RankState &rank(RankId rank_idx) const;
 
     /** Refresh engine of @p rank_idx (PBR reads this). */
-    const RefreshEngine &refresh(unsigned rank_idx = 0) const;
+    const RefreshEngine &refresh(RankId rank_idx = RankId{0}) const;
 
     /** True when any rank has a REF due at @p now. */
     bool refreshDue(Cycle now) const;
@@ -110,8 +110,7 @@ class DramDevice
      * The row's true minimum activation timing at @p now, from the
      * charge model.  Exposed for tests and the pb_explorer example.
      */
-    RowTiming trueRowTiming(unsigned rank, std::uint32_t row,
-                            Cycle now) const;
+    RowTiming trueRowTiming(RankId rank, RowId row, Cycle now) const;
 
     /** Geometry in use. */
     const DramGeometry &geometry() const { return geom_; }
@@ -139,7 +138,7 @@ class DramDevice
     bool canIssueAct(const Command &cmd, Cycle now) const;
     bool canIssueRef(const Command &cmd, Cycle now) const;
 
-    BankState &bankRef(unsigned rank, unsigned bank_idx);
+    BankState &bankRef(RankId rank, BankId bank_idx);
 
     DramGeometry geom_;
     TimingParams tp_;
@@ -150,7 +149,7 @@ class DramDevice
     Cycle lastCmdAt_ = kNeverCycle; //!< command bus: one cmd per cycle
     Cycle rdIssueOkAt_ = 0;         //!< channel data-bus gate for reads
     Cycle wrIssueOkAt_ = 0;         //!< channel data-bus gate for writes
-    unsigned lastDataRank_ = 0;     //!< owner of the last data burst
+    RankId lastDataRank_{0};        //!< owner of the last data burst
     Cycle lastDataEndAt_ = 0;       //!< end of the last data burst
 
     DeviceCounters counters_;

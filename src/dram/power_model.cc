@@ -18,28 +18,28 @@ DramPowerModel::actPreEnergyNj(Cycle trc_cycles) const
 {
     // mA * V * ns = pW*s... (1e-3 A)(V)(1e-9 s) = 1e-12 J = 1e-3 nJ.
     return (idd_.idd0 - idd_.idd3n) * idd_.vdd *
-           clock_.toNs(trc_cycles) * 1e-3;
+           clock_.toNs(trc_cycles).value() * 1e-3;
 }
 
 double
 DramPowerModel::readEnergyNj() const
 {
-    return (idd_.idd4r - idd_.idd3n) * idd_.vdd * clock_.toNs(tp_.tBL) *
-           1e-3;
+    return (idd_.idd4r - idd_.idd3n) * idd_.vdd *
+           clock_.toNs(tp_.tBL).value() * 1e-3;
 }
 
 double
 DramPowerModel::writeEnergyNj() const
 {
-    return (idd_.idd4w - idd_.idd3n) * idd_.vdd * clock_.toNs(tp_.tBL) *
-           1e-3;
+    return (idd_.idd4w - idd_.idd3n) * idd_.vdd *
+           clock_.toNs(tp_.tBL).value() * 1e-3;
 }
 
 double
 DramPowerModel::refreshEnergyNj() const
 {
-    return (idd_.idd5 - idd_.idd2n) * idd_.vdd * clock_.toNs(tp_.tRFC) *
-           1e-3;
+    return (idd_.idd5 - idd_.idd2n) * idd_.vdd *
+           clock_.toNs(tp_.tRFC).value() * 1e-3;
 }
 
 EnergyBreakdown
@@ -51,7 +51,7 @@ DramPowerModel::estimate(const DeviceCounters &counters,
     // Activations: each bin i of the histogram ran with tRCD reduced
     // by i cycles, i.e. tRC reduced by the matching ladder step
     // (tRAS shrinks twice as fast as tRCD in the Table 4 ladder).
-    double act_time_ns = 0.0;
+    Nanoseconds act_time{0.0};
     for (Cycle red = 0; red < 16; ++red) {
         const std::uint64_t n = counters.actsByTrcdReduction[red];
         if (n == 0)
@@ -59,24 +59,25 @@ DramPowerModel::estimate(const DeviceCounters &counters,
         // Table 4 ladder: each tRCD cycle shaved comes with two tRAS
         // cycles, and tRC = tRAS + tRP, so tRC shrinks by 2 per step.
         const Cycle trc = tp_.tRC - 2 * red;
-        e.actPre += n * actPreEnergyNj(trc);
-        act_time_ns += n * clock_.toNs(trc);
+        e.actPre += static_cast<double>(n) * actPreEnergyNj(trc);
+        act_time += static_cast<double>(n) * clock_.toNs(trc);
     }
     e.deratingSavings =
-        counters.acts * actPreEnergyNj(tp_.tRC) - e.actPre;
+        static_cast<double>(counters.acts) * actPreEnergyNj(tp_.tRC) -
+        e.actPre;
 
-    e.read = counters.reads * readEnergyNj();
-    e.write = counters.writes * writeEnergyNj();
-    e.refresh = counters.refreshes * refreshEnergyNj();
+    e.read = static_cast<double>(counters.reads) * readEnergyNj();
+    e.write = static_cast<double>(counters.writes) * writeEnergyNj();
+    e.refresh =
+        static_cast<double>(counters.refreshes) * refreshEnergyNj();
 
     // Background: active standby while any bank holds a row (bounded
     // by the cumulative activation windows), precharge standby
     // otherwise.
-    const double total_ns = clock_.toNs(elapsed);
-    const double active_ns =
-        act_time_ns < total_ns ? act_time_ns : total_ns;
-    e.background = (idd_.idd3n * active_ns +
-                    idd_.idd2n * (total_ns - active_ns)) *
+    const Nanoseconds total = clock_.toNs(elapsed);
+    const Nanoseconds active = act_time < total ? act_time : total;
+    e.background = (idd_.idd3n * active.value() +
+                    idd_.idd2n * (total - active).value()) *
                    idd_.vdd * 1e-3;
     return e;
 }

@@ -50,11 +50,12 @@ struct EnergyBreakdown
         return actPre + read + write + refresh + background;
     }
 
-    /** Average power [mW] over @p elapsed_ns. */
+    /** Average power [mW] over @p elapsed. */
     double
-    avgPowerMw(double elapsed_ns) const
+    avgPowerMw(Nanoseconds elapsed) const
     {
-        return elapsed_ns > 0.0 ? total() / elapsed_ns * 1e3 : 0.0;
+        return elapsed.value() > 0.0 ? total() / elapsed.value() * 1e3
+                                     : 0.0;
     }
 
     /** Energy saved on activations by charge derating [nJ]. */

@@ -41,20 +41,21 @@ RefreshEngine::performRefresh(Cycle now)
 }
 
 std::int64_t
-RefreshEngine::lastRefreshAt(std::uint32_t row) const
+RefreshEngine::lastRefreshAt(RowId row) const
 {
-    nuat_assert(row < rows_);
-    return lastRefreshAt_[row];
+    nuat_assert(row.value() < rows_);
+    return lastRefreshAt_[row.value()];
 }
 
-double
-RefreshEngine::elapsedNs(std::uint32_t row, Cycle now,
-                         double period_ns) const
+Nanoseconds
+RefreshEngine::elapsedSinceRefresh(RowId row, Cycle now,
+                                   const Clock &clock) const
 {
     const std::int64_t delta =
         static_cast<std::int64_t>(now) - lastRefreshAt(row);
-    nuat_assert(delta >= 0, "(row %u refreshed in the future?)", row);
-    return static_cast<double>(delta) * period_ns;
+    nuat_assert(delta >= 0, "(row %u refreshed in the future?)",
+                row.value());
+    return static_cast<double>(delta) * clock.period();
 }
 
 } // namespace nuat

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "common/units.hh"
 #include "timing_params.hh"
 
 namespace nuat {
@@ -50,15 +51,15 @@ class RefreshEngine
     bool due(Cycle now) const { return now >= nextDueAt_; }
 
     /** First row the next REF will refresh (the counter position). */
-    std::uint32_t nextRow() const { return nextRow_; }
+    RowId nextRow() const { return RowId{nextRow_}; }
 
     /**
      * Last-Refreshed-Row-Address: the most recently refreshed row.
      * This is the LRRA of the paper's equation (1).
      */
-    std::uint32_t lrra() const
+    RowId lrra() const
     {
-        return (nextRow_ + rows_ - 1) % rows_;
+        return RowId{(nextRow_ + rows_ - 1) % rows_};
     }
 
     /**
@@ -66,9 +67,9 @@ class RefreshEngine
      * was refreshed.  (LRRA - row) mod #rows; 0 = just refreshed.
      * This is the quantity PBR shifts down to a PRE_PB index.
      */
-    std::uint32_t relativeAge(std::uint32_t row) const
+    std::uint32_t relativeAge(RowId row) const
     {
-        return (lrra() + rows_ - row) % rows_;
+        return (lrra().value() + rows_ - row.value()) % rows_;
     }
 
     /** Rows refreshed per REF command. */
@@ -88,10 +89,12 @@ class RefreshEngine
 
     /** Ground truth: the cycle @p row was last refreshed (can be
      *  negative for the synthetic pre-simulation history). */
-    std::int64_t lastRefreshAt(std::uint32_t row) const;
+    std::int64_t lastRefreshAt(RowId row) const;
 
-    /** Ground truth: ns elapsed at @p now since @p row's last refresh. */
-    double elapsedNs(std::uint32_t row, Cycle now, double period_ns) const;
+    /** Ground truth: time elapsed at @p now since @p row's last
+     *  refresh, converted through @p clock. */
+    Nanoseconds elapsedSinceRefresh(RowId row, Cycle now,
+                                    const Clock &clock) const;
 
     /** Total REF commands performed. */
     std::uint64_t refreshesDone() const { return refreshesDone_; }

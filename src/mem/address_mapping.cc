@@ -36,29 +36,36 @@ AddressMapping::decompose(Addr addr) const
     shift += channelBits_;
     switch (scheme_) {
       case MappingScheme::kOpenPageBaseline:
-      case MappingScheme::kOpenPageXorBank:
+      case MappingScheme::kOpenPageXorBank: {
         c.col = static_cast<std::uint32_t>(bits(addr, shift, colBits_));
         shift += colBits_;
-        c.bank = static_cast<unsigned>(bits(addr, shift, bankBits_));
+        std::uint32_t bank_field =
+            static_cast<std::uint32_t>(bits(addr, shift, bankBits_));
         shift += bankBits_;
-        c.rank = static_cast<unsigned>(bits(addr, shift, rankBits_));
+        c.rank = RankId{
+            static_cast<std::uint32_t>(bits(addr, shift, rankBits_))};
         shift += rankBits_;
-        c.row = static_cast<std::uint32_t>(bits(addr, shift, rowBits_));
+        c.row = RowId{
+            static_cast<std::uint32_t>(bits(addr, shift, rowBits_))};
         if (scheme_ == MappingScheme::kOpenPageXorBank) {
             // Permutation-based interleaving: fold the low row bits
             // into the bank index (self-inverse, so compose undoes it).
-            c.bank ^= static_cast<unsigned>(
-                c.row & ((1u << bankBits_) - 1));
+            bank_field ^= c.row.value() & ((1u << bankBits_) - 1);
         }
+        c.bank = BankId{bank_field};
         break;
+      }
       case MappingScheme::kClosePageInterleaved:
-        c.bank = static_cast<unsigned>(bits(addr, shift, bankBits_));
+        c.bank = BankId{
+            static_cast<std::uint32_t>(bits(addr, shift, bankBits_))};
         shift += bankBits_;
-        c.rank = static_cast<unsigned>(bits(addr, shift, rankBits_));
+        c.rank = RankId{
+            static_cast<std::uint32_t>(bits(addr, shift, rankBits_))};
         shift += rankBits_;
         c.col = static_cast<std::uint32_t>(bits(addr, shift, colBits_));
         shift += colBits_;
-        c.row = static_cast<std::uint32_t>(bits(addr, shift, rowBits_));
+        c.row = RowId{
+            static_cast<std::uint32_t>(bits(addr, shift, rowBits_))};
         break;
     }
     return c;
@@ -74,28 +81,26 @@ AddressMapping::compose(const DramCoord &coord) const
     switch (scheme_) {
       case MappingScheme::kOpenPageBaseline:
       case MappingScheme::kOpenPageXorBank: {
-        unsigned bank_field = coord.bank;
-        if (scheme_ == MappingScheme::kOpenPageXorBank) {
-            bank_field ^= static_cast<unsigned>(
-                coord.row & ((1u << bankBits_) - 1));
-        }
+        std::uint32_t bank_field = coord.bank.value();
+        if (scheme_ == MappingScheme::kOpenPageXorBank)
+            bank_field ^= coord.row.value() & ((1u << bankBits_) - 1);
         addr = insertBits(addr, shift, colBits_, coord.col);
         shift += colBits_;
         addr = insertBits(addr, shift, bankBits_, bank_field);
         shift += bankBits_;
-        addr = insertBits(addr, shift, rankBits_, coord.rank);
+        addr = insertBits(addr, shift, rankBits_, coord.rank.value());
         shift += rankBits_;
-        addr = insertBits(addr, shift, rowBits_, coord.row);
+        addr = insertBits(addr, shift, rowBits_, coord.row.value());
         break;
       }
       case MappingScheme::kClosePageInterleaved:
-        addr = insertBits(addr, shift, bankBits_, coord.bank);
+        addr = insertBits(addr, shift, bankBits_, coord.bank.value());
         shift += bankBits_;
-        addr = insertBits(addr, shift, rankBits_, coord.rank);
+        addr = insertBits(addr, shift, rankBits_, coord.rank.value());
         shift += rankBits_;
         addr = insertBits(addr, shift, colBits_, coord.col);
         shift += colBits_;
-        addr = insertBits(addr, shift, rowBits_, coord.row);
+        addr = insertBits(addr, shift, rowBits_, coord.row.value());
         break;
     }
     return addr;

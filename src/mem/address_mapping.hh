@@ -40,9 +40,9 @@ enum class MappingScheme
 struct DramCoord
 {
     unsigned channel = 0;
-    unsigned rank = 0;
-    unsigned bank = 0;
-    std::uint32_t row = 0;
+    RankId rank{0};
+    BankId bank{0};
+    RowId row{0};
     std::uint32_t col = 0; //!< cache-line column within the row
 
     bool operator==(const DramCoord &) const = default;

@@ -251,12 +251,13 @@ bool
 MemoryController::handleRefresh(Cycle now)
 {
     for (unsigned r = 0; r < dev_.geometry().ranks; ++r) {
-        if (!dev_.refresh(r).due(now))
+        const RankId rank{r};
+        if (!dev_.refresh(rank).due(now))
             continue;
 
         Command ref;
         ref.type = CmdType::kRef;
-        ref.rank = r;
+        ref.rank = rank;
         if (dev_.canIssue(ref, now)) {
             dev_.issue(ref, now);
             NUAT_METRIC(if (metrics_) metrics_->cmdRef->inc());
@@ -266,12 +267,13 @@ MemoryController::handleRefresh(Cycle now)
 
         // Drain open banks with forced precharges so REF can proceed.
         for (unsigned b = 0; b < dev_.geometry().banks; ++b) {
-            if (dev_.bank(r, b).isClosed())
+            const BankId bank{b};
+            if (dev_.bank(rank, bank).isClosed())
                 continue;
             Command pre;
             pre.type = CmdType::kPre;
-            pre.rank = r;
-            pre.bank = b;
+            pre.rank = rank;
+            pre.bank = bank;
             if (dev_.canIssue(pre, now)) {
                 dev_.issue(pre, now);
                 NUAT_METRIC(if (metrics_) {
@@ -301,8 +303,7 @@ MemoryController::enumerate(Cycle now, std::vector<Candidate> &out)
     // suppress precharges of rows with pending hits (FR-FCFS
     // semantics; NUAT's HIT element agrees) and to tell close-page
     // policies whether a column access is the row's last pending one.
-    auto demandFor = [&](unsigned rank, unsigned bank,
-                         std::uint32_t row) -> unsigned {
+    auto demandFor = [&](RankId rank, BankId bank, RowId row) -> unsigned {
         return demand_.demandFor(rank, bank, row);
     };
 
@@ -319,7 +320,8 @@ MemoryController::enumerate(Cycle now, std::vector<Candidate> &out)
         if (dev_.refresh(req->rank).due(now))
             return; // rank is draining for refresh
         const BankState &b = dev_.bank(req->rank, req->bank);
-        const unsigned flat = req->rank * banks + req->bank;
+        const std::size_t flat =
+            req->rank.value() * banks + req->bank.value();
         Candidate cand;
         cand.req = req;
         cand.isWrite = req->isWrite;
@@ -452,7 +454,7 @@ MemoryController::tick(Cycle now)
         return;
     }
     nuat_assert(static_cast<std::size_t>(idx) < scratch_.size());
-    issueCandidate(scratch_[idx], now);
+    issueCandidate(scratch_[static_cast<std::size_t>(idx)], now);
 }
 
 void

@@ -90,19 +90,27 @@ struct ControllerStats
     /** Mean read-queue occupancy over the run. */
     double avgReadQOccupancy() const
     {
-        return tickCycles ? readQOccupancySum / tickCycles : 0.0;
+        return tickCycles
+                   ? readQOccupancySum / static_cast<double>(tickCycles)
+                   : 0.0;
     }
 
     /** Mean write-queue occupancy over the run. */
     double avgWriteQOccupancy() const
     {
-        return tickCycles ? writeQOccupancySum / tickCycles : 0.0;
+        return tickCycles
+                   ? writeQOccupancySum /
+                         static_cast<double>(tickCycles)
+                   : 0.0;
     }
 
     /** Average read latency in memory cycles. */
     double avgReadLatency() const
     {
-        return readsCompleted ? readLatencySum / readsCompleted : 0.0;
+        return readsCompleted
+                   ? readLatencySum /
+                         static_cast<double>(readsCompleted)
+                   : 0.0;
     }
 };
 
@@ -248,7 +256,7 @@ class MemoryController : public MemoryPort
     // tagging (a slot is valid only when its epoch matches the current
     // enumeration's) avoids clearing ranks*banks entries every cycle.
     std::vector<std::uint64_t> actSeenEpoch_;
-    std::vector<std::uint32_t> actSeenRow_;
+    std::vector<RowId> actSeenRow_;
     std::vector<std::uint64_t> preSeenEpoch_;
     std::uint64_t enumEpoch_ = 0;
 };

@@ -28,10 +28,10 @@ struct Request
     Addr addr = 0;          //!< line-aligned physical address
 
     // Decomposed DRAM coordinates (filled by the address mapping).
-    unsigned rank = 0;
-    unsigned bank = 0;
-    std::uint32_t row = 0;
-    std::uint32_t col = 0;  //!< cache-line column within the row
+    RankId rank{0};
+    BankId bank{0};
+    RowId row{0};
+    std::uint32_t col = 0; //!< cache-line column within the row
 
     Cycle arrivalAt = 0;    //!< enqueue cycle
 

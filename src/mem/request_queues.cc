@@ -14,7 +14,7 @@ RowDemandTracker::reset(unsigned ranks, unsigned banks)
 void
 RowDemandTracker::add(const Request &req)
 {
-    auto &list = perBank_[req.rank * banks_ + req.bank];
+    auto &list = perBank_[req.rank.value() * banks_ + req.bank.value()];
     for (auto &d : list) {
         if (d.row == req.row) {
             ++d.count;
@@ -27,7 +27,7 @@ RowDemandTracker::add(const Request &req)
 void
 RowDemandTracker::remove(const Request &req)
 {
-    auto &list = perBank_[req.rank * banks_ + req.bank];
+    auto &list = perBank_[req.rank.value() * banks_ + req.bank.value()];
     for (auto &d : list) {
         if (d.row == req.row) {
             if (--d.count == 0) {
@@ -42,10 +42,9 @@ RowDemandTracker::remove(const Request &req)
 }
 
 unsigned
-RowDemandTracker::demandFor(unsigned rank, unsigned bank,
-                            std::uint32_t row) const
+RowDemandTracker::demandFor(RankId rank, BankId bank, RowId row) const
 {
-    for (const auto &d : perBank_[rank * banks_ + bank]) {
+    for (const auto &d : perBank_[rank.value() * banks_ + bank.value()]) {
         if (d.row == row)
             return d.count;
     }
@@ -106,8 +105,7 @@ RequestQueue::remove(const Request *req)
 }
 
 bool
-RequestQueue::hasRowHit(unsigned rank, unsigned bank,
-                        std::uint32_t row) const
+RequestQueue::hasRowHit(RankId rank, BankId bank, RowId row) const
 {
     for (const auto &r : queue_) {
         if (r->rank == rank && r->bank == bank && r->row == row)

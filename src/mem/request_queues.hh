@@ -46,13 +46,12 @@ class RowDemandTracker
     void remove(const Request &req);
 
     /** Queued requests targeting @p row of (@p rank, @p bank). */
-    unsigned demandFor(unsigned rank, unsigned bank,
-                       std::uint32_t row) const;
+    unsigned demandFor(RankId rank, BankId bank, RowId row) const;
 
   private:
     struct RowDemand
     {
-        std::uint32_t row;
+        RowId row;
         unsigned count;
     };
 
@@ -102,7 +101,7 @@ class RequestQueue
     auto end() const { return queue_.end(); }
 
     /** True when any queued request targets @p row of rank/bank. */
-    bool hasRowHit(unsigned rank, unsigned bank, std::uint32_t row) const;
+    bool hasRowHit(RankId rank, BankId bank, RowId row) const;
 
   private:
     std::size_t capacity_;

@@ -66,14 +66,16 @@ AdaptiveFrFcfsScheduler::pick(std::vector<Candidate> &candidates,
     };
     int best = 0;
     for (std::size_t i = 1; i < candidates.size(); ++i) {
-        if (better(candidates[i], candidates[best]))
+        if (better(candidates[i],
+                   candidates[static_cast<std::size_t>(best)]))
             best = static_cast<int>(i);
     }
 
     const PagePolicy mode = phrc_.hitRate() > threshold(ctx)
                                 ? PagePolicy::kOpen
                                 : PagePolicy::kClose;
-    applyPagePolicy(candidates[best], mode, graceClose_);
+    applyPagePolicy(candidates[static_cast<std::size_t>(best)], mode,
+                    graceClose_);
     return best;
 }
 

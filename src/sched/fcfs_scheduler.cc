@@ -27,7 +27,8 @@ FcfsScheduler::pick(std::vector<Candidate> &candidates,
             best_preferred = preferred;
         }
     }
-    applyPagePolicy(candidates[best], policy_);
+    applyPagePolicy(candidates[static_cast<std::size_t>(best)],
+                    policy_);
     return best;
 }
 

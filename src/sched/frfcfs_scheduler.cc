@@ -26,10 +26,12 @@ FrFcfsScheduler::pick(std::vector<Candidate> &candidates,
 
     int best = 0;
     for (std::size_t i = 1; i < candidates.size(); ++i) {
-        if (better(candidates[i], candidates[best]))
+        if (better(candidates[i],
+                   candidates[static_cast<std::size_t>(best)]))
             best = static_cast<int>(i);
     }
-    applyPagePolicy(candidates[best], policy_, graceClose_);
+    applyPagePolicy(candidates[static_cast<std::size_t>(best)],
+                    policy_, graceClose_);
     return best;
 }
 

@@ -30,7 +30,8 @@ summarizeRun(const RunResult &r)
         "hit rate %.2f, exec %llu CPU cycles%s\n",
         r.schedulerName.c_str(), workloadLabel(r.workloads).c_str(),
         static_cast<unsigned long long>(r.ctrl.readsCompleted),
-        r.avgReadLatency(), kMemClock.toNs(1) * r.avgReadLatency(),
+        r.avgReadLatency(),
+        kMemClock.toNs(1).value() * r.avgReadLatency(),
         r.hitRateEq3,
         static_cast<unsigned long long>(r.executionTime()),
         r.hitCycleCap ? " [CYCLE CAP HIT]" : "");
@@ -48,8 +49,9 @@ compareRuns(const std::vector<RunResult> &results)
                       TablePrinter::num(r.avgReadLatency(), 1),
                       TablePrinter::num(r.readLatencyPercentile(0.99),
                                         0),
-                      TablePrinter::num(
-                          kMemClock.toNs(1) * r.avgReadLatency(), 1),
+                      TablePrinter::num(kMemClock.toNs(1).value() *
+                                            r.avgReadLatency(),
+                                        1),
                       std::to_string(r.executionTime()),
                       TablePrinter::num(r.hitRateEq3, 3),
                       std::to_string(r.dev.acts),

@@ -155,7 +155,8 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
                 nuat_assert(w.coreId >= 0 &&
                             static_cast<unsigned>(w.coreId) <
                                 cores_.size());
-                cores_[w.coreId]->onReadComplete(
+                cores_[static_cast<std::size_t>(w.coreId)]
+                    ->onReadComplete(
                     w.token,
                     static_cast<CpuCycle>(data_at) * kCpuPerMemCycle);
             });
@@ -200,7 +201,7 @@ System::setupMetrics()
                      : 0.0);
         for (std::size_t ch = 0; ch < refresh_rows.size(); ++ch) {
             refresh_rows[ch]->set(static_cast<double>(
-                devices_[ch]->refresh(0).nextRow()));
+                devices_[ch]->refresh(RankId{0}).nextRow().value()));
         }
     });
 
@@ -284,7 +285,7 @@ System::fastForwardIdle()
     }
     for (const auto &dev : devices_) {
         for (unsigned r = 0; r < dev->geometry().ranks; ++r) {
-            const Cycle due = dev->refresh(r).nextDueAt();
+            const Cycle due = dev->refresh(RankId{r}).nextDueAt();
             if (due < target)
                 target = due;
         }

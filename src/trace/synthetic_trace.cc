@@ -60,15 +60,17 @@ SyntheticTrace::randomJump()
         return;
     }
     pos_.channel = static_cast<unsigned>(rng_.below(geom_.channels));
-    pos_.rank = static_cast<unsigned>(rng_.below(geom_.ranks));
-    pos_.bank = static_cast<unsigned>(rng_.below(geom_.banks));
+    pos_.rank =
+        RankId{static_cast<std::uint32_t>(rng_.below(geom_.ranks))};
+    pos_.bank =
+        BankId{static_cast<std::uint32_t>(rng_.below(geom_.banks))};
     // Scatter the footprint over the whole row space with an odd,
     // low-discrepancy stride (as an OS page allocator would): a
     // workload's rows must sample every refresh-age region, not one
     // contiguous PB.
     const std::uint64_t idx = rng_.below(profile_.footprintRows);
-    pos_.row = static_cast<std::uint32_t>(
-        (baseRow_ + idx * kRowScatterStride) % geom_.rows);
+    pos_.row = RowId{static_cast<std::uint32_t>(
+        (baseRow_ + idx * kRowScatterStride) % geom_.rows)};
     pos_.col =
         static_cast<std::uint32_t>(rng_.below(geom_.linesPerRow()));
 }

@@ -37,26 +37,28 @@ analyzeTrace(TraceSource &source, const DramGeometry &geometry,
         prev = c;
         have_prev = true;
         rows.insert((static_cast<std::uint64_t>(c.channel) << 40) |
-                    (static_cast<std::uint64_t>(c.rank) << 36) |
-                    (static_cast<std::uint64_t>(c.bank) << 32) | c.row);
+                    (static_cast<std::uint64_t>(c.rank.value()) << 36) |
+                    (static_cast<std::uint64_t>(c.bank.value()) << 32) |
+                    c.row.value());
         lines.insert(e.addr &
                      ~static_cast<Addr>(geometry.lineBytes - 1));
     }
 
     if (s.ops > 0) {
-        s.readFraction = static_cast<double>(reads) / s.ops;
-        s.avgGap = static_cast<double>(gap_sum) / s.ops;
-        if (s.ops > 1) {
-            s.rowLocality =
-                static_cast<double>(same_row) / (s.ops - 1);
-        }
+        const double ops = static_cast<double>(s.ops);
+        s.readFraction = static_cast<double>(reads) / ops;
+        s.avgGap = static_cast<double>(gap_sum) / ops;
+        if (s.ops > 1)
+            s.rowLocality = static_cast<double>(same_row) / (ops - 1);
     }
     if (reads > 0)
-        s.dependentFraction = static_cast<double>(deps) / reads;
+        s.dependentFraction =
+            static_cast<double>(deps) / static_cast<double>(reads);
     s.uniqueRows = rows.size();
     s.uniqueLines = lines.size();
     if (!lines.empty())
-        s.lineReuse = static_cast<double>(s.ops) / lines.size();
+        s.lineReuse = static_cast<double>(s.ops) /
+                     static_cast<double>(lines.size());
     return s;
 }
 

@@ -30,6 +30,7 @@ namespace {
 const std::vector<WorkloadProfile> &
 table()
 {
+    // clang-format off: hand-aligned parameter table
     static const std::vector<WorkloadProfile> profiles = {
         //  name        gap  rdFrac rowLoc burst  ibGap reuse  rows  phase  dlt   dep
         {"comm1",       4.0, 0.60,  0.30,  72.0, 80.0,  0.15, 4096, 0,     0.0,  0.20},
@@ -51,6 +52,7 @@ table()
         {"mummer",      4.0, 0.80,  0.25,  48.0, 60.0,  0.08, 8192, 0,     0.0,  0.30},
         {"tigr",        4.0, 0.80,  0.28,  48.0, 60.0,  0.10, 8192, 0,     0.0,  0.28},
     };
+    // clang-format on
     return profiles;
 }
 

@@ -119,7 +119,8 @@ ProtocolAuditor::flag(AuditRule rule, const Command &cmd, Cycle now,
     std::snprintf(line, sizeof(line),
                   "cycle %llu: %s rank %u bank %u: [%s] %s",
                   static_cast<unsigned long long>(now), cmd.name(),
-                  cmd.rank, cmd.bank, auditRuleName(rule), detail);
+                  cmd.rank.value(), cmd.bank.value(),
+                  auditRuleName(rule), detail);
     report_.messages.emplace_back(line);
 }
 
@@ -129,14 +130,15 @@ ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
 {
     const TimingParams &tp = cfg_.timing;
 
-    if (cmd.row >= cfg_.geometry.rows) {
+    if (cmd.row.value() >= cfg_.geometry.rows) {
         flag(AuditRule::kBankState, cmd, now, "row %u out of range",
-             cmd.row);
+             cmd.row.value());
         return;
     }
     if (bank.openRow != kNoRow) {
         flag(AuditRule::kBankState, cmd, now,
-             "ACT with row %u still open (skipped PRE)", bank.openRow);
+             "ACT with row %u still open (skipped PRE)",
+             bank.openRow.value());
     }
     const RowTiming &t = cmd.actTiming;
     if (t.trcd == 0 || t.tras < t.trcd || t.trc <= t.tras) {
@@ -182,17 +184,19 @@ ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
     // beat the physics of the row's remaining charge, evaluated from
     // the auditor's own refresh bookkeeping.
     if (cfg_.derate != nullptr) {
-        const std::int64_t delta = static_cast<std::int64_t>(now) -
-                                   rank.rowRefreshedAt[cmd.row];
-        const double elapsed_ns =
+        const std::int64_t delta =
+            static_cast<std::int64_t>(now) -
+            rank.rowRefreshedAt[cmd.row.value()];
+        const Nanoseconds elapsed =
             static_cast<double>(std::max<std::int64_t>(delta, 0)) *
-            cfg_.clock.periodNs();
-        const RowTiming min = cfg_.derate->effective(elapsed_ns);
+            cfg_.clock.period();
+        const RowTiming min = cfg_.derate->effective(elapsed);
         if (t.trcd < min.trcd || t.tras < min.tras || t.trc < min.trc) {
             flag(AuditRule::kChargeSafety, cmd, now,
                  "row %u rated %llu/%llu/%llu, charge allows "
                  "%llu/%llu/%llu",
-                 cmd.row, static_cast<unsigned long long>(t.trcd),
+                 cmd.row.value(),
+                 static_cast<unsigned long long>(t.trcd),
                  static_cast<unsigned long long>(t.tras),
                  static_cast<unsigned long long>(t.trc),
                  static_cast<unsigned long long>(min.trcd),
@@ -251,7 +255,7 @@ ProtocolAuditor::checkColumn(const Command &cmd, Cycle now,
     if (cmd.row != kNoRow && cmd.row != bank.openRow) {
         flag(AuditRule::kBankState, cmd, now,
              "column access targets row %u but row %u is open",
-             cmd.row, bank.openRow);
+             cmd.row.value(), bank.openRow.value());
     }
     if (now < bank.actAt + bank.actTiming.trcd) {
         flag(AuditRule::kTrcd, cmd, now,
@@ -362,7 +366,7 @@ ProtocolAuditor::checkRef(const Command &cmd, Cycle now,
         const ShadowBank &bank = rank.banks[b];
         if (bank.openRow != kNoRow) {
             flag(AuditRule::kRefPrecharge, cmd, now,
-                 "bank %u has row %u open", b, bank.openRow);
+                 "bank %u has row %u open", b, bank.openRow.value());
             break;
         }
         if (now < bank.preDoneAt) {
@@ -410,20 +414,20 @@ ProtocolAuditor::observe(const Command &cmd, Cycle now)
     anyCommand_ = true;
     lastCmdAt_ = std::max(lastCmdAt_, now);
 
-    if (cmd.rank >= ranks_.size()) {
+    if (cmd.rank.value() >= ranks_.size()) {
         flag(AuditRule::kBankState, cmd, now, "rank out of range");
         return;
     }
-    ShadowRank &rank = ranks_[cmd.rank];
+    ShadowRank &rank = ranks_[cmd.rank.value()];
     if (cmd.type == CmdType::kRef) {
         checkRef(cmd, now, rank);
         return;
     }
-    if (cmd.bank >= rank.banks.size()) {
+    if (cmd.bank.value() >= rank.banks.size()) {
         flag(AuditRule::kBankState, cmd, now, "bank out of range");
         return;
     }
-    ShadowBank &bank = rank.banks[cmd.bank];
+    ShadowBank &bank = rank.banks[cmd.bank.value()];
 
     switch (cmd.type) {
       case CmdType::kAct:

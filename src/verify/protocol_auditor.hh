@@ -140,7 +140,7 @@ class ProtocolAuditor : public CommandObserver
     /** Shadow state of one bank, kept as raw command-event times. */
     struct ShadowBank
     {
-        std::uint32_t openRow = kNoRow;
+        RowId openRow = kNoRow;
         Cycle actAt = 0;          //!< time of the ACT that opened openRow
         RowTiming actTiming{0, 0, 0}; //!< timing carried by that ACT
         bool everActivated = false;
@@ -197,7 +197,7 @@ class ProtocolAuditor : public CommandObserver
     Cycle lastReadCmdAt_ = 0;  //!< any read flavour, any bank
     Cycle lastWriteCmdAt_ = 0; //!< any write flavour, any bank
     bool anyData_ = false;
-    unsigned lastDataRank_ = 0;
+    RankId lastDataRank_{0};
     Cycle lastDataEndAt_ = 0;
 };
 

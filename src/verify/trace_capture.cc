@@ -93,8 +93,9 @@ CommandTraceWriter::CommandTraceWriter(const std::string &path,
     std::snprintf(buf, sizeof(buf),
                   "charge %.17g %.17g %.17g %.17g %.17g %.17g %.17g",
                   charge.vdd, charge.cellCap, charge.bitlineCap,
-                  charge.retentionNs, charge.endVoltageFrac,
-                  charge.maxTrcdReductionNs, charge.maxTrasReductionNs);
+                  charge.retentionNs.value(), charge.endVoltageFrac,
+                  charge.maxTrcdReductionNs.value(),
+                  charge.maxTrasReductionNs.value());
     out_ << buf << '\n';
     std::snprintf(buf, sizeof(buf), "clock %.17g", clock.freqMhz());
     out_ << buf << '\n';
@@ -113,9 +114,11 @@ CommandTraceWriter::record(unsigned channel, const Command &cmd,
                            Cycle now)
 {
     char buf[160];
-    std::snprintf(buf, sizeof(buf), "%u %llu %s %u %u %u %u %llu %llu %llu",
-                  channel, static_cast<unsigned long long>(now),
-                  cmd.name(), cmd.rank, cmd.bank, cmd.row, cmd.col,
+    std::snprintf(buf, sizeof(buf),
+                  "%u %llu %s %u %u %u %u %llu %llu %llu", channel,
+                  static_cast<unsigned long long>(now), cmd.name(),
+                  cmd.rank.value(), cmd.bank.value(), cmd.row.value(),
+                  cmd.col,
                   static_cast<unsigned long long>(cmd.actTiming.trcd),
                   static_cast<unsigned long long>(cmd.actTiming.tras),
                   static_cast<unsigned long long>(cmd.actTiming.trc));
@@ -173,9 +176,13 @@ replayCommandTrace(const std::string &path, std::size_t max_messages)
                 tp.tRFC >> tp.tREFI >> tp.rowsPerRef >>
                 tp.maxRefreshSlack;
         } else if (key == "charge") {
+            double retention = 0.0, max_trcd = 0.0, max_tras = 0.0;
             iss >> charge.vdd >> charge.cellCap >> charge.bitlineCap >>
-                charge.retentionNs >> charge.endVoltageFrac >>
-                charge.maxTrcdReductionNs >> charge.maxTrasReductionNs;
+                retention >> charge.endVoltageFrac >> max_trcd >>
+                max_tras;
+            charge.retentionNs = Nanoseconds{retention};
+            charge.maxTrcdReductionNs = Nanoseconds{max_trcd};
+            charge.maxTrasReductionNs = Nanoseconds{max_tras};
         } else if (key == "clock") {
             iss >> clock_mhz;
         } else {
@@ -223,10 +230,14 @@ replayCommandTrace(const std::string &path, std::size_t max_messages)
         std::istringstream iss(line);
         unsigned ch = 0;
         unsigned long long now_ull = 0, trcd = 0, tras = 0, trc = 0;
+        std::uint32_t rank_raw = 0, bank_raw = 0, row_raw = 0;
         std::string name;
         Command cmd;
-        iss >> ch >> now_ull >> name >> cmd.rank >> cmd.bank >>
-            cmd.row >> cmd.col >> trcd >> tras >> trc;
+        iss >> ch >> now_ull >> name >> rank_raw >> bank_raw >>
+            row_raw >> cmd.col >> trcd >> tras >> trc;
+        cmd.rank = RankId{rank_raw};
+        cmd.bank = BankId{bank_raw};
+        cmd.row = RowId{row_raw};
         if (iss.fail() || !cmdTypeFromName(name, cmd.type) ||
             ch >= channels) {
             std::ostringstream err;

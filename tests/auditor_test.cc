@@ -36,8 +36,8 @@ act(unsigned bank, std::uint32_t row, RowTiming timing = kNominal)
 {
     Command cmd;
     cmd.type = CmdType::kAct;
-    cmd.bank = bank;
-    cmd.row = row;
+    cmd.bank = BankId{bank};
+    cmd.row = RowId{row};
     cmd.actTiming = timing;
     return cmd;
 }
@@ -47,7 +47,7 @@ col(CmdType type, unsigned bank)
 {
     Command cmd;
     cmd.type = type;
-    cmd.bank = bank;
+    cmd.bank = BankId{bank};
     return cmd;
 }
 
@@ -56,7 +56,7 @@ pre(unsigned bank)
 {
     Command cmd;
     cmd.type = CmdType::kPre;
-    cmd.bank = bank;
+    cmd.bank = BankId{bank};
     return cmd;
 }
 
@@ -306,7 +306,7 @@ TEST(AuditorTest, ViolationMessagesAreCappedButCountsExact)
     AuditorConfig cfg;
     cfg.maxMessages = 2;
     ProtocolAuditor auditor{cfg};
-    for (int i = 0; i < 5; ++i)
+    for (Cycle i = 0; i < 5; ++i)
         auditor.observe(pre(0), 10 + 2 * i); // closed bank every time
     EXPECT_EQ(auditor.violationCount(), 5u);
     EXPECT_EQ(auditor.report().messages.size(), 2u);

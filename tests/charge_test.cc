@@ -45,7 +45,7 @@ TEST(MonotoneCubic, ClampsOutsideRange)
 TEST(CellModel, FullChargeAtZero)
 {
     CellModel cell;
-    EXPECT_DOUBLE_EQ(cell.voltage(0.0), cell.params().vdd);
+    EXPECT_DOUBLE_EQ(cell.voltage(Nanoseconds{0.0}), cell.params().vdd);
 }
 
 TEST(CellModel, RetentionEndpointMatchesParams)
@@ -59,9 +59,9 @@ TEST(CellModel, RetentionEndpointMatchesParams)
 TEST(CellModel, VoltageDecaysMonotonically)
 {
     CellModel cell;
-    double prev = cell.voltage(0.0);
+    double prev = cell.voltage(Nanoseconds{0.0});
     for (double t = 1e6; t <= 64e6; t += 1e6) {
-        const double v = cell.voltage(t);
+        const double v = cell.voltage(Nanoseconds{t});
         EXPECT_LT(v, prev);
         prev = v;
     }
@@ -71,14 +71,14 @@ TEST(CellModel, DeltaVPositiveThroughRetention)
 {
     CellModel cell;
     for (double t = 0.0; t <= 64e6; t += 0.5e6)
-        EXPECT_GT(cell.deltaV(t), 0.0) << "at t=" << t;
+        EXPECT_GT(cell.deltaV(Nanoseconds{t}), 0.0) << "at t=" << t;
 }
 
 TEST(CellModel, DeltaVPositiveSlightlyPastRetention)
 {
     // The refresh-slack guard needs a little margin past 64 ms.
     CellModel cell;
-    EXPECT_GT(cell.deltaV(66e6), 0.0);
+    EXPECT_GT(cell.deltaV(Nanoseconds{66e6}), 0.0);
 }
 
 TEST(CellModel, TransferRatio)
@@ -105,18 +105,18 @@ TEST(SenseAmp, NoExtraDelayAtFullCharge)
 {
     CellModel cell;
     SenseAmpModel sa(cell);
-    EXPECT_NEAR(sa.senseDelayNs(cell.deltaVFull()), 0.0, 1e-9);
-    EXPECT_NEAR(sa.restoreDelayNs(cell.deltaVFull()), 0.0, 1e-9);
+    EXPECT_NEAR(sa.senseDelay(cell.deltaVFull()).value(), 0.0, 1e-9);
+    EXPECT_NEAR(sa.restoreDelay(cell.deltaVFull()).value(), 0.0, 1e-9);
 }
 
 TEST(SenseAmp, MaxExtraDelayAtWorstCase)
 {
     CellModel cell;
     SenseAmpModel sa(cell);
-    EXPECT_NEAR(sa.senseDelayNs(cell.deltaVWorst()),
-                cell.params().maxTrcdReductionNs, 1e-6);
-    EXPECT_NEAR(sa.restoreDelayNs(cell.deltaVWorst()),
-                cell.params().maxTrasReductionNs, 1e-6);
+    EXPECT_NEAR(sa.senseDelay(cell.deltaVWorst()).value(),
+                cell.params().maxTrcdReductionNs.value(), 1e-6);
+    EXPECT_NEAR(sa.restoreDelay(cell.deltaVWorst()).value(),
+                cell.params().maxTrasReductionNs.value(), 1e-6);
 }
 
 TEST(SenseAmp, DelayGrowsAsChargeDecays)
@@ -125,9 +125,9 @@ TEST(SenseAmp, DelayGrowsAsChargeDecays)
     SenseAmpModel sa(cell);
     double prev_sense = -1.0, prev_restore = -1.0;
     for (double t = 0.0; t <= 64e6; t += 1e6) {
-        const double dv = cell.deltaV(t);
-        const double s = sa.senseDelayNs(dv);
-        const double r = sa.restoreDelayNs(dv);
+        const double dv = cell.deltaV(Nanoseconds{t});
+        const double s = sa.senseDelay(dv).value();
+        const double r = sa.restoreDelay(dv).value();
         EXPECT_GE(s + 1e-9, prev_sense);
         EXPECT_GE(r + 1e-9, prev_restore);
         prev_sense = s;
@@ -142,7 +142,7 @@ TEST(SenseAmp, RestorePenaltyLargerAtWorstCase)
     CellModel cell;
     SenseAmpModel sa(cell);
     const double dv = cell.deltaVWorst();
-    EXPECT_GT(sa.restoreDelayNs(dv), sa.senseDelayNs(dv));
+    EXPECT_GT(sa.restoreDelay(dv), sa.senseDelay(dv));
 }
 
 TEST(SenseAmp, NonlinearityFrontLoaded)
@@ -153,10 +153,10 @@ TEST(SenseAmp, NonlinearityFrontLoaded)
     // retention period must cost more than the last quarter.
     CellModel cell;
     SenseAmpModel sa(cell);
-    const double T = cell.params().retentionNs;
-    const double first = sa.senseDelayNs(cell.deltaV(T / 4));
-    const double last = sa.senseDelayNs(cell.deltaV(T)) -
-                        sa.senseDelayNs(cell.deltaV(3 * T / 4));
+    const Nanoseconds T = cell.params().retentionNs;
+    const Nanoseconds first = sa.senseDelay(cell.deltaV(T / 4.0));
+    const Nanoseconds last = sa.senseDelay(cell.deltaV(T)) -
+                             sa.senseDelay(cell.deltaV(0.75 * T));
     EXPECT_GT(first, last);
 }
 

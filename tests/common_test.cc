@@ -272,12 +272,14 @@ TEST(TablePrinter, Formatters)
 
 TEST(Clock, MemClockConversions)
 {
-    EXPECT_DOUBLE_EQ(kMemClock.periodNs(), 1.25);
-    EXPECT_EQ(kMemClock.toCyclesCeil(15.0), 12u);  // tRCD 15 ns
-    EXPECT_EQ(kMemClock.toCyclesCeil(15.1), 13u);
-    EXPECT_EQ(kMemClock.toCyclesFloor(5.6), 4u);   // Fig 9 reduction
-    EXPECT_EQ(kMemClock.toCyclesFloor(10.4), 8u);
-    EXPECT_DOUBLE_EQ(kMemClock.toNs(42), 52.5);    // tRC
+    EXPECT_DOUBLE_EQ(kMemClock.period().value(), 1.25);
+    // tRCD 15 ns
+    EXPECT_EQ(kMemClock.toCyclesCeil(Nanoseconds{15.0}), 12u);
+    EXPECT_EQ(kMemClock.toCyclesCeil(Nanoseconds{15.1}), 13u);
+    // Fig 9 reduction
+    EXPECT_EQ(kMemClock.toCyclesFloor(Nanoseconds{5.6}), 4u);
+    EXPECT_EQ(kMemClock.toCyclesFloor(Nanoseconds{10.4}), 8u);
+    EXPECT_DOUBLE_EQ(kMemClock.toNs(42).value(), 52.5); // tRC
 }
 
 TEST(Clock, CpuClockRatio)

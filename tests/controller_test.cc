@@ -174,7 +174,7 @@ TEST_F(ControllerTest, RefreshDrainsOpenBanksFirst)
 {
     // Keep a row open right up to the refresh deadline; the controller
     // must precharge it and still refresh within the slack window.
-    const Cycle due = dev_->refresh(0).nextDueAt();
+    const Cycle due = dev_->refresh(RankId{0}).nextDueAt();
     runTo(due - 5);
     mc_->enqueueRead(0x10000, waiter(1), now_);
     runTo(due + tp_.tRAS + tp_.tRP + tp_.tRFC + 50);

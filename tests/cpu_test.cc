@@ -225,7 +225,7 @@ TEST(CoreModel, RobCapacityBoundsOutstandingWork)
     RobParams p;
     p.size = 8;
     std::vector<TraceEntry> entries;
-    for (int i = 0; i < 20; ++i)
+    for (Addr i = 0; i < 20; ++i)
         entries.push_back(mem(0, false, 0x40 * (i + 1)));
     ScriptTrace trace(entries);
     MockPort port;

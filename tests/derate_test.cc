@@ -26,18 +26,22 @@ TEST_F(DerateTest, Fig9Endpoints)
 {
     // Paper Fig. 9(a): tRCD reducible by 5.6 ns, tRAS by 10.4 ns at
     // full charge; nothing at the retention worst case.
-    EXPECT_NEAR(derate_.trcdReductionNs(0.0), 5.6, 1e-6);
-    EXPECT_NEAR(derate_.trasReductionNs(0.0), 10.4, 1e-6);
-    EXPECT_NEAR(derate_.trcdReductionNs(64e6), 0.0, 1e-6);
-    EXPECT_NEAR(derate_.trasReductionNs(64e6), 0.0, 1e-6);
+    EXPECT_NEAR(derate_.trcdReduction(Nanoseconds{0.0}).value(), 5.6,
+                1e-6);
+    EXPECT_NEAR(derate_.trasReduction(Nanoseconds{0.0}).value(), 10.4,
+                1e-6);
+    EXPECT_NEAR(derate_.trcdReduction(Nanoseconds{64e6}).value(), 0.0,
+                1e-6);
+    EXPECT_NEAR(derate_.trasReduction(Nanoseconds{64e6}).value(), 0.0,
+                1e-6);
 }
 
 TEST_F(DerateTest, ReductionsMonotoneDecreasing)
 {
     double prev_rcd = 1e9, prev_ras = 1e9;
     for (double t = 0.0; t <= 64e6; t += 0.25e6) {
-        const double rcd = derate_.trcdReductionNs(t);
-        const double ras = derate_.trasReductionNs(t);
+        const double rcd = derate_.trcdReduction(Nanoseconds{t}).value();
+        const double ras = derate_.trasReduction(Nanoseconds{t}).value();
         EXPECT_LE(rcd, prev_rcd + 1e-9);
         EXPECT_LE(ras, prev_ras + 1e-9);
         prev_rcd = rcd;
@@ -47,7 +51,7 @@ TEST_F(DerateTest, ReductionsMonotoneDecreasing)
 
 TEST_F(DerateTest, EffectiveAtFullChargeMatchesTable4Pb0)
 {
-    const RowTiming t = derate_.effective(0.0);
+    const RowTiming t = derate_.effective(Nanoseconds{0.0});
     EXPECT_EQ(t.trcd, 8u);  // 12 - 4
     EXPECT_EQ(t.tras, 22u); // 30 - 8
     EXPECT_EQ(t.trc, 34u);  // 22 + 12
@@ -55,7 +59,7 @@ TEST_F(DerateTest, EffectiveAtFullChargeMatchesTable4Pb0)
 
 TEST_F(DerateTest, EffectiveAtWorstCaseIsNominal)
 {
-    const RowTiming t = derate_.effective(64e6);
+    const RowTiming t = derate_.effective(Nanoseconds{64e6});
     EXPECT_EQ(t.trcd, 12u);
     EXPECT_EQ(t.tras, 30u);
     EXPECT_EQ(t.trc, 42u);
@@ -133,8 +137,8 @@ TEST_P(DerateGroupTest, RatedTimingSafeForEveryRowInGroup)
     for (const auto &g : groups) {
         for (unsigned s = 0; s < g.slices; ++s, ++slice) {
             for (double frac : {0.0, 0.5, 0.999}) {
-                const double t =
-                    (slice + frac) * slice_ns + slack_ns;
+                const Nanoseconds t{(slice + frac) * slice_ns +
+                                    slack_ns};
                 const RowTiming min = derate.effective(t);
                 EXPECT_GE(g.timing.trcd, min.trcd)
                     << "slice " << slice << " frac " << frac;

@@ -37,8 +37,8 @@ class DramTest : public ::testing::Test
     {
         Command c;
         c.type = CmdType::kAct;
-        c.bank = bank;
-        c.row = row;
+        c.bank = BankId{bank};
+        c.row = RowId{row};
         c.actTiming = t;
         return c;
     }
@@ -48,7 +48,7 @@ class DramTest : public ::testing::Test
     {
         Command c;
         c.type = type;
-        c.bank = bank;
+        c.bank = BankId{bank};
         c.col = column;
         return c;
     }
@@ -58,7 +58,7 @@ class DramTest : public ::testing::Test
     {
         Command c;
         c.type = CmdType::kPre;
-        c.bank = bank;
+        c.bank = BankId{bank};
         return c;
     }
 
@@ -147,7 +147,7 @@ TEST_F(DramTest, AutoPrechargeClosesRowAndAppliesTiming)
     dev_->issue(act(0, 100), 0);
     const Cycle t = earliest(col(CmdType::kReadAp, 0), 1);
     dev_->issue(col(CmdType::kReadAp, 0), t);
-    EXPECT_TRUE(dev_->bank(0, 0).isClosed());
+    EXPECT_TRUE(dev_->bank(RankId{0}, BankId{0}).isClosed());
     // Internal PRE at max(t + tRTP, tRAS), then tRP.
     const Cycle pre_at = std::max(t + tp_.tRTP, tp_.tRAS);
     EXPECT_EQ(earliest(act(0, 101), t + 1), pre_at + tp_.tRP);
@@ -221,7 +221,7 @@ TEST_F(DramTest, IllegalIssuePanics)
 TEST_F(DramTest, RefRequiresAllBanksPrecharged)
 {
     dev_->issue(act(0, 100), 0);
-    const Cycle due = dev_->refresh(0).nextDueAt();
+    const Cycle due = dev_->refresh(RankId{0}).nextDueAt();
     EXPECT_FALSE(dev_->canIssue(ref(), due));
     const Cycle t_pre = earliest(pre(0), 1);
     dev_->issue(pre(0), t_pre);
@@ -247,21 +247,22 @@ TEST_F(DramTest, FreshRowAcceptsDeratedTiming)
 {
     // The most recently refreshed rows sit just below the refresh
     // counter; they are young enough for full PB0 derating.
-    const std::uint32_t young = dev_->refresh(0).lrra();
-    const RowTiming min = dev_->trueRowTiming(0, young, 0);
+    const RowId young = dev_->refresh(RankId{0}).lrra();
+    const RowTiming min = dev_->trueRowTiming(RankId{0}, young, 0);
     EXPECT_EQ(min.trcd, 8u);
-    dev_->issue(act(0, young, RowTiming{8, 22, 34}), 0);
+    dev_->issue(act(0, young.value(), RowTiming{8, 22, 34}), 0);
     EXPECT_EQ(dev_->counters().actsByTrcdReduction[4], 1u);
 }
 
 TEST_F(DramTest, TrueRowTimingMatchesDerateModel)
 {
-    const std::uint32_t row = 1234;
+    const RowId row{1234};
     const Cycle now = 777;
-    const double elapsed =
-        dev_->refresh(0).elapsedNs(row, now, 1.25);
+    const Nanoseconds elapsed =
+        dev_->refresh(RankId{0}).elapsedSinceRefresh(row, now,
+                                                     kMemClock);
     const RowTiming expect = derate_.effective(elapsed);
-    const RowTiming got = dev_->trueRowTiming(0, row, now);
+    const RowTiming got = dev_->trueRowTiming(RankId{0}, row, now);
     EXPECT_EQ(got.trcd, expect.trcd);
     EXPECT_EQ(got.tras, expect.tras);
     EXPECT_EQ(got.trc, expect.trc);
@@ -269,7 +270,7 @@ TEST_F(DramTest, TrueRowTimingMatchesDerateModel)
 
 TEST_F(DramTest, LateRefreshPanics)
 {
-    const Cycle due = dev_->refresh(0).nextDueAt();
+    const Cycle due = dev_->refresh(RankId{0}).nextDueAt();
     const Cycle late = due + tp_.maxRefreshSlack + 1;
     ASSERT_TRUE(dev_->canIssue(ref(), late));
     EXPECT_THROW(dev_->issue(ref(), late), std::logic_error);
@@ -277,12 +278,12 @@ TEST_F(DramTest, LateRefreshPanics)
 
 TEST_F(DramTest, BankStateAccessors)
 {
-    EXPECT_TRUE(dev_->bank(0, 0).isClosed());
+    EXPECT_TRUE(dev_->bank(RankId{0}, BankId{0}).isClosed());
     dev_->issue(act(2, 42), 0);
-    EXPECT_EQ(dev_->bank(0, 2).openRow(), 42u);
-    EXPECT_FALSE(dev_->bank(0, 2).isClosed());
-    EXPECT_EQ(dev_->bank(0, 2).lastActAt(), 0u);
-    EXPECT_EQ(dev_->bank(0, 2).actTiming().trcd, 12u);
+    EXPECT_EQ(dev_->bank(RankId{0}, BankId{2}).openRow().value(), 42u);
+    EXPECT_FALSE(dev_->bank(RankId{0}, BankId{2}).isClosed());
+    EXPECT_EQ(dev_->bank(RankId{0}, BankId{2}).lastActAt(), 0u);
+    EXPECT_EQ(dev_->bank(RankId{0}, BankId{2}).actTiming().trcd, 12u);
 }
 
 TEST_F(DramTest, CountersTrackCommands)
@@ -312,17 +313,17 @@ TEST(DramMultiRank, RankToRankSwitchPenalty)
 
     Command act0;
     act0.type = CmdType::kAct;
-    act0.rank = 0;
-    act0.row = 100;
+    act0.rank = RankId{0};
+    act0.row = RowId{100};
     act0.actTiming = RowTiming{12, 30, 42};
     dev.issue(act0, 0);
     Command act1 = act0;
-    act1.rank = 1;
+    act1.rank = RankId{1};
     dev.issue(act1, tp.tRRD);
 
     Command rd0;
     rd0.type = CmdType::kRead;
-    rd0.rank = 0;
+    rd0.rank = RankId{0};
     Cycle t = tp.tRCD;
     while (!dev.canIssue(rd0, t))
         ++t;
@@ -331,7 +332,7 @@ TEST(DramMultiRank, RankToRankSwitchPenalty)
     // A same-rank read is gated only by tCCD; a cross-rank read must
     // additionally leave the tRTRS bus-ownership gap.
     Command rd1 = rd0;
-    rd1.rank = 1;
+    rd1.rank = RankId{1};
     Cycle t_same = t + 1, t_cross = t + 1;
     while (!dev.canIssue(rd0, t_same))
         ++t_same;
@@ -350,18 +351,18 @@ TEST(DramMultiRank, IndependentRefreshEngines)
     DramGeometry geom;
     geom.ranks = 2;
     DramDevice dev(geom, TimingParams{}, derate);
-    const Cycle due = dev.refresh(0).nextDueAt();
+    const Cycle due = dev.refresh(RankId{0}).nextDueAt();
     Command ref0;
     ref0.type = CmdType::kRef;
-    ref0.rank = 0;
+    ref0.rank = RankId{0};
     dev.issue(ref0, due);
-    EXPECT_EQ(dev.refresh(0).refreshesDone(), 1u);
-    EXPECT_EQ(dev.refresh(1).refreshesDone(), 0u);
+    EXPECT_EQ(dev.refresh(RankId{0}).refreshesDone(), 1u);
+    EXPECT_EQ(dev.refresh(RankId{1}).refreshesDone(), 0u);
     // Rank 1's banks are unaffected by rank 0's tRFC window.
     Command act1;
     act1.type = CmdType::kAct;
-    act1.rank = 1;
-    act1.row = 5;
+    act1.rank = RankId{1};
+    act1.row = RowId{5};
     act1.actTiming = RowTiming{12, 30, 42};
     EXPECT_TRUE(dev.canIssue(act1, due + 1));
 }

@@ -117,7 +117,7 @@ TEST(Integration, NuatActsSpreadAcrossPbs)
     const auto r = runExperiment(cfg);
     // Random rows land in every PB; the distribution should roughly
     // track the slice widths 3/5/6/8/10 (more ACTs in wider PBs).
-    for (int pb = 0; pb < 5; ++pb)
+    for (std::size_t pb = 0; pb < 5; ++pb)
         EXPECT_GT(r.actsPerPb[pb], 0u) << "PB" << pb;
     EXPECT_GT(r.actsPerPb[4], r.actsPerPb[0]);
 }

@@ -42,9 +42,9 @@ TEST_P(MappingParamTest, RoundTripRandomCoords)
     for (int i = 0; i < 2000; ++i) {
         DramCoord c;
         c.channel = static_cast<unsigned>(rng.below(g.channels));
-        c.rank = static_cast<unsigned>(rng.below(g.ranks));
-        c.bank = static_cast<unsigned>(rng.below(g.banks));
-        c.row = static_cast<std::uint32_t>(rng.below(g.rows));
+        c.rank = RankId{static_cast<std::uint32_t>(rng.below(g.ranks))};
+        c.bank = BankId{static_cast<std::uint32_t>(rng.below(g.banks))};
+        c.row = RowId{static_cast<std::uint32_t>(rng.below(g.rows))};
         c.col = static_cast<std::uint32_t>(rng.below(g.linesPerRow()));
         const Addr a = m.compose(c);
         EXPECT_EQ(m.decompose(a), c);
@@ -73,9 +73,9 @@ TEST_P(MappingParamTest, FieldsInRange)
     for (int i = 0; i < 2000; ++i) {
         const DramCoord c = m.decompose(rng.next() & mask);
         EXPECT_LT(c.channel, g.channels);
-        EXPECT_LT(c.rank, g.ranks);
-        EXPECT_LT(c.bank, g.banks);
-        EXPECT_LT(c.row, g.rows);
+        EXPECT_LT(c.rank.value(), g.ranks);
+        EXPECT_LT(c.bank.value(), g.banks);
+        EXPECT_LT(c.row.value(), g.rows);
         EXPECT_LT(c.col, g.linesPerRow());
     }
 }
@@ -114,8 +114,8 @@ TEST(Mapping, XorBankSpreadsStridedRows)
                             << (6 + 7 + 3); // offset+col+bank bits
     std::set<unsigned> plain_banks, xor_banks;
     for (unsigned i = 0; i < 16; ++i) {
-        plain_banks.insert(plain.decompose(i * row_stride).bank);
-        xor_banks.insert(xorm.decompose(i * row_stride).bank);
+        plain_banks.insert(plain.decompose(i * row_stride).bank.value());
+        xor_banks.insert(xorm.decompose(i * row_stride).bank.value());
     }
     EXPECT_EQ(plain_banks.size(), 1u);
     EXPECT_EQ(xor_banks.size(), 8u);

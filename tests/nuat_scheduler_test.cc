@@ -47,7 +47,7 @@ class NuatSchedulerTest : public ::testing::Test
     {
         Candidate c;
         c.cmd.type = CmdType::kAct;
-        c.cmd.row = row;
+        c.cmd.row = RowId{row};
         c.cmd.actTiming = RowTiming{12, 30, 42};
         c.req = req;
         c.isWrite = write;
@@ -62,7 +62,7 @@ class NuatSchedulerTest : public ::testing::Test
     {
         Candidate c;
         c.cmd.type = type;
-        c.cmd.bank = 0;
+        c.cmd.bank = BankId{0};
         c.req = req;
         c.isWrite = (type == CmdType::kWrite);
         c.isRowHit = true;
@@ -79,8 +79,8 @@ class NuatSchedulerTest : public ::testing::Test
         // Group start slices: 0, 3, 8, 14, 22; use the group middle.
         static const unsigned start[5] = {0, 3, 8, 14, 22};
         const std::uint32_t age = (start[pb] * 256) + 128;
-        const auto &refresh = dev_->refresh(0);
-        return (refresh.lrra() + refresh.rows() - age) %
+        const auto &refresh = dev_->refresh(RankId{0});
+        return (refresh.lrra().value() + refresh.rows() - age) %
                refresh.rows();
     }
 
@@ -143,7 +143,8 @@ TEST_F(NuatSchedulerTest, PpmConvertsToAutoPrechargeOnLowHitRate)
     // sub-windows the estimate collapses and PPM switches to close.
     NuatScheduler sched(cfg_);
     // Open a row so PPM has an open row to classify.
-    dev_->issue(Command{CmdType::kAct, 0, 0, dev_->refresh(0).lrra(), 0,
+    dev_->issue(Command{CmdType::kAct, RankId{0}, BankId{0},
+                        dev_->refresh(RankId{0}).lrra(), 0,
                         RowTiming{12, 30, 42}},
                 0);
     Request r;
@@ -179,7 +180,8 @@ TEST_F(NuatSchedulerTest, PpmDisabledNeverConverts)
     NuatConfig cfg = cfg_;
     cfg.ppmEnabled = false;
     NuatScheduler sched(cfg);
-    dev_->issue(Command{CmdType::kAct, 0, 0, dev_->refresh(0).lrra(), 0,
+    dev_->issue(Command{CmdType::kAct, RankId{0}, BankId{0},
+                        dev_->refresh(RankId{0}).lrra(), 0,
                         RowTiming{12, 30, 42}},
                 0);
     Request r;
@@ -232,14 +234,15 @@ TEST_F(NuatSchedulerTest, DegenerateW1W2MatchesFcfs)
     for (int trial = 0; trial < 200; ++trial) {
         std::vector<Request> reqs(4);
         std::vector<Candidate> a, b;
-        for (int i = 0; i < 4; ++i) {
+        for (std::size_t i = 0; i < 4; ++i) {
             const bool write = rng.chance(0.4);
             Candidate c =
                 write ? colCand(rng.chance(0.5) ? CmdType::kWrite
                                                 : CmdType::kRead,
                                 &reqs[i], rng.below(900))
-                      : actCand(rowInPb(rng.below(5)), &reqs[i],
-                                rng.below(900));
+                      : actCand(rowInPb(static_cast<unsigned>(
+                                    rng.below(5))),
+                                &reqs[i], rng.below(900));
             c.isWrite = write;
             reqs[i].isWrite = write;
             a.push_back(c);
@@ -267,12 +270,14 @@ TEST_F(NuatSchedulerTest, DegenerateW1W2W3MatchesFrFcfsOnReadSets)
     for (int trial = 0; trial < 200; ++trial) {
         std::vector<Request> reqs(5);
         std::vector<Candidate> a, b;
-        for (int i = 0; i < 5; ++i) {
-            Candidate c = rng.chance(0.5)
-                              ? colCand(CmdType::kRead, &reqs[i],
-                                        rng.below(900))
-                              : actCand(rowInPb(rng.below(5)),
-                                        &reqs[i], rng.below(900));
+        for (std::size_t i = 0; i < 5; ++i) {
+            Candidate c =
+                rng.chance(0.5)
+                    ? colCand(CmdType::kRead, &reqs[i],
+                              rng.below(900))
+                    : actCand(rowInPb(static_cast<unsigned>(
+                                  rng.below(5))),
+                              &reqs[i], rng.below(900));
             a.push_back(c);
             b.push_back(c);
         }

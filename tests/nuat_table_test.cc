@@ -101,16 +101,16 @@ TEST_F(NuatTableTest, Fig16ReadHitTiesWriteHitOnDrainPath)
 TEST_F(NuatTableTest, Es4ScoresFasterPbHigher)
 {
     ScoreInputs in = inputs(CmdType::kAct);
-    in.pb = 0;
+    in.pb = PbIdx{0};
     EXPECT_DOUBLE_EQ(table_.es4(in), 50.0); // (5 - 0) * 10
-    in.pb = 4;
+    in.pb = PbIdx{4};
     EXPECT_DOUBLE_EQ(table_.es4(in), 10.0);
 }
 
 TEST_F(NuatTableTest, Es4OnlyForActivations)
 {
     ScoreInputs in = inputs(CmdType::kRead, false, true);
-    in.pb = 0;
+    in.pb = PbIdx{0};
     EXPECT_DOUBLE_EQ(table_.es4(in), 0.0);
 }
 
@@ -135,7 +135,7 @@ TEST_F(NuatTableTest, Es5OnlyForActivations)
 TEST_F(NuatTableTest, ScoreIsSumOfElements)
 {
     ScoreInputs in = inputs(CmdType::kAct);
-    in.pb = 1;
+    in.pb = PbIdx{1};
     in.zone = BoundaryZone::kWarning;
     in.waitCycles = 20000;
     EXPECT_DOUBLE_EQ(table_.score(in),
@@ -162,10 +162,10 @@ TEST_F(NuatTableTest, BoundaryCannotReorderPbLevels)
     // warning PB1), never invert them — exactly the paper's
     // "PB (w4) > BOUNDARY (w5)" rule.
     ScoreInputs pb0 = inputs(CmdType::kAct);
-    pb0.pb = 0;
+    pb0.pb = PbIdx{0};
     pb0.zone = BoundaryZone::kPromising;
     ScoreInputs pb1 = inputs(CmdType::kAct);
-    pb1.pb = 1;
+    pb1.pb = PbIdx{1};
     pb1.zone = BoundaryZone::kWarning;
     EXPECT_GE(table_.score(pb0), table_.score(pb1));
     // Without zones the PB step is strict.
@@ -181,7 +181,7 @@ TEST_F(NuatTableTest, DisabledElementsScoreZero)
     cfg.boundaryElementEnabled = false;
     NuatTable t(cfg);
     ScoreInputs in = inputs(CmdType::kAct);
-    in.pb = 0;
+    in.pb = PbIdx{0};
     in.zone = BoundaryZone::kWarning;
     EXPECT_DOUBLE_EQ(t.es4(in), 0.0);
     EXPECT_DOUBLE_EQ(t.es5(in), 0.0);
@@ -199,7 +199,7 @@ TEST_F(NuatTableTest, DegenerateWeightsRecoverFrFcfsOrdering)
     hit.waitCycles = 1;
     ScoreInputs act = inputs(CmdType::kAct);
     act.waitCycles = 1000000;
-    act.pb = 0;
+    act.pb = PbIdx{0};
     act.zone = BoundaryZone::kWarning;
     EXPECT_GT(t.score(hit), t.score(act));
 }

@@ -34,17 +34,17 @@ class PbrTest : public ::testing::Test
 TEST_F(PbrTest, PrePbIsLinearShift)
 {
     // Eq. (2): 8192 rows, 32 linear PBs -> shift by 8.
-    EXPECT_EQ(pbr_.prePbOf(0), 0u);
-    EXPECT_EQ(pbr_.prePbOf(255), 0u);
-    EXPECT_EQ(pbr_.prePbOf(256), 1u);
-    EXPECT_EQ(pbr_.prePbOf(8191), 31u);
+    EXPECT_EQ(pbr_.prePbOf(0).value(), 0u);
+    EXPECT_EQ(pbr_.prePbOf(255).value(), 0u);
+    EXPECT_EQ(pbr_.prePbOf(256).value(), 1u);
+    EXPECT_EQ(pbr_.prePbOf(8191).value(), 31u);
 }
 
 TEST_F(PbrTest, GroupingMatchesTable4Boundaries)
 {
     // PB0: PRE_PB 0-2, PB1: 3-7, PB2: 8-13, PB3: 14-21, PB4: 22-31.
     auto pb_of_slice = [&](unsigned slice) {
-        return pbr_.pbOfAge(slice * 256);
+        return pbr_.pbOfAge(slice * 256).value();
     };
     EXPECT_EQ(pb_of_slice(0), 0u);
     EXPECT_EQ(pb_of_slice(2), 0u);
@@ -62,7 +62,7 @@ TEST_F(PbrTest, PbMonotoneInAge)
 {
     unsigned prev = 0;
     for (std::uint32_t age = 0; age < 8192; age += 64) {
-        const unsigned pb = pbr_.pbOfAge(age);
+        const unsigned pb = pbr_.pbOfAge(age).value();
         EXPECT_GE(pb, prev);
         prev = pb;
     }
@@ -72,22 +72,22 @@ TEST_F(PbrTest, FreshRowsAreFastest)
 {
     // LRRA itself (age 0) is always PB0; the oldest row is always the
     // last PB.
-    EXPECT_EQ(pbr_.pbOfRow(refresh_, refresh_.lrra()), 0u);
-    const std::uint32_t oldest =
-        (refresh_.lrra() + 1) % refresh_.rows();
-    EXPECT_EQ(pbr_.pbOfRow(refresh_, oldest), 4u);
+    EXPECT_EQ(pbr_.pbOfRow(refresh_, refresh_.lrra()).value(), 0u);
+    const RowId oldest{(refresh_.lrra().value() + 1) %
+                       refresh_.rows()};
+    EXPECT_EQ(pbr_.pbOfRow(refresh_, oldest).value(), 4u);
 }
 
 TEST_F(PbrTest, MembershipRotatesWithRefresh)
 {
     // Fig. 1: a fixed row's PB# advances as the refresh counter moves
     // away from it, and wraps to PB0 once the row is refreshed again.
-    const std::uint32_t row = 4096;
-    const unsigned before = pbr_.pbOfRow(refresh_, row);
+    const RowId row{4096};
+    const unsigned before = pbr_.pbOfRow(refresh_, row).value();
     // Advance the counter by 1024 rows (4 slices).
-    for (int i = 0; i < 1024 / 8; ++i)
+    for (Cycle i = 0; i < 1024 / 8; ++i)
         refresh_.performRefresh((i + 1) * refresh_.interval());
-    const unsigned after = pbr_.pbOfRow(refresh_, row);
+    const unsigned after = pbr_.pbOfRow(refresh_, row).value();
     EXPECT_GE(after, before);
     // Keep refreshing until the counter passes the row itself.
     int steps = 0;
@@ -95,26 +95,26 @@ TEST_F(PbrTest, MembershipRotatesWithRefresh)
         refresh_.performRefresh(refresh_.nextDueAt());
         ++steps;
     }
-    EXPECT_EQ(pbr_.pbOfRow(refresh_, row), 0u);
+    EXPECT_EQ(pbr_.pbOfRow(refresh_, row).value(), 0u);
 }
 
 TEST_F(PbrTest, RatedTimingMatchesTable4)
 {
-    EXPECT_EQ(pbr_.ratedTiming(0).trcd, 8u);
-    EXPECT_EQ(pbr_.ratedTiming(4).trcd, 12u);
-    EXPECT_EQ(pbr_.ratedTiming(2).tras, 26u);
-    EXPECT_EQ(pbr_.ratedTiming(3).trc, 40u);
+    EXPECT_EQ(pbr_.ratedTiming(PbIdx{0}).trcd, 8u);
+    EXPECT_EQ(pbr_.ratedTiming(PbIdx{4}).trcd, 12u);
+    EXPECT_EQ(pbr_.ratedTiming(PbIdx{2}).tras, 26u);
+    EXPECT_EQ(pbr_.ratedTiming(PbIdx{3}).trc, 40u);
 }
 
 TEST_F(PbrTest, ZoneWarningAtGrowingBoundary)
 {
     // A row whose age is just below the PB0->PB1 boundary (3 slices =
     // 768 rows) crosses it at the next REF (8 rows): warning zone.
-    const std::uint32_t lrra = refresh_.lrra();
-    const std::uint32_t row =
-        (lrra + refresh_.rows() - 767) % refresh_.rows(); // age 767
-    ASSERT_EQ(pbr_.pbOfAge(767), 0u);
-    ASSERT_EQ(pbr_.pbOfAge(767 + 8), 1u);
+    const std::uint32_t lrra = refresh_.lrra().value();
+    const RowId row{(lrra + refresh_.rows() - 767) %
+                    refresh_.rows()}; // age 767
+    ASSERT_EQ(pbr_.pbOfAge(767).value(), 0u);
+    ASSERT_EQ(pbr_.pbOfAge(767 + 8).value(), 1u);
     EXPECT_EQ(pbr_.zoneOfRow(refresh_, row), BoundaryZone::kWarning);
 }
 
@@ -122,18 +122,18 @@ TEST_F(PbrTest, ZonePromisingBeforeOwnRefresh)
 {
     // The oldest rows are about to be refreshed: next REF wraps their
     // age to ~0, i.e. PB4 -> PB0: promising zone.
-    const std::uint32_t lrra = refresh_.lrra();
-    const std::uint32_t row =
-        (lrra + refresh_.rows() - 8190) % refresh_.rows(); // age 8190
+    const std::uint32_t lrra = refresh_.lrra().value();
+    const RowId row{(lrra + refresh_.rows() - 8190) %
+                    refresh_.rows()}; // age 8190
     EXPECT_EQ(pbr_.zoneOfRow(refresh_, row),
               BoundaryZone::kPromising);
 }
 
 TEST_F(PbrTest, ZoneNoneInPbInterior)
 {
-    const std::uint32_t lrra = refresh_.lrra();
-    const std::uint32_t row =
-        (lrra + refresh_.rows() - 100) % refresh_.rows(); // age 100
+    const std::uint32_t lrra = refresh_.lrra().value();
+    const RowId row{(lrra + refresh_.rows() - 100) %
+                    refresh_.rows()}; // age 100
     EXPECT_EQ(pbr_.zoneOfRow(refresh_, row), BoundaryZone::kNone);
 }
 
@@ -143,9 +143,9 @@ TEST_F(PbrTest, ZoneCountsMatchRefreshGranularity)
     // PB boundary (4 boundaries) plus rowsPerRef in the wrap region.
     unsigned warning = 0, promising = 0;
     for (std::uint32_t age = 0; age < 8192; ++age) {
-        const std::uint32_t row =
-            (refresh_.lrra() + refresh_.rows() - age) %
-            refresh_.rows();
+        const RowId row{(refresh_.lrra().value() +
+                         refresh_.rows() - age) %
+                        refresh_.rows()};
         switch (pbr_.zoneOfRow(refresh_, row)) {
           case BoundaryZone::kWarning:
             ++warning;
@@ -168,13 +168,13 @@ TEST_F(PbrTest, MembershipWrapsWithRefreshPointer)
     // non-decreasing while it waits (it only gets staler) and snap
     // back to PB0 exactly when its own group is refreshed again —
     // including the second time around, after the pointer wrapped.
-    const std::uint32_t row = 16; // refreshed by the 3rd REF of a pass
+    const RowId row{16}; // refreshed by the 3rd REF of a pass
     const unsigned per_pass = 8192 / 8;
-    unsigned prev_pb = pbr_.pbOfRow(refresh_, row);
+    unsigned prev_pb = pbr_.pbOfRow(refresh_, row).value();
     unsigned refreshed_count = 0;
     for (unsigned k = 1; k <= per_pass + 10; ++k) {
         refresh_.performRefresh(k * refresh_.interval());
-        const unsigned pb = pbr_.pbOfRow(refresh_, row);
+        const unsigned pb = pbr_.pbOfRow(refresh_, row).value();
         if (refresh_.relativeAge(row) < 8) {
             EXPECT_EQ(pb, 0u) << "REF #" << k;
             ++refreshed_count;
@@ -197,20 +197,21 @@ TEST_F(PbrTest, RatedTimingNeverBeatsGroundTruthAcrossWrap)
     // allows.  (This is the same invariant the shadow auditor enforces
     // on live command streams.)
     const unsigned per_pass = 8192 / 8;
-    const double period_ns = derate_.clock().periodNs();
+    const Clock &clock = derate_.clock();
     for (unsigned k = 1; k <= per_pass + 20; ++k) {
         refresh_.performRefresh(k * refresh_.interval());
         if (k % 97 != 0 && k != per_pass + 1)
             continue; // sample sparsely, but right after the wrap
         const Cycle now = k * refresh_.interval();
-        for (std::uint32_t row = 0; row < 8192; row += 61) {
+        for (std::uint32_t r = 0; r < 8192; r += 61) {
+            const RowId row{r};
             const RowTiming rated =
                 pbr_.ratedTiming(pbr_.pbOfRow(refresh_, row));
             const RowTiming truth = derate_.effective(
-                refresh_.elapsedNs(row, now, period_ns));
-            ASSERT_GE(rated.trcd, truth.trcd) << "row " << row;
-            ASSERT_GE(rated.tras, truth.tras) << "row " << row;
-            ASSERT_GE(rated.trc, truth.trc) << "row " << row;
+                refresh_.elapsedSinceRefresh(row, now, clock));
+            ASSERT_GE(rated.trcd, truth.trcd) << "row " << r;
+            ASSERT_GE(rated.tras, truth.tras) << "row " << r;
+            ASSERT_GE(rated.trc, truth.trc) << "row " << r;
         }
     }
 }
@@ -227,7 +228,7 @@ TEST(PbrConfig, FourPbUsesThreeBitsWorth)
     EXPECT_EQ(pbr.numPb(), 4u);
     unsigned max_pb = 0;
     for (std::uint32_t age = 0; age < 8192; age += 256)
-        max_pb = std::max(max_pb, pbr.pbOfAge(age));
+        max_pb = std::max(max_pb, pbr.pbOfAge(age).value());
     EXPECT_EQ(max_pb, 3u);
 }
 
@@ -240,7 +241,7 @@ TEST(PbrConfig, MismatchedRefreshEngineRejected)
     const NuatConfig cfg = NuatConfig::fromDerate(derate, 5);
     PbrAcquisition pbr(cfg, 4096);
     RefreshEngine refresh(8192, TimingParams{});
-    EXPECT_THROW(pbr.pbOfRow(refresh, 0), std::logic_error);
+    EXPECT_THROW(pbr.pbOfRow(refresh, RowId{0}), std::logic_error);
     setPanicThrows(false);
 }
 

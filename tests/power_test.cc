@@ -47,7 +47,7 @@ TEST(PowerModel, DecompositionSumsAndScales)
     EXPECT_DOUBLE_EQ(e.read, 2000 * power.readEnergyNj());
     EXPECT_DOUBLE_EQ(e.refresh, 10 * power.refreshEnergyNj());
     EXPECT_DOUBLE_EQ(e.deratingSavings, 0.0);
-    EXPECT_GT(e.avgPowerMw(1.25e6), 0.0);
+    EXPECT_GT(e.avgPowerMw(Nanoseconds{1.25e6}), 0.0);
 }
 
 TEST(PowerModel, DeratedActsSaveEnergy)

@@ -31,11 +31,11 @@ TEST_F(PpmTest, ThresholdsFollowEq7)
 {
     // Threshold = tRP / (tRCD_pb + tRP) with tRP = 12 and
     // tRCD = 8..12 for PB0..PB4.
-    EXPECT_NEAR(ppm_.threshold(0), 12.0 / 20.0, 1e-12);
-    EXPECT_NEAR(ppm_.threshold(1), 12.0 / 21.0, 1e-12);
-    EXPECT_NEAR(ppm_.threshold(2), 12.0 / 22.0, 1e-12);
-    EXPECT_NEAR(ppm_.threshold(3), 12.0 / 23.0, 1e-12);
-    EXPECT_NEAR(ppm_.threshold(4), 12.0 / 24.0, 1e-12);
+    EXPECT_NEAR(ppm_.threshold(PbIdx{0}), 12.0 / 20.0, 1e-12);
+    EXPECT_NEAR(ppm_.threshold(PbIdx{1}), 12.0 / 21.0, 1e-12);
+    EXPECT_NEAR(ppm_.threshold(PbIdx{2}), 12.0 / 22.0, 1e-12);
+    EXPECT_NEAR(ppm_.threshold(PbIdx{3}), 12.0 / 23.0, 1e-12);
+    EXPECT_NEAR(ppm_.threshold(PbIdx{4}), 12.0 / 24.0, 1e-12);
 }
 
 TEST_F(PpmTest, FasterPbNeedsMoreLocalityForOpenPage)
@@ -43,23 +43,24 @@ TEST_F(PpmTest, FasterPbNeedsMoreLocalityForOpenPage)
     // Fig. 12: PB0's small tRCD makes close-page cheap, so its
     // open-page threshold is the highest.
     for (unsigned pb = 1; pb < ppm_.numPb(); ++pb)
-        EXPECT_LT(ppm_.threshold(pb), ppm_.threshold(pb - 1));
+        EXPECT_LT(ppm_.threshold(PbIdx{pb}), ppm_.threshold(PbIdx{pb - 1}));
 }
 
 TEST_F(PpmTest, ModeFollowsThreshold)
 {
     // Hit rate 0.55 sits between PB4's threshold (0.5) and PB0's
     // (0.6): slow PBs go open, fast PBs go close.
-    EXPECT_EQ(ppm_.modeFor(0, 0.55), PagePolicy::kClose);
-    EXPECT_EQ(ppm_.modeFor(4, 0.55), PagePolicy::kOpen);
-    EXPECT_EQ(ppm_.modeFor(0, 0.9), PagePolicy::kOpen);
-    EXPECT_EQ(ppm_.modeFor(4, 0.1), PagePolicy::kClose);
+    EXPECT_EQ(ppm_.modeFor(PbIdx{0}, 0.55), PagePolicy::kClose);
+    EXPECT_EQ(ppm_.modeFor(PbIdx{4}, 0.55), PagePolicy::kOpen);
+    EXPECT_EQ(ppm_.modeFor(PbIdx{0}, 0.9), PagePolicy::kOpen);
+    EXPECT_EQ(ppm_.modeFor(PbIdx{4}, 0.1), PagePolicy::kClose);
 }
 
 TEST_F(PpmTest, ExactThresholdIsClose)
 {
     // "bigger than Threshold" (Sec. 6.2) -> equality stays close-page.
-    EXPECT_EQ(ppm_.modeFor(0, ppm_.threshold(0)), PagePolicy::kClose);
+    EXPECT_EQ(ppm_.modeFor(PbIdx{0}, ppm_.threshold(PbIdx{0})),
+              PagePolicy::kClose);
 }
 
 TEST(Ppm, SinglePbDegeneratesToOneThreshold)
@@ -70,7 +71,7 @@ TEST(Ppm, SinglePbDegeneratesToOneThreshold)
     const NuatConfig cfg = NuatConfig::fromDerate(derate, 1);
     PpmDecisionMaker ppm(cfg, 12);
     EXPECT_EQ(ppm.numPb(), 1u);
-    EXPECT_NEAR(ppm.threshold(0), 0.5, 1e-12); // 12 / (12 + 12)
+    EXPECT_NEAR(ppm.threshold(PbIdx{0}), 0.5, 1e-12); // 12 / (12 + 12)
 }
 
 } // namespace

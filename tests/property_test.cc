@@ -47,7 +47,7 @@ TEST_P(DeviceFuzzTest, CanIssueIsExact)
         now += 1 + rng.below(4);
 
         // Refresh on schedule so the lateness guard never trips.
-        if (dev.refresh(0).due(now)) {
+        if (dev.refresh(RankId{0}).due(now)) {
             Command ref;
             ref.type = CmdType::kRef;
             if (dev.canIssue(ref, now)) {
@@ -59,8 +59,8 @@ TEST_P(DeviceFuzzTest, CanIssueIsExact)
             for (unsigned b = 0; b < 8 && !did; ++b) {
                 Command pre;
                 pre.type = CmdType::kPre;
-                pre.bank = b;
-                if (!dev.bank(0, b).isClosed() &&
+                pre.bank = BankId{b};
+                if (!dev.bank(RankId{0}, BankId{b}).isClosed() &&
                     dev.canIssue(pre, now)) {
                     dev.issue(pre, now);
                     did = true;
@@ -71,11 +71,12 @@ TEST_P(DeviceFuzzTest, CanIssueIsExact)
 
         Command cmd;
         const unsigned kind = static_cast<unsigned>(rng.below(5));
-        cmd.bank = static_cast<unsigned>(rng.below(8));
+        cmd.bank = BankId{static_cast<std::uint32_t>(rng.below(8))};
         switch (kind) {
           case 0:
             cmd.type = CmdType::kAct;
-            cmd.row = static_cast<std::uint32_t>(rng.below(8192));
+            cmd.row =
+                RowId{static_cast<std::uint32_t>(rng.below(8192))};
             // Always-nominal timing keeps the fuzz focused on the
             // protocol legality rules.
             cmd.actTiming = RowTiming{12, 30, 42};
@@ -144,14 +145,16 @@ TEST_P(PbrSafetyTest, RatedTimingAlwaysSafe)
         }
 
         for (int probe = 0; probe < 8; ++probe) {
-            const std::uint32_t row =
-                static_cast<std::uint32_t>(rng.below(8192));
-            const unsigned pb = pbr.pbOfRow(refresh, row);
+            const RowId row{
+                static_cast<std::uint32_t>(rng.below(8192))};
+            const PbIdx pb = pbr.pbOfRow(refresh, row);
             const RowTiming rated = pbr.ratedTiming(pb);
-            const double elapsed = refresh.elapsedNs(row, now, 1.25);
+            const Nanoseconds elapsed =
+                refresh.elapsedSinceRefresh(row, now, kMemClock);
             const RowTiming min = derate.effective(elapsed);
             ASSERT_GE(rated.trcd, min.trcd)
-                << "row " << row << " pb " << pb << " now " << now;
+                << "row " << row.value() << " pb " << pb.value()
+                << " now " << now;
             ASSERT_GE(rated.tras, min.tras);
             ASSERT_GE(rated.trc, min.trc);
         }

@@ -18,8 +18,8 @@ makeReq(std::uint64_t id, Addr addr, unsigned bank = 0,
     auto r = std::make_unique<Request>();
     r->id = id;
     r->addr = addr;
-    r->bank = bank;
-    r->row = row;
+    r->bank = BankId{bank};
+    r->row = RowId{row};
     return r;
 }
 
@@ -81,10 +81,10 @@ TEST(RequestQueue, HasRowHit)
 {
     RequestQueue q(4);
     q.push(makeReq(1, 0x40, 3, 77));
-    EXPECT_TRUE(q.hasRowHit(0, 3, 77));
-    EXPECT_FALSE(q.hasRowHit(0, 3, 78));
-    EXPECT_FALSE(q.hasRowHit(0, 2, 77));
-    EXPECT_FALSE(q.hasRowHit(1, 3, 77));
+    EXPECT_TRUE(q.hasRowHit(RankId{0}, BankId{3}, RowId{77}));
+    EXPECT_FALSE(q.hasRowHit(RankId{0}, BankId{3}, RowId{78}));
+    EXPECT_FALSE(q.hasRowHit(RankId{0}, BankId{2}, RowId{77}));
+    EXPECT_FALSE(q.hasRowHit(RankId{1}, BankId{3}, RowId{77}));
 }
 
 TEST(RequestQueue, IterationInArrivalOrder)

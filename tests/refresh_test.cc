@@ -25,15 +25,15 @@ TEST(RefreshEngine, InitialSteadyState)
 {
     const TimingParams tp = smallTiming();
     RefreshEngine eng(64, tp);
-    EXPECT_EQ(eng.nextRow(), 0u);
-    EXPECT_EQ(eng.lrra(), 63u);
+    EXPECT_EQ(eng.nextRow().value(), 0u);
+    EXPECT_EQ(eng.lrra().value(), 63u);
     EXPECT_EQ(eng.nextDueAt(), tp.refInterval());
     EXPECT_FALSE(eng.due(0));
     EXPECT_TRUE(eng.due(tp.refInterval()));
     // Row 0 is the oldest (refreshed a full period minus one interval
     // ago); the last group was refreshed at cycle 0.
-    EXPECT_EQ(eng.lastRefreshAt(63), 0);
-    EXPECT_EQ(eng.lastRefreshAt(0),
+    EXPECT_EQ(eng.lastRefreshAt(RowId{63}), 0);
+    EXPECT_EQ(eng.lastRefreshAt(RowId{0}),
               -static_cast<std::int64_t>((64 / 8 - 1) *
                                          tp.refInterval()));
 }
@@ -42,9 +42,9 @@ TEST(RefreshEngine, RelativeAgeOrdersRowsByStaleness)
 {
     RefreshEngine eng(64, smallTiming());
     // LRRA = 63: row 63 just refreshed, row 0 oldest.
-    EXPECT_EQ(eng.relativeAge(63), 0u);
-    EXPECT_EQ(eng.relativeAge(62), 1u);
-    EXPECT_EQ(eng.relativeAge(0), 63u);
+    EXPECT_EQ(eng.relativeAge(RowId{63}), 0u);
+    EXPECT_EQ(eng.relativeAge(RowId{62}), 1u);
+    EXPECT_EQ(eng.relativeAge(RowId{0}), 63u);
 }
 
 TEST(RefreshEngine, PerformRefreshAdvancesCounterAndDeadline)
@@ -52,26 +52,26 @@ TEST(RefreshEngine, PerformRefreshAdvancesCounterAndDeadline)
     const TimingParams tp = smallTiming();
     RefreshEngine eng(64, tp);
     eng.performRefresh(tp.refInterval());
-    EXPECT_EQ(eng.nextRow(), 8u);
-    EXPECT_EQ(eng.lrra(), 7u);
+    EXPECT_EQ(eng.nextRow().value(), 8u);
+    EXPECT_EQ(eng.lrra().value(), 7u);
     EXPECT_EQ(eng.nextDueAt(), 2 * tp.refInterval());
     EXPECT_EQ(eng.refreshesDone(), 1u);
     for (std::uint32_t r = 0; r < 8; ++r) {
-        EXPECT_EQ(eng.lastRefreshAt(r),
+        EXPECT_EQ(eng.lastRefreshAt(RowId{r}),
                   static_cast<std::int64_t>(tp.refInterval()));
     }
     // Rows 8.. untouched.
-    EXPECT_LT(eng.lastRefreshAt(8), 0);
+    EXPECT_LT(eng.lastRefreshAt(RowId{8}), 0);
 }
 
 TEST(RefreshEngine, CounterWrapsAroundRowSpace)
 {
     const TimingParams tp = smallTiming();
     RefreshEngine eng(64, tp);
-    for (int i = 0; i < 8; ++i)
+    for (Cycle i = 0; i < 8; ++i)
         eng.performRefresh((i + 1) * tp.refInterval());
-    EXPECT_EQ(eng.nextRow(), 0u); // full pass
-    EXPECT_EQ(eng.lrra(), 63u);
+    EXPECT_EQ(eng.nextRow().value(), 0u); // full pass
+    EXPECT_EQ(eng.lrra().value(), 63u);
     EXPECT_EQ(eng.refreshesDone(), 8u);
 }
 
@@ -85,25 +85,26 @@ TEST(RefreshEngine, AbsoluteScheduleDoesNotDrift)
     EXPECT_EQ(eng.nextDueAt(), 2 * tp.refInterval());
 }
 
-TEST(RefreshEngine, ElapsedNsUsesGroundTruth)
+TEST(RefreshEngine, ElapsedSinceRefreshUsesGroundTruth)
 {
     const TimingParams tp = smallTiming();
     RefreshEngine eng(64, tp);
     eng.performRefresh(tp.refInterval());
-    const double period_ns = 1.25;
-    EXPECT_DOUBLE_EQ(
-        eng.elapsedNs(0, tp.refInterval() + 100, period_ns),
-        100 * period_ns);
+    EXPECT_DOUBLE_EQ(eng.elapsedSinceRefresh(RowId{0},
+                                             tp.refInterval() + 100,
+                                             kMemClock)
+                         .value(),
+                     100 * kMemClock.period().value());
 }
 
 TEST(RefreshEngine, FullRotationRestoresAges)
 {
     const TimingParams tp = smallTiming();
     RefreshEngine eng(128, tp);
-    const std::uint32_t age_before = eng.relativeAge(37);
-    for (int i = 0; i < 128 / 8; ++i)
+    const std::uint32_t age_before = eng.relativeAge(RowId{37});
+    for (Cycle i = 0; i < 128 / 8; ++i)
         eng.performRefresh((i + 1) * tp.refInterval());
-    EXPECT_EQ(eng.relativeAge(37), age_before);
+    EXPECT_EQ(eng.relativeAge(RowId{37}), age_before);
 }
 
 TEST(RefreshEngine, ScheduleViewMatchesGroundTruthAcrossWrap)
@@ -127,8 +128,9 @@ TEST(RefreshEngine, ScheduleViewMatchesGroundTruthAcrossWrap)
         const std::int64_t now = static_cast<std::int64_t>(k) * interval;
         for (std::uint32_t row = 0; row < rows; ++row) {
             const std::int64_t slices =
-                eng.relativeAge(row) / tp.rowsPerRef;
-            ASSERT_EQ(eng.lastRefreshAt(row), now - slices * interval)
+                eng.relativeAge(RowId{row}) / tp.rowsPerRef;
+            ASSERT_EQ(eng.lastRefreshAt(RowId{row}),
+                      now - slices * interval)
                 << "row " << row << " after REF #" << k;
         }
     }
@@ -149,8 +151,8 @@ TEST(RefreshEngine, PaperScaleConsistency)
     // one 64 ms retention period (paper Sec. 4).
     TimingParams tp; // defaults: tREFI 6240 cycles, rowsPerRef 8
     RefreshEngine eng(8192, tp);
-    const double pass_ns =
-        static_cast<double>(8192 / 8) * tp.refInterval() * 1.25;
+    const double pass_ns = static_cast<double>(8192 / 8) *
+                           static_cast<double>(tp.refInterval()) * 1.25;
     EXPECT_NEAR(pass_ns, 64e6, 64e6 * 0.002);
 }
 

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Negative-compile suite for the strong types (common/types.hh).
+ *
+ * The point of Nanoseconds / SliceIdx / PbIdx / RankId / BankId /
+ * RowId is what they *reject*: this file pins every forbidden
+ * conversion with a static_assert so a future "convenience" implicit
+ * constructor or cross-type operator fails this test at compile time —
+ * the ISSUE's acceptance criterion that SliceIdx/PbIdx and
+ * Cycle/Nanoseconds cross-assignment cannot compile.
+ */
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace nuat {
+namespace {
+
+// --- Nanoseconds vs raw arithmetic / Cycle -------------------------------
+
+// No implicit construction from double (explicit only) and no implicit
+// decay back to double: crossing into the cycle domain must go through
+// a Clock.
+static_assert(!std::is_convertible_v<double, Nanoseconds>);
+static_assert(!std::is_convertible_v<Nanoseconds, double>);
+static_assert(!std::is_convertible_v<Cycle, Nanoseconds>);
+static_assert(!std::is_convertible_v<Nanoseconds, Cycle>);
+static_assert(std::is_constructible_v<Nanoseconds, double>);
+
+// No accidental assignment from the raw representation.
+static_assert(!std::is_assignable_v<Nanoseconds &, double>);
+static_assert(!std::is_assignable_v<Nanoseconds &, Cycle>);
+
+// --- Index wrappers ------------------------------------------------------
+
+// The linear slice index and the grouped PB number disagree almost
+// everywhere (Table 4's 3/5/6/8/10 grouping); they must never mix.
+static_assert(!std::is_convertible_v<SliceIdx, PbIdx>);
+static_assert(!std::is_convertible_v<PbIdx, SliceIdx>);
+static_assert(!std::is_assignable_v<PbIdx &, SliceIdx>);
+static_assert(!std::is_assignable_v<SliceIdx &, PbIdx>);
+
+// Coordinates are pairwise distinct.
+static_assert(!std::is_convertible_v<RankId, BankId>);
+static_assert(!std::is_convertible_v<BankId, RankId>);
+static_assert(!std::is_convertible_v<BankId, RowId>);
+static_assert(!std::is_convertible_v<RowId, BankId>);
+static_assert(!std::is_convertible_v<RowId, RankId>);
+
+// Raw integers only enter through an explicit constructor, and never
+// leak back out implicitly (indexing requires .value()).
+static_assert(!std::is_convertible_v<std::uint32_t, RowId>);
+static_assert(!std::is_convertible_v<RowId, std::uint32_t>);
+static_assert(!std::is_assignable_v<RowId &, std::uint32_t>);
+static_assert(std::is_constructible_v<RowId, std::uint32_t>);
+
+// No arithmetic on bare indices: "row + 1" must be spelled
+// RowId{row.value() + 1} so off-by-one-layer bugs stay visible.
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type
+{
+};
+
+static_assert(!CanAdd<RowId, RowId>::value);
+static_assert(!CanAdd<RowId, int>::value);
+static_assert(!CanAdd<PbIdx, int>::value);
+static_assert(!CanAdd<SliceIdx, PbIdx>::value);
+// ...while the duration type keeps its ring structure.
+static_assert(CanAdd<Nanoseconds, Nanoseconds>::value);
+static_assert(!CanAdd<Nanoseconds, double>::value);
+
+// Cross-type comparison is rejected too (same-tag comparison is fine).
+template <typename A, typename B, typename = void>
+struct CanCompare : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanCompare<
+    A, B, std::void_t<decltype(std::declval<A>() == std::declval<B>())>>
+    : std::true_type
+{
+};
+
+static_assert(!CanCompare<SliceIdx, PbIdx>::value);
+static_assert(!CanCompare<RankId, BankId>::value);
+static_assert(CanCompare<RowId, RowId>::value);
+static_assert(CanCompare<Nanoseconds, Nanoseconds>::value);
+
+// Zero-cost: the wrappers are exactly their representation in size and
+// stay trivially copyable, so vectors of them are memcpy-able and ABI
+// matches the pre-refactor integers.
+static_assert(sizeof(RowId) == sizeof(std::uint32_t));
+static_assert(sizeof(PbIdx) == sizeof(std::uint32_t));
+static_assert(sizeof(Nanoseconds) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<RowId>);
+static_assert(std::is_trivially_copyable_v<Nanoseconds>);
+
+TEST(StrongTypes, NanosecondsArithmetic)
+{
+    const Nanoseconds a{15.0};
+    const Nanoseconds b{7.5};
+    EXPECT_DOUBLE_EQ((a + b).value(), 22.5);
+    EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 30.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 30.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).value(), 7.5);
+    EXPECT_DOUBLE_EQ(a / b, 2.0); // duration ratio is dimensionless
+    EXPECT_DOUBLE_EQ((-b).value(), -7.5);
+    EXPECT_LT(b, a);
+}
+
+TEST(StrongTypes, ClockIsTheOnlyDomainCrossing)
+{
+    // DDR3-1600: tCK = 1.25 ns, so the paper's Table 3 datasheet values
+    // land exactly on their documented cycle counts.
+    EXPECT_DOUBLE_EQ(kMemClock.period().value(), 1.25);
+    EXPECT_EQ(kMemClock.toCyclesCeil(Nanoseconds{15.0}), 12u);
+    EXPECT_EQ(kMemClock.toCyclesCeil(Nanoseconds{15.1}), 13u);
+    EXPECT_EQ(kMemClock.toCyclesFloor(Nanoseconds{15.9}), 12u);
+    EXPECT_DOUBLE_EQ(kMemClock.toNs(42).value(), 52.5);
+}
+
+TEST(StrongTypes, IndexOrderingAndSentinel)
+{
+    EXPECT_LT(PbIdx{0}, PbIdx{4});
+    EXPECT_EQ(RowId{7}, RowId{7});
+    EXPECT_NE(kNoRow, RowId{0});
+    EXPECT_EQ(kNoRow.value(), 0xffffffffu);
+}
+
+} // namespace
+} // namespace nuat

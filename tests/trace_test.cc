@@ -185,7 +185,7 @@ TEST(SyntheticTrace, FootprintSamplesAllPbRegions)
     TraceEntry e;
     std::set<unsigned> slices;
     while (t.next(e))
-        slices.insert(m.decompose(e.addr).row / 256);
+        slices.insert(m.decompose(e.addr).row.value() / 256);
     EXPECT_GE(slices.size(), 28u);
 }
 

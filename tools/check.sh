@@ -4,10 +4,15 @@
 # ASan/UBSan build + tests.
 #
 # Run from the repository root:
-#   ./tools/check.sh [--quick] [--sanitize asan|tsan] [extra ctest args...]
+#   ./tools/check.sh [--quick] [--lint] [--sanitize asan|tsan] [extra ctest args...]
 #
 # --quick: Release build + tests + audited bench smoke only (skips the
 #          sanitizer build; for fast local iteration).
+#
+# --lint:  ONLY the static-analysis lane, matching CI: nuat_lint
+#          selftest + tree lint, a -Werror Release build, then
+#          clang-tidy and clang-format when the binaries are installed
+#          (skipped with a warning otherwise — CI always has them).
 #
 # --sanitize asan: ONLY the ASan/UBSan build + full test suite (the CI
 #          sanitizer job).
@@ -20,11 +25,16 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 QUICK=0
+LINT=0
 SANITIZE=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --quick)
         QUICK=1
+        shift
+        ;;
+      --lint)
+        LINT=1
         shift
         ;;
       --sanitize)
@@ -37,7 +47,38 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
-if [[ "$SANITIZE" == "asan" ]]; then
+if [[ "$LINT" == "1" ]]; then
+    echo "=== nuat-lint (selftest + tree) ==="
+    python3 tools/nuat_lint.py --selftest
+    python3 tools/nuat_lint.py
+
+    echo
+    echo "=== Warnings-as-errors Release build ==="
+    cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=Release \
+          -DNUAT_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    cmake --build build-lint -j "$JOBS"
+
+    echo
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+        echo "=== clang-tidy (.clang-tidy profile) ==="
+        run-clang-tidy -p build-lint -quiet 'src/.*\.cc$' 'tools/.*\.cc$'
+    else
+        echo "warning: clang-tidy not installed, skipping (CI runs it)"
+    fi
+
+    echo
+    if command -v clang-format >/dev/null 2>&1; then
+        echo "=== clang-format check ==="
+        git ls-files '*.cc' '*.hh' |
+            xargs clang-format --dry-run --Werror
+    else
+        echo "warning: clang-format not installed, skipping (CI runs it)"
+    fi
+
+    echo
+    echo "Lint lane passed."
+    exit 0
+elif [[ "$SANITIZE" == "asan" ]]; then
     echo "=== ASan/UBSan build + tests ==="
     cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
           -DENABLE_ASAN=ON >/dev/null
