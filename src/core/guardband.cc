@@ -1,0 +1,177 @@
+#include "guardband.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+void
+GuardbandConfig::validate() const
+{
+    nuat_assert(releaseCleanProbes >= 1,
+                "(releaseCleanProbes must be >= 1)");
+    nuat_assert(widenPerBankRows >= 1, "(widenPerBankRows must be >= 1)");
+    nuat_assert(conservativeRows >= 1, "(conservativeRows must be >= 1)");
+    nuat_assert(cleanWindow > 0, "(cleanWindow must be positive)");
+}
+
+GuardbandManager::GuardbandManager(const GuardbandConfig &cfg,
+                                   unsigned ranks, unsigned banks,
+                                   std::uint32_t rows, PbIdx slowestPb)
+    : cfg_(cfg), ranks_(ranks), banks_(banks), rows_(rows),
+      slowestPb_(slowestPb)
+{
+    nuat_assert(cfg_.enabled, "(GuardbandManager built while disabled)");
+    cfg_.validate();
+    nuat_assert(ranks_ > 0 && banks_ > 0 && rows_ > 0);
+    quarantined_.assign(static_cast<std::size_t>(ranks_) * rows_, 0);
+    cleanProbes_.assign(quarantined_.size(), 0);
+    bankQuarantines_.assign(static_cast<std::size_t>(ranks_) * banks_,
+                            0);
+    widen_.assign(bankQuarantines_.size(), 0);
+}
+
+std::size_t
+GuardbandManager::rowIdx(RankId rank, RowId row) const
+{
+    nuat_assert(rank.value() < ranks_ && row.value() < rows_);
+    return static_cast<std::size_t>(rank.value()) * rows_ + row.value();
+}
+
+std::size_t
+GuardbandManager::bankIdx(RankId rank, BankId bank) const
+{
+    nuat_assert(rank.value() < ranks_ && bank.value() < banks_);
+    return static_cast<std::size_t>(rank.value()) * banks_ +
+           bank.value();
+}
+
+unsigned
+GuardbandManager::widenLevel(RankId rank, BankId bank) const
+{
+    return widen_[bankIdx(rank, bank)];
+}
+
+bool
+GuardbandManager::easeOne()
+{
+    if (conservative_) {
+        conservative_ = false;
+        return true;
+    }
+    bool any = false;
+    for (std::uint8_t &w : widen_) {
+        if (w > 0) {
+            --w;
+            any = true;
+        }
+    }
+    return any;
+}
+
+void
+GuardbandManager::maybeEase(Cycle now)
+{
+    // One rung per evidence-free cleanWindow.  Depends only on
+    // (lastEvidenceAt_, now), so the easing schedule is identical no
+    // matter how often this is called — including across idle
+    // fast-forward, which never calls it cycle by cycle.
+    while (now >= lastEvidenceAt_ + cfg_.cleanWindow) {
+        if (!easeOne())
+            break;
+        ++stats_.easeSteps;
+        lastEvidenceAt_ += cfg_.cleanWindow;
+    }
+}
+
+PbIdx
+GuardbandManager::clampPb(RankId rank, BankId bank, RowId row,
+                          PbIdx natural, Cycle now)
+{
+    maybeEase(now);
+    if (conservative_ || quarantined_[rowIdx(rank, row)])
+        return slowestPb_;
+    const std::uint32_t widened =
+        natural.value() + widen_[bankIdx(rank, bank)];
+    return PbIdx{std::min(widened, slowestPb_.value())};
+}
+
+void
+GuardbandManager::onActProbe(RankId rank, BankId bank, RowId row,
+                             const RowTiming &requested,
+                             const RowTiming &truth,
+                             const RowTiming &naturalRated, Cycle now)
+{
+    maybeEase(now);
+
+    const bool violation = requested.trcd < truth.trcd ||
+                           requested.tras < truth.tras ||
+                           requested.trc < truth.trc;
+    const Cycle g = cfg_.probeGuardCycles;
+    const bool warning =
+        !violation && g > 0 &&
+        (requested.trcd < truth.trcd + g ||
+         requested.tras < truth.tras + g ||
+         requested.trc < truth.trc + g);
+
+    const std::size_t ri = rowIdx(rank, row);
+    if (violation || warning) {
+        if (violation)
+            ++stats_.probeViolations;
+        else
+            ++stats_.probeWarnings;
+        lastEvidenceAt_ = now;
+        cleanProbes_[ri] = 0;
+        if (!quarantined_[ri]) {
+            quarantined_[ri] = 1;
+            ++stats_.quarantines;
+            ++curQuarantined_;
+            stats_.maxQuarantined =
+                std::max(stats_.maxQuarantined, curQuarantined_);
+
+            // Rung 2: enough distinct bad rows charged to one bank
+            // widens that bank's grouping.
+            const std::size_t bi = bankIdx(rank, bank);
+            ++bankQuarantines_[bi];
+            if (bankQuarantines_[bi] % cfg_.widenPerBankRows == 0 &&
+                widen_[bi] < slowestPb_.value()) {
+                ++widen_[bi];
+                ++stats_.widenSteps;
+            }
+            // Rung 3: channel-wide conservative fallback.
+            if (!conservative_ &&
+                curQuarantined_ >= cfg_.conservativeRows) {
+                conservative_ = true;
+                ++stats_.conservativeEntries;
+            }
+        }
+        return;
+    }
+
+    if (quarantined_[ri]) {
+        // Hysteretic re-promotion: the row's *natural* rating must
+        // hold (with guard slack) for several consecutive probes.
+        const bool naturalSafe =
+            naturalRated.trcd >= truth.trcd + g &&
+            naturalRated.tras >= truth.tras + g &&
+            naturalRated.trc >= truth.trc + g;
+        if (naturalSafe) {
+            if (cleanProbes_[ri] < 255)
+                ++cleanProbes_[ri];
+            if (cleanProbes_[ri] >= cfg_.releaseCleanProbes) {
+                quarantined_[ri] = 0;
+                cleanProbes_[ri] = 0;
+                ++stats_.releases;
+                --curQuarantined_;
+            }
+        } else {
+            // The fault persists even though the nominal activation
+            // was safe: keep the row pinned and hold the ladder.
+            cleanProbes_[ri] = 0;
+            lastEvidenceAt_ = now;
+        }
+    }
+}
+
+} // namespace nuat

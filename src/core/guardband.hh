@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Graceful degradation of NUAT's derated timing under fault evidence.
+ *
+ * NUAT's speedup comes from activating recently refreshed rows with
+ * tighter-than-nominal tRCD/tRAS/tRC.  That is only safe while the
+ * cells behave like the nominal charge model; weak cells, temperature
+ * excursions, VRT and refresh disturbances erode exactly the dV margin
+ * the derated ratings bank on.  GuardbandManager is the controller-side
+ * response: it consumes post-activation margin-probe feedback (the
+ * information a real controller would get from ECC/parity) and walks a
+ * degradation ladder:
+ *
+ *   1. per-row quarantine — a row whose probe shows its activation ran
+ *      under the true required timing is pinned to the slowest PB
+ *      (nominal timing, safe under *any* leakage multiplier because
+ *      TimingDerate::effective() never exceeds nominal);
+ *   2. per-bank widening — banks accumulating quarantined rows get
+ *      their PBR grouping widened (every ACT shifted W groups slower);
+ *   3. conservative fallback — enough distinct bad rows and the whole
+ *      channel falls back to non-derated timing.
+ *
+ * Re-promotion is hysteretic: a quarantined row returns to its natural
+ * PB only after `releaseCleanProbes` consecutive probes show its
+ * natural rating safe again, and widen/conservative rungs ease one
+ * level per evidence-free `cleanWindow`.  The ladder guarantees the
+ * auditor's charge_margin rule (consecutive hazardous ACTs to one row)
+ * can never fire while degradation is enabled: the first hazardous
+ * probe quarantines the row, so its next ACT runs at nominal timing.
+ *
+ * When `enabled` is false the manager is never constructed and the
+ * scheduler's behaviour is bit-identical to a build without it.
+ */
+
+#ifndef NUAT_CORE_GUARDBAND_HH
+#define NUAT_CORE_GUARDBAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "charge/timing_derate.hh"
+#include "common/types.hh"
+
+namespace nuat {
+
+/** Degradation-ladder tuning. */
+struct GuardbandConfig
+{
+    /** Master switch; derived from faults-on && degrade-on. */
+    bool enabled = false;
+
+    /**
+     * Extra probe slack [cycles]: a probe whose requested timing beats
+     * the true requirement by less than this counts as a warning (and
+     * quarantines like a violation).  0 = violations only.
+     */
+    Cycle probeGuardCycles = 0;
+
+    /** Consecutive clean probes before a quarantined row returns to
+     *  its natural PB. */
+    unsigned releaseCleanProbes = 4;
+
+    /** Distinct quarantined rows charged to one bank per widen step. */
+    unsigned widenPerBankRows = 8;
+
+    /** Currently quarantined rows that trigger conservative fallback. */
+    unsigned conservativeRows = 64;
+
+    /** Evidence-free cycles before easing one ladder rung. */
+    Cycle cleanWindow = 200000;
+
+    /** Panics on nonsensical tuning. */
+    void validate() const;
+};
+
+/** Ladder activity counters (merged into RunResult / metrics). */
+struct GuardbandStats
+{
+    std::uint64_t probeViolations = 0; //!< requested < true requirement
+    std::uint64_t probeWarnings = 0;   //!< within probeGuardCycles of it
+    std::uint64_t quarantines = 0;     //!< rows entering quarantine
+    std::uint64_t releases = 0;        //!< rows re-promoted
+    std::uint64_t widenSteps = 0;      //!< per-bank widen increments
+    std::uint64_t easeSteps = 0;       //!< hysteretic ease transitions
+    std::uint64_t conservativeEntries = 0;
+    std::uint64_t maxQuarantined = 0;  //!< peak concurrent quarantine
+};
+
+/** The degradation ladder for one channel's NUAT scheduler. */
+class GuardbandManager
+{
+  public:
+    /**
+     * @param cfg       validated tuning (cfg.enabled must be true)
+     * @param ranks     ranks per channel
+     * @param banks     banks per rank
+     * @param rows      rows per bank
+     * @param slowestPb index of the slowest (nominal-timing) PB
+     */
+    GuardbandManager(const GuardbandConfig &cfg, unsigned ranks,
+                     unsigned banks, std::uint32_t rows, PbIdx slowestPb);
+
+    /**
+     * Degrade @p natural (the PBR-acquired group of the row about to
+     * be activated) per the current ladder state.  Also advances the
+     * hysteresis clock to @p now.
+     */
+    PbIdx clampPb(RankId rank, BankId bank, RowId row, PbIdx natural,
+                  Cycle now);
+
+    /**
+     * Post-activation margin probe: compare the @p requested timing of
+     * an issued ACT against the fault-world @p truth.  @p naturalRated
+     * is the rating of the row's *natural* PB, used for the hysteretic
+     * release decision while the row is quarantined.
+     */
+    void onActProbe(RankId rank, BankId bank, RowId row,
+                    const RowTiming &requested, const RowTiming &truth,
+                    const RowTiming &naturalRated, Cycle now);
+
+    /** Advance the hysteresis clock: ease rungs for elapsed clean
+     *  windows.  Idempotent at a fixed @p now. */
+    void maybeEase(Cycle now);
+
+    bool conservative() const { return conservative_; }
+    std::uint64_t quarantinedCount() const { return curQuarantined_; }
+    unsigned widenLevel(RankId rank, BankId bank) const;
+    const GuardbandStats &stats() const { return stats_; }
+
+  private:
+    std::size_t rowIdx(RankId rank, RowId row) const;
+    std::size_t bankIdx(RankId rank, BankId bank) const;
+    bool easeOne();
+
+    GuardbandConfig cfg_;
+    unsigned ranks_;
+    unsigned banks_;
+    std::uint32_t rows_;
+    PbIdx slowestPb_;
+
+    std::vector<std::uint8_t> quarantined_;  //!< [rank*rows + row]
+    std::vector<std::uint8_t> cleanProbes_;  //!< consecutive, saturating
+    std::vector<std::uint32_t> bankQuarantines_; //!< [rank*banks + bank]
+    std::vector<std::uint8_t> widen_;            //!< [rank*banks + bank]
+    bool conservative_ = false;
+    std::uint64_t curQuarantined_ = 0;
+    Cycle lastEvidenceAt_ = 0;
+    GuardbandStats stats_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_CORE_GUARDBAND_HH

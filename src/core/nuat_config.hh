@@ -10,6 +10,7 @@
 
 #include "charge/timing_derate.hh"
 #include "common/types.hh"
+#include "guardband.hh"
 
 namespace nuat {
 
@@ -70,6 +71,13 @@ struct NuatConfig
      * configuration, as a hard age bound.  0 disables (paper-pure).
      */
     Cycle starvationLimit = 200;
+
+    /**
+     * Graceful-degradation ladder under fault injection (see
+     * src/core/guardband.hh).  Disabled by default; the scheduler is
+     * bit-identical to a guardband-free build while disabled.
+     */
+    GuardbandConfig guardband;
 
     /** Number of PBs configured. */
     unsigned numPb() const { return static_cast<unsigned>(groups.size()); }

@@ -24,6 +24,14 @@ struct NuatScheduler::NuatMetrics
     Gauge *phrcWindowCols = nullptr;
     Gauge *phrcWindowActs = nullptr;
     Gauge *phrcRollovers = nullptr;
+    // Guardband ladder series; registered only when degradation is on.
+    Gauge *guardQuarantinedRows = nullptr;
+    Gauge *guardQuarantines = nullptr;
+    Gauge *guardReleases = nullptr;
+    Gauge *guardProbeViolations = nullptr;
+    Gauge *guardProbeWarnings = nullptr;
+    Gauge *guardLadderSteps = nullptr;
+    Gauge *guardConservative = nullptr;
 };
 
 NuatScheduler::NuatScheduler(const NuatConfig &cfg)
@@ -78,8 +86,47 @@ NuatScheduler::attachMetrics(MetricRegistry &registry,
         "PHRC estimated activations in the current window");
     m.phrcRollovers = &registry.gauge(
         prefix + "phrc_rollovers", "PHRC sub-window boundaries so far");
+    if (cfg_.guardband.enabled) {
+        m.guardQuarantinedRows = &registry.gauge(
+            prefix + "guard_quarantined_rows",
+            "rows currently quarantined to the slowest PB");
+        m.guardQuarantines =
+            &registry.gauge(prefix + "guard_quarantines",
+                            "rows ever entered into quarantine");
+        m.guardReleases = &registry.gauge(
+            prefix + "guard_releases",
+            "quarantined rows re-promoted after clean probes");
+        m.guardProbeViolations = &registry.gauge(
+            prefix + "guard_probe_violations",
+            "margin probes showing an under-margin activation");
+        m.guardProbeWarnings = &registry.gauge(
+            prefix + "guard_probe_warnings",
+            "margin probes within the guard slack of the requirement");
+        m.guardLadderSteps = &registry.gauge(
+            prefix + "guard_ladder_steps",
+            "degradation transitions (widen + ease + conservative)");
+        m.guardConservative = &registry.gauge(
+            prefix + "guard_conservative",
+            "1 while the channel is in conservative fallback");
+    }
     registry.addSampleHook([this] {
         NuatMetrics &mm = *metrics_;
+        if (guardband_ && mm.guardQuarantinedRows) {
+            const GuardbandStats &gs = guardband_->stats();
+            mm.guardQuarantinedRows->set(
+                static_cast<double>(guardband_->quarantinedCount()));
+            mm.guardQuarantines->set(
+                static_cast<double>(gs.quarantines));
+            mm.guardReleases->set(static_cast<double>(gs.releases));
+            mm.guardProbeViolations->set(
+                static_cast<double>(gs.probeViolations));
+            mm.guardProbeWarnings->set(
+                static_cast<double>(gs.probeWarnings));
+            mm.guardLadderSteps->set(static_cast<double>(
+                gs.widenSteps + gs.easeSteps + gs.conservativeEntries));
+            mm.guardConservative->set(guardband_->conservative() ? 1.0
+                                                                 : 0.0);
+        }
         mm.phrcHitRate->set(phrc_.hitRate());
         mm.phrcWindowCols->set(phrc_.windowColumnAccesses());
         mm.phrcWindowActs->set(phrc_.windowActivations());
@@ -105,6 +152,12 @@ NuatScheduler::ensureInit(const SchedContext &ctx)
                                             ctx.dev->geometry().rows);
     ppm_ = std::make_unique<PpmDecisionMaker>(cfg_,
                                               ctx.dev->timing().tRP);
+    if (cfg_.guardband.enabled) {
+        guardband_ = std::make_unique<GuardbandManager>(
+            cfg_.guardband, ctx.dev->geometry().ranks,
+            ctx.dev->geometry().banks, ctx.dev->geometry().rows,
+            PbIdx{cfg_.numPb() - 1});
+    }
 }
 
 void
@@ -113,6 +166,8 @@ NuatScheduler::tick(const SchedContext &ctx)
     ensureInit(ctx);
     drain_.update(ctx);
     phrc_.tick();
+    if (guardband_)
+        guardband_->maybeEase(ctx.now);
 }
 
 void
@@ -133,16 +188,41 @@ NuatScheduler::reportExtra(RunResult &result) const
         result.actsPerPb[i] += actsPerPb_[i];
     result.ppmOpen += ppmOpen_;
     result.ppmClose += ppmClose_;
+    if (guardband_) {
+        const GuardbandStats &gs = guardband_->stats();
+        result.degradeEnabled = true;
+        result.guardProbeViolations += gs.probeViolations;
+        result.guardProbeWarnings += gs.probeWarnings;
+        result.guardQuarantines += gs.quarantines;
+        result.guardReleases += gs.releases;
+        result.guardWidenSteps += gs.widenSteps;
+        result.guardEaseSteps += gs.easeSteps;
+        result.guardConservativeEntries += gs.conservativeEntries;
+        result.guardMaxQuarantined += gs.maxQuarantined;
+        result.guardQuarantinedAtEnd += guardband_->quarantinedCount();
+    }
 }
 
 void
 NuatScheduler::onIssue(const Command &cmd, const SchedContext &ctx)
 {
     ensureInit(ctx);
-    if (cmd.type == CmdType::kAct)
+    if (cmd.type == CmdType::kAct) {
         phrc_.onActivation();
-    else if (isColumnCmd(cmd.type))
+        // Post-activation margin probe: what a real controller would
+        // learn from ECC/parity feedback about the activation it just
+        // ran.  Only meaningful when a fault world is attached.
+        if (guardband_ && ctx.dev->faultModel() != nullptr) {
+            const auto &refresh = ctx.dev->refresh(cmd.rank);
+            const PbIdx natural = pbr_->pbOfRow(refresh, cmd.row);
+            guardband_->onActProbe(
+                cmd.rank, cmd.bank, cmd.row, cmd.actTiming,
+                ctx.dev->faultedRowTiming(cmd.rank, cmd.row, ctx.now),
+                pbr_->ratedTiming(natural), ctx.now);
+        }
+    } else if (isColumnCmd(cmd.type)) {
         phrc_.onColumnAccess();
+    }
 }
 
 int
@@ -213,9 +293,18 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
         metrics_->scoreEs[4]->add(table_.es5(best_in));
     });
     if (chosen.cmd.type == CmdType::kAct) {
-        // Run the activation at the PB's rated (charge-safe) timing.
-        chosen.cmd.actTiming = pbr_->ratedTiming(best_pb);
-        const std::size_t bp = best_pb.value();
+        // Run the activation at the PB's rated (charge-safe) timing —
+        // degraded by the guardband ladder when fault evidence has
+        // accumulated (quarantined row / widened bank / conservative).
+        PbIdx issue_pb = best_pb;
+        if (guardband_) {
+            issue_pb = guardband_->clampPb(chosen.cmd.rank,
+                                           chosen.cmd.bank,
+                                           chosen.cmd.row, best_pb,
+                                           ctx.now);
+        }
+        chosen.cmd.actTiming = pbr_->ratedTiming(issue_pb);
+        const std::size_t bp = issue_pb.value();
         ++actsPerPb_[bp < actsPerPb_.size() ? bp
                                             : actsPerPb_.size() - 1];
         NUAT_METRIC(if (metrics_) {

@@ -17,6 +17,7 @@
 #include <array>
 #include <memory>
 
+#include "guardband.hh"
 #include "mem/scheduler.hh"
 #include "nuat_config.hh"
 #include "nuat_table.hh"
@@ -76,6 +77,10 @@ class NuatScheduler : public Scheduler
     /** Column commands issued in open-page mode. */
     std::uint64_t ppmOpenDecisions() const { return ppmOpen_; }
 
+    /** The degradation ladder, or nullptr while disabled (or before
+     *  the first pick initializes the scheduler). */
+    const GuardbandManager *guardband() const { return guardband_.get(); }
+
   private:
     /** Lazily build PBR / PPM once the device geometry is known. */
     void ensureInit(const SchedContext &ctx);
@@ -86,6 +91,7 @@ class NuatScheduler : public Scheduler
     WriteDrainState drain_;
     std::unique_ptr<PbrAcquisition> pbr_;
     std::unique_ptr<PpmDecisionMaker> ppm_;
+    std::unique_ptr<GuardbandManager> guardband_;
 
     std::array<std::uint64_t, 8> actsPerPb_{};
     std::uint64_t ppmClose_ = 0;

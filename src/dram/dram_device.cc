@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_model.hh"
 
 namespace nuat {
 
@@ -98,6 +99,30 @@ DramDevice::trueRowTiming(RankId rank_idx, RowId row, Cycle now) const
 {
     const auto &eng = refresh(rank_idx);
     return derate_.effective(eng.elapsedSinceRefresh(row, now, clock_));
+}
+
+RowTiming
+DramDevice::faultedRowTiming(RankId rank_idx, RowId row, Cycle now) const
+{
+    if (!faults_)
+        return trueRowTiming(rank_idx, row, now);
+    // Past the retention period the charge model can promise nothing
+    // better than nominal timing, and the sense-amp response is only
+    // calibrated up to retention; clamp so heavy leakage multipliers
+    // cannot drive it out of domain.  (Whether the data survived that
+    // long is a separate question — marginViolations tracks it.)
+    Nanoseconds elapsed = faults_->trueElapsed(rank_idx, row, now);
+    if (elapsed > derate_.retention())
+        elapsed = derate_.retention();
+    return derate_.effective(elapsed);
+}
+
+void
+DramDevice::attachFaultModel(FaultModel *faults)
+{
+    nuat_assert(faults != nullptr);
+    nuat_assert(!faults_, "(attachFaultModel called twice)");
+    faults_ = faults;
 }
 
 bool
@@ -202,6 +227,19 @@ DramDevice::issue(const Command &cmd, Cycle now)
                        static_cast<unsigned long long>(min.tras),
                        static_cast<unsigned long long>(min.trc));
         }
+        // Fault world: a request faster than what the *faulted* cell
+        // supports is not a controller bug (the controller cannot see
+        // injected faults), so it is counted as a silent-corruption
+        // event rather than a panic.  The guardband/auditor layers are
+        // responsible for driving this count back to rare.
+        if (faults_) {
+            const RowTiming fmin =
+                faultedRowTiming(cmd.rank, cmd.row, now);
+            if (cmd.actTiming.trcd < fmin.trcd ||
+                cmd.actTiming.tras < fmin.tras ||
+                cmd.actTiming.trc < fmin.trc)
+                ++counters_.marginViolations;
+        }
         r.banks[cmd.bank.value()].onAct(now, cmd.row, cmd.actTiming);
         r.recordAct(now, tp_);
         ++counters_.acts;
@@ -254,6 +292,8 @@ DramDevice::issue(const Command &cmd, Cycle now)
                        "guaranteed within the refresh-slack guard",
                        static_cast<unsigned long long>(now - due));
         }
+        if (faults_)
+            faults_->onRefresh(cmd.rank, r.refresh.nextRow(), now);
         r.refresh.performRefresh(now);
         r.refBusyUntil = now + tp_.tRFC;
         for (auto &b : r.banks)

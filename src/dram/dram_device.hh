@@ -30,6 +30,8 @@
 
 namespace nuat {
 
+class FaultModel;
+
 /** Per-rank state beyond the individual banks. */
 class RankState
 {
@@ -69,6 +71,13 @@ struct DeviceCounters
     std::uint64_t refreshes = 0;
     /** ACTs binned by whole-cycle tRCD reduction actually used. */
     std::uint64_t actsByTrcdReduction[16] = {};
+    /**
+     * ACTs whose requested timing beat the *fault-world* requirement
+     * (silent-corruption events).  Only counted when a FaultModel is
+     * attached; the nominal-charge panic above stays a panic because
+     * it can only mean a controller bug.
+     */
+    std::uint64_t marginViolations = 0;
 };
 
 /** One DDR3 channel: ranks x banks plus the shared command/data bus. */
@@ -112,6 +121,23 @@ class DramDevice
      */
     RowTiming trueRowTiming(RankId rank, RowId row, Cycle now) const;
 
+    /**
+     * Like trueRowTiming, but through the attached FaultModel's view
+     * of the world (weak cells, temperature, VRT, disturbed REFs).
+     * Falls back to trueRowTiming when no model is attached.
+     */
+    RowTiming faultedRowTiming(RankId rank, RowId row, Cycle now) const;
+
+    /**
+     * Attach the fault world (not owned; must outlive the device).
+     * From now on REF restores are routed through the model and every
+     * ACT is additionally margin-checked against the faulted truth.
+     */
+    void attachFaultModel(FaultModel *faults);
+
+    /** The attached fault world, or nullptr. */
+    const FaultModel *faultModel() const { return faults_; }
+
     /** Geometry in use. */
     const DramGeometry &geometry() const { return geom_; }
 
@@ -154,6 +180,7 @@ class DramDevice
 
     DeviceCounters counters_;
     std::vector<CommandObserver *> observers_;
+    FaultModel *faults_ = nullptr; //!< optional fault world (not owned)
 };
 
 } // namespace nuat

@@ -1,0 +1,285 @@
+#include "fault_model.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+namespace {
+
+/** SplitMix64 finalizer: the bit mixer behind every fault draw. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+// Domain-separation salts for the independent draws.
+constexpr std::uint64_t kSaltWeakSel = 1;
+constexpr std::uint64_t kSaltWeakMult = 2;
+constexpr std::uint64_t kSaltVrtSel = 3;
+constexpr std::uint64_t kSaltVrtPhase = 4;
+constexpr std::uint64_t kSaltRefKind = 5;
+constexpr std::uint64_t kSaltRefDelay = 6;
+
+std::uint64_t
+hash64(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+       std::uint64_t b)
+{
+    std::uint64_t h = seed;
+    h = mix64(h ^ (salt * 0x9e3779b97f4a7c15ull));
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    return h;
+}
+
+} // namespace
+
+FaultModel::FaultModel(FaultProfile profile, std::uint64_t seed,
+                       unsigned ranks, std::uint32_t rows,
+                       unsigned rowsPerRef, Cycle refInterval,
+                       const Clock &clock)
+    : profile_(std::move(profile)),
+      seed_(seed),
+      ranks_(ranks),
+      rows_(rows),
+      rowsPerRef_(rowsPerRef),
+      interval_(refInterval),
+      clock_(clock)
+{
+    profile_.validate();
+    nuat_assert(ranks_ > 0 && rows_ > 0 && rowsPerRef_ > 0);
+    nuat_assert(rows_ % rowsPerRef_ == 0);
+
+    // Mirror RefreshEngine's steady-state preload so that, absent
+    // disturbances, the fault-world stamps equal the engine's ground
+    // truth exactly.
+    const std::uint32_t groups = rows_ / rowsPerRef_;
+    restoredAt_.resize(ranks_);
+    for (auto &rank : restoredAt_) {
+        rank.resize(rows_);
+        for (std::uint32_t g = 0; g < groups; ++g) {
+            const std::int64_t at =
+                -static_cast<std::int64_t>(groups - 1 - g) *
+                static_cast<std::int64_t>(interval_);
+            for (unsigned r = 0; r < rowsPerRef_; ++r)
+                rank[g * rowsPerRef_ + r] = at;
+        }
+    }
+    pending_.resize(ranks_);
+    refIndex_.assign(ranks_, 0);
+    disturbBurst_.assign(ranks_, 0);
+
+    // Static population counts for the run report.
+    for (unsigned rk = 0; rk < ranks_; ++rk) {
+        for (std::uint32_t row = 0; row < rows_; ++row) {
+            if (isWeak(RankId{rk}, RowId{row}))
+                ++stats_.weakRows;
+            if (isVrt(RankId{rk}, RowId{row}))
+                ++stats_.vrtRows;
+        }
+    }
+}
+
+double
+FaultModel::unitHash(std::uint64_t salt, std::uint64_t a,
+                     std::uint64_t b) const
+{
+    return static_cast<double>(hash64(seed_, salt, a, b) >> 11) *
+           0x1.0p-53;
+}
+
+bool
+FaultModel::isWeak(RankId rank, RowId row) const
+{
+    if (profile_.weakFraction <= 0.0)
+        return false;
+    return unitHash(kSaltWeakSel, rank.value(), row.value()) <
+           profile_.weakFraction;
+}
+
+bool
+FaultModel::isVrt(RankId rank, RowId row) const
+{
+    if (profile_.vrtFraction <= 0.0)
+        return false;
+    return unitHash(kSaltVrtSel, rank.value(), row.value()) <
+           profile_.vrtFraction;
+}
+
+double
+FaultModel::leakMultiplier(RankId rank, RowId row, Cycle now) const
+{
+    double mult = 1.0;
+    if (isWeak(rank, row)) {
+        mult *= profile_.weakMultMin +
+                (profile_.weakMultMax - profile_.weakMultMin) *
+                    unitHash(kSaltWeakMult, rank.value(), row.value());
+    }
+    if (isVrt(rank, row)) {
+        // The flip phase is a per-row constant; the state toggles
+        // every vrtPeriod cycles between nominal and leaky retention.
+        const Cycle phase =
+            hash64(seed_, kSaltVrtPhase, rank.value(), row.value()) %
+            profile_.vrtPeriod;
+        const bool leaky =
+            ((now + phase) / profile_.vrtPeriod) % 2 == 1;
+        if (leaky)
+            mult *= profile_.vrtMult;
+    }
+    return mult;
+}
+
+double
+FaultModel::temperatureScale(Cycle now) const
+{
+    double scale = 1.0;
+    for (const FaultTempStep &s : profile_.tempSteps) {
+        if (s.atCycle > now)
+            break;
+        scale = s.scale;
+    }
+    return scale;
+}
+
+FaultModel::RefDisturb
+FaultModel::rawDisturb(RankId rank, std::uint64_t refIndex,
+                       Cycle *delay) const
+{
+    const double u = unitHash(kSaltRefKind, rank.value(), refIndex);
+    if (u < profile_.refDropProb)
+        return RefDisturb::kDropped;
+    if (u < profile_.refDropProb + profile_.refDelayProb) {
+        *delay = 1 + hash64(seed_, kSaltRefDelay, rank.value(),
+                            refIndex) %
+                         profile_.refDelayMax;
+        return RefDisturb::kDelayed;
+    }
+    return RefDisturb::kNone;
+}
+
+FaultModel::RefDisturb
+FaultModel::boundedDisturb(RankId rank, std::uint64_t refIndex,
+                           unsigned *burst, Cycle *delay) const
+{
+    RefDisturb d = rawDisturb(rank, refIndex, delay);
+    if (d == RefDisturb::kNone) {
+        *burst = 0;
+        return d;
+    }
+    if (*burst >= profile_.refBurstMax) {
+        // Burst bound reached: force a clean restore.
+        *burst = 0;
+        return RefDisturb::kNone;
+    }
+    ++*burst;
+    return d;
+}
+
+void
+FaultModel::settle(RankId rank, Cycle now) const
+{
+    auto &q = pending_[rank.value()];
+    while (!q.empty() && q.front().applyAt <= now) {
+        const PendingRestore &p = q.front();
+        for (unsigned r = 0; r < rowsPerRef_; ++r) {
+            restoredAt_[rank.value()][(p.firstRow + r) % rows_] =
+                static_cast<std::int64_t>(p.applyAt);
+        }
+        q.pop_front();
+    }
+}
+
+FaultModel::RefDisturb
+FaultModel::onRefresh(RankId rank, RowId firstRow, Cycle now)
+{
+    nuat_assert(rank.value() < ranks_ && firstRow.value() < rows_);
+    settle(rank, now);
+
+    const std::uint64_t idx = refIndex_[rank.value()]++;
+    Cycle delay = 0;
+    const RefDisturb d = boundedDisturb(
+        rank, idx, &disturbBurst_[rank.value()], &delay);
+    switch (d) {
+    case RefDisturb::kNone:
+        for (unsigned r = 0; r < rowsPerRef_; ++r) {
+            restoredAt_[rank.value()]
+                       [(firstRow.value() + r) % rows_] =
+                           static_cast<std::int64_t>(now);
+        }
+        break;
+    case RefDisturb::kDropped:
+        // Restore never happens: the rows keep their old stamps and
+        // continue aging until the refresh counter comes around again.
+        ++stats_.refsDropped;
+        break;
+    case RefDisturb::kDelayed:
+        // Restore completes late: until applyAt the rows still carry
+        // their previous (nearly retention-old) charge.
+        ++stats_.refsDelayed;
+        pending_[rank.value()].push_back(
+            {now + delay, firstRow.value()});
+        break;
+    }
+    return d;
+}
+
+Nanoseconds
+FaultModel::trueElapsed(RankId rank, RowId row, Cycle now) const
+{
+    nuat_assert(rank.value() < ranks_ && row.value() < rows_);
+    settle(rank, now);
+    const std::int64_t at = restoredAt_[rank.value()][row.value()];
+    const std::int64_t delta =
+        std::max<std::int64_t>(static_cast<std::int64_t>(now) - at, 0);
+    const Nanoseconds raw =
+        static_cast<double>(delta) * clock_.period();
+    return raw *
+           (leakMultiplier(rank, row, now) * temperatureScale(now));
+}
+
+std::string
+FaultModel::scheduleFingerprint(unsigned refs) const
+{
+    std::string out;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "profile=%s seed=%llu\n",
+                  profile_.name.c_str(),
+                  static_cast<unsigned long long>(seed_));
+    out += buf;
+    for (std::uint32_t row = 0; row < rows_; ++row) {
+        const RankId rk{0u};
+        const RowId r{row};
+        if (!isWeak(rk, r) && !isVrt(rk, r))
+            continue;
+        std::snprintf(buf, sizeof(buf), "row %u weak=%d vrt=%d m=%.6f\n",
+                      row, isWeak(rk, r) ? 1 : 0, isVrt(rk, r) ? 1 : 0,
+                      leakMultiplier(rk, r, Cycle{0}));
+        out += buf;
+    }
+    // Replay the burst bound from the initial state, matching what a
+    // fresh model's first `refs` onRefresh() calls would decide.
+    unsigned burst = 0;
+    for (std::uint64_t i = 0; i < refs; ++i) {
+        Cycle delay = 0;
+        const RefDisturb d =
+            boundedDisturb(RankId{0u}, i, &burst, &delay);
+        std::snprintf(buf, sizeof(buf), "ref %llu %s %llu\n",
+                      static_cast<unsigned long long>(i),
+                      d == RefDisturb::kNone      ? "ok"
+                      : d == RefDisturb::kDropped ? "drop"
+                                                  : "delay",
+                      static_cast<unsigned long long>(delay));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace nuat

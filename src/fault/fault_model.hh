@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic expansion of a FaultProfile into a concrete fault
+ * world.
+ *
+ * The model is the physical ground truth the DramDevice consults when
+ * fault injection is on: which rows leak faster (weak cells, VRT), how
+ * hot the device currently runs, and when REF restores actually
+ * happened (dropped/delayed refresh disturbances).  Everything is a
+ * pure function of (profile, seed) — per-row populations come from a
+ * SplitMix64-style hash of (seed, rank, row), refresh disturbances
+ * from (seed, rank, refIndex) — so the same seed always yields a
+ * byte-identical fault schedule and runs stay reproducible.
+ *
+ * The controller never reads this class directly: it only sees the
+ * consequences (margin-probe feedback routed through GuardbandManager,
+ * see src/core/guardband.hh).  The shadow auditor does read it — the
+ * fault world is the oracle the charge_margin rule checks against.
+ */
+
+#ifndef NUAT_FAULT_FAULT_MODEL_HH
+#define NUAT_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/units.hh"
+#include "fault_profile.hh"
+
+namespace nuat {
+
+/** Injection counters, reported in the run result's fault section. */
+struct FaultStats
+{
+    std::uint64_t weakRows = 0; //!< weak rows across all ranks
+    std::uint64_t vrtRows = 0;  //!< VRT rows across all ranks
+    std::uint64_t refsDropped = 0;
+    std::uint64_t refsDelayed = 0;
+};
+
+/** Deterministic, seed-driven fault world for one channel. */
+class FaultModel
+{
+  public:
+    /** What one REF command's restore actually did. */
+    enum class RefDisturb
+    {
+        kNone,
+        kDropped,
+        kDelayed,
+    };
+
+    /**
+     * @param profile   validated fault description
+     * @param seed      experiment seed (already channel-salted)
+     * @param ranks     ranks per channel
+     * @param rows      rows per bank
+     * @param rowsPerRef rows restored per REF command
+     * @param refInterval cycles between REF commands
+     * @param clock     memory-bus clock
+     */
+    FaultModel(FaultProfile profile, std::uint64_t seed, unsigned ranks,
+               std::uint32_t rows, unsigned rowsPerRef, Cycle refInterval,
+               const Clock &clock);
+
+    const FaultProfile &profile() const { return profile_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /**
+     * Device hook: a REF was issued at @p now covering rows
+     * [firstRow, firstRow + rowsPerRef) of @p rank.  Decides (and
+     * records) whether this restore is dropped, delayed, or clean.
+     */
+    RefDisturb onRefresh(RankId rank, RowId firstRow, Cycle now);
+
+    /**
+     * Fault-world elapsed time for @p row: the effective
+     * time-since-restore to feed TimingDerate::effective(), i.e. the
+     * real interval since the row's charge was last restored, scaled
+     * by the row's leakage multiplier and the current temperature.
+     */
+    Nanoseconds trueElapsed(RankId rank, RowId row, Cycle now) const;
+
+    /** True when the (rank, row) cell is in the weak population. */
+    bool isWeak(RankId rank, RowId row) const;
+
+    /** True when the (rank, row) cell has variable retention time. */
+    bool isVrt(RankId rank, RowId row) const;
+
+    /** Combined weak x VRT leakage multiplier at @p now (>= 1). */
+    double leakMultiplier(RankId rank, RowId row, Cycle now) const;
+
+    /** Global temperature leakage scale at @p now (1.0 = nominal). */
+    double temperatureScale(Cycle now) const;
+
+    /**
+     * Canonical text rendering of the static fault schedule: the
+     * weak/VRT populations of rank 0 plus the first @p refs REF
+     * disturbance decisions.  Two models built from the same
+     * (profile, seed) produce byte-identical fingerprints; used by the
+     * determinism self-tests.  Call on a fresh model (before any
+     * onRefresh) so the replayed burst bound matches.
+     */
+    std::string scheduleFingerprint(unsigned refs) const;
+
+  private:
+    struct PendingRestore
+    {
+        Cycle applyAt;
+        std::uint32_t firstRow;
+    };
+
+    /** Uniform [0,1) hash of (seed, salt, a, b). */
+    double unitHash(std::uint64_t salt, std::uint64_t a,
+                    std::uint64_t b) const;
+
+    /** Raw (pre-burst-bound) disturbance draw for one REF. */
+    RefDisturb rawDisturb(RankId rank, std::uint64_t refIndex,
+                          Cycle *delay) const;
+
+    /** Burst-bounded disturbance decision; advances @p burst. */
+    RefDisturb boundedDisturb(RankId rank, std::uint64_t refIndex,
+                              unsigned *burst, Cycle *delay) const;
+
+    /** Apply pending delayed restores whose completion time passed. */
+    void settle(RankId rank, Cycle now) const;
+
+    FaultProfile profile_;
+    std::uint64_t seed_;
+    unsigned ranks_;
+    std::uint32_t rows_;
+    unsigned rowsPerRef_;
+    Cycle interval_;
+    Clock clock_;
+    FaultStats stats_;
+
+    //! Fault-world restore stamp per [rank][row]; negative stamps are
+    //! the synthetic steady-state preload (same as RefreshEngine's).
+    mutable std::vector<std::vector<std::int64_t>> restoredAt_;
+    //! Delayed restores not yet applied, per rank, ordered by applyAt.
+    mutable std::vector<std::deque<PendingRestore>> pending_;
+    std::vector<std::uint64_t> refIndex_; //!< REF counter per rank
+    std::vector<unsigned> disturbBurst_;  //!< consecutive disturbed REFs
+};
+
+} // namespace nuat
+
+#endif // NUAT_FAULT_FAULT_MODEL_HH

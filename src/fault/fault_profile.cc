@@ -1,0 +1,277 @@
+#include "fault_profile.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+bool
+FaultProfile::any() const
+{
+    return (weakFraction > 0.0 && weakMultMax > 1.0) ||
+           (vrtFraction > 0.0 && vrtMult > 1.0) || !tempSteps.empty() ||
+           refDropProb > 0.0 || refDelayProb > 0.0;
+}
+
+void
+FaultProfile::validate() const
+{
+    nuat_assert(weakFraction >= 0.0 && weakFraction <= 1.0,
+                "(weak_fraction %.3f out of [0,1])", weakFraction);
+    nuat_assert(weakMultMin >= 1.0 && weakMultMax >= weakMultMin,
+                "(weak multiplier range [%.3f, %.3f] invalid)",
+                weakMultMin, weakMultMax);
+    nuat_assert(vrtFraction >= 0.0 && vrtFraction <= 1.0,
+                "(vrt_fraction %.3f out of [0,1])", vrtFraction);
+    nuat_assert(vrtMult >= 1.0, "(vrt_mult %.3f < 1)", vrtMult);
+    nuat_assert(vrtPeriod > 0, "(vrt_period_cycles must be positive)");
+    nuat_assert(refDropProb >= 0.0 && refDelayProb >= 0.0 &&
+                    refDropProb + refDelayProb <= 1.0,
+                "(ref drop %.3f + delay %.3f probabilities exceed 1)",
+                refDropProb, refDelayProb);
+    nuat_assert(refDelayProb == 0.0 || refDelayMax > 0,
+                "(ref_delay_prob needs ref_delay_max_cycles > 0)");
+    nuat_assert(refBurstMax >= 1, "(ref_burst_max must be >= 1)");
+    for (std::size_t i = 0; i < tempSteps.size(); ++i) {
+        nuat_assert(tempSteps[i].scale > 0.0,
+                    "(temp_step scale %.3f must be positive)",
+                    tempSteps[i].scale);
+        nuat_assert(i == 0 ||
+                        tempSteps[i - 1].atCycle < tempSteps[i].atCycle,
+                    "(temp_step cycles must be strictly ascending)");
+    }
+}
+
+namespace {
+
+std::vector<FaultProfile>
+buildRegistry()
+{
+    std::vector<FaultProfile> all;
+
+    {
+        // Static weak-cell population: a slice of rows leaks 2-4x
+        // faster than the nominal cell the PBR ratings assume.
+        FaultProfile p;
+        p.name = "weak-cells";
+        p.weakFraction = 0.08;
+        p.weakMultMin = 2.0;
+        p.weakMultMax = 4.0;
+        all.push_back(p);
+    }
+    {
+        // Transient thermal event: leakage triples mid-run, then
+        // returns to nominal — exercises quarantine *and* the
+        // hysteretic re-promotion path once the window ends.
+        FaultProfile p;
+        p.name = "thermal-spike";
+        p.tempSteps = {{150000, 3.0}, {300000, 1.0}};
+        all.push_back(p);
+    }
+    {
+        // Variable retention time: rows flip between nominal and
+        // leaky retention states on a fixed half-period.
+        FaultProfile p;
+        p.name = "vrt";
+        p.vrtFraction = 0.03;
+        p.vrtMult = 3.0;
+        p.vrtPeriod = 60000;
+        all.push_back(p);
+    }
+    {
+        // Refresh-side disturbances: REF restores dropped or late in
+        // bounded bursts, so rows age far beyond the schedule the
+        // controller derates against.
+        FaultProfile p;
+        p.name = "refresh-storm";
+        p.refDropProb = 0.25;
+        p.refDelayProb = 0.25;
+        p.refDelayMax = 4000;
+        p.refBurstMax = 2;
+        all.push_back(p);
+    }
+    {
+        // Everything at once, with a permanent temperature step —
+        // the canonical adversarial profile used by the negative
+        // tests and the fault golden snapshot.
+        FaultProfile p;
+        p.name = "stress";
+        p.weakFraction = 0.10;
+        p.weakMultMin = 2.0;
+        p.weakMultMax = 4.0;
+        p.vrtFraction = 0.02;
+        p.vrtMult = 3.0;
+        p.vrtPeriod = 60000;
+        p.tempSteps = {{120000, 2.5}};
+        p.refDropProb = 0.15;
+        p.refDelayProb = 0.15;
+        p.refDelayMax = 4000;
+        p.refBurstMax = 2;
+        all.push_back(p);
+    }
+    for (const FaultProfile &p : all)
+        p.validate();
+    return all;
+}
+
+const std::vector<FaultProfile> &
+registry()
+{
+    static const std::vector<FaultProfile> all = buildRegistry();
+    return all;
+}
+
+} // namespace
+
+std::vector<std::string>
+faultProfileNames()
+{
+    std::vector<std::string> names;
+    for (const FaultProfile &p : registry())
+        names.push_back(p.name);
+    return names;
+}
+
+const FaultProfile *
+findFaultProfile(const std::string &name)
+{
+    for (const FaultProfile &p : registry())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+namespace {
+
+/** Strip leading/trailing whitespace in place; returns the result. */
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+double
+parseDouble(const std::string &path, int line, const std::string &v)
+{
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        nuat_fatal("%s:%d: expected a number, got '%s'", path.c_str(),
+                   line, v.c_str());
+    return d;
+}
+
+std::uint64_t
+parseU64(const std::string &path, int line, const std::string &v)
+{
+    char *end = nullptr;
+    const unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+        nuat_fatal("%s:%d: expected an unsigned integer, got '%s'",
+                   path.c_str(), line, v.c_str());
+    return u;
+}
+
+} // namespace
+
+FaultProfile
+loadFaultProfileFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        nuat_fatal("cannot open fault profile '%s'", path.c_str());
+
+    FaultProfile p;
+    p.name = path;
+    char buf[512];
+    int lineNo = 0;
+    while (std::fgets(buf, sizeof(buf), f)) {
+        ++lineNo;
+        std::string line{buf};
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            std::fclose(f);
+            nuat_fatal("%s:%d: expected 'key = value', got '%s'",
+                       path.c_str(), lineNo, line.c_str());
+        }
+        const std::string key = trimmed(line.substr(0, eq));
+        const std::string val = trimmed(line.substr(eq + 1));
+        if (key.empty() || val.empty()) {
+            std::fclose(f);
+            nuat_fatal("%s:%d: empty key or value in '%s'",
+                       path.c_str(), lineNo, line.c_str());
+        }
+
+        if (key == "name") {
+            p.name = val;
+        } else if (key == "weak_fraction") {
+            p.weakFraction = parseDouble(path, lineNo, val);
+        } else if (key == "weak_mult_min") {
+            p.weakMultMin = parseDouble(path, lineNo, val);
+        } else if (key == "weak_mult_max") {
+            p.weakMultMax = parseDouble(path, lineNo, val);
+        } else if (key == "vrt_fraction") {
+            p.vrtFraction = parseDouble(path, lineNo, val);
+        } else if (key == "vrt_mult") {
+            p.vrtMult = parseDouble(path, lineNo, val);
+        } else if (key == "vrt_period_cycles") {
+            p.vrtPeriod = parseU64(path, lineNo, val);
+        } else if (key == "temp_step") {
+            char *end = nullptr;
+            const unsigned long long at =
+                std::strtoull(val.c_str(), &end, 10);
+            if (end == val.c_str()) {
+                std::fclose(f);
+                nuat_fatal(
+                    "%s:%d: temp_step wants '<atCycle> <scale>', "
+                    "got '%s'",
+                    path.c_str(), lineNo, val.c_str());
+            }
+            const std::string rest = trimmed(std::string{end});
+            p.tempSteps.push_back(
+                {Cycle{at}, parseDouble(path, lineNo, rest)});
+        } else if (key == "ref_drop_prob") {
+            p.refDropProb = parseDouble(path, lineNo, val);
+        } else if (key == "ref_delay_prob") {
+            p.refDelayProb = parseDouble(path, lineNo, val);
+        } else if (key == "ref_delay_max_cycles") {
+            p.refDelayMax = parseU64(path, lineNo, val);
+        } else if (key == "ref_burst_max") {
+            p.refBurstMax =
+                static_cast<unsigned>(parseU64(path, lineNo, val));
+        } else {
+            std::fclose(f);
+            nuat_fatal("%s:%d: unknown fault-profile key '%s'",
+                       path.c_str(), lineNo, key.c_str());
+        }
+    }
+    std::fclose(f);
+    p.validate();
+    return p;
+}
+
+FaultProfile
+resolveFaultProfile(const std::string &nameOrPath)
+{
+    if (const FaultProfile *p = findFaultProfile(nameOrPath))
+        return *p;
+    return loadFaultProfileFile(nameOrPath);
+}
+
+} // namespace nuat

@@ -110,6 +110,29 @@ struct ExperimentConfig
     std::size_t auditMaxMessages = 8;
 
     /**
+     * Fault injection: a built-in profile name ("weak-cells",
+     * "thermal-spike", "vrt", "refresh-storm", "stress") or the path
+     * of a key=value profile file; empty = off.  When off, every run
+     * is byte-identical to a build without the fault subsystem.  See
+     * ROBUSTNESS.md.
+     */
+    std::string faultProfile;
+
+    /**
+     * Graceful degradation under fault injection: NUAT consults a
+     * GuardbandManager (margin probes, quarantine/widen/conservative
+     * ladder).  Ignored while faultProfile is empty; disable to
+     * demonstrate the auditor's charge_margin rule firing.
+     */
+    bool faultDegrade = true;
+
+    /** Guardband tuning used when degradation is active. */
+    GuardbandConfig guardband;
+
+    /** True when this run injects faults. */
+    bool faultsEnabled() const { return !faultProfile.empty(); }
+
+    /**
      * When non-empty, tee the issued-command stream of every channel
      * into this file for later replay (replayCommandTrace, or
      * `nuat_sim --replay-trace`).
@@ -203,6 +226,39 @@ struct RunResult
 
     /** Metric sampling interval used [memory cycles] (0 when off). */
     Cycle metricsIntervalCycles = 0;
+
+    /** True when the run injected faults (fault section is reported). */
+    bool faultsEnabled = false;
+
+    /** Resolved fault-profile name (empty when faults are off). */
+    std::string faultProfileName;
+
+    /** True when the guardband degradation ladder was active. */
+    bool degradeEnabled = false;
+
+    /** Injected-fault population / disturbance counts (all channels). */
+    std::uint64_t faultWeakRows = 0;
+    std::uint64_t faultVrtRows = 0;
+    std::uint64_t faultRefsDropped = 0;
+    std::uint64_t faultRefsDelayed = 0;
+
+    /** Guardband ladder activity (all channels; see GuardbandStats). */
+    std::uint64_t guardProbeViolations = 0;
+    std::uint64_t guardProbeWarnings = 0;
+    std::uint64_t guardQuarantines = 0;
+    std::uint64_t guardReleases = 0;
+    std::uint64_t guardWidenSteps = 0;
+    std::uint64_t guardEaseSteps = 0;
+    std::uint64_t guardConservativeEntries = 0;
+    std::uint64_t guardMaxQuarantined = 0;
+    std::uint64_t guardQuarantinedAtEnd = 0;
+
+    /**
+     * Worker failure in a sweep: empty on success; otherwise the
+     * error text of the exception that killed this experiment (the
+     * rest of the sweep still completes — see runExperimentsParallel).
+     */
+    std::string error;
 
     /** Average read latency [memory cycles]. */
     double avgReadLatency() const { return ctrl.avgReadLatency(); }

@@ -1,11 +1,45 @@
 #include "parallel_runner.hh"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
+#include "common/logging.hh"
 #include "runner.hh"
 
 namespace nuat {
+
+namespace {
+
+/**
+ * Run one sweep entry without letting a failure kill the batch: a
+ * throwing experiment is retried once (it may have tripped over a
+ * transient resource, e.g. an unwritable output path), and a second
+ * failure is converted into a RunResult whose `error` field carries the
+ * exception text.  The rest of the sweep still completes; callers
+ * decide afterwards whether any error is fatal (nuat_sim exits nonzero
+ * only after the full sweep has run).
+ */
+RunResult
+runGuarded(const ExperimentConfig &cfg)
+{
+    try {
+        return runExperiment(cfg);
+    } catch (const std::exception &e) {
+        nuat_warn("experiment failed (%s); retrying once", e.what());
+    }
+    try {
+        return runExperiment(cfg);
+    } catch (const std::exception &e) {
+        RunResult failed;
+        failed.schedulerName = schedulerKindName(cfg.scheduler);
+        failed.workloads = cfg.workloads;
+        failed.error = e.what();
+        return failed;
+    }
+}
+
+} // namespace
 
 unsigned
 resolveRunnerThreads(unsigned threads, std::size_t jobs)
@@ -31,7 +65,7 @@ runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
     threads = resolveRunnerThreads(threads, configs.size());
     if (threads == 1) {
         for (std::size_t i = 0; i < configs.size(); ++i)
-            results[i] = runExperiment(configs[i]);
+            results[i] = runGuarded(configs[i]);
         return results;
     }
 
@@ -44,7 +78,7 @@ runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= configs.size())
                 return;
-            results[i] = runExperiment(configs[i]);
+            results[i] = runGuarded(configs[i]);
         }
     };
     std::vector<std::thread> pool;

@@ -29,6 +29,12 @@ unsigned resolveRunnerThreads(unsigned threads, std::size_t jobs);
 /**
  * Run every config to completion, @p threads experiments at a time.
  *
+ * A failing experiment (panic/fatal with throwing handlers installed,
+ * or any other std::exception) does not kill the sweep: it is retried
+ * once, and a persistent failure yields a slot whose RunResult carries
+ * the exception text in `error` (all other fields default).  Callers
+ * should check `error` before trusting a slot.
+ *
  * @param configs one experiment per entry
  * @param threads worker threads; 0 = all hardware threads, 1 = run
  *                inline (no thread is spawned)

@@ -137,6 +137,42 @@ runResultToJson(const RunResult &r)
         o << "  },\n";
     }
 
+    // Emitted only for fault-injected runs so that fault-free snapshots
+    // stay byte-identical to a build without the fault subsystem.
+    if (r.faultsEnabled) {
+        o << "  \"faults\": {\n";
+        o << "    \"profile\": " << quoted(r.faultProfileName) << ",\n";
+        o << "    \"degradeEnabled\": "
+          << (r.degradeEnabled ? "true" : "false") << ",\n";
+        o << "    \"weakRows\": " << num(r.faultWeakRows) << ",\n";
+        o << "    \"vrtRows\": " << num(r.faultVrtRows) << ",\n";
+        o << "    \"refsDropped\": " << num(r.faultRefsDropped) << ",\n";
+        o << "    \"refsDelayed\": " << num(r.faultRefsDelayed) << ",\n";
+        o << "    \"marginViolations\": " << num(r.dev.marginViolations)
+          << ",\n";
+        o << "    \"guardProbeViolations\": "
+          << num(r.guardProbeViolations) << ",\n";
+        o << "    \"guardProbeWarnings\": " << num(r.guardProbeWarnings)
+          << ",\n";
+        o << "    \"guardQuarantines\": " << num(r.guardQuarantines)
+          << ",\n";
+        o << "    \"guardReleases\": " << num(r.guardReleases) << ",\n";
+        o << "    \"guardWidenSteps\": " << num(r.guardWidenSteps)
+          << ",\n";
+        o << "    \"guardEaseSteps\": " << num(r.guardEaseSteps)
+          << ",\n";
+        o << "    \"guardConservativeEntries\": "
+          << num(r.guardConservativeEntries) << ",\n";
+        o << "    \"guardMaxQuarantined\": "
+          << num(r.guardMaxQuarantined) << ",\n";
+        o << "    \"guardQuarantinedAtEnd\": "
+          << num(r.guardQuarantinedAtEnd) << "\n";
+        o << "  },\n";
+    }
+
+    if (!r.error.empty())
+        o << "  \"error\": " << quoted(r.error) << ",\n";
+
     o << "  \"audited\": " << (r.audited ? "true" : "false") << ",\n";
     o << "  \"auditCommandsChecked\": " << num(r.auditCommandsChecked)
       << ",\n";

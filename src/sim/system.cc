@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "core/nuat_scheduler.hh"
+#include "fault/fault_profile.hh"
 #include "sched/adaptive_scheduler.hh"
 #include "sched/fcfs_scheduler.hh"
 #include "sched/frfcfs_scheduler.hh"
@@ -70,6 +71,9 @@ System::makeScheduler() const
         nc.starvationLimit = cfg_.nuatStarvationLimit;
         nc.pbElementEnabled = cfg_.pbElementEnabled;
         nc.boundaryElementEnabled = cfg_.boundaryElementEnabled;
+        nc.guardband = cfg_.guardband;
+        nc.guardband.enabled =
+            cfg_.faultsEnabled() && cfg_.faultDegrade;
         return std::make_unique<NuatScheduler>(nc);
       }
     }
@@ -94,10 +98,25 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
     chan_geom.channels = 1;
     ControllerConfig ctrl_cfg = cfg_.controller;
     ctrl_cfg.channels = channels;
+    FaultProfile fault_profile;
+    if (cfg_.faultsEnabled())
+        fault_profile = resolveFaultProfile(cfg_.faultProfile);
+
     std::vector<MemoryController *> ports;
     for (unsigned ch = 0; ch < channels; ++ch) {
         devices_.push_back(std::make_unique<DramDevice>(
             chan_geom, cfg_.timing, *derate_));
+        if (cfg_.faultsEnabled()) {
+            // Channel-salted seed so multi-channel fault worlds differ
+            // but stay a pure function of the experiment seed.
+            const RefreshEngine &re = devices_.back()->refresh(RankId{0});
+            faults_.push_back(std::make_unique<FaultModel>(
+                fault_profile,
+                cfg_.seed + 0x9e3779b97f4a7c15ULL * (ch + 1),
+                chan_geom.ranks, chan_geom.rows, re.rowsPerRef(),
+                re.interval(), kMemClock));
+            devices_.back()->attachFaultModel(faults_.back().get());
+        }
         controllers_.push_back(std::make_unique<MemoryController>(
             *devices_.back(), makeScheduler(), ctrl_cfg));
         ports.push_back(controllers_.back().get());
@@ -115,6 +134,8 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
             acfg.timing = cfg_.timing;
             acfg.derate = derate_.get();
             acfg.maxMessages = cfg_.auditMaxMessages;
+            if (cfg_.faultsEnabled())
+                acfg.faults = faults_[ch].get();
             auditors_.push_back(std::make_unique<ProtocolAuditor>(acfg));
             devices_[ch]->addObserver(auditors_.back().get());
         }
@@ -367,6 +388,7 @@ mergeCounters(DeviceCounters &into, const DeviceCounters &from)
     into.writes += from.writes;
     into.autoPres += from.autoPres;
     into.refreshes += from.refreshes;
+    into.marginViolations += from.marginViolations;
     for (std::size_t i = 0; i < 16; ++i)
         into.actsByTrcdReduction[i] += from.actsByTrcdReduction[i];
 }
@@ -427,6 +449,17 @@ System::run()
         result.metricsSamples = sampler_->samples();
         result.metricsIntervalCycles = sampler_->interval();
     });
+    if (!faults_.empty()) {
+        result.faultsEnabled = true;
+        result.faultProfileName = faults_[0]->profile().name;
+        for (const auto &fm : faults_) {
+            const FaultStats &fs = fm->stats();
+            result.faultWeakRows += fs.weakRows;
+            result.faultVrtRows += fs.vrtRows;
+            result.faultRefsDropped += fs.refsDropped;
+            result.faultRefsDelayed += fs.refsDelayed;
+        }
+    }
     if (traceWriter_ && !traceWriter_->finish()) {
         nuat_warn("command-trace write to '%s' failed",
                   cfg_.dumpTracePath.c_str());

@@ -23,6 +23,7 @@
 #include "cpu/core_model.hh"
 #include "dram/dram_device.hh"
 #include "experiment_config.hh"
+#include "fault/fault_model.hh"
 #include "mem/memory_controller.hh"
 #include "mem/memory_port.hh"
 #include "trace/synthetic_trace.hh"
@@ -114,6 +115,13 @@ class System
                                           : nullptr;
     }
 
+    /** Fault world of @p channel; null unless cfg.faultsEnabled(). */
+    const FaultModel *faultModel(unsigned channel = 0) const
+    {
+        return channel < faults_.size() ? faults_[channel].get()
+                                        : nullptr;
+    }
+
     /**
      * The metric registry; null unless the config requested metric
      * output and the metrics subsystem is compiled in.
@@ -147,6 +155,9 @@ class System
     std::unique_ptr<TraceEventSink> traceSink_;
     std::unique_ptr<IntervalSampler> sampler_;
     std::unique_ptr<TimingDerate> derate_;
+    // Declared before the devices/auditors that hold raw pointers into
+    // them, so the fault worlds outlive every observer.
+    std::vector<std::unique_ptr<FaultModel>> faults_;
     std::vector<std::unique_ptr<DramDevice>> devices_;
     std::vector<std::unique_ptr<MemoryController>> controllers_;
     std::unique_ptr<ChannelMux> mux_;

@@ -19,20 +19,30 @@ FileTrace::load(const std::string &path)
     if (!f)
         nuat_fatal("cannot open trace file '%s'", path.c_str());
 
+    // Line-based parsing so a malformed or truncated record yields one
+    // clear file:line diagnostic instead of fscanf silently resyncing
+    // mid-stream.  Blank lines and '#' comments are allowed.
     std::vector<TraceEntry> entries;
-    char op[8];
-    unsigned long long gap, addr;
+    char buf[256];
     int line = 0;
-    while (true) {
-        const int got =
-            std::fscanf(f, "%llu %7s %llx", &gap, op, &addr);
-        if (got == EOF)
-            break;
+    while (std::fgets(buf, sizeof(buf), f)) {
         ++line;
-        if (got != 3 || (op[0] != 'R' && op[0] != 'W')) {
+        const char *p = buf;
+        while (*p == ' ' || *p == '\t')
+            ++p;
+        if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#')
+            continue;
+        char op[8];
+        unsigned long long gap, addr;
+        int consumed = 0;
+        const int got = std::sscanf(p, "%llu %7s %llx %n", &gap, op,
+                                    &addr, &consumed);
+        if (got != 3 || p[consumed] != '\0' || op[1] != '\0' ||
+            (op[0] != 'R' && op[0] != 'W')) {
             std::fclose(f);
-            nuat_fatal("parse error in '%s' at record %d", path.c_str(),
-                       line);
+            nuat_fatal("%s:%d: malformed trace record (expected "
+                       "'<gap> R|W <hex-addr>')",
+                       path.c_str(), line);
         }
         TraceEntry e;
         e.nonMemGap = static_cast<std::uint32_t>(gap);

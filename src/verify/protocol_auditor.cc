@@ -50,6 +50,8 @@ auditRuleName(AuditRule rule)
         return "ref-late";
       case AuditRule::kChargeSafety:
         return "charge-safety";
+      case AuditRule::kChargeMargin:
+        return "charge-margin";
       case AuditRule::kNumRules:
         break;
     }
@@ -97,7 +99,11 @@ ProtocolAuditor::ProtocolAuditor(const AuditorConfig &cfg) : cfg_(cfg)
         }
         rank.refNextRow = 0;
         rank.refDueAt = tp.refInterval();
+        if (cfg_.faults != nullptr)
+            rank.rowActHazard.assign(rows, 0);
     }
+    nuat_assert(cfg_.faults == nullptr || cfg_.derate != nullptr,
+                "(kChargeMargin needs the charge model)");
 }
 
 void
@@ -203,6 +209,41 @@ ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
                  static_cast<unsigned long long>(min.tras),
                  static_cast<unsigned long long>(min.trc));
         }
+    }
+
+    // Fault-world charge margin: one ACT under the faulted requirement
+    // is the unavoidable discovery event (the controller cannot see
+    // injected faults until the margin probe reports it), but a
+    // *second consecutive* under-margin ACT to the same row means the
+    // degradation ladder failed to quarantine — with GuardbandManager
+    // enabled this can never fire, because the first hazardous probe
+    // pins the row to nominal timing, which TimingDerate::effective()
+    // can never exceed.
+    if (cfg_.faults != nullptr && cfg_.derate != nullptr) {
+        // Clamp to retention: the sense-amp response is calibrated only
+        // up to the retention period, and past it nothing better than
+        // nominal can be required anyway (same clamp as the device).
+        Nanoseconds elapsed =
+            cfg_.faults->trueElapsed(cmd.rank, cmd.row, now);
+        if (elapsed > cfg_.derate->retention())
+            elapsed = cfg_.derate->retention();
+        const RowTiming fmin = cfg_.derate->effective(elapsed);
+        const bool hazard = t.trcd < fmin.trcd || t.tras < fmin.tras ||
+                            t.trc < fmin.trc;
+        std::uint8_t &prev = rank.rowActHazard[cmd.row.value()];
+        if (hazard && prev) {
+            flag(AuditRule::kChargeMargin, cmd, now,
+                 "row %u again rated %llu/%llu/%llu under faulted "
+                 "minimum %llu/%llu/%llu (not quarantined)",
+                 cmd.row.value(),
+                 static_cast<unsigned long long>(t.trcd),
+                 static_cast<unsigned long long>(t.tras),
+                 static_cast<unsigned long long>(t.trc),
+                 static_cast<unsigned long long>(fmin.trcd),
+                 static_cast<unsigned long long>(fmin.tras),
+                 static_cast<unsigned long long>(fmin.trc));
+        }
+        prev = hazard ? 1 : 0;
     }
 
     bank.openRow = cmd.row;

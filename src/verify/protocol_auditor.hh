@@ -37,6 +37,7 @@
 #include "common/units.hh"
 #include "dram/command_observer.hh"
 #include "dram/timing_params.hh"
+#include "fault/fault_model.hh"
 
 namespace nuat {
 
@@ -62,6 +63,7 @@ enum class AuditRule : unsigned
     kRefPrecharge, //!< REF with a bank not (fully) precharged
     kRefLate,      //!< REF beyond the schedule's lateness guard
     kChargeSafety, //!< ACT timing faster than the row's charge allows
+    kChargeMargin, //!< consecutive ACTs under the fault-world margin
     kNumRules,
 };
 
@@ -83,6 +85,14 @@ struct AuditorConfig
 
     /** Bus clock for cycle -> ns conversion in the charge check. */
     Clock clock = kMemClock;
+
+    /**
+     * Injected fault world for the kChargeMargin rule; may be null,
+     * in which case the rule is skipped.  The fault model is the
+     * run's physical oracle, so reading it is not state-sharing with
+     * the controller under test.  Requires @p derate.  Not owned.
+     */
+    const FaultModel *faults = nullptr;
 
     /** Violation messages kept verbatim (counts are always exact). */
     std::size_t maxMessages = 8;
@@ -168,6 +178,10 @@ class ProtocolAuditor : public CommandObserver
         std::uint32_t refNextRow = 0;
         Cycle refDueAt = 0;
         std::vector<std::int64_t> rowRefreshedAt;
+
+        //! kChargeMargin bookkeeping: 1 when the row's previous ACT
+        //! already ran under the fault-world margin.
+        std::vector<std::uint8_t> rowActHazard;
     };
 
     void flag(AuditRule rule, const Command &cmd, Cycle now,

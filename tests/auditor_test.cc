@@ -19,6 +19,9 @@
 #include "charge/cell_model.hh"
 #include "charge/sense_amp_model.hh"
 #include "charge/timing_derate.hh"
+#include "dram/refresh_engine.hh"
+#include "fault/fault_model.hh"
+#include "fault/fault_profile.hh"
 #include "verify/protocol_auditor.hh"
 #include "verify/trace_capture.hh"
 
@@ -299,6 +302,96 @@ TEST(AuditorTest, CatchesChargeSafetyViolation)
     // Nominal timing is safe on any row inside the retention period.
     auditor.observe(act(2, 0), 30);
     EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, ChargeMarginFiresOnConsecutiveHazardousActsOnly)
+{
+    const CellModel cell{ChargeParams{}};
+    const SenseAmpModel sense_amp{cell};
+    const TimingDerate derate{sense_amp};
+
+    // Every row leaks 4x nominal: in the fault world each row's charge
+    // looks (clamped to retention) fully drained, so the faulted
+    // minimum timing is nominal for every row.
+    FaultProfile profile;
+    profile.name = "all-weak";
+    profile.weakFraction = 1.0;
+    profile.weakMultMin = 4.0;
+    profile.weakMultMax = 4.0;
+    const RefreshEngine re(8192, TimingParams{});
+    const FaultModel faults(profile, 1, 1, 8192, re.rowsPerRef(),
+                            re.interval(), kMemClock);
+
+    AuditorConfig cfg;
+    cfg.derate = &derate;
+    cfg.faults = &faults;
+    ProtocolAuditor auditor{cfg};
+
+    // Row 4096 sits mid-way through its refresh interval, so its
+    // ground-truth rating is tighter than nominal — legal to issue
+    // (kChargeSafety silent) yet under the faulted minimum.  Taking
+    // the rating at cycle 100 (the latest ACT below) keeps it safe at
+    // every earlier cycle too, since ratings only slow with age.
+    const RowTiming rated = derate.effective(
+        re.elapsedSinceRefresh(RowId{4096}, 100, kMemClock));
+    const RowTiming fault_min = derate.effective(derate.retention());
+    ASSERT_TRUE(rated.trcd < fault_min.trcd ||
+                rated.tras < fault_min.tras || rated.trc < fault_min.trc)
+        << "test premise: the natural rating must under-shoot the "
+           "faulted requirement";
+
+    // First hazardous ACT: unavoidable discovery, not a violation.
+    auditor.observe(act(0, 4096, rated), 10);
+    EXPECT_EQ(auditor.violationCount(), 0u);
+    // Second consecutive hazardous ACT to the same row: the
+    // degradation ladder failed to react — exactly one violation.
+    auditor.observe(act(1, 4096, rated), 30);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kChargeMargin), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+    EXPECT_NE(auditor.report().messages[0].find("charge-margin"),
+              std::string::npos);
+}
+
+TEST(AuditorTest, ChargeMarginClearedByQuarantinedStyleNominalAct)
+{
+    const CellModel cell{ChargeParams{}};
+    const SenseAmpModel sense_amp{cell};
+    const TimingDerate derate{sense_amp};
+    FaultProfile profile;
+    profile.name = "all-weak";
+    profile.weakFraction = 1.0;
+    profile.weakMultMin = 4.0;
+    profile.weakMultMax = 4.0;
+    const RefreshEngine re(8192, TimingParams{});
+    const FaultModel faults(profile, 1, 1, 8192, re.rowsPerRef(),
+                            re.interval(), kMemClock);
+
+    AuditorConfig cfg;
+    cfg.derate = &derate;
+    cfg.faults = &faults;
+    ProtocolAuditor auditor{cfg};
+
+    const RowTiming rated = derate.effective(
+        re.elapsedSinceRefresh(RowId{4096}, 100, kMemClock));
+
+    // Hazard, then a nominal-timing ACT (what a quarantined row
+    // issues), then hazard again: never two consecutive hazards, so
+    // the rule must stay silent — this models a working guardband.
+    auditor.observe(act(0, 4096, rated), 10);
+    auditor.observe(act(1, 4096), 30);
+    auditor.observe(act(2, 4096, rated), 50);
+    auditor.observe(act(3, 4096), 70);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kChargeMargin), 0u);
+    EXPECT_EQ(auditor.violationCount(), 0u);
+
+    // Without a fault model attached, the same sequence is silent too
+    // (the rule does not exist outside fault runs).
+    AuditorConfig plain;
+    plain.derate = &derate;
+    ProtocolAuditor no_faults{plain};
+    no_faults.observe(act(0, 4096, rated), 10);
+    no_faults.observe(act(1, 4096, rated), 30);
+    EXPECT_EQ(no_faults.violationCount(), 0u);
 }
 
 TEST(AuditorTest, ViolationMessagesAreCappedButCountsExact)

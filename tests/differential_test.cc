@@ -132,6 +132,94 @@ TEST(DifferentialTest, RandomizedSweepIsViolationFree)
     }
 }
 
+TEST(DifferentialTest, FaultedSweepWithDegradationIsViolationFree)
+{
+    // Every scheduler family under two fault profiles, audited with
+    // the charge_margin rule armed and the degradation ladder on: the
+    // guarantee is zero violations of ANY rule, including the
+    // fault-world one, plus intact conservation identities.
+    std::vector<ExperimentConfig> configs;
+    unsigned idx = 0;
+    for (const char *profile : {"stress", "refresh-storm"}) {
+        for (unsigned i = 0; i < 8; ++i) {
+            ExperimentConfig cfg = randomConfig(idx++);
+            cfg.faultProfile = profile;
+            cfg.memOpsPerCore = 2000;
+            configs.push_back(cfg);
+        }
+    }
+
+    const std::vector<RunResult> results =
+        runExperimentsParallel(configs, 0);
+    ASSERT_EQ(results.size(), configs.size());
+    for (unsigned i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        const std::string label =
+            describe(r, i) + " profile=" + r.faultProfileName;
+        ASSERT_TRUE(r.error.empty()) << label << ": " << r.error;
+        ASSERT_TRUE(r.faultsEnabled) << label;
+        // Only NUAT derates timing, so only NUAT carries a guardband;
+        // the other families run nominal timing and are inherently
+        // safe under any leakage.
+        EXPECT_EQ(r.degradeEnabled,
+                  configs[i].scheduler == SchedulerKind::kNuat)
+            << label;
+        ASSERT_TRUE(r.audited) << label;
+        EXPECT_EQ(r.auditViolations, 0u) << label;
+        EXPECT_FALSE(r.hitCycleCap) << label;
+        checkConservation(r, label);
+    }
+}
+
+TEST(DifferentialTest, ChargeMarginFiresWithDegradationDisabled)
+{
+    // The negative control for the whole robustness story: the same
+    // faulted NUAT run with the degradation ladder switched off MUST
+    // trip the auditor's charge-margin rule — otherwise the rule (or
+    // the injection) is vacuous and the sweep above proves nothing.
+    ExperimentConfig cfg;
+    cfg.workloads = {"libq"};
+    cfg.scheduler = SchedulerKind::kNuat;
+    cfg.memOpsPerCore = 20000;
+    cfg.audit = true;
+    cfg.faultProfile = "stress";
+    cfg.faultDegrade = false;
+    const RunResult r = runExperiment(cfg);
+
+    ASSERT_TRUE(r.faultsEnabled);
+    EXPECT_FALSE(r.degradeEnabled);
+    ASSERT_TRUE(r.audited);
+    EXPECT_GT(r.auditViolations, 0u);
+    bool saw_margin = false;
+    for (const auto &msg : r.auditMessages)
+        saw_margin = saw_margin ||
+                     msg.find("charge-margin") != std::string::npos;
+    EXPECT_TRUE(saw_margin)
+        << "violations fired but none from the charge-margin rule";
+}
+
+TEST(DifferentialTest, GuardbandRecoversAfterFaultWindowPasses)
+{
+    // Hysteretic re-promotion, end to end: a thermal spike quarantines
+    // rows while it lasts; once it passes and clean windows accumulate,
+    // every quarantined row must return to its natural PB (fast timing
+    // is reacquired, not permanently lost).
+    ExperimentConfig cfg;
+    cfg.workloads = {"libq"};
+    cfg.scheduler = SchedulerKind::kNuat;
+    cfg.memOpsPerCore = 150000; // runs well past the 300k-cycle spike
+    cfg.audit = true;
+    cfg.faultProfile = "thermal-spike";
+    const RunResult r = runExperiment(cfg);
+
+    ASSERT_TRUE(r.faultsEnabled);
+    EXPECT_EQ(r.auditViolations, 0u);
+    EXPECT_GT(r.guardQuarantines, 0u) << "spike never bit";
+    EXPECT_GT(r.guardReleases, 0u) << "no row was ever re-promoted";
+    EXPECT_EQ(r.guardQuarantinedAtEnd, 0u)
+        << "degradation did not recover after the fault window";
+}
+
 TEST(DifferentialTest, FastForwardOnOffIsStatIdentical)
 {
     // One config per scheduler family, audited, both fast-forward

@@ -95,6 +95,32 @@ goldenCases()
                  cfg});
         }
     }
+
+    // Faulted cells (suffix `_fault`): pin the deterministic fault
+    // schedule, the guardband ladder counters, and the "faults" JSON
+    // section.  Degradation stays on, so these snapshots also encode
+    // the zero-violation guarantee.  Fault-off cells above must remain
+    // byte-identical no matter what happens here.
+    {
+        ExperimentConfig cfg;
+        cfg.workloads = {"libq"};
+        cfg.memOpsPerCore = 2500;
+        cfg.seed = 7;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kNuat;
+        cfg.faultProfile = "stress";
+        cases.push_back({"libq_nuat_stress_fault", cfg});
+    }
+    {
+        ExperimentConfig cfg;
+        cfg.workloads = {"comm1", "stream"};
+        cfg.memOpsPerCore = 2000;
+        cfg.seed = 3;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kNuat;
+        cfg.faultProfile = "refresh-storm";
+        cases.push_back({"comm1_stream_nuat_refresh_storm_fault", cfg});
+    }
     return cases;
 }
 

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/logging.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/runner.hh"
 
@@ -119,6 +120,42 @@ TEST(ParallelRunner, SweepThreadsParameterKeepsOrder)
         SCOPED_TRACE("kind=" + std::to_string(i));
         expectSameStats(serial[i], parallel[i]);
     }
+}
+
+TEST(ParallelRunner, FailingConfigDoesNotSinkTheSweep)
+{
+    // One poisoned entry in the middle of a sweep: its slot must carry
+    // the failure (non-empty `error`, scheduler/workloads preserved for
+    // reporting) while every healthy entry completes normally — in
+    // both the serial and the threaded path.
+    setPanicThrows(true);
+    auto configs = smallGrid();
+    ExperimentConfig poison;
+    poison.workloads = {"no-such-workload"};
+    poison.memOpsPerCore = 100;
+    poison.scheduler = SchedulerKind::kNuat;
+    configs.insert(configs.begin() + 2, poison);
+
+    for (const unsigned threads : {1u, 3u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const auto results = runExperimentsParallel(configs, threads);
+        ASSERT_EQ(results.size(), configs.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (i == 2) {
+                EXPECT_FALSE(results[i].error.empty());
+                EXPECT_NE(results[i].error.find("no-such-workload"),
+                          std::string::npos)
+                    << results[i].error;
+                EXPECT_EQ(results[i].workloads, poison.workloads);
+                EXPECT_EQ(results[i].memCycles, 0u);
+            } else {
+                EXPECT_TRUE(results[i].error.empty())
+                    << results[i].error;
+                EXPECT_GT(results[i].memCycles, 0u);
+            }
+        }
+    }
+    setPanicThrows(false);
 }
 
 TEST(IdleFastForward, StatsIdenticalWithAndWithoutSkipping)

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
 
+#include "common/logging.hh"
 #include "mem/address_mapping.hh"
 #include "trace/combinations.hh"
 #include "trace/synthetic_trace.hh"
@@ -238,6 +241,74 @@ TEST(TraceFile, RoundTrip)
         EXPECT_EQ(a.nonMemGap, b.nonMemGap);
     }
     std::remove(path.c_str());
+}
+
+TEST(TraceFile, AcceptsCommentsBlankLinesAndLeadingWhitespace)
+{
+    const std::string path = testing::TempDir() + "nuat_trace_ok.txt";
+    {
+        std::ofstream out(path);
+        out << "# synthetic fixture\n"
+            << "\n"
+            << "3 R 0x1f40\n"
+            << "   \t0 W 0x2000\n"
+            << "\n";
+    }
+    FileTrace loaded = FileTrace::load(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    TraceEntry e;
+    ASSERT_TRUE(loaded.next(e));
+    EXPECT_EQ(e.nonMemGap, 3u);
+    EXPECT_FALSE(e.isWrite);
+    EXPECT_EQ(e.addr, 0x1f40u);
+    ASSERT_TRUE(loaded.next(e));
+    EXPECT_TRUE(e.isWrite);
+    EXPECT_EQ(e.addr, 0x2000u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MalformedRecordIsOneDiagnosticWithFileAndLine)
+{
+    // Corrupt fixtures must die with a single file:line diagnostic,
+    // not be silently resynced or truncated into a shorter trace.
+    struct Case
+    {
+        const char *label;
+        const char *badLine;
+    };
+    const Case cases[] = {
+        {"bad opcode", "4 X 0x100"},
+        {"truncated record", "4 R"},
+        {"trailing garbage", "4 R 0x100 junk"},
+        {"non-numeric gap", "four R 0x100"},
+    };
+    setPanicThrows(true);
+    for (const Case &c : cases) {
+        const std::string path =
+            testing::TempDir() + "nuat_trace_bad.txt";
+        {
+            std::ofstream out(path);
+            out << "1 R 0x40\n"
+                << "# comment keeps line numbering honest\n"
+                << c.badLine << "\n"
+                << "2 W 0x80\n";
+        }
+        try {
+            FileTrace::load(path);
+            FAIL() << c.label << ": malformed record not rejected";
+        } catch (const std::runtime_error &e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find(":3:"), std::string::npos)
+                << c.label << ": " << msg;
+            EXPECT_NE(msg.find(path), std::string::npos)
+                << c.label << ": " << msg;
+            EXPECT_NE(msg.find("malformed trace record"),
+                      std::string::npos)
+                << c.label << ": " << msg;
+        }
+        std::remove(path.c_str());
+    }
+    setPanicThrows(false);
 }
 
 TEST(Combinations, ShapeAndDeterminism)

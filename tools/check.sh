@@ -4,7 +4,7 @@
 # ASan/UBSan build + tests.
 #
 # Run from the repository root:
-#   ./tools/check.sh [--quick] [--lint] [--sanitize asan|tsan] [extra ctest args...]
+#   ./tools/check.sh [--quick] [--lint] [--faults] [--sanitize asan|tsan] [extra ctest args...]
 #
 # --quick: Release build + tests + audited bench smoke only (skips the
 #          sanitizer build; for fast local iteration).
@@ -19,6 +19,12 @@
 # --sanitize tsan: ONLY the TSan build + the threaded tests (the
 #          parallel runner is the sole threaded code, so the TSan job
 #          runs the parallel_runner suite rather than everything).
+#
+# --faults: ONLY the robustness lane, matching CI: the fault/guardband/
+#          auditor/differential test suites, audited smoke runs of
+#          every built-in fault profile under degradation (must stay
+#          violation-free), and the negative control (--no-degrade must
+#          trip the charge-margin rule, exit 2).  See ROBUSTNESS.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +32,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 
 QUICK=0
 LINT=0
+FAULTS=0
 SANITIZE=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -35,6 +42,10 @@ while [[ $# -gt 0 ]]; do
         ;;
       --lint)
         LINT=1
+        shift
+        ;;
+      --faults)
+        FAULTS=1
         shift
         ;;
       --sanitize)
@@ -77,6 +88,50 @@ if [[ "$LINT" == "1" ]]; then
 
     echo
     echo "Lint lane passed."
+    exit 0
+elif [[ "$FAULTS" == "1" ]]; then
+    echo "=== Robustness lane: build ==="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j "$JOBS"
+
+    echo
+    echo "=== Fault/guardband/auditor/differential tests ==="
+    ctest --test-dir build-release -j "$JOBS" --output-on-failure \
+          -R 'fault|auditor|differential|golden' "$@"
+
+    sim=./build-release/tools/nuat_sim
+    echo
+    echo "=== Audited faulted smoke (degradation on, all profiles) ==="
+    # Every built-in profile, every issued command re-checked by the
+    # shadow auditor with the charge_margin rule armed: the guardband
+    # ladder must keep each run violation-free (exit 0).
+    for profile in weak-cells thermal-spike vrt refresh-storm stress; do
+        echo "--- profile $profile"
+        "$sim" --workloads libq --scheduler nuat --ops 20000 \
+               --audit --fault-profile "$profile" >/dev/null
+    done
+
+    echo
+    echo "=== Negative control (degradation off must trip the rule) ==="
+    # Without the ladder the stress profile MUST produce charge-margin
+    # violations — otherwise the injection or the audit rule is
+    # vacuous and the green lane above proves nothing.
+    if "$sim" --workloads libq --scheduler nuat --ops 20000 \
+              --audit --fault-profile stress --no-degrade >/dev/null; then
+        echo "error: --no-degrade run was violation-free; the" >&2
+        echo "charge-margin rule or the fault injection is broken" >&2
+        exit 1
+    else
+        status=$?
+        if [[ "$status" != "2" ]]; then
+            echo "error: expected audit-violation exit 2, got $status" >&2
+            exit 1
+        fi
+    fi
+    echo "negative control tripped as expected (exit 2)"
+
+    echo
+    echo "Robustness lane passed."
     exit 0
 elif [[ "$SANITIZE" == "asan" ]]; then
     echo "=== ASan/UBSan build + tests ==="

@@ -26,6 +26,15 @@ ever runs:
                      ``std::chrono`` outside the host-side runner, and
                      no iteration over unordered containers (iteration
                      order would leak into stats).
+  fault-determinism  the fault-injection subsystem (``src/fault/``)
+                     must be a *pure function* of (profile, seed,
+                     coordinates): no ``std::rand``/``srand``/libc RNG,
+                     no ``<random>`` engines or distributions, and no
+                     stateful ``Rng`` (common/random.hh) either —
+                     consuming a shared RNG stream makes the schedule
+                     depend on call order and breaks replay/resume.
+                     Derive per-row/per-REF draws from a stateless
+                     hash of (seed, salt, coordinates) instead.
   include-guard      every header carries the canonical
                      ``NUAT_<PATH>_HH`` guard with a matching
                      ``#endif // NUAT_<PATH>_HH``.
@@ -375,6 +384,63 @@ def check_nondeterminism(relpath, text, stripped):
 
 
 # ---------------------------------------------------------------------------
+# Rule: fault-determinism
+# ---------------------------------------------------------------------------
+
+# Stricter than `nondeterminism`: inside src/fault/ even the repo's own
+# seeded Rng is banned.  A FaultModel draw must depend only on its
+# coordinates (seed, salt, rank, row / refIndex), never on how many
+# draws happened before it, or fingerprint replay and golden snapshots
+# fall apart the first time someone reorders two calls.
+FAULT_BANNED_CALL_RE = re.compile(
+    r"(?<![\w.])(?:std::)?(?:rand|srand|rand_r|drand48|lrand48|random)\s*\("
+    r"|std::random_device|std::mt19937\w*|std::default_random_engine"
+    r"|std::minstd_rand\w*|std::uniform_(?:int|real)_distribution"
+)
+FAULT_RNG_INCLUDE_RE = re.compile(r'#include\s+"common/random\.hh"')
+FAULT_RNG_STATE_RE = re.compile(r"\bRng\b")
+
+
+def check_fault_determinism(relpath, text, stripped):
+    if not relpath.startswith("src/fault/"):
+        return []
+    findings = []
+    for m in FAULT_BANNED_CALL_RE.finditer(stripped):
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(stripped, m.start()),
+                "fault-determinism",
+                "RNG '%s' in the fault subsystem — fault schedules "
+                "must be a stateless hash of (seed, coordinates)"
+                % m.group(0).strip(),
+            )
+        )
+    for m in FAULT_RNG_INCLUDE_RE.finditer(text):
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(text, m.start()),
+                "fault-determinism",
+                "common/random.hh included in src/fault/ — even the "
+                "seeded Rng is stateful (draw order changes the "
+                "schedule); use a per-coordinate hash",
+            )
+        )
+    for m in FAULT_RNG_STATE_RE.finditer(stripped):
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(stripped, m.start()),
+                "fault-determinism",
+                "stateful Rng in the fault subsystem — draws must "
+                "depend only on (seed, salt, coordinates)",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Rules: include-guard + header-hygiene
 # ---------------------------------------------------------------------------
 
@@ -464,6 +530,7 @@ RULES = {
     "observer-purity": check_observer_purity,
     "raw-timing": check_raw_timing,
     "nondeterminism": check_nondeterminism,
+    "fault-determinism": check_fault_determinism,
     "include-guard": check_include_guard,
     "header-hygiene": check_header_hygiene,
 }
@@ -574,6 +641,18 @@ double tally()
     for (auto &kv : perBank)
         sum += kv.second;
     return sum;
+}
+""",
+    ),
+    "fault-determinism": (
+        "src/fault/broken_fault_rng.cc",
+        """
+#include <cstdlib>
+#include "common/random.hh"
+double leakDraw()
+{
+    Rng rng(1234);
+    return static_cast<double>(std::rand() % 100) / 100.0;
 }
 """,
     ),

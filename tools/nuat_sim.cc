@@ -28,7 +28,18 @@
  *     --metrics-interval N    memory cycles between metric samples
  *                             (default 10000)
  *     --trace-events FILE     write chrome://tracing counter events
+ *     --fault-profile P       inject charge-margin hazards: a built-in
+ *                             profile name (weak-cells, thermal-spike,
+ *                             vrt, refresh-storm, stress) or a profile
+ *                             file (see ROBUSTNESS.md)
+ *     --no-degrade            disable NUAT's guardband degradation
+ *                             ladder under --fault-profile (for
+ *                             demonstrating the charge-margin audit
+ *                             rule; unsafe on purpose)
  *     --help
+ *
+ * Exit codes: 0 ok, 2 audit violations, 3 a sweep entry failed (the
+ * rest of the sweep still ran), 1 usage/fatal errors.
  */
 
 #include <cstdio>
@@ -118,7 +129,45 @@ usage()
         "  --metrics-interval N  cycles between samples (default "
         "10000)\n"
         "  --trace-events FILE chrome://tracing counter events\n"
+        "  --fault-profile P   inject faults: weak-cells | "
+        "thermal-spike | vrt | refresh-storm | stress | FILE\n"
+        "  --no-degrade        keep NUAT's guardband ladder off under "
+        "--fault-profile\n"
         "  --no-ppm --paper-pure --csv --help\n");
+}
+
+/** Print a fault-injected run's fault/guardband summary. */
+void
+reportFaults(const RunResult &r)
+{
+    if (!r.faultsEnabled)
+        return;
+    std::printf("faults: profile %s (degrade %s): %llu weak rows, "
+                "%llu VRT rows, %llu REFs dropped, %llu delayed, "
+                "%llu margin violations\n",
+                r.faultProfileName.c_str(),
+                r.degradeEnabled ? "on" : "OFF",
+                static_cast<unsigned long long>(r.faultWeakRows),
+                static_cast<unsigned long long>(r.faultVrtRows),
+                static_cast<unsigned long long>(r.faultRefsDropped),
+                static_cast<unsigned long long>(r.faultRefsDelayed),
+                static_cast<unsigned long long>(r.dev.marginViolations));
+    if (r.degradeEnabled) {
+        std::printf("guardband: %llu probe violations, %llu "
+                    "quarantines, %llu releases, %llu widen steps, "
+                    "%llu ease steps, %llu conservative entries, "
+                    "%llu rows quarantined at end\n",
+                    static_cast<unsigned long long>(
+                        r.guardProbeViolations),
+                    static_cast<unsigned long long>(r.guardQuarantines),
+                    static_cast<unsigned long long>(r.guardReleases),
+                    static_cast<unsigned long long>(r.guardWidenSteps),
+                    static_cast<unsigned long long>(r.guardEaseSteps),
+                    static_cast<unsigned long long>(
+                        r.guardConservativeEntries),
+                    static_cast<unsigned long long>(
+                        r.guardQuarantinedAtEnd));
+    }
 }
 
 /** Print an audited run's verdict; true when violations were found. */
@@ -208,6 +257,10 @@ main(int argc, char **argv)
             cfg.metricsInterval = std::strtoull(value(), nullptr, 10);
         } else if (arg == "--trace-events") {
             cfg.traceEventsPath = value();
+        } else if (arg == "--fault-profile") {
+            cfg.faultProfile = value();
+        } else if (arg == "--no-degrade") {
+            cfg.faultDegrade = false;
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--help") {
@@ -237,15 +290,32 @@ main(int argc, char **argv)
              SchedulerKind::kFrFcfsClose, SchedulerKind::kFrFcfsAdaptive,
              SchedulerKind::kNuat},
             threads);
+        // A failed sweep entry is reported after the whole sweep ran;
+        // its slot carries the error text instead of results.
+        bool failed = false;
+        std::vector<RunResult> ok;
+        for (const auto &r : results) {
+            if (r.error.empty()) {
+                ok.push_back(r);
+                continue;
+            }
+            failed = true;
+            std::fprintf(stderr, "error: %s run failed: %s\n",
+                         r.schedulerName.c_str(), r.error.c_str());
+        }
         if (csv) {
-            for (const auto &r : results)
+            for (const auto &r : ok)
                 printCsv(r, cfg.seed);
-        } else {
-            std::printf("%s", compareRuns(results).c_str());
+        } else if (!ok.empty()) {
+            std::printf("%s", compareRuns(ok).c_str());
         }
         bool bad = false;
-        for (const auto &r : results)
+        for (const auto &r : results) {
+            reportFaults(r);
             bad = reportAudit(r) || bad;
+        }
+        if (failed)
+            return 3;
         return bad ? 2 : 0;
     }
 
@@ -272,6 +342,7 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             r.metricsIntervalCycles));
         }
+        reportFaults(r);
     }
     return reportAudit(r) ? 2 : 0;
 }
