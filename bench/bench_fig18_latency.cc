@@ -22,8 +22,6 @@ main(int argc, char **argv)
     bench::header("Fig. 18", "read access latency: NUAT vs FR-FCFS "
                              "open/close (single core, 5PB)");
 
-    const unsigned threads = bench::threadsFromArgs(argc, argv);
-    bench::ThroughputReport tput("fig18", threads);
     const std::uint64_t ops = bench::opsPerCore(40000, 150000);
     TablePrinter table({"workload", "open (cyc)", "close (cyc)",
                         "NUAT (cyc)", "vs open", "vs close", "hit open",
@@ -51,6 +49,11 @@ main(int argc, char **argv)
         }
     }
     bench::applyMetricsEnv(grid, "fig18");
+    // Resolve the thread request (0 = auto) against the actual batch
+    // so the report shows the worker count the runner really uses.
+    const unsigned threads = resolveRunnerThreads(
+        bench::threadsFromArgs(argc, argv), grid.size());
+    bench::ThroughputReport tput("fig18", threads);
     const auto all = runExperimentsParallel(grid, threads);
     tput.add(all);
 

@@ -19,8 +19,6 @@ main(int argc, char **argv)
     bench::header("Fig. 20", "total execution time: NUAT vs FR-FCFS "
                              "open/close (single core, 5PB)");
 
-    const unsigned threads = bench::threadsFromArgs(argc, argv);
-    bench::ThroughputReport tput("fig20", threads);
     const std::uint64_t ops = bench::opsPerCore(40000, 150000);
     TablePrinter table({"workload", "open (Mcyc)", "close (Mcyc)",
                         "NUAT (Mcyc)", "vs open", "vs close",
@@ -46,6 +44,11 @@ main(int argc, char **argv)
         }
     }
     bench::applyMetricsEnv(grid, "fig20");
+    // Resolve the thread request (0 = auto) against the actual batch
+    // so the report shows the worker count the runner really uses.
+    const unsigned threads = resolveRunnerThreads(
+        bench::threadsFromArgs(argc, argv), grid.size());
+    bench::ThroughputReport tput("fig20", threads);
     const auto all = runExperimentsParallel(grid, threads);
     tput.add(all);
 

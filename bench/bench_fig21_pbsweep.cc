@@ -25,8 +25,6 @@ main(int argc, char **argv)
                              "(latency cycles saved vs the 2PB "
                              "configuration)");
 
-    const unsigned threads = bench::threadsFromArgs(argc, argv);
-    bench::ThroughputReport tput("fig21", threads);
     const std::uint64_t ops = bench::opsPerCore(30000, 80000);
     const unsigned combos_per_point = bench::fullScale() ? 24 : 12;
     // Memory-intensive, activation-heavy mixes expose the PB count
@@ -35,6 +33,13 @@ main(int argc, char **argv)
     std::vector<std::vector<std::string>> singles;
     for (const auto &name : WorkloadProfile::allNames())
         singles.push_back({name});
+
+    // Resolve the thread request (0 = auto) against the first batch
+    // (4 PB points x the single-workload set) so the report shows the
+    // worker count the runner really uses.
+    const unsigned threads = resolveRunnerThreads(
+        bench::threadsFromArgs(argc, argv), 4 * singles.size());
+    bench::ThroughputReport tput("fig21", threads);
 
     TablePrinter table({"cores", "2PB lat (cyc)", "3PB saved",
                         "4PB saved", "5PB saved"});

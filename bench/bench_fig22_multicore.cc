@@ -25,13 +25,18 @@ main(int argc, char **argv)
     bench::header("Fig. 22", "multi-core effects: execution-time "
                              "improvement by core count (NUAT 5PB)");
 
-    const unsigned threads = bench::threadsFromArgs(argc, argv);
-    bench::ThroughputReport tput("fig22", threads);
     const std::uint64_t ops = bench::opsPerCore(20000, 60000);
     const unsigned combos_n = bench::fullScale() ? 32 : 8;
     const std::vector<SchedulerKind> kinds = {SchedulerKind::kFrFcfsOpen,
                                               SchedulerKind::kFrFcfsClose,
                                               SchedulerKind::kNuat};
+
+    // Resolve the thread request (0 = auto) against the first batch
+    // so the report shows the worker count the runner really uses.
+    const unsigned threads = resolveRunnerThreads(
+        bench::threadsFromArgs(argc, argv),
+        workloadCombinations(1, combos_n, 42).size() * kinds.size());
+    bench::ThroughputReport tput("fig22", threads);
 
     TablePrinter table({"cores", "combos", "exec vs open",
                         "exec vs close", "lat vs open", "lat vs close"});

@@ -80,6 +80,92 @@ BM_TableScore(benchmark::State &state)
 }
 BENCHMARK(BM_TableScore);
 
+/**
+ * Scripted candidate mix for BM_SchedulerPick: a deterministic blend
+ * of ACT / RD / WR / PRE candidates with varied wait ages, row hits,
+ * PB levels and zone parities, shaped like a busy bank's ready list.
+ */
+std::vector<ScoreInputs>
+scriptedCandidates(std::size_t depth)
+{
+    std::vector<ScoreInputs> out;
+    out.reserve(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+        ScoreInputs in;
+        switch (i % 4) {
+        case 0:
+            in.cmd = CmdType::kAct;
+            break;
+        case 1:
+            in.cmd = CmdType::kRead;
+            break;
+        case 2:
+            in.cmd = CmdType::kWrite;
+            break;
+        default:
+            in.cmd = CmdType::kPre;
+            break;
+        }
+        in.isWrite = (i % 4) == 2;
+        in.isRowHit = (i % 3) == 0;
+        in.waitCycles = Cycle{17 * (i + 1) % 4096};
+        in.draining = (i % 7) == 0;
+        in.pb = PbIdx{static_cast<std::uint8_t>(i % 5)};
+        in.numPb = 5;
+        in.zone = i % 3 == 0   ? BoundaryZone::kWarning
+                  : i % 3 == 1 ? BoundaryZone::kPromising
+                               : BoundaryZone::kNone;
+        out.push_back(in);
+    }
+    return out;
+}
+
+/**
+ * The scheduler's scoring core, A/B-able between the legacy
+ * per-candidate path (batch=0: one out-of-line score() call per slot)
+ * and the batch path (batch=1: one inlined scoreBatch scan).  Both
+ * arms read the same prebuilt candidate array and fill the same score
+ * array, then run the identical argmax reduce — the gather and reduce
+ * phases are common to the two pick structures, so the arms isolate
+ * exactly the scoring core the refactor swapped: N calls with
+ * per-call weight reloads vs one restrict-qualified pass with the
+ * weights hoisted into registers.
+ */
+void
+BM_SchedulerPick(benchmark::State &state)
+{
+    ChargeFixture f;
+    const NuatConfig cfg = NuatConfig::fromDerate(f.derate, 5);
+    const NuatTable table(cfg);
+    const bool batched = state.range(0) != 0;
+    const auto cands =
+        scriptedCandidates(static_cast<std::size_t>(state.range(1)));
+    std::vector<double> scores(cands.size());
+    for (auto _ : state) {
+        if (batched) {
+            table.scoreBatch(cands.data(), cands.size(),
+                             scores.data());
+        } else {
+            for (std::size_t i = 0; i < cands.size(); ++i)
+                scores[i] = table.score(cands[i]);
+        }
+        int best = -1;
+        double best_score = 0.0;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            const double s = scores[i];
+            if (best < 0 || s > best_score) {
+                best = static_cast<int>(i);
+                best_score = s;
+            }
+        }
+        benchmark::DoNotOptimize(best);
+        benchmark::DoNotOptimize(best_score);
+    }
+}
+BENCHMARK(BM_SchedulerPick)
+    ->ArgsProduct({{0, 1}, {8, 32, 64}})
+    ->ArgNames({"batch", "depth"});
+
 void
 BM_DeviceCanIssue(benchmark::State &state)
 {

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer queue (Vyukov ring).
+ *
+ * The serve runtime's ingest path: trace producer threads push
+ * StreamRequests, one shard thread pops them.  The ring is the classic
+ * bounded MPMC design (per-slot sequence counters, two cache-line-
+ * separated cursors), used here in MPSC configuration; it supports any
+ * number of producers and consumers, never blocks, never allocates
+ * after construction, and reports a full ring by returning false from
+ * tryPush — that is the backpressure signal producers act on (yield
+ * and retry).
+ *
+ * Memory ordering: a slot's sequence counter is the hand-off flag.
+ * The producer publishes the value with a release store of seq, the
+ * consumer acquires it before reading, so every tryPop observes a
+ * fully constructed value.  Cursor bumps are relaxed CAS: ordering
+ * between different slots is carried by the per-slot counters alone.
+ */
+
+#ifndef NUAT_COMMON_MPSC_QUEUE_HH
+#define NUAT_COMMON_MPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace nuat {
+
+/** Bounded lock-free queue; capacity is rounded up to a power of 2. */
+template <typename T>
+class MpscQueue
+{
+  public:
+    /** @param capacity minimum slot count (>= 2 after rounding). */
+    explicit MpscQueue(std::size_t capacity)
+        : mask_(roundUpPow2(capacity < 2 ? 2 : capacity) - 1),
+          slots_(std::make_unique<Slot[]>(mask_ + 1))
+    {
+        for (std::size_t i = 0; i <= mask_; ++i)
+            slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    /**
+     * Enqueue a copy of @p v.
+     * @return false when the ring is full (backpressure: retry later).
+     */
+    bool
+    tryPush(const T &v)
+    {
+        Slot *slot = nullptr;
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            slot = &slots_[pos & mask_];
+            const std::size_t seq =
+                slot->seq.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq) -
+                static_cast<std::ptrdiff_t>(pos);
+            if (diff == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (diff < 0) {
+                return false; // a full lap behind: ring is full
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        slot->value = v;
+        slot->seq.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest element into @p out.
+     * @return false when the ring is empty.
+     */
+    bool
+    tryPop(T &out)
+    {
+        Slot *slot = nullptr;
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            slot = &slots_[pos & mask_];
+            const std::size_t seq =
+                slot->seq.load(std::memory_order_acquire);
+            const std::ptrdiff_t diff =
+                static_cast<std::ptrdiff_t>(seq) -
+                static_cast<std::ptrdiff_t>(pos + 1);
+            if (diff == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (diff < 0) {
+                return false; // producer has not filled this slot yet
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        out = std::move(slot->value);
+        slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Usable slot count (power of 2). */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Approximate occupancy; exact only while no producer or consumer
+     * is concurrently active (e.g. after producers joined).
+     */
+    std::size_t
+    sizeApprox() const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        return tail >= head ? tail - head : 0;
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::size_t> seq{0};
+        T value{};
+    };
+
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    std::size_t mask_;
+    std::unique_ptr<Slot[]> slots_;
+    /** Cursors on separate cache lines so producers bumping tail_ do
+     *  not false-share with the consumer bumping head_. */
+    alignas(64) std::atomic<std::size_t> tail_{0}; //!< next enqueue
+    alignas(64) std::atomic<std::size_t> head_{0}; //!< next dequeue
+};
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_MPSC_QUEUE_HH

@@ -234,14 +234,15 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
     ensureInit(ctx);
     drain_.update(ctx);
 
-    int best = -1;
-    double best_score = 0.0;
-    Cycle best_arrival = kNeverCycle;
-    PbIdx best_pb{0};
-    [[maybe_unused]] ScoreInputs best_in;
-    [[maybe_unused]] bool best_starved = false;
-
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
+    // Phase 1 (gather): resolve each candidate into the flat batch
+    // array; remember arrival per slot for the tie-break (the batch
+    // slot itself keeps wait / PB# for the reduction).
+    const std::size_t n = candidates.size();
+    batch_.clear();
+    batch_.reserve(n);
+    arrivalScratch_.clear();
+    const bool draining = drain_.draining();
+    for (std::size_t i = 0; i < n; ++i) {
         const Candidate &c = candidates[i];
 
         ScoreInputs in;
@@ -250,42 +251,57 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
         in.isRowHit = c.isRowHit;
         in.waitCycles =
             c.req ? ctx.now - c.req->arrivalAt : Cycle{0};
-        in.draining = drain_.draining();
+        in.draining = draining;
         in.numPb = cfg_.numPb();
         if (c.cmd.type == CmdType::kAct) {
             const auto &refresh = ctx.dev->refresh(c.cmd.rank);
             in.pb = pbr_->pbOfRow(refresh, c.cmd.row);
             in.zone = pbr_->zoneOfRow(refresh, c.cmd.row);
         }
+        batch_.append(in);
+        arrivalScratch_.push_back(c.req ? c.req->arrivalAt
+                                        : kNeverCycle);
+    }
 
-        double s = table_.score(in);
-        // Starvation escape (see NuatConfig::starvationLimit): lift
-        // over-age requests above every table score; ties (two starving
-        // requests) still break oldest-first below.
-        const bool starved = cfg_.starvationLimit > 0 &&
-                             in.waitCycles > cfg_.starvationLimit;
-        if (starved) {
-            s += 10.0 * (table_.weights().w1 + 2.0 * table_.weights().w3);
-        }
-        const Cycle arrival = c.req ? c.req->arrivalAt : kNeverCycle;
+    // Phase 2 (score): one call-free pass over the candidate array,
+    // bit-identical to per-candidate NuatTable::score.
+    table_.scoreBatch(batch_);
+
+    // Phase 3 (reduce): starvation boost + argmax with the same
+    // deterministic tie-breaking as the per-candidate loop (oldest
+    // arrival wins).  Starvation escape (see
+    // NuatConfig::starvationLimit): lift over-age requests above
+    // every table score; ties (two starving requests) still break
+    // oldest-first.
+    const double boost =
+        10.0 * (table_.weights().w1 + 2.0 * table_.weights().w3);
+    const Cycle starve_limit = cfg_.starvationLimit;
+    int best = -1;
+    double best_score = 0.0;
+    Cycle best_arrival = kNeverCycle;
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = batch_.score[i];
+        if (starve_limit > 0 &&
+            batch_.inputs[i].waitCycles > starve_limit)
+            s += boost;
+        const Cycle arrival = arrivalScratch_[i];
         if (best < 0 || s > best_score ||
             (s == best_score && arrival < best_arrival)) {
             best = static_cast<int>(i);
             best_score = s;
             best_arrival = arrival;
-            best_pb = in.pb;
-            NUAT_METRIC(if (metrics_) {
-                best_in = in;
-                best_starved = starved;
-            });
         }
     }
 
-    Candidate &chosen = candidates[static_cast<std::size_t>(best)];
+    const std::size_t bi = static_cast<std::size_t>(best);
+    const PbIdx best_pb = batch_.inputs[bi].pb;
+    Candidate &chosen = candidates[bi];
     NUAT_METRIC(if (metrics_) {
         metrics_->picks->inc();
-        if (best_starved)
+        if (starve_limit > 0 &&
+            batch_.inputs[bi].waitCycles > starve_limit)
             metrics_->starvationEscapes->inc();
+        const ScoreInputs &best_in = batch_.inputs[bi];
         metrics_->scoreEs[0]->add(table_.es1(best_in));
         metrics_->scoreEs[1]->add(table_.es2(best_in));
         metrics_->scoreEs[2]->add(table_.es3(best_in));

@@ -15,7 +15,9 @@
 #define NUAT_CORE_NUAT_SCHEDULER_HH
 
 #include <array>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "guardband.hh"
 #include "mem/scheduler.hh"
@@ -92,6 +94,12 @@ class NuatScheduler : public Scheduler
     std::unique_ptr<PbrAcquisition> pbr_;
     std::unique_ptr<PpmDecisionMaker> ppm_;
     std::unique_ptr<GuardbandManager> guardband_;
+
+    /** Flat candidate batch + per-slot arrivals for the argmax
+     *  tie-break, reused across picks so the hot path never
+     *  allocates at steady state. */
+    ScoreBatch batch_;
+    std::vector<Cycle> arrivalScratch_;
 
     std::array<std::uint64_t, 8> actsPerPb_{};
     std::uint64_t ppmClose_ = 0;

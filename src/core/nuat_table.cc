@@ -10,63 +10,6 @@ NuatTable::NuatTable(const NuatConfig &cfg)
 }
 
 double
-NuatTable::es1(const ScoreInputs &in) const
-{
-    // Fig. 13 hysteresis: on the filling path (1) reads score, on the
-    // draining path (2) writes score; in between the path persists
-    // (the caller's WriteDrainState carries that memory).
-    const bool scores = in.draining ? in.isWrite : !in.isWrite;
-    return scores ? weights_.w1 : 0.0;
-}
-
-double
-NuatTable::es2(const ScoreInputs &in) const
-{
-    if (in.cmd == CmdType::kPre)
-        return 0.0;
-    const double s = weights_.w2 * static_cast<double>(in.waitCycles);
-    return s > es2Cap_ ? es2Cap_ : s;
-}
-
-double
-NuatTable::es3(const ScoreInputs &in) const
-{
-    if (!isColumnCmd(in.cmd) || !in.isRowHit)
-        return 0.0;
-    // Reads get 2x, writes 1x (Fig. 16): with w1 == w3, a read hit on
-    // the draining path (ES1 = 0, ES3 = 2*w3) ties with a write hit
-    // (ES1 = w1, ES3 = w3), so hits to a row opened for writes are
-    // exploited regardless of direction.
-    return weights_.w3 * (in.isWrite ? 1.0 : 2.0);
-}
-
-double
-NuatTable::es4(const ScoreInputs &in) const
-{
-    if (!pbEnabled_ || in.cmd != CmdType::kAct)
-        return 0.0;
-    // Faster PB (smaller PB#) -> larger score: activate rows while
-    // they are still fast; PB# grows with time.
-    return weights_.w4 * static_cast<double>(in.numPb - in.pb.value());
-}
-
-double
-NuatTable::es5(const ScoreInputs &in) const
-{
-    if (!boundaryEnabled_ || in.cmd != CmdType::kAct)
-        return 0.0;
-    switch (in.zone) {
-      case BoundaryZone::kWarning:
-        return weights_.w5;
-      case BoundaryZone::kPromising:
-        return -weights_.w5;
-      case BoundaryZone::kNone:
-        break;
-    }
-    return 0.0;
-}
-
-double
 NuatTable::score(const ScoreInputs &in) const
 {
     return es1(in) + es2(in) + es3(in) + es4(in) + es5(in);

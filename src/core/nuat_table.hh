@@ -24,6 +24,9 @@
 #ifndef NUAT_CORE_NUAT_TABLE_HH
 #define NUAT_CORE_NUAT_TABLE_HH
 
+#include <cstddef>
+#include <vector>
+
 #include "dram/command.hh"
 #include "nuat_config.hh"
 #include "pbr.hh"
@@ -41,6 +44,54 @@ struct ScoreInputs
     PbIdx pb{0};               //!< PB# (ACT candidates)
     unsigned numPb = 1;        //!< #D, the configured PB count
     BoundaryZone zone = BoundaryZone::kNone;
+};
+
+/**
+ * Candidate batch for the wholesale scoring pass: a flat candidate
+ * array with a parallel score array.
+ *
+ * The scheduler gathers every issuable candidate's ScoreInputs into
+ * `inputs`, then NuatTable::scoreBatch fills `score` in one inlined
+ * scan — the per-candidate out-of-line NuatTable::score call is
+ * hoisted out of the pick loop entirely.
+ *
+ * Layout note (measured, see PERFORMANCE.md): an earlier variant
+ * pre-resolved each candidate into per-element x-factor arrays
+ * (field-level struct-of-arrays).  At -O2 the extra stores and
+ * reloads of that materialization cost more than the whole fused
+ * scoring arithmetic, so the flat contiguous candidate array — the
+ * record layout the gather loop produces anyway — is the fast one.
+ *
+ * Scores are bit-identical to per-candidate NuatTable::score on the
+ * same inputs (identical expression, identical left-to-right
+ * accumulation), so the scheduler's pick is byte-identical either way.
+ */
+struct ScoreBatch
+{
+    std::vector<ScoreInputs> inputs; //!< gathered candidates, in order
+    std::vector<double> score;       //!< filled by NuatTable::scoreBatch
+
+    /** Candidates appended so far. */
+    std::size_t size() const { return inputs.size(); }
+
+    /** Append one candidate slot. */
+    void append(const ScoreInputs &in) { inputs.push_back(in); }
+
+    /** Drop all slots; keeps the capacity for reuse across picks. */
+    void
+    clear()
+    {
+        inputs.clear();
+        score.clear();
+    }
+
+    /** Pre-size the arrays for @p n candidates. */
+    void
+    reserve(std::size_t n)
+    {
+        inputs.reserve(n);
+        score.reserve(n);
+    }
 };
 
 /** Stateless scorer implementing Table 1. */
@@ -65,8 +116,31 @@ class NuatTable
      *  ACT in a transition region). */
     double es5(const ScoreInputs &in) const;
 
-    /** Total score, eq. (8)/(9). */
+    /**
+     * Total score, eq. (8)/(9), for one candidate.  Deliberately kept
+     * out of line: this is the legacy per-candidate path that
+     * BM_SchedulerPick compares the batch scorer against, and the call
+     * per candidate is exactly what scoreBatch amortizes away.
+     */
     double score(const ScoreInputs &in) const;
+
+    /**
+     * Score @p n candidates in one pass, writing score(in[i]) to
+     * out[i].  Defined inline so the five element evaluations fuse
+     * into a single call-free scan; out[i] is bit-identical to
+     * score(in[i]).
+     */
+    void scoreBatch(const ScoreInputs *in, std::size_t n,
+                    double *out) const;
+
+    /** Score every slot of @p batch, filling batch.score. */
+    void
+    scoreBatch(ScoreBatch &batch) const
+    {
+        batch.score.resize(batch.inputs.size());
+        scoreBatch(batch.inputs.data(), batch.inputs.size(),
+                   batch.score.data());
+    }
 
     /** The weights in use. */
     const NuatWeights &weights() const { return weights_; }
@@ -77,6 +151,109 @@ class NuatTable
     bool pbEnabled_;
     bool boundaryEnabled_;
 };
+
+inline double
+NuatTable::es1(const ScoreInputs &in) const
+{
+    // Fig. 13 hysteresis: on the filling path (1) reads score, on the
+    // draining path (2) writes score; in between the path persists
+    // (the caller's WriteDrainState carries that memory).
+    const bool scores = in.draining ? in.isWrite : !in.isWrite;
+    return scores ? weights_.w1 : 0.0;
+}
+
+inline double
+NuatTable::es2(const ScoreInputs &in) const
+{
+    if (in.cmd == CmdType::kPre)
+        return 0.0;
+    const double s = weights_.w2 * static_cast<double>(in.waitCycles);
+    return s > es2Cap_ ? es2Cap_ : s;
+}
+
+inline double
+NuatTable::es3(const ScoreInputs &in) const
+{
+    if (!isColumnCmd(in.cmd) || !in.isRowHit)
+        return 0.0;
+    // Reads get 2x, writes 1x (Fig. 16): with w1 == w3, a read hit on
+    // the draining path (ES1 = 0, ES3 = 2*w3) ties with a write hit
+    // (ES1 = w1, ES3 = w3), so hits to a row opened for writes are
+    // exploited regardless of direction.
+    return weights_.w3 * (in.isWrite ? 1.0 : 2.0);
+}
+
+inline double
+NuatTable::es4(const ScoreInputs &in) const
+{
+    if (!pbEnabled_ || in.cmd != CmdType::kAct)
+        return 0.0;
+    // Faster PB (smaller PB#) -> larger score: activate rows while
+    // they are still fast; PB# grows with time.
+    return weights_.w4 * static_cast<double>(in.numPb - in.pb.value());
+}
+
+inline double
+NuatTable::es5(const ScoreInputs &in) const
+{
+    if (!boundaryEnabled_ || in.cmd != CmdType::kAct)
+        return 0.0;
+    switch (in.zone) {
+      case BoundaryZone::kWarning:
+        return weights_.w5;
+      case BoundaryZone::kPromising:
+        return -weights_.w5;
+      case BoundaryZone::kNone:
+        break;
+    }
+    return 0.0;
+}
+
+inline void
+NuatTable::scoreBatch(const ScoreInputs *in, std::size_t n,
+                      double *out) const
+{
+    // Weights and enables are copied to locals so the scan keeps them
+    // in registers: the score stores are doubles, and without the
+    // copies the compiler must assume they may alias the double
+    // weights_ members and reload them every slot.
+    const double w1 = weights_.w1, w2 = weights_.w2;
+    const double w3 = weights_.w3, w5 = weights_.w5;
+    const double w4 = weights_.w4, cap = es2Cap_;
+    const bool pb_on = pbEnabled_, boundary_on = boundaryEnabled_;
+    const ScoreInputs *__restrict__ src = in;
+    double *__restrict__ dst = out;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Each element below is the exact expression of its es*()
+        // counterpart, and the sum accumulates in the same
+        // left-to-right order as score(), so every slot is
+        // bit-identical to the per-candidate path.
+        const ScoreInputs &s = src[i];
+        const bool op_scores = s.draining ? s.isWrite : !s.isWrite;
+        const double e1 = op_scores ? w1 : 0.0;
+        double e2 = 0.0;
+        if (s.cmd != CmdType::kPre) {
+            const double w = w2 * static_cast<double>(s.waitCycles);
+            e2 = w > cap ? cap : w;
+        }
+        const double e3 = isColumnCmd(s.cmd) && s.isRowHit
+                              ? w3 * (s.isWrite ? 1.0 : 2.0)
+                              : 0.0;
+        const bool act = s.cmd == CmdType::kAct;
+        const double e4 =
+            pb_on && act
+                ? w4 * static_cast<double>(s.numPb - s.pb.value())
+                : 0.0;
+        double e5 = 0.0;
+        if (boundary_on && act) {
+            if (s.zone == BoundaryZone::kWarning)
+                e5 = w5;
+            else if (s.zone == BoundaryZone::kPromising)
+                e5 = -w5;
+        }
+        dst[i] = e1 + e2 + e3 + e4 + e5;
+    }
+}
 
 } // namespace nuat
 

@@ -1,0 +1,261 @@
+#include "serve_runtime.hh"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "charge/cell_model.hh"
+#include "charge/sense_amp_model.hh"
+#include "charge/timing_derate.hh"
+#include "common/logging.hh"
+#include "common/mpsc_queue.hh"
+#include "dram/dram_device.hh"
+#include "mem/memory_controller.hh"
+#include "system.hh"
+#include "trace/request_stream.hh"
+#include "trace/workload_profile.hh"
+#include "verify/protocol_auditor.hh"
+
+namespace nuat {
+
+void
+ServeConfig::validate() const
+{
+    nuat_assert(shards >= 1, "(serve needs at least one shard)");
+    nuat_assert((shards & (shards - 1)) == 0,
+                "(shards are address-mapping channels and must be a "
+                "power of two)");
+    nuat_assert(producers >= 1, "(serve needs at least one producer)");
+    nuat_assert(requestsPerProducer >= 1,
+                "(each producer must push at least one request)");
+    nuat_assert(ingestBatch >= 1, "(ingestBatch must be positive)");
+    nuat_assert(!experiment.workloads.empty(),
+                "(serve needs at least one workload profile)");
+    nuat_assert(!experiment.faultsEnabled(),
+                "(serve mode has no fault world; drop --fault-profile)");
+}
+
+namespace {
+
+/**
+ * One shard's full stack.  Built on the main thread, then owned
+ * exclusively by its shard thread until join (the thread launch /
+ * join pair provides the happens-before edges), so none of the
+ * non-atomic state needs locks.
+ */
+struct ShardState
+{
+    std::unique_ptr<TimingDerate> derate;
+    std::unique_ptr<DramDevice> dev;
+    std::unique_ptr<MemoryController> ctrl;
+    std::unique_ptr<ProtocolAuditor> auditor;
+    std::unique_ptr<MpscQueue<StreamRequest>> ring;
+
+    Cycle now = 0; //!< this shard's private clock
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readsDone = 0;
+    bool hitCap = false;
+
+    /** Popped from the ring but not yet accepted by the controller
+     *  (controller-side backpressure holds it here). */
+    StreamRequest pending{};
+    bool pendingValid = false;
+};
+
+/** One producer's stream + locally accumulated counters. */
+struct ProducerState
+{
+    std::unique_ptr<RequestStream> stream;
+    std::uint64_t pushed = 0;
+    std::uint64_t yields = 0;
+};
+
+} // namespace
+
+ServeResult
+runServe(const ServeConfig &cfg)
+{
+    cfg.validate();
+
+    // The serve view of the experiment: shards are the channels.
+    ExperimentConfig exp = cfg.experiment;
+    exp.geometry.channels = cfg.shards;
+
+    const CellModel cell(exp.charge);
+    const SenseAmpModel sense_amp(cell);
+    NominalTiming nominal;
+    nominal.trcd = exp.timing.tRCD;
+    nominal.tras = exp.timing.tRAS;
+    nominal.trp = exp.timing.tRP;
+
+    DramGeometry chan_geom = exp.geometry;
+    chan_geom.channels = 1;
+    ControllerConfig ctrl_cfg = exp.controller;
+    ctrl_cfg.channels = cfg.shards;
+
+    // Build every shard stack on this thread; shard threads take over
+    // after launch.  Each shard gets its own TimingDerate so no lazy
+    // charge-model state is ever shared across threads.
+    std::vector<ShardState> shards(cfg.shards);
+    for (auto &s : shards) {
+        s.derate = std::make_unique<TimingDerate>(sense_amp, nominal);
+        s.dev = std::make_unique<DramDevice>(chan_geom, exp.timing,
+                                             *s.derate);
+        s.ctrl = std::make_unique<MemoryController>(
+            *s.dev, makeSchedulerFor(exp, *s.derate), ctrl_cfg);
+        if (exp.audit) {
+            AuditorConfig acfg;
+            acfg.geometry = chan_geom;
+            acfg.timing = exp.timing;
+            acfg.derate = s.derate.get();
+            acfg.maxMessages = exp.auditMaxMessages;
+            s.auditor = std::make_unique<ProtocolAuditor>(acfg);
+            s.dev->addObserver(s.auditor.get());
+        }
+        s.ring =
+            std::make_unique<MpscQueue<StreamRequest>>(cfg.queueCapacity);
+        s.ctrl->setReadCallback(
+            [sp = &s](const Waiter &, Addr, Cycle) { ++sp->readsDone; });
+    }
+
+    // Producers: each owns a deterministic stream over the full
+    // (sharded) address space, with the same per-stream seed salt and
+    // disjoint row footprints as System gives its cores.
+    std::vector<ProducerState> producers(cfg.producers);
+    const std::uint32_t stride =
+        exp.geometry.rows / cfg.producers > 0
+            ? exp.geometry.rows / cfg.producers
+            : 1;
+    for (unsigned i = 0; i < cfg.producers; ++i) {
+        const WorkloadProfile profile = WorkloadProfile::byName(
+            exp.workloads[i % exp.workloads.size()]);
+        producers[i].stream = std::make_unique<RequestStream>(
+            profile, exp.geometry, exp.seed + i * 7919,
+            cfg.requestsPerProducer,
+            (i * stride) % exp.geometry.rows);
+    }
+
+    // ChannelMux's routing rule, shared read-only by every producer.
+    const AddressMapping mapping(exp.controller.mapping, exp.geometry);
+    std::atomic<bool> producersDone{false};
+
+    auto shardMain = [&](ShardState &s) {
+        const Cycle cap = exp.maxMemCycles;
+        for (;;) {
+            // Ingest: move a bounded batch from the ring into the
+            // controller, stopping at either side's backpressure.
+            unsigned moved = 0;
+            while (moved < cfg.ingestBatch) {
+                if (!s.pendingValid) {
+                    if (!s.ring->tryPop(s.pending))
+                        break;
+                    s.pendingValid = true;
+                }
+                if (s.pending.isWrite) {
+                    if (!s.ctrl->canAcceptWrite(s.pending.addr))
+                        break;
+                    s.ctrl->enqueueWrite(s.pending.addr, s.now);
+                    ++s.writes;
+                } else {
+                    if (!s.ctrl->canAcceptRead(s.pending.addr))
+                        break;
+                    s.ctrl->enqueueRead(s.pending.addr, Waiter{},
+                                        s.now);
+                    ++s.reads;
+                }
+                s.pendingValid = false;
+                ++moved;
+            }
+
+            if (s.ctrl->idle() && !s.pendingValid) {
+                // Drained.  Either the run is over or the producers
+                // are just slower than this shard: re-check the ring
+                // *after* observing the done flag, closing the race
+                // with a producer's final push.
+                if (producersDone.load(std::memory_order_acquire)) {
+                    if (s.ring->tryPop(s.pending)) {
+                        s.pendingValid = true;
+                        continue;
+                    }
+                    break;
+                }
+                std::this_thread::yield();
+                continue;
+            }
+
+            if (s.now >= cap) {
+                s.hitCap = true;
+                break;
+            }
+            s.ctrl->tick(s.now);
+            ++s.now;
+        }
+    };
+
+    auto producerMain = [&](ProducerState &p) {
+        StreamRequest r;
+        while (p.stream->next(r)) {
+            const unsigned shard = mapping.decompose(r.addr).channel;
+            while (!shards[shard].ring->tryPush(r)) {
+                // Ring full: the shard is behind.  Yield rather than
+                // drop — ingestion is lossless by contract.
+                ++p.yields;
+                std::this_thread::yield();
+            }
+            ++p.pushed;
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(cfg.shards + cfg.producers);
+    for (auto &s : shards)
+        pool.emplace_back([&shardMain, &s] { shardMain(s); });
+    std::vector<std::thread> feeders;
+    feeders.reserve(cfg.producers);
+    for (auto &p : producers)
+        feeders.emplace_back([&producerMain, &p] { producerMain(p); });
+    for (auto &t : feeders)
+        t.join();
+    producersDone.store(true, std::memory_order_release);
+    for (auto &t : pool)
+        t.join();
+
+    // Batched aggregation: every counter below was accumulated
+    // thread-locally; this is the only merge point.
+    ServeResult res;
+    res.shards = cfg.shards;
+    res.producers = cfg.producers;
+    for (const auto &p : producers) {
+        res.requestsIngested += p.pushed;
+        res.backpressureYields += p.yields;
+    }
+    double latency_sum = 0.0;
+    std::uint64_t completed = 0;
+    for (const auto &s : shards) {
+        res.readsRetired += s.readsDone;
+        res.writesRetired += s.writes;
+        res.shardRetired.push_back(s.readsDone + s.writes);
+        if (s.now > res.maxShardCycles)
+            res.maxShardCycles = s.now;
+        res.totalShardCycles += s.now;
+        res.hitCycleCap = res.hitCycleCap || s.hitCap;
+        latency_sum += s.ctrl->stats().readLatencySum;
+        completed += s.ctrl->stats().readsCompleted;
+    }
+    res.requestsRetired = res.readsRetired + res.writesRetired;
+    res.avgReadLatency =
+        completed ? latency_sum / static_cast<double>(completed) : 0.0;
+    if (exp.audit) {
+        AuditReport merged;
+        for (const auto &s : shards)
+            merged.merge(s.auditor->report(), exp.auditMaxMessages);
+        res.audited = true;
+        res.auditCommandsChecked = merged.commandsChecked;
+        res.auditViolations = merged.violations;
+        res.auditMessages = std::move(merged.messages);
+    }
+    return res;
+}
+
+} // namespace nuat

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Request-level parallel serve runtime (`nuat_serve`).
+ *
+ * Where parallel_runner parallelizes *across* independent experiments,
+ * the serve runtime parallelizes *inside* one: the address space is
+ * sharded across independently-clocked channel/controller instances,
+ * each driven by a dedicated thread, and trace producer threads push
+ * open-loop requests at them through bounded lock-free MPSC rings
+ * (common/mpsc_queue.hh).
+ *
+ * Sharding rule: a request's shard is the channel its address decodes
+ * to under the experiment's own AddressMapping with
+ * geometry.channels = shards — exactly the route ChannelMux would
+ * take, so serve mode is the multi-channel system with the channel
+ * loop unrolled onto threads.
+ *
+ * Clock-domain rule: every shard owns its full stack (TimingDerate,
+ * DramDevice, MemoryController, Scheduler, optional ProtocolAuditor)
+ * and advances its own cycle counter only while it has work; shard
+ * clocks are never compared or synchronized.  Nothing is shared
+ * between shard threads but the ingest rings and one atomic
+ * "producers done" flag, which keeps the runtime TSan-clean by
+ * construction.
+ *
+ * Statistics are accumulated shard-locally and merged once after the
+ * threads join (batched retirement/stat aggregation): the hot loops
+ * never touch a shared counter.
+ *
+ * This file is simulation-hosted infrastructure but spawns threads;
+ * like parallel_runner it must not read wall-clock time (nuat-lint
+ * `nondeterminism`) — requests/sec is computed by the nuat_serve tool.
+ */
+
+#ifndef NUAT_SIM_SERVE_RUNTIME_HH
+#define NUAT_SIM_SERVE_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment_config.hh"
+
+namespace nuat {
+
+/** Configuration of one serve run. */
+struct ServeConfig
+{
+    /**
+     * Base experiment: geometry, timing, charge model, scheduler
+     * kind, workloads (one stream profile per producer, cycled), seed
+     * and audit flag are honored.  Core/ROB, metrics and fault
+     * options are ignored — serve mode has no CPU model and no fault
+     * world.  geometry.channels is overridden with `shards`.
+     */
+    ExperimentConfig experiment;
+
+    /** Independently-clocked channel/controller instances (threads). */
+    unsigned shards = 2;
+
+    /** Trace producer threads (profiles cycle through workloads). */
+    unsigned producers = 2;
+
+    /** Slots per shard ingest ring (rounded up to a power of 2). */
+    std::size_t queueCapacity = 1024;
+
+    /** Requests each producer pushes before finishing. */
+    std::uint64_t requestsPerProducer = 20000;
+
+    /** Max requests a shard moves from ring to controller per cycle. */
+    unsigned ingestBatch = 64;
+
+    /** Panics unless internally consistent. */
+    void validate() const;
+};
+
+/** Aggregated outcome of one serve run. */
+struct ServeResult
+{
+    unsigned shards = 0;
+    unsigned producers = 0;
+
+    /** Requests pushed into the rings (= produced; producers block
+     *  on backpressure rather than drop). */
+    std::uint64_t requestsIngested = 0;
+
+    /** Reads whose data returned. */
+    std::uint64_t readsRetired = 0;
+
+    /** Writes accepted (posted; retired at acceptance). */
+    std::uint64_t writesRetired = 0;
+
+    /** readsRetired + writesRetired. */
+    std::uint64_t requestsRetired = 0;
+
+    /** Producer-side full-ring yields (backpressure pressure gauge). */
+    std::uint64_t backpressureYields = 0;
+
+    /** Largest per-shard simulated clock at finish. */
+    Cycle maxShardCycles = 0;
+
+    /** Summed per-shard simulated clocks. */
+    Cycle totalShardCycles = 0;
+
+    /** Requests retired per shard (balance check). */
+    std::vector<std::uint64_t> shardRetired;
+
+    /** Mean read latency over all shards [memory cycles]. */
+    double avgReadLatency = 0.0;
+
+    /** True when any shard hit the experiment's cycle cap. */
+    bool hitCycleCap = false;
+
+    /** Shadow-audit outcome (when experiment.audit). */
+    bool audited = false;
+    std::uint64_t auditCommandsChecked = 0;
+    std::uint64_t auditViolations = 0;
+    std::vector<std::string> auditMessages;
+};
+
+/**
+ * Run one sharded serve session to completion: producers stream their
+ * full request budget through the rings, shards drain until every
+ * queue is empty and every controller idle.  Retirement counts are
+ * deterministic (every produced request retires exactly once); cycle
+ * counts and latencies depend on thread interleaving and are
+ * reported, not golden-checked.
+ */
+ServeResult runServe(const ServeConfig &cfg);
+
+} // namespace nuat
+
+#endif // NUAT_SIM_SERVE_RUNTIME_HH

@@ -50,34 +50,41 @@ ChannelMux::enqueueWrite(Addr addr, Cycle now)
 }
 
 std::unique_ptr<Scheduler>
-System::makeScheduler() const
+makeSchedulerFor(const ExperimentConfig &cfg,
+                 const TimingDerate &derate)
 {
-    switch (cfg_.scheduler) {
+    switch (cfg.scheduler) {
       case SchedulerKind::kFcfs:
         return std::make_unique<FcfsScheduler>(PagePolicy::kOpen);
       case SchedulerKind::kFrFcfsOpen:
         return std::make_unique<FrFcfsScheduler>(PagePolicy::kOpen);
       case SchedulerKind::kFrFcfsClose:
         return std::make_unique<FrFcfsScheduler>(PagePolicy::kClose,
-                                                 cfg_.closeGrace);
+                                                 cfg.closeGrace);
       case SchedulerKind::kFrFcfsAdaptive:
         return std::make_unique<AdaptiveFrFcfsScheduler>(
-            1024, 256, cfg_.closeGrace);
+            1024, 256, cfg.closeGrace);
       case SchedulerKind::kNuat: {
-        NuatConfig nc = NuatConfig::fromDerate(*derate_, cfg_.numPb);
-        nc.weights = cfg_.weights;
-        nc.ppmEnabled = cfg_.ppmEnabled;
-        nc.graceClose = cfg_.closeGrace;
-        nc.starvationLimit = cfg_.nuatStarvationLimit;
-        nc.pbElementEnabled = cfg_.pbElementEnabled;
-        nc.boundaryElementEnabled = cfg_.boundaryElementEnabled;
-        nc.guardband = cfg_.guardband;
+        NuatConfig nc = NuatConfig::fromDerate(derate, cfg.numPb);
+        nc.weights = cfg.weights;
+        nc.ppmEnabled = cfg.ppmEnabled;
+        nc.graceClose = cfg.closeGrace;
+        nc.starvationLimit = cfg.nuatStarvationLimit;
+        nc.pbElementEnabled = cfg.pbElementEnabled;
+        nc.boundaryElementEnabled = cfg.boundaryElementEnabled;
+        nc.guardband = cfg.guardband;
         nc.guardband.enabled =
-            cfg_.faultsEnabled() && cfg_.faultDegrade;
+            cfg.faultsEnabled() && cfg.faultDegrade;
         return std::make_unique<NuatScheduler>(nc);
       }
     }
     nuat_panic("unhandled scheduler kind");
+}
+
+std::unique_ptr<Scheduler>
+System::makeScheduler() const
+{
+    return makeSchedulerFor(cfg_, *derate_);
 }
 
 System::System(const ExperimentConfig &cfg) : cfg_(cfg)

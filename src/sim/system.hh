@@ -32,6 +32,16 @@
 
 namespace nuat {
 
+/**
+ * Build the scheduler @p cfg requests, using @p derate as the charge
+ * model behind NUAT's PB table.  One instance per channel (System) or
+ * per shard (the serve runtime): schedulers hold per-channel state and
+ * are never shared.
+ */
+std::unique_ptr<Scheduler>
+makeSchedulerFor(const ExperimentConfig &cfg,
+                 const TimingDerate &derate);
+
 /** Routes core requests to the owning channel's controller. */
 class ChannelMux : public MemoryPort
 {

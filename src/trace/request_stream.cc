@@ -1,0 +1,24 @@
+#include "request_stream.hh"
+
+namespace nuat {
+
+RequestStream::RequestStream(const WorkloadProfile &profile,
+                             const DramGeometry &geometry,
+                             std::uint64_t seed, std::uint64_t max_ops,
+                             std::uint32_t base_row)
+    : trace_(profile, geometry, seed, max_ops, base_row)
+{
+}
+
+bool
+RequestStream::next(StreamRequest &out)
+{
+    TraceEntry entry;
+    if (!trace_.next(entry))
+        return false;
+    out.addr = entry.addr;
+    out.isWrite = entry.isWrite;
+    return true;
+}
+
+} // namespace nuat

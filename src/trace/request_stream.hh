@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Open-loop request streams for the serve runtime.
+ *
+ * The closed-loop simulator feeds traces through CoreModel (compute
+ * gaps, ROB stalls, dependent loads).  Serve mode instead treats the
+ * memory system as a service: producer threads pull bare
+ * (address, direction) requests from a RequestStream and push them at
+ * the sharded controllers as fast as backpressure allows.  The stream
+ * reuses the deterministic SyntheticTrace generator, so a given
+ * (profile, seed) always produces the same request sequence.
+ */
+
+#ifndef NUAT_TRACE_REQUEST_STREAM_HH
+#define NUAT_TRACE_REQUEST_STREAM_HH
+
+#include <cstdint>
+
+#include "synthetic_trace.hh"
+#include "workload_profile.hh"
+
+namespace nuat {
+
+/** One serve-mode memory request. */
+struct StreamRequest
+{
+    Addr addr = 0;        //!< byte address of the access
+    bool isWrite = false; //!< request direction
+};
+
+/**
+ * A bounded stream of StreamRequests synthesized from a
+ * WorkloadProfile.  Strips the CPU-side trace fields (compute gaps,
+ * dependence) that only matter to the closed-loop core model.  Not
+ * thread-safe: each producer thread owns one stream.
+ */
+class RequestStream
+{
+  public:
+    /**
+     * @param profile  workload statistics to synthesize from
+     * @param geometry DRAM geometry the addresses should cover
+     * @param seed     RNG seed (same seed = same request sequence)
+     * @param max_ops  requests before the stream ends
+     * @param base_row first row of this stream's footprint
+     */
+    RequestStream(const WorkloadProfile &profile,
+                  const DramGeometry &geometry, std::uint64_t seed,
+                  std::uint64_t max_ops, std::uint32_t base_row = 0);
+
+    /**
+     * Produce the next request into @p out.
+     * @return false when the stream is exhausted.
+     */
+    bool next(StreamRequest &out);
+
+    /** Requests produced so far. */
+    std::uint64_t produced() const { return trace_.produced(); }
+
+    /** Workload name for reports. */
+    const char *name() const { return trace_.name(); }
+
+  private:
+    SyntheticTrace trace_;
+};
+
+} // namespace nuat
+
+#endif // NUAT_TRACE_REQUEST_STREAM_HH

@@ -84,6 +84,23 @@ TEST(ResolveRunnerThreads, ClampsToJobsAndNeverZero)
     EXPECT_GE(resolveRunnerThreads(0, 8), 1u);
 }
 
+TEST(ResolveRunnerThreads, AutoRequestResolvesConsistently)
+{
+    // --threads 0 (auto) must never leak through as a literal 0: the
+    // fig benches resolve it before reporting, then pass the resolved
+    // count back into runExperimentsParallel, which resolves again —
+    // so resolution must be idempotent and clamp the same both times.
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{72}}) {
+        const unsigned resolved = resolveRunnerThreads(0, jobs);
+        EXPECT_GE(resolved, 1u);
+        EXPECT_LE(resolved, jobs);
+        EXPECT_EQ(resolveRunnerThreads(resolved, jobs), resolved);
+    }
+    // Auto on a single job is exactly one worker (run inline).
+    EXPECT_EQ(resolveRunnerThreads(0, 1), 1u);
+}
+
 TEST(ParallelRunner, MatchesSerialResults)
 {
     const auto configs = smallGrid();

@@ -15,6 +15,7 @@ Subcommands:
 
 Metric direction is keyed on the metric name suffix:
   *.mcycles_per_s   higher is better (simulated throughput)
+  *.requests_per_s  higher is better (nuat_serve sharded throughput)
   *.cpu_ns          lower is better (bench_micro per-op time)
 
 The default threshold is generous (25%) because CI runners are noisy
@@ -36,11 +37,13 @@ DEFAULT_THRESHOLD = 0.25
 
 # Figure benches that print a machine-readable {"bench":...} line.
 THROUGHPUT_BENCHES = ["bench_fig18_latency", "bench_fig20_exectime"]
-MICRO_FILTER = "BM_SystemMemCycle"
+MICRO_FILTER = "BM_SystemMemCycle|BM_SchedulerPick"
 
 
 def higher_is_better(name):
     if name.endswith(".mcycles_per_s"):
+        return True
+    if name.endswith(".requests_per_s"):
         return True
     if name.endswith(".cpu_ns"):
         return False
@@ -90,6 +93,20 @@ def run_micro(build_dir, min_time):
     return out
 
 
+def run_serve(build_dir, shards, producers, requests):
+    """Run nuat_serve; return its requests_per_s."""
+    exe = os.path.join(build_dir, "tools", "nuat_serve")
+    proc = subprocess.run(
+        [exe, "--shards", str(shards), "--producers", str(producers),
+         "--requests", str(requests), "--json"],
+        capture_output=True, text=True, check=True)
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith('{"serve"'):
+            return json.loads(line)["requests_per_s"]
+    raise RuntimeError("nuat_serve printed no JSON summary line")
+
+
 def cmd_collect(args):
     metrics = {}
     for bench in THROUGHPUT_BENCHES:
@@ -98,6 +115,10 @@ def cmd_collect(args):
                                     args.threads)
         metrics["%s.mcycles_per_s" % key] = rate
         print("collect: %s.mcycles_per_s = %.1f" % (key, rate))
+    rps = run_serve(args.build_dir, args.serve_shards,
+                    args.serve_shards, args.serve_requests)
+    metrics["serve.requests_per_s"] = rps
+    print("collect: serve.requests_per_s = %.1f" % rps)
     for name, cpu_ns in sorted(run_micro(args.build_dir,
                                          args.min_time).items()):
         metrics["micro.%s.cpu_ns" % name] = cpu_ns
@@ -172,25 +193,35 @@ def cmd_selftest(args):
     base = {
         "fig18.mcycles_per_s": 100.0,
         "fig20.mcycles_per_s": 80.0,
+        "serve.requests_per_s": 50000.0,
         "micro.BM_SystemMemCycle/nuat:1.cpu_ns": 240.0,
+        "micro.BM_SchedulerPick/batch:1/depth:64.cpu_ns": 300.0,
     }
     checks = [
         # (candidate overrides, expect_regressions)
         ({}, []),
         # Within the threshold, both directions.
         ({"fig18.mcycles_per_s": 90.0,
+          "serve.requests_per_s": 45000.0,
           "micro.BM_SystemMemCycle/nuat:1.cpu_ns": 280.0}, []),
         # Throughput collapse must fail.
         ({"fig18.mcycles_per_s": 50.0}, ["fig18.mcycles_per_s"]),
+        # Serve throughput collapse must fail (higher is better).
+        ({"serve.requests_per_s": 20000.0}, ["serve.requests_per_s"]),
         # Hot-path slowdown must fail.
         ({"micro.BM_SystemMemCycle/nuat:1.cpu_ns": 400.0},
          ["micro.BM_SystemMemCycle/nuat:1.cpu_ns"]),
+        # Batch-scorer slowdown must fail (lower is better).
+        ({"micro.BM_SchedulerPick/batch:1/depth:64.cpu_ns": 500.0},
+         ["micro.BM_SchedulerPick/batch:1/depth:64.cpu_ns"]),
         # Improvements never fail, however large.
         ({"fig20.mcycles_per_s": 300.0,
+          "serve.requests_per_s": 500000.0,
           "micro.BM_SystemMemCycle/nuat:1.cpu_ns": 10.0}, []),
         # A metric vanishing from the candidate must fail.
         ({"micro.BM_SystemMemCycle/nuat:1.cpu_ns": None},
          ["micro.BM_SystemMemCycle/nuat:1.cpu_ns"]),
+        ({"serve.requests_per_s": None}, ["serve.requests_per_s"]),
     ]
     failures = 0
     for overrides, expect in checks:
@@ -225,6 +256,10 @@ def main(argv):
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--min-time", type=float, default=0.2,
                    help="--benchmark_min_time for bench_micro")
+    p.add_argument("--serve-shards", type=int, default=2,
+                   help="shards (and producers) for the nuat_serve run")
+    p.add_argument("--serve-requests", type=int, default=20000,
+                   help="requests per producer for the nuat_serve run")
     p.set_defaults(func=cmd_collect)
 
     p = sub.add_parser("compare", help="gate a candidate vs a baseline")

@@ -17,8 +17,9 @@
 # --sanitize asan: ONLY the ASan/UBSan build + full test suite (the CI
 #          sanitizer job).
 # --sanitize tsan: ONLY the TSan build + the threaded tests (the
-#          parallel runner is the sole threaded code, so the TSan job
-#          runs the parallel_runner suite rather than everything).
+#          parallel runner, the MPSC ingest ring and the sharded
+#          serve runtime are the threaded code, so the TSan job runs
+#          those suites rather than everything).
 #
 # --faults: ONLY the robustness lane, matching CI: the fault/guardband/
 #          auditor/differential test suites, audited smoke runs of
@@ -147,7 +148,7 @@ elif [[ "$SANITIZE" == "tsan" ]]; then
           -DENABLE_TSAN=ON >/dev/null
     cmake --build build-tsan -j "$JOBS"
     ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-          -R 'parallel_runner' "$@"
+          -R 'parallel_runner|mpsc_queue|serve_runtime' "$@"
     echo "TSan checks passed."
     exit 0
 elif [[ -n "$SANITIZE" ]]; then

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * nuat_serve — the throughput-service front end to the simulator.
+ *
+ *   nuat_serve [options]
+ *     --shards N          independently-clocked channel shards, power
+ *                         of two (default 2)
+ *     --producers N       trace producer threads (default 2)
+ *     --requests N        requests per producer (default 20000)
+ *     --queue-capacity N  slots per shard ingest ring (default 1024)
+ *     --ingest-batch N    ring->controller moves per shard cycle
+ *                         (default 64)
+ *     --workloads a,b,c   producer stream profiles, cycled (default
+ *                         ferret)
+ *     --scheduler s       nuat | fcfs | frfcfs-open | frfcfs-close |
+ *                         frfcfs-adaptive (default nuat)
+ *     --pb N              NUAT PB count, 1..5 (default 5)
+ *     --seed N            stream RNG seed (default 1)
+ *     --no-ppm            disable the PPM page-mode decision maker
+ *     --audit             shadow protocol auditor on every shard; the
+ *                         exit code is 2 if any shard flags a
+ *                         violation
+ *     --json              emit one machine-readable summary line
+ *     --help
+ *
+ * Exit codes: 0 ok, 2 audit violations, 1 usage/fatal errors or a run
+ * that retired nothing / hit the cycle cap.
+ *
+ * Wall-clock timing lives here, not in the serve runtime:
+ * src/sim must stay free of std::chrono (nuat-lint `nondeterminism`).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/serve_runtime.hh"
+
+using namespace nuat;
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char ch : arg) {
+        if (ch == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+SchedulerKind
+parseScheduler(const std::string &name)
+{
+    if (name == "nuat")
+        return SchedulerKind::kNuat;
+    if (name == "fcfs")
+        return SchedulerKind::kFcfs;
+    if (name == "frfcfs-open")
+        return SchedulerKind::kFrFcfsOpen;
+    if (name == "frfcfs-close")
+        return SchedulerKind::kFrFcfsClose;
+    if (name == "frfcfs-adaptive")
+        return SchedulerKind::kFrFcfsAdaptive;
+    nuat_fatal("unknown scheduler '%s' (nuat | fcfs | frfcfs-open | "
+               "frfcfs-close | frfcfs-adaptive)",
+               name.c_str());
+}
+
+void
+usage()
+{
+    std::printf(
+        "nuat_serve — sharded request-level throughput runtime\n"
+        "  --shards N          channel shards, power of two (default "
+        "2)\n"
+        "  --producers N       trace producer threads (default 2)\n"
+        "  --requests N        requests per producer (default 20000)\n"
+        "  --queue-capacity N  slots per ingest ring (default 1024)\n"
+        "  --ingest-batch N    ring moves per shard cycle (default "
+        "64)\n"
+        "  --workloads a,b,c   producer profiles, cycled\n"
+        "  --scheduler s       nuat | fcfs | frfcfs-open | "
+        "frfcfs-close | frfcfs-adaptive\n"
+        "  --pb N --seed N --no-ppm\n"
+        "  --audit             shadow auditor per shard (exit 2 on "
+        "violations)\n"
+        "  --json              one machine-readable summary line\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeConfig cfg;
+    cfg.experiment.workloads = {"ferret"};
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                nuat_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--shards") {
+            cfg.shards = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--producers") {
+            cfg.producers = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--requests") {
+            cfg.requestsPerProducer =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--queue-capacity") {
+            cfg.queueCapacity = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--ingest-batch") {
+            cfg.ingestBatch = static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--workloads") {
+            cfg.experiment.workloads = splitCommas(value());
+        } else if (arg == "--scheduler") {
+            cfg.experiment.scheduler = parseScheduler(value());
+        } else if (arg == "--pb") {
+            cfg.experiment.numPb =
+                static_cast<unsigned>(std::atoi(value()));
+        } else if (arg == "--seed") {
+            cfg.experiment.seed = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--no-ppm") {
+            cfg.experiment.ppmEnabled = false;
+        } else if (arg == "--audit") {
+            cfg.experiment.audit = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            nuat_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const ServeResult res = runServe(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double rps =
+        secs > 0.0 ? static_cast<double>(res.requestsRetired) / secs
+                   : 0.0;
+
+    if (json) {
+        std::printf("{\"serve\":\"sharded\",\"shards\":%u,"
+                    "\"producers\":%u,\"requests\":%llu,"
+                    "\"retired\":%llu,\"requests_per_s\":%.1f,"
+                    "\"wall_s\":%.4f,\"avg_read_latency\":%.2f,"
+                    "\"backpressure_yields\":%llu,"
+                    "\"max_shard_cycles\":%llu,"
+                    "\"audit_violations\":%llu}\n",
+                    res.shards, res.producers,
+                    static_cast<unsigned long long>(
+                        res.requestsIngested),
+                    static_cast<unsigned long long>(
+                        res.requestsRetired),
+                    rps, secs, res.avgReadLatency,
+                    static_cast<unsigned long long>(
+                        res.backpressureYields),
+                    static_cast<unsigned long long>(
+                        res.maxShardCycles),
+                    static_cast<unsigned long long>(
+                        res.auditViolations));
+    } else {
+        std::printf("serve: %u shard(s), %u producer(s), %llu requests "
+                    "ingested, %llu retired (%llu reads, %llu "
+                    "writes)\n",
+                    res.shards, res.producers,
+                    static_cast<unsigned long long>(
+                        res.requestsIngested),
+                    static_cast<unsigned long long>(
+                        res.requestsRetired),
+                    static_cast<unsigned long long>(res.readsRetired),
+                    static_cast<unsigned long long>(
+                        res.writesRetired));
+        std::printf("serve: %.0f requests/s over %.3f s wall; avg "
+                    "read latency %.1f cycles; %llu backpressure "
+                    "yields\n",
+                    rps, secs, res.avgReadLatency,
+                    static_cast<unsigned long long>(
+                        res.backpressureYields));
+        std::printf("serve: shard clocks max %llu / total %llu "
+                    "cycles\n",
+                    static_cast<unsigned long long>(
+                        res.maxShardCycles),
+                    static_cast<unsigned long long>(
+                        res.totalShardCycles));
+        for (std::size_t s = 0; s < res.shardRetired.size(); ++s) {
+            std::printf("serve:   shard %zu retired %llu\n", s,
+                        static_cast<unsigned long long>(
+                            res.shardRetired[s]));
+        }
+        if (res.audited) {
+            std::printf("audit: %llu commands checked, %llu "
+                        "violations\n",
+                        static_cast<unsigned long long>(
+                            res.auditCommandsChecked),
+                        static_cast<unsigned long long>(
+                            res.auditViolations));
+            for (const auto &msg : res.auditMessages)
+                std::printf("audit:   %s\n", msg.c_str());
+        }
+    }
+
+    if (res.hitCycleCap) {
+        std::fprintf(stderr, "error: a shard hit the cycle cap\n");
+        return 1;
+    }
+    if (res.requestsRetired == 0) {
+        std::fprintf(stderr, "error: nothing retired\n");
+        return 1;
+    }
+    if (res.requestsRetired != res.requestsIngested) {
+        std::fprintf(stderr,
+                     "error: retirement conservation broken "
+                     "(%llu ingested, %llu retired)\n",
+                     static_cast<unsigned long long>(
+                         res.requestsIngested),
+                     static_cast<unsigned long long>(
+                         res.requestsRetired));
+        return 1;
+    }
+    return res.audited && res.auditViolations ? 2 : 0;
+}
