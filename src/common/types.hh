@@ -129,6 +129,14 @@ using BankId = StrongIndex<struct BankIdTag, std::uint32_t>;
 using RowId = StrongIndex<struct RowIdTag, std::uint32_t>;
 
 /**
+ * Bank-group coordinate within a rank (DDR4/DDR5).  Distinct from
+ * BankId on purpose: the group-local constraints (tCCD_L, tRRD_L) key
+ * on the group a bank belongs to, never on the bank id itself, and the
+ * two disagree whenever bankGroups < banks.
+ */
+using BankGroupId = StrongIndex<struct BankGroupIdTag, std::uint32_t>;
+
+/**
  * Linear PRE_PB slice index (paper eq. 2): the retention period divided
  * into #LP uniform slices, 0 = youngest.  NOT interchangeable with
  * PbIdx — the grouped PB a slice belongs to depends on the non-uniform

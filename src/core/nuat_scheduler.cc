@@ -213,11 +213,12 @@ NuatScheduler::onIssue(const Command &cmd, const SchedContext &ctx)
         // learn from ECC/parity feedback about the activation it just
         // ran.  Only meaningful when a fault world is attached.
         if (guardband_ && ctx.dev->faultModel() != nullptr) {
-            const auto &refresh = ctx.dev->refresh(cmd.rank);
+            const auto &refresh = ctx.dev->refreshFor(cmd.rank, cmd.bank);
             const PbIdx natural = pbr_->pbOfRow(refresh, cmd.row);
             guardband_->onActProbe(
                 cmd.rank, cmd.bank, cmd.row, cmd.actTiming,
-                ctx.dev->faultedRowTiming(cmd.rank, cmd.row, ctx.now),
+                ctx.dev->faultedRowTiming(cmd.rank, cmd.bank, cmd.row,
+                                          ctx.now),
                 pbr_->ratedTiming(natural), ctx.now);
         }
     } else if (isColumnCmd(cmd.type)) {
@@ -254,7 +255,8 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
         in.draining = draining;
         in.numPb = cfg_.numPb();
         if (c.cmd.type == CmdType::kAct) {
-            const auto &refresh = ctx.dev->refresh(c.cmd.rank);
+            const auto &refresh =
+                ctx.dev->refreshFor(c.cmd.rank, c.cmd.bank);
             in.pb = pbr_->pbOfRow(refresh, c.cmd.row);
             in.zone = pbr_->zoneOfRow(refresh, c.cmd.row);
         }
@@ -331,7 +333,8 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
         bool want_pb = cfg_.ppmEnabled;
         NUAT_METRIC(want_pb = want_pb || metrics_ != nullptr);
         if (want_pb) {
-            const auto &refresh = ctx.dev->refresh(chosen.cmd.rank);
+            const auto &refresh =
+                ctx.dev->refreshFor(chosen.cmd.rank, chosen.cmd.bank);
             const RowId open_row =
                 ctx.dev->bank(chosen.cmd.rank, chosen.cmd.bank)
                     .openRow();

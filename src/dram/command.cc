@@ -20,6 +20,8 @@ Command::name() const
         return "WRA";
       case CmdType::kRef:
         return "REF";
+      case CmdType::kRefsb:
+        return "REFSB";
     }
     return "?";
 }

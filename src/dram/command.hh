@@ -22,7 +22,15 @@ enum class CmdType : std::uint8_t
     kReadAp,  //!< column read with auto-precharge
     kWriteAp, //!< column write with auto-precharge
     kRef,     //!< all-bank auto refresh
+    kRefsb,   //!< same-bank (per-bank) auto refresh, DDR5-style
 };
+
+/** True for either refresh flavour. */
+constexpr bool
+isRefreshCmd(CmdType t)
+{
+    return t == CmdType::kRef || t == CmdType::kRefsb;
+}
 
 /** True for the four column-access command types. */
 constexpr bool
@@ -51,7 +59,7 @@ struct Command
 {
     CmdType type = CmdType::kAct;
     RankId rank{0};
-    BankId bank{0};        //!< ignored for kRef
+    BankId bank{0};        //!< ignored for kRef; the target for kRefsb
     RowId row = kNoRow;    //!< kAct only
     std::uint32_t col = 0; //!< column commands only (cache-line col)
 

@@ -7,9 +7,31 @@
 
 namespace nuat {
 
-RankState::RankState(std::uint32_t rows, const TimingParams &tp)
-    : refresh(rows, tp)
+RankState::RankState(std::uint32_t rows, const TimingParams &tp,
+                     const DramGeometry &geom)
 {
+    banks.resize(geom.banks);
+    refsbBusyUntil.assign(geom.banks, 0);
+    groupActAllowedAt.assign(geom.bankGroups, 0);
+    groupRdIssueOkAt.assign(geom.bankGroups, 0);
+    groupWrIssueOkAt.assign(geom.bankGroups, 0);
+
+    if (tp.refreshMode == RefreshMode::kPerBank) {
+        // One engine per bank, phase-staggered across the interval so
+        // the per-bank deadlines spread out instead of all landing on
+        // the same cycle: bank 0 is due first, bank B-1 a full
+        // interval in (the all-bank phase).
+        const Cycle interval = tp.refInterval();
+        const Cycle step = interval / geom.banks;
+        engines.reserve(geom.banks);
+        for (unsigned b = 0; b < geom.banks; ++b) {
+            const Cycle phase =
+                interval - static_cast<Cycle>(geom.banks - 1 - b) * step;
+            engines.emplace_back(rows, tp, phase);
+        }
+    } else {
+        engines.emplace_back(rows, tp);
+    }
 }
 
 bool
@@ -48,10 +70,8 @@ DramDevice::DramDevice(const DramGeometry &geometry, const TimingParams &tp,
                     derate_.nominal().trp == tp_.tRP,
                 "(charge model nominal timing != device timing)");
     ranks_.reserve(geom_.ranks);
-    for (unsigned r = 0; r < geom_.ranks; ++r) {
-        ranks_.emplace_back(geom_.rows, tp_);
-        ranks_.back().banks.resize(geom_.banks);
-    }
+    for (unsigned r = 0; r < geom_.ranks; ++r)
+        ranks_.emplace_back(geom_.rows, tp_, geom_);
 }
 
 const BankState &
@@ -81,31 +101,53 @@ const RefreshEngine &
 DramDevice::refresh(RankId rank_idx) const
 {
     nuat_assert(rank_idx.value() < ranks_.size());
-    return ranks_[rank_idx.value()].refresh;
+    return ranks_[rank_idx.value()].engines.front();
+}
+
+const RefreshEngine &
+DramDevice::refreshFor(RankId rank_idx, BankId bank_idx) const
+{
+    nuat_assert(rank_idx.value() < ranks_.size() &&
+                bank_idx.value() < geom_.banks);
+    return ranks_[rank_idx.value()].engineFor(bank_idx);
+}
+
+Cycle
+DramDevice::nextRefreshDueAt(RankId rank_idx) const
+{
+    nuat_assert(rank_idx.value() < ranks_.size());
+    Cycle due = kNeverCycle;
+    for (const auto &eng : ranks_[rank_idx.value()].engines)
+        due = std::min(due, eng.nextDueAt());
+    return due;
 }
 
 bool
 DramDevice::refreshDue(Cycle now) const
 {
     for (const auto &r : ranks_) {
-        if (r.refresh.due(now))
-            return true;
+        for (const auto &eng : r.engines) {
+            if (eng.due(now))
+                return true;
+        }
     }
     return false;
 }
 
 RowTiming
-DramDevice::trueRowTiming(RankId rank_idx, RowId row, Cycle now) const
+DramDevice::trueRowTiming(RankId rank_idx, BankId bank_idx, RowId row,
+                          Cycle now) const
 {
-    const auto &eng = refresh(rank_idx);
+    const auto &eng = refreshFor(rank_idx, bank_idx);
     return derate_.effective(eng.elapsedSinceRefresh(row, now, clock_));
 }
 
 RowTiming
-DramDevice::faultedRowTiming(RankId rank_idx, RowId row, Cycle now) const
+DramDevice::faultedRowTiming(RankId rank_idx, BankId bank_idx, RowId row,
+                             Cycle now) const
 {
     if (!faults_)
-        return trueRowTiming(rank_idx, row, now);
+        return trueRowTiming(rank_idx, bank_idx, row, now);
     // Past the retention period the charge model can promise nothing
     // better than nominal timing, and the sense-amp response is only
     // calibrated up to retention; clamp so heavy leakage multipliers
@@ -122,6 +164,12 @@ DramDevice::attachFaultModel(FaultModel *faults)
 {
     nuat_assert(faults != nullptr);
     nuat_assert(!faults_, "(attachFaultModel called twice)");
+    // The fault world keys its ground truth on (rank, row); per-bank
+    // refresh would give the same row id a different refresh time per
+    // bank, which that keying cannot express.  ExperimentConfig
+    // rejects the combination up front; this is the backstop.
+    nuat_assert(tp_.refreshMode == RefreshMode::kAllBank,
+                "(fault injection requires all-bank refresh)");
     faults_ = faults;
 }
 
@@ -130,14 +178,20 @@ DramDevice::canIssueAct(const Command &cmd, Cycle now) const
 {
     const RankState &r = ranks_[cmd.rank.value()];
     const BankState &b = r.banks[cmd.bank.value()];
+    const BankGroupId g = geom_.bankGroupOf(cmd.bank);
     return b.isClosed() && now >= b.actAllowedAt() &&
-           now >= r.actAllowedAt && now >= r.refBusyUntil &&
+           now >= r.actAllowedAt &&
+           now >= r.groupActAllowedAt[g.value()] &&
+           now >= r.refBusyUntil &&
+           now >= r.refsbBusyUntil[cmd.bank.value()] &&
            !r.fawBlocked(now, tp_);
 }
 
 bool
 DramDevice::canIssueRef(const Command &cmd, Cycle now) const
 {
+    if (tp_.refreshMode != RefreshMode::kAllBank)
+        return false; // per-bank devices retire refresh via REFsb
     const RankState &r = ranks_[cmd.rank.value()];
     if (now < r.refBusyUntil)
         return false;
@@ -146,6 +200,21 @@ DramDevice::canIssueRef(const Command &cmd, Cycle now) const
             return false;
     }
     return true;
+}
+
+bool
+DramDevice::canIssueRefsb(const Command &cmd, Cycle now) const
+{
+    if (tp_.refreshMode != RefreshMode::kPerBank)
+        return false;
+    const RankState &r = ranks_[cmd.rank.value()];
+    if (!r.banks[cmd.bank.value()].prechargedAt(now))
+        return false;
+    if (now < r.refsbBusyUntil[cmd.bank.value()])
+        return false;
+    // Same-rank spacing between consecutive REFsb commands.
+    return r.lastRefsbAt == kNeverCycle ||
+           now >= r.lastRefsbAt + tp_.tREFSBRD;
 }
 
 bool
@@ -162,6 +231,8 @@ DramDevice::canIssue(const Command &cmd, Cycle now) const
     const RankState &r = ranks_[cmd.rank.value()];
     const BankState &b =
         r.banks[cmd.type == CmdType::kRef ? 0 : cmd.bank.value()];
+    const BankGroupId g = geom_.bankGroupOf(
+        cmd.type == CmdType::kRef ? BankId{0} : cmd.bank);
 
     switch (cmd.type) {
       case CmdType::kAct:
@@ -172,16 +243,20 @@ DramDevice::canIssue(const Command &cmd, Cycle now) const
       case CmdType::kReadAp:
         return !b.isClosed() && now >= b.rdAllowedAt() &&
                now >= rdIssueOkAt_ &&
+               now >= r.groupRdIssueOkAt[g.value()] &&
                (cmd.rank == lastDataRank_ ||
                 now + tp_.tCL >= lastDataEndAt_ + tp_.tRTRS);
       case CmdType::kWrite:
       case CmdType::kWriteAp:
         return !b.isClosed() && now >= b.wrAllowedAt() &&
                now >= wrIssueOkAt_ &&
+               now >= r.groupWrIssueOkAt[g.value()] &&
                (cmd.rank == lastDataRank_ ||
                 now + tp_.tCWL >= lastDataEndAt_ + tp_.tRTRS);
       case CmdType::kRef:
         return canIssueRef(cmd, now);
+      case CmdType::kRefsb:
+        return canIssueRefsb(cmd, now);
     }
     return false;
 }
@@ -212,7 +287,8 @@ DramDevice::issue(const Command &cmd, Cycle now)
       case CmdType::kAct: {
         // Ground truth: the requested timing may not be faster than
         // what the row's remaining charge physically supports.
-        const RowTiming min = trueRowTiming(cmd.rank, cmd.row, now);
+        const RowTiming min =
+            trueRowTiming(cmd.rank, cmd.bank, cmd.row, now);
         if (cmd.actTiming.trcd < min.trcd ||
             cmd.actTiming.tras < min.tras ||
             cmd.actTiming.trc < min.trc) {
@@ -234,7 +310,7 @@ DramDevice::issue(const Command &cmd, Cycle now)
         // responsible for driving this count back to rare.
         if (faults_) {
             const RowTiming fmin =
-                faultedRowTiming(cmd.rank, cmd.row, now);
+                faultedRowTiming(cmd.rank, cmd.bank, cmd.row, now);
             if (cmd.actTiming.trcd < fmin.trcd ||
                 cmd.actTiming.tras < fmin.tras ||
                 cmd.actTiming.trc < fmin.trc)
@@ -242,6 +318,8 @@ DramDevice::issue(const Command &cmd, Cycle now)
         }
         r.banks[cmd.bank.value()].onAct(now, cmd.row, cmd.actTiming);
         r.recordAct(now, tp_);
+        r.groupActAllowedAt[geom_.bankGroupOf(cmd.bank).value()] =
+            now + tp_.tRRD_L;
         ++counters_.acts;
         const Cycle red = tp_.tRCD - cmd.actTiming.trcd;
         ++counters_.actsByTrcdReduction[red < 16 ? red : 15];
@@ -260,9 +338,15 @@ DramDevice::issue(const Command &cmd, Cycle now)
             ++counters_.autoPres;
         }
         ++counters_.reads;
-        // Data-bus interleaving: back-to-back reads gap by tCCD; a
+        // Data-bus interleaving: back-to-back reads gap by tCCD
+        // (tCCD_L when the next one hits the same bank group); a
         // write after a read must leave the bus turnaround gap.
         rdIssueOkAt_ = std::max(rdIssueOkAt_, now + tp_.tCCD);
+        {
+            Cycle &gate = r.groupRdIssueOkAt[geom_.bankGroupOf(cmd.bank)
+                                                 .value()];
+            gate = std::max(gate, now + tp_.tCCD_L);
+        }
         wrIssueOkAt_ = std::max(
             wrIssueOkAt_, now + tp_.tCL + tp_.tBL + tp_.tRTW - tp_.tCWL);
         result.dataAt = now + tp_.tCL + tp_.tBL;
@@ -279,6 +363,11 @@ DramDevice::issue(const Command &cmd, Cycle now)
         }
         ++counters_.writes;
         wrIssueOkAt_ = std::max(wrIssueOkAt_, now + tp_.tCCD);
+        {
+            Cycle &gate = r.groupWrIssueOkAt[geom_.bankGroupOf(cmd.bank)
+                                                 .value()];
+            gate = std::max(gate, now + tp_.tCCD_L);
+        }
         // A read after a write waits for write data plus tWTR.
         rdIssueOkAt_ = std::max(rdIssueOkAt_,
                                 now + tp_.tCWL + tp_.tBL + tp_.tWTR);
@@ -286,18 +375,37 @@ DramDevice::issue(const Command &cmd, Cycle now)
         lastDataEndAt_ = now + tp_.tCWL + tp_.tBL;
         break;
       case CmdType::kRef: {
-        const Cycle due = r.refresh.nextDueAt();
+        RefreshEngine &eng = r.engines.front();
+        const Cycle due = eng.nextDueAt();
         if (now > due + tp_.maxRefreshSlack) {
             nuat_panic("REF %llu cycles late: PBR rated timing is only "
                        "guaranteed within the refresh-slack guard",
                        static_cast<unsigned long long>(now - due));
         }
         if (faults_)
-            faults_->onRefresh(cmd.rank, r.refresh.nextRow(), now);
-        r.refresh.performRefresh(now);
+            faults_->onRefresh(cmd.rank, eng.nextRow(), now);
+        eng.performRefresh(now);
         r.refBusyUntil = now + tp_.tRFC;
         for (auto &b : r.banks)
             b.onRefresh(r.refBusyUntil);
+        ++counters_.refreshes;
+        break;
+      }
+      case CmdType::kRefsb: {
+        RefreshEngine &eng = r.engineFor(cmd.bank);
+        const Cycle due = eng.nextDueAt();
+        if (now > due + tp_.maxRefreshSlack) {
+            nuat_panic("REFSB bank %u %llu cycles late: PBR rated "
+                       "timing is only guaranteed within the "
+                       "refresh-slack guard",
+                       cmd.bank.value(),
+                       static_cast<unsigned long long>(now - due));
+        }
+        eng.performRefresh(now);
+        r.refsbBusyUntil[cmd.bank.value()] = now + tp_.tRFCpb;
+        r.lastRefsbAt = now;
+        r.banks[cmd.bank.value()].onRefresh(
+            r.refsbBusyUntil[cmd.bank.value()]);
         ++counters_.refreshes;
         break;
       }

@@ -36,19 +36,53 @@ class FaultModel;
 class RankState
 {
   public:
-    RankState(std::uint32_t rows, const TimingParams &tp);
+    /**
+     * @param rows      rows per bank
+     * @param tp        timing parameters (incl. refreshMode)
+     * @param num_banks banks in this rank
+     * @param geom      geometry (bank-group dimension)
+     */
+    RankState(std::uint32_t rows, const TimingParams &tp,
+              const DramGeometry &geom);
 
     /** Per-bank state, indexed by bank id. */
     std::vector<BankState> banks;
 
-    /** Refresh counter / schedule / ground truth for this rank. */
-    RefreshEngine refresh;
+    /**
+     * Refresh counter / schedule / ground truth.  One rank-wide engine
+     * in all-bank mode; one engine per bank under per-bank refresh,
+     * phase-staggered so the REFsb deadlines spread over the interval.
+     */
+    std::vector<RefreshEngine> engines;
+
+    /** The engine that owns @p bank's rows. */
+    const RefreshEngine &engineFor(BankId bank) const
+    {
+        return engines[engines.size() == 1 ? 0 : bank.value()];
+    }
+    RefreshEngine &engineFor(BankId bank)
+    {
+        return engines[engines.size() == 1 ? 0 : bank.value()];
+    }
 
     /** Earliest cycle the next ACT may issue (tRRD). */
     Cycle actAllowedAt = 0;
 
     /** End of the in-flight REF's tRFC window. */
     Cycle refBusyUntil = 0;
+
+    /** End of the in-flight REFsb's tRFCpb window, per bank. */
+    std::vector<Cycle> refsbBusyUntil;
+
+    /** Issue time of the last REFsb to this rank (tREFSBRD spacing). */
+    Cycle lastRefsbAt = kNeverCycle;
+
+    /** Earliest next ACT per bank group (tRRD_L). */
+    std::vector<Cycle> groupActAllowedAt;
+
+    /** Earliest next read / write per bank group (tCCD_L). */
+    std::vector<Cycle> groupRdIssueOkAt;
+    std::vector<Cycle> groupWrIssueOkAt;
 
     /** Issue times of recent ACTs, for the four-activate window. */
     std::deque<Cycle> actWindow;
@@ -109,24 +143,37 @@ class DramDevice
     /** Rank state accessor. */
     const RankState &rank(RankId rank_idx) const;
 
-    /** Refresh engine of @p rank_idx (PBR reads this). */
+    /**
+     * Refresh engine of @p rank_idx (PBR reads this).  In all-bank
+     * mode this is *the* rank engine; under per-bank refresh it is
+     * bank 0's engine — bank-sensitive callers use refreshFor().
+     */
     const RefreshEngine &refresh(RankId rank_idx = RankId{0}) const;
 
-    /** True when any rank has a REF due at @p now. */
+    /** The refresh engine owning (@p rank_idx, @p bank_idx)'s rows. */
+    const RefreshEngine &refreshFor(RankId rank_idx,
+                                    BankId bank_idx) const;
+
+    /** Earliest next refresh deadline across @p rank_idx's engines. */
+    Cycle nextRefreshDueAt(RankId rank_idx) const;
+
+    /** True when any rank has a REF / REFsb due at @p now. */
     bool refreshDue(Cycle now) const;
 
     /**
      * The row's true minimum activation timing at @p now, from the
      * charge model.  Exposed for tests and the pb_explorer example.
      */
-    RowTiming trueRowTiming(RankId rank, RowId row, Cycle now) const;
+    RowTiming trueRowTiming(RankId rank, BankId bank, RowId row,
+                            Cycle now) const;
 
     /**
      * Like trueRowTiming, but through the attached FaultModel's view
      * of the world (weak cells, temperature, VRT, disturbed REFs).
      * Falls back to trueRowTiming when no model is attached.
      */
-    RowTiming faultedRowTiming(RankId rank, RowId row, Cycle now) const;
+    RowTiming faultedRowTiming(RankId rank, BankId bank, RowId row,
+                               Cycle now) const;
 
     /**
      * Attach the fault world (not owned; must outlive the device).
@@ -163,6 +210,7 @@ class DramDevice
   private:
     bool canIssueAct(const Command &cmd, Cycle now) const;
     bool canIssueRef(const Command &cmd, Cycle now) const;
+    bool canIssueRefsb(const Command &cmd, Cycle now) const;
 
     BankState &bankRef(RankId rank, BankId bank_idx);
 

@@ -1,0 +1,201 @@
+#include "dram_spec.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+namespace {
+
+/**
+ * The paper's device: a default-constructed TimingParams/DramGeometry
+ * *is* this table (dram_spec_test pins that), so every pre-existing
+ * DDR3 run — goldens included — is bit-identical to the preset path.
+ */
+DramSpec
+ddr3_1600()
+{
+    DramSpec s{};
+    s.name = "ddr3-1600";
+    s.generation = DramGen::kDdr3_1600;
+    s.busMhz = 800.0;
+    s.cpuPerMemCycle = 4; // 3.2 GHz core (Table 3)
+    s.geometry = DramGeometry{};
+    s.timing = TimingParams{};
+    s.ns = {Nanoseconds{15.0}, Nanoseconds{37.5}, Nanoseconds{15.0},
+            Nanoseconds{160.0}, Nanoseconds{7800.0}};
+    return s;
+}
+
+/** DDR4-2400: 1200 MHz bus, 16 banks in 4 groups, 8 Gb-class tRFC. */
+DramSpec
+ddr4_2400()
+{
+    DramSpec s{};
+    s.name = "ddr4-2400";
+    s.generation = DramGen::kDdr4_2400;
+    s.busMhz = 1200.0;
+    s.cpuPerMemCycle = 3; // 3.6 GHz core
+
+    s.geometry = DramGeometry{};
+    s.geometry.banks = 16;
+    s.geometry.bankGroups = 4;
+    s.geometry.rows = 16384;
+
+    TimingParams &t = s.timing;
+    t.tRCD = 17; // 14.16 ns
+    t.tRAS = 39; // 32 ns
+    t.tRP = 17;  // 14.16 ns
+    t.tRC = 56;  // tRAS + tRP
+    t.tCL = 17;
+    t.tCWL = 12;
+    t.tBL = 4;    // BL8
+    t.tCCD = 4;   // tCCD_S
+    t.tRRD = 4;   // tRRD_S, 3.3 ns
+    t.tFAW = 26;  // 21 ns
+    t.tCCD_L = 6; // 5 ns
+    t.tRRD_L = 6; // 4.9 ns
+    t.tWTR = 9;   // tWTR_L, 7.5 ns
+    t.tRTW = 2;
+    t.tRTP = 9; // 7.5 ns
+    t.tWR = 18; // 15 ns
+    t.tRTRS = 2;
+    t.tRFC = 420;   // 350 ns (8 Gb)
+    t.tREFI = 4680; // 3.9 us per row group (16K rows in 64 ms)
+    t.tRFCpb = 192; // 160 ns
+    t.tREFSBRD = 0; // DDR4 REFsb has no same-rank spacing constraint
+    t.refreshMode = RefreshMode::kAllBank;
+    t.maxRefreshSlack = 600000; // 0.5 ms at 0.833 ns/cycle
+
+    s.ns = {Nanoseconds{14.16}, Nanoseconds{32.0}, Nanoseconds{14.16},
+            Nanoseconds{350.0}, Nanoseconds{3900.0}};
+    return s;
+}
+
+/**
+ * DDR5-4800: 2400 MHz bus, 32 banks in 8 groups, same-bank refresh by
+ * default (the generation this PR exists to answer questions about).
+ */
+DramSpec
+ddr5_4800()
+{
+    DramSpec s{};
+    s.name = "ddr5-4800";
+    s.generation = DramGen::kDdr5_4800;
+    s.busMhz = 2400.0;
+    s.cpuPerMemCycle = 2; // 4.8 GHz core
+
+    s.geometry = DramGeometry{};
+    s.geometry.banks = 32;
+    s.geometry.bankGroups = 8;
+    s.geometry.rows = 16384;
+
+    TimingParams &t = s.timing;
+    t.tRCD = 40; // 16.666 ns (4800B bin)
+    t.tRAS = 77; // 32 ns
+    t.tRP = 40;  // 16.666 ns
+    t.tRC = 117; // tRAS + tRP
+    t.tCL = 40;
+    t.tCWL = 38;
+    t.tBL = 8;     // BL16
+    t.tCCD = 8;    // tCCD_S, 8 tCK
+    t.tRRD = 8;    // tRRD_S
+    t.tFAW = 32;   // 13.333 ns
+    t.tCCD_L = 12; // 5 ns
+    t.tRRD_L = 12; // 5 ns
+    t.tWTR = 24;   // tWTR_L, 10 ns
+    t.tRTW = 2;
+    t.tRTP = 18; // 7.5 ns
+    t.tWR = 72;  // 30 ns
+    t.tRTRS = 2;
+    t.tRFC = 708;    // 295 ns (16 Gb)
+    t.tREFI = 9360;  // 3.9 us per row group (16K rows in 64 ms)
+    t.tRFCpb = 312;  // tRFCsb, 130 ns
+    t.tREFSBRD = 72; // 30 ns between REFsb to the same rank
+    t.refreshMode = RefreshMode::kPerBank;
+    t.maxRefreshSlack = 1200000; // 0.5 ms at 0.417 ns/cycle
+
+    s.ns = {Nanoseconds{16.666}, Nanoseconds{32.0}, Nanoseconds{16.666},
+            Nanoseconds{295.0}, Nanoseconds{3900.0}};
+    return s;
+}
+
+} // namespace
+
+const DramSpec *
+DramSpec::allPresets()
+{
+    static const DramSpec presets[kNumDramGens] = {ddr3_1600(),
+                                                   ddr4_2400(),
+                                                   ddr5_4800()};
+    return presets;
+}
+
+const DramSpec &
+DramSpec::preset(DramGen gen)
+{
+    const auto idx = static_cast<unsigned>(gen);
+    nuat_assert(idx < kNumDramGens);
+    const DramSpec &s = allPresets()[idx];
+    nuat_assert(s.generation == gen, "(preset table out of order)");
+    return s;
+}
+
+const DramSpec *
+DramSpec::byName(std::string_view name)
+{
+    for (unsigned i = 0; i < kNumDramGens; ++i) {
+        if (name == allPresets()[i].name)
+            return &allPresets()[i];
+    }
+    return nullptr;
+}
+
+const char *
+dramGenName(DramGen gen)
+{
+    switch (gen) {
+      case DramGen::kDdr3_1600:
+        return "DDR3-1600";
+      case DramGen::kDdr4_2400:
+        return "DDR4-2400";
+      case DramGen::kDdr5_4800:
+        return "DDR5-4800";
+    }
+    return "?";
+}
+
+void
+DramSpec::validate() const
+{
+    nuat_assert(name != nullptr && busMhz > 0.0 && cpuPerMemCycle > 0);
+    geometry.validate();
+    timing.validate();
+
+    // The cycle columns must be exactly what the datasheet anchors
+    // round to at this spec's own clock — a preset edited on one side
+    // only fails here, not in some downstream timing drift.
+    const Clock clk = clock();
+    nuat_assert(clk.toCyclesCeil(ns.trcd) == timing.tRCD,
+                "(tRCD cycles disagree with the ns anchor)");
+    nuat_assert(clk.toCyclesCeil(ns.tras) == timing.tRAS,
+                "(tRAS cycles disagree with the ns anchor)");
+    nuat_assert(clk.toCyclesCeil(ns.trp) == timing.tRP,
+                "(tRP cycles disagree with the ns anchor)");
+    nuat_assert(clk.toCyclesCeil(ns.trfc) == timing.tRFC,
+                "(tRFC cycles disagree with the ns anchor)");
+    nuat_assert(clk.toCyclesCeil(ns.trefi) == timing.tREFI,
+                "(tREFI cycles disagree with the ns anchor)");
+
+    // One full rotation of the refresh counter must take one 64 ms
+    // retention period (paper Sec. 4) — PBR's slice widths and the
+    // charge model's decay horizon both assume it.
+    const Nanoseconds rotation =
+        clk.toNs(timing.tREFI) * static_cast<double>(geometry.rows);
+    nuat_assert(std::abs(rotation.value() - 64e6) < 64e6 * 0.02,
+                "(refresh rotation %f ms != 64 ms retention)",
+                rotation.value() / 1e6);
+}
+
+} // namespace nuat

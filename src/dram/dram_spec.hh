@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Data-driven DRAM generation tables.
+ *
+ * A DramSpec bundles everything that distinguishes one DRAM generation
+ * from another — bus clock, CPU:bus clock ratio, geometry (banks, bank
+ * groups, rows) and the full timing constraint set, including the
+ * per-bank refresh and bank-group parameters DDR3 lacks.  The presets
+ * below are plain static tables, not subclasses: selecting a
+ * generation at runtime (`--dram-gen ddr4-2400`,
+ * `ExperimentConfig::applyDramGen`) copies one table into the config
+ * and every layer downstream (device, controller, PBR, auditor,
+ * power model) reads the same numbers.
+ *
+ * The ddr3-1600 preset is field-for-field identical to the
+ * default-constructed TimingParams/DramGeometry, which is what keeps
+ * the pre-existing DDR3 golden snapshots byte-identical.
+ */
+
+#ifndef NUAT_DRAM_DRAM_SPEC_HH
+#define NUAT_DRAM_DRAM_SPEC_HH
+
+#include <string_view>
+
+#include "common/units.hh"
+#include "timing_params.hh"
+
+namespace nuat {
+
+/** The DRAM generations with a preset table. */
+enum class DramGen : std::uint8_t
+{
+    kDdr3_1600, //!< the paper's Table 3 device (default)
+    kDdr4_2400, //!< 1200 MHz bus, 16 banks in 4 groups
+    kDdr5_4800, //!< 2400 MHz bus, 32 banks in 8 groups, REFsb default
+};
+
+/** Number of DramGen values (for iteration). */
+inline constexpr unsigned kNumDramGens = 3;
+
+/**
+ * Datasheet anchors [ns] the headline cycle values were derived from.
+ * Kept in the table so tests can prove the cycle columns agree with
+ * the analog quantities at the preset's own clock — a stale
+ * hand-converted constant fails loudly instead of silently shifting a
+ * timing by a cycle.
+ */
+struct SpecNsAnchors
+{
+    Nanoseconds trcd;  //!< ACT to column command
+    Nanoseconds tras;  //!< ACT to PRE
+    Nanoseconds trp;   //!< PRE to ACT
+    Nanoseconds trfc;  //!< all-bank refresh cycle time
+    Nanoseconds trefi; //!< per-row refresh interval
+};
+
+/** One DRAM generation: clocking + geometry + timing as data. */
+struct DramSpec
+{
+    const char *name;        //!< CLI spelling, e.g. "ddr4-2400"
+    DramGen generation;
+    double busMhz;           //!< memory bus clock [MHz]
+    unsigned cpuPerMemCycle; //!< whole CPU cycles per bus cycle
+    DramGeometry geometry;
+    TimingParams timing;
+    SpecNsAnchors ns;        //!< datasheet anchors for the cycle values
+
+    /** The bus clock as a Clock (cycle <-> ns conversions). */
+    Clock clock() const { return Clock{busMhz}; }
+
+    /** Implied CPU core clock [MHz]. */
+    double cpuMhz() const { return busMhz * cpuPerMemCycle; }
+
+    /**
+     * Sanity-check the table: geometry/timing validate, the ns anchors
+     * reproduce the cycle values at this spec's clock, and one full
+     * refresh rotation of the row space lands on the 64 ms retention
+     * period (the invariant NUAT's PB slicing is built on).
+     */
+    void validate() const;
+
+    /** The preset table for @p gen (static storage). */
+    static const DramSpec &preset(DramGen gen);
+
+    /** Look up a preset by CLI name; nullptr when unknown. */
+    static const DramSpec *byName(std::string_view name);
+
+    /** All presets, in DramGen order (for sweeps and tests). */
+    static const DramSpec *allPresets(); //!< kNumDramGens entries
+};
+
+/** Display name of @p gen (e.g. "DDR4-2400"; the CLI spelling is the
+ *  lowercase preset name). */
+const char *dramGenName(DramGen gen);
+
+} // namespace nuat
+
+#endif // NUAT_DRAM_DRAM_SPEC_HH

@@ -5,27 +5,38 @@
 namespace nuat {
 
 RefreshEngine::RefreshEngine(std::uint32_t rows, const TimingParams &tp)
+    : RefreshEngine(rows, tp, tp.refInterval())
+{
+}
+
+RefreshEngine::RefreshEngine(std::uint32_t rows, const TimingParams &tp,
+                             Cycle first_due_at)
     : rows_(rows), rowsPerRef_(tp.rowsPerRef), interval_(tp.refInterval())
 {
     nuat_assert(rows_ > 0 && rowsPerRef_ > 0);
     nuat_assert(rows_ % rowsPerRef_ == 0,
                 "(rows %u not divisible by rowsPerRef %u)", rows_,
                 rowsPerRef_);
+    nuat_assert(first_due_at > 0 && first_due_at <= interval_,
+                "(refresh phase outside (0, interval])");
 
-    // Steady-state history: group g of rowsPerRef rows was refreshed
-    // (G - 1 - g) intervals before cycle 0, so the counter is at row 0
-    // with the first REF due one interval in.
+    // Steady-state history: with the first REF due at phase d, group g
+    // of rowsPerRef rows was last refreshed at d - (G - g) intervals —
+    // strictly before cycle 0, evenly spaced, with group G-1 the
+    // freshest.  At d == interval this is the classic schedule (last
+    // group refreshed exactly at cycle 0).
     const std::uint32_t groups = rows_ / rowsPerRef_;
     lastRefreshAt_.resize(rows_);
     for (std::uint32_t g = 0; g < groups; ++g) {
         const std::int64_t at =
-            -static_cast<std::int64_t>(groups - 1 - g) *
-            static_cast<std::int64_t>(interval_);
+            static_cast<std::int64_t>(first_due_at) -
+            static_cast<std::int64_t>(groups - g) *
+                static_cast<std::int64_t>(interval_);
         for (unsigned r = 0; r < rowsPerRef_; ++r)
             lastRefreshAt_[g * rowsPerRef_ + r] = at;
     }
     nextRow_ = 0;
-    nextDueAt_ = interval_;
+    nextDueAt_ = first_due_at;
 }
 
 void

@@ -44,6 +44,18 @@ class RefreshEngine
      */
     RefreshEngine(std::uint32_t rows, const TimingParams &tp);
 
+    /**
+     * Like the two-argument constructor, but with the first REF due at
+     * @p first_due_at in (0, interval] instead of a full interval in.
+     * The steady-state history shifts with the phase (group g was last
+     * refreshed at first_due_at - (groups - g) * interval, never in
+     * the future), which is how per-bank refresh staggers its banks so
+     * their REFsb commands don't all land on the same cycle.  A phase
+     * of interval() reproduces the default schedule exactly.
+     */
+    RefreshEngine(std::uint32_t rows, const TimingParams &tp,
+                  Cycle first_due_at);
+
     /** Deadline of the next REF command [cycle]. */
     Cycle nextDueAt() const { return nextDueAt_; }
 

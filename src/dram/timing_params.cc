@@ -16,9 +16,17 @@ TimingParams::validate() const
     nuat_assert(tBL > 0 && tCCD >= tBL);
     nuat_assert(tCL > 0 && tCWL > 0);
     nuat_assert(tFAW >= tRRD, "(tFAW must cover at least one tRRD)");
+    nuat_assert(tCCD_L >= tCCD,
+                "(same-group column gap cannot beat the global one)");
+    nuat_assert(tRRD_L >= tRRD,
+                "(same-group ACT gap cannot beat the global one)");
     nuat_assert(rowsPerRef > 0);
     nuat_assert(tRFC > 0 && tREFI > tRFC,
                 "(refresh would saturate the device)");
+    nuat_assert(tRFCpb > 0 && tRFCpb <= tRFC,
+                "(single-bank refresh cannot outlast all-bank)");
+    nuat_assert(tREFI > tRFCpb,
+                "(per-bank refresh would saturate the device)");
 }
 
 void
@@ -33,6 +41,9 @@ DramGeometry::validate() const
                 "(cache line smaller than a device column)");
     nuat_assert(columns * columnBytes >= lineBytes,
                 "(row smaller than a cache line)");
+    nuat_assert(bankGroups > 0 && isPowerOfTwo(bankGroups));
+    nuat_assert(banks % bankGroups == 0,
+                "(bank groups must partition the banks evenly)");
 }
 
 } // namespace nuat

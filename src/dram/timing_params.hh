@@ -1,11 +1,16 @@
 /**
  * @file
- * DDR3 timing parameters and device geometry.
+ * DRAM timing parameters and device geometry.
  *
- * All timing values are in memory-bus clock cycles (800 MHz, tCK =
- * 1.25 ns, DDR3-1600).  The activation-related defaults (tRCD 15 ns,
- * tRAS 37.5 ns, tRC 52.5 ns) follow the paper's Table 3 (SK Hynix DDR3
- * datasheet); the rest are standard DDR3-1600 values.
+ * All timing values are in memory-bus clock cycles.  The *defaults*
+ * are the paper's DDR3-1600 device (800 MHz, tCK = 1.25 ns): the
+ * activation-related numbers (tRCD 15 ns, tRAS 37.5 ns, tRC 52.5 ns)
+ * follow Table 3 (SK Hynix DDR3 datasheet), the rest are standard
+ * DDR3-1600 values.  Other generations come from the preset tables in
+ * dram_spec.hh; the DDR4/DDR5-only fields below (bank-group timings,
+ * per-bank refresh) default to values that make them degenerate on
+ * DDR3 — one bank group, tCCD_L == tCCD, all-bank refresh — so a
+ * default-constructed TimingParams still *is* the paper's device.
  */
 
 #ifndef NUAT_DRAM_TIMING_PARAMS_HH
@@ -15,7 +20,18 @@
 
 namespace nuat {
 
-/** DDR3 timing constraint set [memory-bus cycles]. */
+/**
+ * How the device retires its refresh obligation (DDR5 sec. 4.10):
+ * one all-bank REF covering every bank of the rank, or per-bank REFsb
+ * commands that refresh a single bank while the others keep serving.
+ */
+enum class RefreshMode : std::uint8_t
+{
+    kAllBank, //!< classic REF: rank-wide, tRFC blackout
+    kPerBank, //!< REFsb: one bank at a time, tRFCpb each
+};
+
+/** DRAM timing constraint set [memory-bus cycles]. */
 struct TimingParams
 {
     Cycle tRCD = 12; //!< ACT to column command (15 ns)
@@ -31,6 +47,16 @@ struct TimingParams
     Cycle tRRD = 6;  //!< ACT to ACT, different banks (7.5 ns)
     Cycle tFAW = 32; //!< four-activate window (40 ns)
 
+    /**
+     * Bank-group-local variants (DDR4/DDR5): a column command or ACT
+     * targeting the *same bank group* as its predecessor pays the long
+     * gap; cross-group traffic pays only tCCD / tRRD.  DDR3 has no
+     * bank groups, so the defaults equal the short timings and the
+     * group gate collapses to the global one.
+     */
+    Cycle tCCD_L = 4; //!< column to column, same bank group
+    Cycle tRRD_L = 6; //!< ACT to ACT, same bank group
+
     Cycle tWTR = 6;  //!< write data end to read command (7.5 ns)
     Cycle tRTW = 2;  //!< read-to-write data-bus turnaround gap
     Cycle tRTP = 6;  //!< read command to PRE (7.5 ns)
@@ -40,6 +66,20 @@ struct TimingParams
 
     Cycle tRFC = 128;  //!< refresh cycle time (160 ns, 2 Gb device)
     Cycle tREFI = 6240; //!< per-row refresh interval (7.8 us)
+
+    /**
+     * Per-bank refresh (REFsb) parameters.  tRFCpb is the single-bank
+     * refresh cycle time (strictly shorter than the all-bank tRFC);
+     * tREFSBRD is the minimum spacing between two REFsb commands to
+     * the *same rank* (different banks).  Both are inert in
+     * RefreshMode::kAllBank — the DDR3 defaults just keep validate()
+     * happy.
+     */
+    Cycle tRFCpb = 128;  //!< refresh cycle time, one bank (REFsb)
+    Cycle tREFSBRD = 0;  //!< REFsb to REFsb, same rank
+
+    /** Refresh command style the device runs in. */
+    RefreshMode refreshMode = RefreshMode::kAllBank;
 
     /** Rows refreshed by one REF command (paper Sec. 4: 8 is common). */
     unsigned rowsPerRef = 8;
@@ -70,6 +110,23 @@ struct DramGeometry
     std::uint32_t columns = 1024; //!< device columns per row
     unsigned lineBytes = 64;    //!< cache-line size
     unsigned columnBytes = 8;   //!< bytes per device column (x64 bus)
+
+    /**
+     * Bank groups per rank (DDR4: 4, DDR5: 8).  DDR3 has none, which
+     * the model expresses as a single group spanning every bank.
+     */
+    unsigned bankGroups = 1;
+
+    /**
+     * The bank group @p bank belongs to.  Low bank bits select the
+     * group, so mappings that stripe consecutive lines across banks
+     * automatically alternate bank groups — the layout JEDEC chose for
+     * exactly that reason.
+     */
+    BankGroupId bankGroupOf(BankId bank) const
+    {
+        return BankGroupId{bank.value() % bankGroups};
+    }
 
     /** Cache lines per row (the column granularity we schedule at). */
     std::uint32_t linesPerRow() const

@@ -18,6 +18,7 @@ struct MemoryController::CtrlMetrics
     Counter *cmdWrite;
     Counter *cmdWriteAp;
     Counter *cmdRef;
+    Counter *cmdRefsb;
     Counter *forcedPre; //!< PREs forced by refresh draining
     Counter *readsForwarded;
     Counter *readsMerged;
@@ -51,6 +52,8 @@ MemoryController::attachMetrics(MetricRegistry &registry,
     m.cmdWriteAp = &registry.counter(p + "cmd_write_ap",
                                      "WRITE+auto-precharge commands");
     m.cmdRef = &registry.counter(p + "cmd_ref", "REF commands issued");
+    m.cmdRefsb = &registry.counter(p + "cmd_refsb",
+                                   "REFSB (per-bank refresh) commands");
     m.forcedPre = &registry.counter(
         p + "forced_pre", "PREs forced while draining for refresh");
     m.readsForwarded = &registry.counter(
@@ -250,6 +253,9 @@ MemoryController::processCompletions(Cycle now)
 bool
 MemoryController::handleRefresh(Cycle now)
 {
+    if (dev_.timing().refreshMode == RefreshMode::kPerBank)
+        return handlePerBankRefresh(now);
+
     for (unsigned r = 0; r < dev_.geometry().ranks; ++r) {
         const RankId rank{r};
         if (!dev_.refresh(rank).due(now))
@@ -291,6 +297,53 @@ MemoryController::handleRefresh(Cycle now)
     return false;
 }
 
+bool
+MemoryController::handlePerBankRefresh(Cycle now)
+{
+    // Per-bank refresh only drains the *target* bank: the rest of the
+    // rank keeps servicing requests during the REFsb's tRFCpb window —
+    // the property the DDR5 sweep exists to measure.
+    for (unsigned r = 0; r < dev_.geometry().ranks; ++r) {
+        const RankId rank{r};
+        for (unsigned b = 0; b < dev_.geometry().banks; ++b) {
+            const BankId bank{b};
+            if (!dev_.refreshFor(rank, bank).due(now))
+                continue;
+
+            Command refsb;
+            refsb.type = CmdType::kRefsb;
+            refsb.rank = rank;
+            refsb.bank = bank;
+            if (dev_.canIssue(refsb, now)) {
+                dev_.issue(refsb, now);
+                NUAT_METRIC(if (metrics_) metrics_->cmdRefsb->inc());
+                scheduler_->onIssue(refsb, makeContext(now));
+                return true;
+            }
+
+            if (!dev_.bank(rank, bank).isClosed()) {
+                Command pre;
+                pre.type = CmdType::kPre;
+                pre.rank = rank;
+                pre.bank = bank;
+                if (dev_.canIssue(pre, now)) {
+                    dev_.issue(pre, now);
+                    NUAT_METRIC(if (metrics_) {
+                        metrics_->cmdPre->inc();
+                        metrics_->forcedPre->inc();
+                    });
+                    scheduler_->onIssue(pre, makeContext(now));
+                    return true;
+                }
+            }
+            // Target bank still busy (tRAS / tRTP / tWR / tREFSBRD);
+            // its candidates are suppressed below, so it quiesces.
+            // Keep scanning: another bank's REFsb may be issuable now.
+        }
+    }
+    return false;
+}
+
 void
 MemoryController::enumerate(Cycle now, std::vector<Candidate> &out)
 {
@@ -317,8 +370,8 @@ MemoryController::enumerate(Cycle now, std::vector<Candidate> &out)
                             dev_.timing().tRC};
 
     auto addForRequest = [&](Request *req) {
-        if (dev_.refresh(req->rank).due(now))
-            return; // rank is draining for refresh
+        if (dev_.refreshFor(req->rank, req->bank).due(now))
+            return; // rank (or this bank) is draining for refresh
         const BankState &b = dev_.bank(req->rank, req->bank);
         const std::size_t flat =
             req->rank.value() * banks + req->bank.value();
@@ -419,7 +472,8 @@ MemoryController::issueCandidate(Candidate &cand, Cycle now)
         break;
       }
       case CmdType::kRef:
-        nuat_panic("REF must not come from the scheduler");
+      case CmdType::kRefsb:
+        nuat_panic("refresh must not come from the scheduler");
     }
 }
 

@@ -224,6 +224,11 @@ class MemoryController : public MemoryPort
      *  (or must stay reserved) for refresh this cycle. */
     bool handleRefresh(Cycle now);
 
+    /** handleRefresh body for per-bank (REFsb) mode: drains and
+     *  refreshes only the due bank, leaving the rest of the rank
+     *  schedulable. */
+    bool handlePerBankRefresh(Cycle now);
+
     /** Enumerate all legal candidates at @p now into @p out. */
     void enumerate(Cycle now, std::vector<Candidate> &out);
 

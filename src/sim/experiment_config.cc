@@ -25,14 +25,38 @@ schedulerKindName(SchedulerKind kind)
 }
 
 void
+ExperimentConfig::applyDramGen(DramGen gen)
+{
+    const DramSpec &spec = DramSpec::preset(gen);
+    dramGen = gen;
+    busMhz = spec.busMhz;
+    cpuPerMem = spec.cpuPerMemCycle;
+    geometry = spec.geometry;
+    timing = spec.timing;
+}
+
+void
+ExperimentConfig::applyDramGen(DramGen gen, RefreshMode refresh_mode)
+{
+    applyDramGen(gen);
+    timing.refreshMode = refresh_mode;
+}
+
+void
 ExperimentConfig::validate() const
 {
     nuat_assert(!workloads.empty(), "(no workloads configured)");
     nuat_assert(numPb >= 1 && numPb <= 8);
     nuat_assert(memOpsPerCore > 0);
     nuat_assert(maxMemCycles > 0);
+    nuat_assert(busMhz > 0.0 && cpuPerMem >= 1);
     nuat_assert(!metricsEnabled() || metricsInterval > 0,
                 "(metricsInterval must be positive)");
+    // The fault world is keyed by (rank, row) rank-wide; per-bank
+    // refresh would need per-bank restore routing it does not model.
+    nuat_assert(!faultsEnabled() ||
+                    timing.refreshMode == RefreshMode::kAllBank,
+                "(fault injection requires all-bank refresh)");
     geometry.validate();
     timing.validate();
 }

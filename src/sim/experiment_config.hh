@@ -15,6 +15,7 @@
 #include "core/nuat_config.hh"
 #include "cpu/rob.hh"
 #include "dram/dram_device.hh"
+#include "dram/dram_spec.hh"
 #include "dram/power_model.hh"
 #include "mem/memory_controller.hh"
 #include "trace/workload_profile.hh"
@@ -75,11 +76,43 @@ struct ExperimentConfig
      *  (see NuatConfig::starvationLimit). */
     Cycle nuatStarvationLimit = 200;
 
+    /**
+     * DRAM generation this run models.  geometry / timing / busMhz /
+     * cpuPerMem below are *copies* of the preset (kept as plain fields
+     * so individual knobs stay overridable after applyDramGen); the
+     * enum is carried so reports can name the generation.
+     */
+    DramGen dramGen = DramGen::kDdr3_1600;
+
+    /** Memory bus clock [MHz] (one cycle = one TimingParams cycle). */
+    double busMhz = 800.0;
+
+    /** CPU cycles per memory cycle (integer lockstep ratio). */
+    unsigned cpuPerMem = 4;
+
     DramGeometry geometry;
     TimingParams timing;
     ControllerConfig controller;
     ChargeParams charge;
     RobParams rob;
+
+    /**
+     * Load @p gen's preset into dramGen / busMhz / cpuPerMem /
+     * geometry / timing, optionally overriding the preset's refresh
+     * mode (e.g. to run DDR5 with legacy all-bank REF).  Call before
+     * tweaking individual fields.
+     */
+    void applyDramGen(DramGen gen);
+    void applyDramGen(DramGen gen, RefreshMode refresh_mode);
+
+    /** The memory bus clock as a Clock. */
+    Clock memClock() const { return Clock{busMhz}; }
+
+    /** The CPU clock implied by busMhz x cpuPerMem. */
+    Clock cpuClock() const
+    {
+        return Clock{busMhz * static_cast<double>(cpuPerMem)};
+    }
 
     /** Memory operations per core trace. */
     std::uint64_t memOpsPerCore = 150000;
@@ -181,6 +214,9 @@ struct RunResult
 
     Cycle memCycles = 0; //!< memory cycles until the last core finished
     bool hitCycleCap = false;
+
+    /** Memory bus clock of the run [MHz] (for ns display only). */
+    double busMhz = 800.0;
 
     /** Memory cycles covered by the idle fast-forward (0 when off). */
     Cycle idleCyclesSkipped = 0;

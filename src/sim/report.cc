@@ -31,7 +31,7 @@ summarizeRun(const RunResult &r)
         r.schedulerName.c_str(), workloadLabel(r.workloads).c_str(),
         static_cast<unsigned long long>(r.ctrl.readsCompleted),
         r.avgReadLatency(),
-        kMemClock.toNs(1).value() * r.avgReadLatency(),
+        Clock{r.busMhz}.toNs(1).value() * r.avgReadLatency(),
         r.hitRateEq3,
         static_cast<unsigned long long>(r.executionTime()),
         r.hitCycleCap ? " [CYCLE CAP HIT]" : "");
@@ -49,7 +49,7 @@ compareRuns(const std::vector<RunResult> &results)
                       TablePrinter::num(r.avgReadLatency(), 1),
                       TablePrinter::num(r.readLatencyPercentile(0.99),
                                         0),
-                      TablePrinter::num(kMemClock.toNs(1).value() *
+                      TablePrinter::num(Clock{r.busMhz}.toNs(1).value() *
                                             r.avgReadLatency(),
                                         1),
                       std::to_string(r.executionTime()),
@@ -66,13 +66,17 @@ describeConfig(const ExperimentConfig &cfg)
     char buf[640];
     std::snprintf(
         buf, sizeof(buf),
-        "system: %u core(s) @3.2GHz (ROB %u, fetch %u, retire %u) | "
-        "DDR3-1600 %u rank x %u banks x %uK rows x %uK cols | "
-        "tRCD/tRAS/tRC %llu/%llu/%llu cycles | RQ %zu WQ %zu "
-        "(HW %u LW %u) | %llu mem ops/core, seed %llu\n",
-        cfg.cores(), cfg.rob.size, cfg.rob.fetchWidth,
-        cfg.rob.retireWidth, cfg.geometry.ranks, cfg.geometry.banks,
+        "system: %u core(s) @%.1fGHz (ROB %u, fetch %u, retire %u) | "
+        "%s %u rank x %u banks (%u group(s)) x %uK rows x %uK cols, "
+        "%s refresh | tRCD/tRAS/tRC %llu/%llu/%llu cycles | "
+        "RQ %zu WQ %zu (HW %u LW %u) | %llu mem ops/core, seed %llu\n",
+        cfg.cores(), cfg.cpuClock().freqMhz() / 1000.0, cfg.rob.size,
+        cfg.rob.fetchWidth, cfg.rob.retireWidth,
+        dramGenName(cfg.dramGen), cfg.geometry.ranks,
+        cfg.geometry.banks, cfg.geometry.bankGroups,
         cfg.geometry.rows / 1024, cfg.geometry.columns / 1024,
+        cfg.timing.refreshMode == RefreshMode::kPerBank ? "per-bank"
+                                                        : "all-bank",
         static_cast<unsigned long long>(cfg.timing.tRCD),
         static_cast<unsigned long long>(cfg.timing.tRAS),
         static_cast<unsigned long long>(cfg.timing.tRC),

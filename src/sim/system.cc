@@ -97,7 +97,8 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
     nominal.trcd = cfg_.timing.tRCD;
     nominal.tras = cfg_.timing.tRAS;
     nominal.trp = cfg_.timing.tRP;
-    derate_ = std::make_unique<TimingDerate>(sense_amp, nominal);
+    derate_ =
+        std::make_unique<TimingDerate>(sense_amp, nominal, cfg_.memClock());
 
     // One device + controller + scheduler instance per channel.
     const unsigned channels = cfg_.geometry.channels;
@@ -112,7 +113,7 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
     std::vector<MemoryController *> ports;
     for (unsigned ch = 0; ch < channels; ++ch) {
         devices_.push_back(std::make_unique<DramDevice>(
-            chan_geom, cfg_.timing, *derate_));
+            chan_geom, cfg_.timing, *derate_, cfg_.memClock()));
         if (cfg_.faultsEnabled()) {
             // Channel-salted seed so multi-channel fault worlds differ
             // but stay a pure function of the experiment seed.
@@ -121,7 +122,7 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
                 fault_profile,
                 cfg_.seed + 0x9e3779b97f4a7c15ULL * (ch + 1),
                 chan_geom.ranks, chan_geom.rows, re.rowsPerRef(),
-                re.interval(), kMemClock));
+                re.interval(), cfg_.memClock()));
             devices_.back()->attachFaultModel(faults_.back().get());
         }
         controllers_.push_back(std::make_unique<MemoryController>(
@@ -139,6 +140,7 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
             AuditorConfig acfg;
             acfg.geometry = chan_geom;
             acfg.timing = cfg_.timing;
+            acfg.clock = cfg_.memClock();
             acfg.derate = derate_.get();
             acfg.maxMessages = cfg_.auditMaxMessages;
             if (cfg_.faultsEnabled())
@@ -150,7 +152,7 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
     if (!cfg_.dumpTracePath.empty()) {
         traceWriter_ = std::make_unique<CommandTraceWriter>(
             cfg_.dumpTracePath, channels, chan_geom, cfg_.timing,
-            cfg_.charge);
+            cfg_.charge, cfg_.memClock());
         for (unsigned ch = 0; ch < channels; ++ch)
             devices_[ch]->addObserver(traceWriter_->channelTap(ch));
     }
@@ -173,7 +175,8 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
             profile, cfg_.geometry, cfg_.seed + i * 7919,
             cfg_.memOpsPerCore, (i * stride) % cfg_.geometry.rows));
         cores_.push_back(std::make_unique<CoreModel>(
-            static_cast<int>(i), *traces_.back(), *mux_, cfg_.rob));
+            static_cast<int>(i), *traces_.back(), *mux_, cfg_.rob,
+            cfg_.cpuPerMem));
     }
 
     for (auto &mc : controllers_) {
@@ -186,7 +189,7 @@ System::System(const ExperimentConfig &cfg) : cfg_(cfg)
                 cores_[static_cast<std::size_t>(w.coreId)]
                     ->onReadComplete(
                     w.token,
-                    static_cast<CpuCycle>(data_at) * kCpuPerMemCycle);
+                    static_cast<CpuCycle>(data_at) * cfg_.cpuPerMem);
             });
     }
 
@@ -285,8 +288,8 @@ System::stepMemCycle()
 {
     for (auto &mc : controllers_)
         mc->tick(now_);
-    const CpuCycle base = static_cast<CpuCycle>(now_) * kCpuPerMemCycle;
-    for (unsigned k = 0; k < kCpuPerMemCycle; ++k) {
+    const CpuCycle base = static_cast<CpuCycle>(now_) * cfg_.cpuPerMem;
+    for (unsigned k = 0; k < cfg_.cpuPerMem; ++k) {
         for (auto &core : cores_)
             core->tick(base + k);
     }
@@ -313,17 +316,17 @@ System::fastForwardIdle()
     }
     for (const auto &dev : devices_) {
         for (unsigned r = 0; r < dev->geometry().ranks; ++r) {
-            const Cycle due = dev->refresh(RankId{r}).nextDueAt();
+            const Cycle due = dev->nextRefreshDueAt(RankId{r});
             if (due < target)
                 target = due;
         }
     }
-    const CpuCycle cpu_now = static_cast<CpuCycle>(now_) * kCpuPerMemCycle;
+    const CpuCycle cpu_now = static_cast<CpuCycle>(now_) * cfg_.cpuPerMem;
     for (const auto &core : cores_) {
         const CpuCycle busy = core->nextBusyAt(cpu_now);
         if (busy == kNeverCycle)
             continue;
-        const Cycle busy_mem = static_cast<Cycle>(busy / kCpuPerMemCycle);
+        const Cycle busy_mem = static_cast<Cycle>(busy / cfg_.cpuPerMem);
         if (busy_mem < target)
             target = busy_mem;
     }
@@ -335,7 +338,7 @@ System::fastForwardIdle()
         mc->skipIdle(now_, skipped);
     for (auto &core : cores_)
         core->skipStalled(static_cast<CpuCycle>(skipped) *
-                          kCpuPerMemCycle);
+                          cfg_.cpuPerMem);
     idleCyclesSkipped_ += skipped;
     now_ = target;
 }
@@ -420,6 +423,7 @@ System::run()
     result.workloads = cfg_.workloads;
     result.memCycles = now_;
     result.hitCycleCap = !done();
+    result.busMhz = cfg_.busMhz;
     result.idleCyclesSkipped = idleCyclesSkipped_;
 
     for (unsigned ch = 0; ch < channels(); ++ch) {
@@ -435,7 +439,7 @@ System::run()
             cols > 0.0 && hits > 0.0 ? hits / cols : 0.0;
     }
     {
-        const DramPowerModel power(cfg_.timing);
+        const DramPowerModel power(cfg_.timing, cfg_.memClock());
         result.energy = power.estimate(result.dev, now_);
     }
     for (const auto &core : cores_) {

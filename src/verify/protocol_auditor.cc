@@ -28,10 +28,14 @@ auditRuleName(AuditRule rule)
         return "tRC";
       case AuditRule::kTrrd:
         return "tRRD";
+      case AuditRule::kTrrdL:
+        return "tRRD_L";
       case AuditRule::kTfaw:
         return "tFAW";
       case AuditRule::kTccd:
         return "tCCD";
+      case AuditRule::kTccdL:
+        return "tCCD_L";
       case AuditRule::kTwtr:
         return "tWTR";
       case AuditRule::kTrtw:
@@ -48,6 +52,8 @@ auditRuleName(AuditRule rule)
         return "ref-precharge";
       case AuditRule::kRefLate:
         return "ref-late";
+      case AuditRule::kRefsb:
+        return "REFsb";
       case AuditRule::kChargeSafety:
         return "charge-safety";
       case AuditRule::kChargeMargin:
@@ -83,22 +89,54 @@ ProtocolAuditor::ProtocolAuditor(const AuditorConfig &cfg) : cfg_(cfg)
     const TimingParams &tp = cfg_.timing;
     const std::uint32_t rows = cfg_.geometry.rows;
     const std::uint32_t groups = rows / tp.rowsPerRef;
-    ranks_.resize(cfg_.geometry.ranks);
-    for (ShadowRank &rank : ranks_) {
-        rank.banks.resize(cfg_.geometry.banks);
-        // Steady-state refresh preload, rebuilt from the schedule's
-        // definition: group g was refreshed (groups - 1 - g) intervals
-        // before cycle 0 and the counter sits at row 0.
-        rank.rowRefreshedAt.resize(rows);
+    const unsigned banks = cfg_.geometry.banks;
+    const bool per_bank = tp.refreshMode == RefreshMode::kPerBank;
+    const unsigned bank_groups = cfg_.geometry.bankGroups;
+
+    // Steady-state refresh preload, rebuilt from the schedule's
+    // definition: with the first refresh due at phase d, group g was
+    // refreshed at d - (groups - g) intervals (all strictly before
+    // cycle 0) and the counter sits at row 0.
+    auto preload = [&](std::vector<std::int64_t> &times, Cycle first_due) {
+        times.resize(rows);
         for (std::uint32_t g = 0; g < groups; ++g) {
             const std::int64_t at =
-                -static_cast<std::int64_t>(groups - 1 - g) *
-                static_cast<std::int64_t>(tp.refInterval());
+                static_cast<std::int64_t>(first_due) -
+                static_cast<std::int64_t>(groups - g) *
+                    static_cast<std::int64_t>(tp.refInterval());
             for (unsigned r = 0; r < tp.rowsPerRef; ++r)
-                rank.rowRefreshedAt[g * tp.rowsPerRef + r] = at;
+                times[g * tp.rowsPerRef + r] = at;
         }
-        rank.refNextRow = 0;
-        rank.refDueAt = tp.refInterval();
+    };
+
+    ranks_.resize(cfg_.geometry.ranks);
+    for (ShadowRank &rank : ranks_) {
+        rank.banks.resize(banks);
+        if (per_bank) {
+            // Each bank runs its own schedule, phase-staggered so the
+            // REFsb deadlines spread evenly: bank b's first deadline
+            // sits (banks - 1 - b) steps of interval/banks before the
+            // full interval.
+            const Cycle step = tp.refInterval() / banks;
+            for (unsigned b = 0; b < banks; ++b) {
+                ShadowBank &bank = rank.banks[b];
+                const Cycle first_due =
+                    tp.refInterval() - (banks - 1 - b) * step;
+                preload(bank.rowRefreshedAt, first_due);
+                bank.refNextRow = 0;
+                bank.refDueAt = first_due;
+            }
+        } else {
+            preload(rank.rowRefreshedAt, tp.refInterval());
+            rank.refNextRow = 0;
+            rank.refDueAt = tp.refInterval();
+        }
+        rank.groupLastActAt.assign(bank_groups, 0);
+        rank.groupLastReadAt.assign(bank_groups, 0);
+        rank.groupLastWriteAt.assign(bank_groups, 0);
+        rank.groupEverAct.assign(bank_groups, 0);
+        rank.groupEverRead.assign(bank_groups, 0);
+        rank.groupEverWrite.assign(bank_groups, 0);
         if (cfg_.faults != nullptr)
             rank.rowActHazard.assign(rows, 0);
     }
@@ -128,6 +166,14 @@ ProtocolAuditor::flag(AuditRule rule, const Command &cmd, Cycle now,
                   cmd.rank.value(), cmd.bank.value(),
                   auditRuleName(rule), detail);
     report_.messages.emplace_back(line);
+}
+
+std::vector<std::int64_t> &
+ProtocolAuditor::rowTimesFor(ShadowRank &rank, ShadowBank &bank)
+{
+    return cfg_.timing.refreshMode == RefreshMode::kPerBank
+               ? bank.rowRefreshedAt
+               : rank.rowRefreshedAt;
 }
 
 void
@@ -173,6 +219,13 @@ ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
                  static_cast<unsigned long long>(prev));
         }
     }
+    const unsigned group = cmd.bank.value() % cfg_.geometry.bankGroups;
+    if (rank.groupEverAct[group] &&
+        now < rank.groupLastActAt[group] + tp.tRRD_L) {
+        flag(AuditRule::kTrrdL, cmd, now,
+             "previous group-%u ACT at %llu", group,
+             static_cast<unsigned long long>(rank.groupLastActAt[group]));
+    }
     if (rank.actCount >= 4) {
         const Cycle fourth_last = rank.actTimes[rank.actCount % 4];
         if (now < fourth_last + tp.tFAW) {
@@ -185,6 +238,10 @@ ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
         flag(AuditRule::kTrfc, cmd, now, "REF busy until %llu",
              static_cast<unsigned long long>(rank.refEndsAt));
     }
+    if (now < bank.refsbEndsAt) {
+        flag(AuditRule::kTrfc, cmd, now, "REFSB busy until %llu",
+             static_cast<unsigned long long>(bank.refsbEndsAt));
+    }
 
     // NUAT safety invariant: the requested activation timing may not
     // beat the physics of the row's remaining charge, evaluated from
@@ -192,7 +249,7 @@ ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
     if (cfg_.derate != nullptr) {
         const std::int64_t delta =
             static_cast<std::int64_t>(now) -
-            rank.rowRefreshedAt[cmd.row.value()];
+            rowTimesFor(rank, bank)[cmd.row.value()];
         const Nanoseconds elapsed =
             static_cast<double>(std::max<std::int64_t>(delta, 0)) *
             cfg_.clock.period();
@@ -256,6 +313,8 @@ ProtocolAuditor::checkAct(const Command &cmd, Cycle now,
     bank.writeInRow = false;
     rank.actTimes[rank.actCount % 4] = now;
     ++rank.actCount;
+    rank.groupLastActAt[group] = now;
+    rank.groupEverAct[group] = 1;
 }
 
 void
@@ -284,9 +343,9 @@ void
 ProtocolAuditor::checkColumn(const Command &cmd, Cycle now,
                              ShadowRank &rank, ShadowBank &bank)
 {
-    (void)rank;
     const TimingParams &tp = cfg_.timing;
     const bool is_read = isReadCmd(cmd.type);
+    const unsigned group = cmd.bank.value() % cfg_.geometry.bankGroups;
 
     if (bank.openRow == kNoRow) {
         flag(AuditRule::kBankState, cmd, now,
@@ -310,6 +369,13 @@ ProtocolAuditor::checkColumn(const Command &cmd, Cycle now,
             flag(AuditRule::kTccd, cmd, now, "previous read at %llu",
                  static_cast<unsigned long long>(lastReadCmdAt_));
         }
+        if (rank.groupEverRead[group] &&
+            now < rank.groupLastReadAt[group] + tp.tCCD_L) {
+            flag(AuditRule::kTccdL, cmd, now,
+                 "previous group-%u read at %llu", group,
+                 static_cast<unsigned long long>(
+                     rank.groupLastReadAt[group]));
+        }
         if (anyWrite_ &&
             now < lastWriteCmdAt_ + tp.tCWL + tp.tBL + tp.tWTR) {
             flag(AuditRule::kTwtr, cmd, now,
@@ -326,6 +392,13 @@ ProtocolAuditor::checkColumn(const Command &cmd, Cycle now,
         if (anyWrite_ && now < lastWriteCmdAt_ + tp.tCCD) {
             flag(AuditRule::kTccd, cmd, now, "previous write at %llu",
                  static_cast<unsigned long long>(lastWriteCmdAt_));
+        }
+        if (rank.groupEverWrite[group] &&
+            now < rank.groupLastWriteAt[group] + tp.tCCD_L) {
+            flag(AuditRule::kTccdL, cmd, now,
+                 "previous group-%u write at %llu", group,
+                 static_cast<unsigned long long>(
+                     rank.groupLastWriteAt[group]));
         }
         if (anyRead_) {
             // Read-to-write turnaround, expressed as the device's
@@ -353,12 +426,16 @@ ProtocolAuditor::checkColumn(const Command &cmd, Cycle now,
         bank.readInRow = true;
         lastReadCmdAt_ = now;
         anyRead_ = true;
+        rank.groupLastReadAt[group] = now;
+        rank.groupEverRead[group] = 1;
         lastDataEndAt_ = now + tp.tCL + tp.tBL;
     } else {
         bank.lastWriteAt = now;
         bank.writeInRow = true;
         lastWriteCmdAt_ = now;
         anyWrite_ = true;
+        rank.groupLastWriteAt[group] = now;
+        rank.groupEverWrite[group] = 1;
         lastDataEndAt_ = now + tp.tCWL + tp.tBL;
     }
     lastDataRank_ = cmd.rank;
@@ -403,6 +480,11 @@ ProtocolAuditor::checkRef(const Command &cmd, Cycle now,
                           ShadowRank &rank)
 {
     const TimingParams &tp = cfg_.timing;
+    if (tp.refreshMode != RefreshMode::kAllBank) {
+        flag(AuditRule::kRefsb, cmd, now,
+             "all-bank REF under per-bank refresh mode");
+        return;
+    }
     for (unsigned b = 0; b < rank.banks.size(); ++b) {
         const ShadowBank &bank = rank.banks[b];
         if (bank.openRow != kNoRow) {
@@ -440,6 +522,56 @@ ProtocolAuditor::checkRef(const Command &cmd, Cycle now,
     rank.refNextRow =
         (rank.refNextRow + tp.rowsPerRef) % cfg_.geometry.rows;
     rank.refDueAt += tp.refInterval();
+}
+
+void
+ProtocolAuditor::checkRefsb(const Command &cmd, Cycle now,
+                            ShadowRank &rank, ShadowBank &bank)
+{
+    const TimingParams &tp = cfg_.timing;
+    if (tp.refreshMode != RefreshMode::kPerBank) {
+        flag(AuditRule::kRefsb, cmd, now,
+             "REFSB under all-bank refresh mode");
+        return;
+    }
+    if (bank.openRow != kNoRow) {
+        flag(AuditRule::kRefPrecharge, cmd, now, "row %u open",
+             bank.openRow.value());
+    } else if (now < bank.preDoneAt) {
+        flag(AuditRule::kRefPrecharge, cmd, now,
+             "precharge completes at %llu",
+             static_cast<unsigned long long>(bank.preDoneAt));
+    }
+    if (now < bank.refsbEndsAt) {
+        flag(AuditRule::kTrfc, cmd, now,
+             "previous REFSB busy until %llu",
+             static_cast<unsigned long long>(bank.refsbEndsAt));
+    }
+    if (rank.everRefsb && now < rank.lastRefsbAt + tp.tREFSBRD) {
+        flag(AuditRule::kRefsb, cmd, now,
+             "rank's previous REFSB at %llu, tREFSBRD %llu",
+             static_cast<unsigned long long>(rank.lastRefsbAt),
+             static_cast<unsigned long long>(tp.tREFSBRD));
+    }
+    if (now > bank.refDueAt + tp.maxRefreshSlack) {
+        flag(AuditRule::kRefLate, cmd, now,
+             "due at %llu, %llu cycles past the slack guard",
+             static_cast<unsigned long long>(bank.refDueAt),
+             static_cast<unsigned long long>(
+                 now - bank.refDueAt - tp.maxRefreshSlack));
+    }
+
+    bank.refsbEndsAt = now + tp.tRFCpb;
+    rank.lastRefsbAt = now;
+    rank.everRefsb = true;
+    for (unsigned r = 0; r < tp.rowsPerRef; ++r) {
+        bank.rowRefreshedAt[(bank.refNextRow + r) %
+                            cfg_.geometry.rows] =
+            static_cast<std::int64_t>(now);
+    }
+    bank.refNextRow =
+        (bank.refNextRow + tp.rowsPerRef) % cfg_.geometry.rows;
+    bank.refDueAt += tp.refInterval();
 }
 
 void
@@ -482,6 +614,9 @@ ProtocolAuditor::observe(const Command &cmd, Cycle now)
       case CmdType::kReadAp:
       case CmdType::kWriteAp:
         checkColumn(cmd, now, rank, bank);
+        break;
+      case CmdType::kRefsb:
+        checkRefsb(cmd, now, rank, bank);
         break;
       case CmdType::kRef:
         break; // handled above

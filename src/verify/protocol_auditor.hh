@@ -52,8 +52,11 @@ enum class AuditRule : unsigned
     kTras,         //!< PRE before ACT + tRAS
     kTrc,          //!< ACT before previous same-bank ACT + tRC
     kTrrd,         //!< ACT before previous same-rank ACT + tRRD
+    kTrrdL,        //!< ACT before previous same-bank-group ACT + tRRD_L
     kTfaw,         //!< fifth ACT inside the four-activate window
     kTccd,         //!< column command inside the tCCD gap
+    kTccdL,        //!< same-type column command inside the same
+                   //!< bank group's tCCD_L gap
     kTwtr,         //!< read before write data end + tWTR
     kTrtw,         //!< write inside the read-to-write turnaround
     kTrtrs,        //!< rank switch inside the tRTRS data-bus gap
@@ -62,6 +65,8 @@ enum class AuditRule : unsigned
     kTrfc,         //!< command to a rank inside a REF's tRFC window
     kRefPrecharge, //!< REF with a bank not (fully) precharged
     kRefLate,      //!< REF beyond the schedule's lateness guard
+    kRefsb,        //!< REFsb legality: wrong refresh flavour for the
+                   //!< configured mode, or tREFSBRD spacing violated
     kChargeSafety, //!< ACT timing faster than the row's charge allows
     kChargeMargin, //!< consecutive ACTs under the fault-world margin
     kNumRules,
@@ -161,6 +166,13 @@ class ProtocolAuditor : public CommandObserver
         Cycle lastWriteAt = 0;    //!< last write in the current open row
         bool readInRow = false;
         bool writeInRow = false;
+
+        // Per-bank refresh shadow (populated only under kPerBank):
+        // this bank's own schedule, counter, and row bookkeeping.
+        Cycle refsbEndsAt = 0;    //!< end of in-flight REFsb (tRFCpb)
+        std::uint32_t refNextRow = 0;
+        Cycle refDueAt = 0;
+        std::vector<std::int64_t> rowRefreshedAt;
     };
 
     /** Shadow state of one rank. */
@@ -179,6 +191,19 @@ class ProtocolAuditor : public CommandObserver
         Cycle refDueAt = 0;
         std::vector<std::int64_t> rowRefreshedAt;
 
+        // Same-bank-group spacing (tRRD_L / tCCD_L), evaluated from
+        // raw per-group last-event times; group = bank % bankGroups,
+        // derived here independently of DramGeometry::bankGroupOf.
+        std::vector<Cycle> groupLastActAt;
+        std::vector<Cycle> groupLastReadAt;
+        std::vector<Cycle> groupLastWriteAt;
+        std::vector<std::uint8_t> groupEverAct;
+        std::vector<std::uint8_t> groupEverRead;
+        std::vector<std::uint8_t> groupEverWrite;
+
+        Cycle lastRefsbAt = 0; //!< last REFsb to this rank (tREFSBRD)
+        bool everRefsb = false;
+
         //! kChargeMargin bookkeeping: 1 when the row's previous ACT
         //! already ran under the fault-world margin.
         std::vector<std::uint8_t> rowActHazard;
@@ -194,6 +219,12 @@ class ProtocolAuditor : public CommandObserver
                      ShadowBank &bank);
     void checkPre(const Command &cmd, Cycle now, ShadowBank &bank);
     void checkRef(const Command &cmd, Cycle now, ShadowRank &rank);
+    void checkRefsb(const Command &cmd, Cycle now, ShadowRank &rank,
+                    ShadowBank &bank);
+
+    /** The row-refresh bookkeeping covering (@p rank, @p bank). */
+    std::vector<std::int64_t> &rowTimesFor(ShadowRank &rank,
+                                           ShadowBank &bank);
 
     /** Fold the precharge implied by an auto-precharge column access
      *  into the bank's shadow state at its earliest legal point. */

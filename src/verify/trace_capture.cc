@@ -32,6 +32,8 @@ cmdTypeFromName(const std::string &name, CmdType &type)
         type = CmdType::kWriteAp;
     } else if (name == "REF") {
         type = CmdType::kRef;
+    } else if (name == "REFSB") {
+        type = CmdType::kRefsb;
     } else {
         return false;
     }
@@ -89,6 +91,17 @@ CommandTraceWriter::CommandTraceWriter(const std::string &path,
         static_cast<unsigned long long>(tp.tRFC),
         static_cast<unsigned long long>(tp.tREFI), tp.rowsPerRef,
         static_cast<unsigned long long>(tp.maxRefreshSlack));
+    out_ << buf << '\n';
+    // Generation extensions (bank groups, per-bank refresh).  Kept on
+    // their own header line so v1 traces without them parse with the
+    // DDR3 defaults.
+    std::snprintf(buf, sizeof(buf), "timing-ext %llu %llu %llu %llu %u %u",
+                  static_cast<unsigned long long>(tp.tCCD_L),
+                  static_cast<unsigned long long>(tp.tRRD_L),
+                  static_cast<unsigned long long>(tp.tRFCpb),
+                  static_cast<unsigned long long>(tp.tREFSBRD),
+                  tp.refreshMode == RefreshMode::kPerBank ? 1u : 0u,
+                  chan_geom.bankGroups);
     out_ << buf << '\n';
     std::snprintf(buf, sizeof(buf),
                   "charge %.17g %.17g %.17g %.17g %.17g %.17g %.17g",
@@ -175,6 +188,12 @@ replayCommandTrace(const std::string &path, std::size_t max_messages)
                 tp.tWTR >> tp.tRTW >> tp.tRTP >> tp.tWR >> tp.tRTRS >>
                 tp.tRFC >> tp.tREFI >> tp.rowsPerRef >>
                 tp.maxRefreshSlack;
+        } else if (key == "timing-ext") {
+            unsigned mode = 0;
+            iss >> tp.tCCD_L >> tp.tRRD_L >> tp.tRFCpb >>
+                tp.tREFSBRD >> mode >> geom.bankGroups;
+            tp.refreshMode = mode != 0 ? RefreshMode::kPerBank
+                                       : RefreshMode::kAllBank;
         } else if (key == "charge") {
             double retention = 0.0, max_trcd = 0.0, max_tras = 0.0;
             iss >> charge.vdd >> charge.cellCap >> charge.bitlineCap >>

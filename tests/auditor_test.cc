@@ -19,6 +19,7 @@
 #include "charge/cell_model.hh"
 #include "charge/sense_amp_model.hh"
 #include "charge/timing_derate.hh"
+#include "dram/dram_spec.hh"
 #include "dram/refresh_engine.hh"
 #include "fault/fault_model.hh"
 #include "fault/fault_profile.hh"
@@ -75,6 +76,28 @@ ProtocolAuditor
 makeAuditor()
 {
     return ProtocolAuditor{AuditorConfig{}};
+}
+
+/** Auditor for a generation preset, optionally overriding the
+ *  refresh flavour (mirrors ExperimentConfig::applyDramGen). */
+ProtocolAuditor
+makeAuditorFor(DramGen gen, RefreshMode mode)
+{
+    const DramSpec &spec = DramSpec::preset(gen);
+    AuditorConfig cfg;
+    cfg.geometry = spec.geometry;
+    cfg.timing = spec.timing;
+    cfg.timing.refreshMode = mode;
+    return ProtocolAuditor{cfg};
+}
+
+Command
+refsb(unsigned bank)
+{
+    Command cmd;
+    cmd.type = CmdType::kRefsb;
+    cmd.bank = BankId{bank};
+    return cmd;
 }
 
 } // namespace
@@ -134,11 +157,14 @@ TEST(AuditorTest, CatchesTrcViolation)
 
 TEST(AuditorTest, CatchesTrrdViolation)
 {
+    // DDR3 has one bank group with tRRD_L == tRRD, so shaving tRRD
+    // necessarily trips the group rule too: both must fire.
     ProtocolAuditor auditor = makeAuditor();
     auditor.observe(act(0, 5), 0);
     auditor.observe(act(1, 5), 5); // one cycle inside tRRD
     EXPECT_EQ(auditor.violationCount(AuditRule::kTrrd), 1u);
-    EXPECT_EQ(auditor.violationCount(), 1u);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrrdL), 1u);
+    EXPECT_EQ(auditor.violationCount(), 2u);
 }
 
 TEST(AuditorTest, CatchesTfawViolation)
@@ -155,12 +181,146 @@ TEST(AuditorTest, CatchesTfawViolation)
 
 TEST(AuditorTest, CatchesTccdViolation)
 {
+    // As with tRRD above: at DDR3, tCCD_L degenerates to tCCD, so the
+    // group rule fires alongside the channel rule.
     ProtocolAuditor auditor = makeAuditor();
     auditor.observe(act(0, 5), 0);
     auditor.observe(col(CmdType::kRead, 0), 12);
     auditor.observe(col(CmdType::kRead, 0), 15); // one inside tCCD
     EXPECT_EQ(auditor.violationCount(AuditRule::kTccd), 1u);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTccdL), 1u);
+    EXPECT_EQ(auditor.violationCount(), 2u);
+}
+
+TEST(AuditorTest, CatchesTrrdLWithinOneBankGroup)
+{
+    // DDR4-2400: tRRD_S 4, tRRD_L 6, 4 bank groups (group = bank % 4).
+    // Banks 0 and 4 share group 0, so a 5-cycle gap passes the rank
+    // rule but violates the group rule — tRRD_L must fire alone.
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr4_2400, RefreshMode::kAllBank);
+    const RowTiming nom{17, 39, 56};
+    auditor.observe(act(0, 5, nom), 0);
+    auditor.observe(act(4, 5, nom), 5);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrrdL), 1u);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrrd), 0u);
     EXPECT_EQ(auditor.violationCount(), 1u);
+
+    // Same spacing across two groups is fully legal.
+    ProtocolAuditor across =
+        makeAuditorFor(DramGen::kDdr4_2400, RefreshMode::kAllBank);
+    across.observe(act(0, 5, nom), 0);
+    across.observe(act(1, 5, nom), 5);
+    EXPECT_EQ(across.violationCount(), 0u);
+}
+
+TEST(AuditorTest, CatchesTccdLWithinOneBankGroup)
+{
+    // DDR4-2400: tCCD_S 4, tCCD_L 6.  Back-to-back reads 4 cycles
+    // apart are legal across groups, illegal inside one.
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr4_2400, RefreshMode::kAllBank);
+    const RowTiming nom{17, 39, 56};
+    auditor.observe(act(0, 5, nom), 0);
+    auditor.observe(col(CmdType::kRead, 0), 17);
+    auditor.observe(col(CmdType::kRead, 0), 21); // inside tCCD_L
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTccdL), 1u);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTccd), 0u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+
+    ProtocolAuditor across =
+        makeAuditorFor(DramGen::kDdr4_2400, RefreshMode::kAllBank);
+    across.observe(act(0, 5, nom), 0);
+    across.observe(act(1, 5, nom), 6);
+    across.observe(col(CmdType::kRead, 0), 23);
+    across.observe(col(CmdType::kRead, 1), 27); // other group: legal
+    EXPECT_EQ(across.violationCount(), 0u);
+}
+
+// DDR5-4800 per-bank refresh numbers the REFsb sequences below are
+// hand-computed for: refInterval = tREFI(9360) x rowsPerRef(8) =
+// 74880, step = 74880 / 32 banks = 2340, so bank b is first due at
+// 74880 - (31 - b) * 2340 — bank 0 at 2340, bank 1 at 4680.  tRFCpb
+// 312, tREFSBRD 72, maxRefreshSlack 1200000.
+
+TEST(AuditorTest, CatchesRefsbUnderAllBankMode)
+{
+    // The per-bank command is illegal for a device configured for
+    // all-bank REF, whatever its generation.
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(refsb(0), 100);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefsb), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesAllBankRefUnderPerBankMode)
+{
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    auditor.observe(ref(), 2340);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefsb), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, LegalPerBankRefreshIsSilent)
+{
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    auditor.observe(refsb(0), 2340); // exactly on its staggered slot
+    auditor.observe(refsb(1), 4680);
+    EXPECT_EQ(auditor.violationCount(), 0u);
+    EXPECT_EQ(auditor.commandsChecked(), 2u);
+}
+
+TEST(AuditorTest, CatchesRefsbSpacingViolation)
+{
+    // Second REFSB to the same rank one cycle inside tREFSBRD.
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    auditor.observe(refsb(0), 2340);
+    auditor.observe(refsb(1), 2411); // 71 < tREFSBRD 72
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefsb), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesRefsbInsideTrfcPb)
+{
+    // Re-refreshing a bank that is still busy with its previous REFSB.
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    auditor.observe(refsb(0), 2340); // busy until 2340 + 312 = 2652
+    auditor.observe(refsb(0), 2651); // one cycle early
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrfc), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesLateRefsb)
+{
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    // Bank 0 due at 2340; one cycle past due + maxRefreshSlack.
+    auditor.observe(refsb(0), 2340 + 1200000 + 1);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefLate), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+}
+
+TEST(AuditorTest, CatchesActDuringRefsbWindow)
+{
+    // Only the refreshing bank is off-limits; its neighbours keep
+    // serving — the whole point of per-bank refresh.
+    const RowTiming nom{40, 77, 117};
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    auditor.observe(refsb(0), 2340); // busy until 2652
+    auditor.observe(act(0, 5, nom), 2500);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kTrfc), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+
+    ProtocolAuditor other =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    other.observe(refsb(0), 2340);
+    other.observe(act(1, 5, nom), 2500); // different bank: legal
+    EXPECT_EQ(other.violationCount(), 0u);
 }
 
 TEST(AuditorTest, CatchesTwtrViolation)

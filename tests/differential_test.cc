@@ -132,6 +132,79 @@ TEST(DifferentialTest, RandomizedSweepIsViolationFree)
     }
 }
 
+TEST(DifferentialTest, GenerationSweepIsViolationFree)
+{
+    // Every generation preset x refresh flavour, randomized over the
+    // scheduler families: the auditor independently re-derives each
+    // generation's legality rules (bank-group gaps, REFsb schedule),
+    // so a violation-free audited run here means device and auditor
+    // agree on what, say, DDR5 per-bank refresh is allowed to do.
+    std::vector<ExperimentConfig> configs;
+    unsigned idx = 0;
+    for (unsigned g = 0; g < kNumDramGens; ++g) {
+        for (const RefreshMode mode :
+             {RefreshMode::kAllBank, RefreshMode::kPerBank}) {
+            for (unsigned i = 0; i < 4; ++i) {
+                ExperimentConfig cfg = randomConfig(idx++);
+                const unsigned channels = cfg.geometry.channels;
+                cfg.applyDramGen(static_cast<DramGen>(g), mode);
+                cfg.geometry.channels = channels;
+                cfg.memOpsPerCore = 2000;
+                configs.push_back(cfg);
+            }
+        }
+    }
+
+    const std::vector<RunResult> results =
+        runExperimentsParallel(configs, 0);
+    ASSERT_EQ(results.size(), configs.size());
+    for (unsigned i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        const std::string label =
+            describe(r, i) + " gen=" +
+            dramGenName(configs[i].dramGen) +
+            (configs[i].timing.refreshMode == RefreshMode::kPerBank
+                 ? " per-bank"
+                 : " all-bank");
+        ASSERT_TRUE(r.error.empty()) << label << ": " << r.error;
+        EXPECT_FALSE(r.hitCycleCap) << label;
+        ASSERT_TRUE(r.audited) << label;
+        EXPECT_GT(r.auditCommandsChecked, 0u) << label;
+        EXPECT_EQ(r.auditViolations, 0u) << label;
+        checkConservation(r, label);
+        ASSERT_EQ(r.coreFinish.size(), configs[i].workloads.size());
+        for (const CpuCycle finish : r.coreFinish)
+            EXPECT_GT(finish, 0u) << label;
+    }
+}
+
+TEST(DifferentialTest, GenerationFastForwardIsStatIdentical)
+{
+    // The idle fast-forward's "byte-identical either way" contract
+    // must survive per-bank refresh (32 staggered deadlines instead
+    // of one) and the non-DDR3 clocks.
+    unsigned idx = 40;
+    for (unsigned g = 0; g < kNumDramGens; ++g) {
+        ExperimentConfig cfg = randomConfig(idx++);
+        cfg.applyDramGen(static_cast<DramGen>(g),
+                         RefreshMode::kPerBank);
+        cfg.memOpsPerCore = 1200;
+
+        cfg.idleFastForward = true;
+        RunResult fast = runExperiment(cfg);
+        cfg.idleFastForward = false;
+        RunResult slow = runExperiment(cfg);
+
+        EXPECT_EQ(slow.idleCyclesSkipped, 0u);
+        fast.idleCyclesSkipped = 0;
+        slow.idleCyclesSkipped = 0;
+        EXPECT_EQ(runResultToJson(fast), runResultToJson(slow))
+            << describe(fast, idx) << " gen="
+            << dramGenName(cfg.dramGen);
+        EXPECT_EQ(fast.auditViolations, 0u);
+    }
+}
+
 TEST(DifferentialTest, FaultedSweepWithDegradationIsViolationFree)
 {
     // Every scheduler family under two fault profiles, audited with

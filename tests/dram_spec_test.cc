@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the DRAM generation preset tables (dram_spec.hh).
+ *
+ * The presets are data, and data rots silently: a cycle count edited
+ * without its ns anchor, a preset drifting away from the paper's
+ * device, a table row out of enum order.  Each case here pins one of
+ * those failure modes.  The DDR3 preset is additionally pinned
+ * field-for-field to the default-constructed TimingParams/DramGeometry
+ * — that identity is what keeps every pre-existing golden snapshot
+ * byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <type_traits>
+
+#include "dram/dram_spec.hh"
+#include "sim/experiment_config.hh"
+
+using namespace nuat;
+
+TEST(DramSpecTest, AllPresetsValidate)
+{
+    for (unsigned i = 0; i < kNumDramGens; ++i) {
+        const DramSpec &s = DramSpec::allPresets()[i];
+        SCOPED_TRACE(s.name);
+        EXPECT_EQ(static_cast<unsigned>(s.generation), i)
+            << "preset table out of DramGen order";
+        s.validate(); // panics (aborting the test) on inconsistency
+        EXPECT_EQ(&DramSpec::preset(s.generation), &s);
+    }
+}
+
+TEST(DramSpecTest, Ddr3PresetIsTheDefaultDevice)
+{
+    // A default-constructed config IS the ddr3-1600 preset; if this
+    // drifts, applyDramGen(kDdr3_1600) would change existing runs.
+    const DramSpec &s = DramSpec::preset(DramGen::kDdr3_1600);
+    const TimingParams def{};
+    const DramGeometry geo{};
+
+    EXPECT_EQ(s.busMhz, 800.0);
+    EXPECT_EQ(s.cpuPerMemCycle, 4u);
+
+    EXPECT_EQ(s.timing.tRCD, def.tRCD);
+    EXPECT_EQ(s.timing.tRAS, def.tRAS);
+    EXPECT_EQ(s.timing.tRP, def.tRP);
+    EXPECT_EQ(s.timing.tRC, def.tRC);
+    EXPECT_EQ(s.timing.tCL, def.tCL);
+    EXPECT_EQ(s.timing.tCWL, def.tCWL);
+    EXPECT_EQ(s.timing.tBL, def.tBL);
+    EXPECT_EQ(s.timing.tCCD, def.tCCD);
+    EXPECT_EQ(s.timing.tRRD, def.tRRD);
+    EXPECT_EQ(s.timing.tFAW, def.tFAW);
+    EXPECT_EQ(s.timing.tCCD_L, def.tCCD_L);
+    EXPECT_EQ(s.timing.tRRD_L, def.tRRD_L);
+    EXPECT_EQ(s.timing.tWTR, def.tWTR);
+    EXPECT_EQ(s.timing.tRTW, def.tRTW);
+    EXPECT_EQ(s.timing.tRTP, def.tRTP);
+    EXPECT_EQ(s.timing.tWR, def.tWR);
+    EXPECT_EQ(s.timing.tRTRS, def.tRTRS);
+    EXPECT_EQ(s.timing.tRFC, def.tRFC);
+    EXPECT_EQ(s.timing.tREFI, def.tREFI);
+    EXPECT_EQ(s.timing.tRFCpb, def.tRFCpb);
+    EXPECT_EQ(s.timing.tREFSBRD, def.tREFSBRD);
+    EXPECT_EQ(s.timing.refreshMode, def.refreshMode);
+    EXPECT_EQ(s.timing.rowsPerRef, def.rowsPerRef);
+    EXPECT_EQ(s.timing.maxRefreshSlack, def.maxRefreshSlack);
+
+    EXPECT_EQ(s.geometry.channels, geo.channels);
+    EXPECT_EQ(s.geometry.ranks, geo.ranks);
+    EXPECT_EQ(s.geometry.banks, geo.banks);
+    EXPECT_EQ(s.geometry.rows, geo.rows);
+    EXPECT_EQ(s.geometry.columns, geo.columns);
+    EXPECT_EQ(s.geometry.lineBytes, geo.lineBytes);
+    EXPECT_EQ(s.geometry.columnBytes, geo.columnBytes);
+    EXPECT_EQ(s.geometry.bankGroups, geo.bankGroups);
+}
+
+TEST(DramSpecTest, NsAnchorsReproduceCycleValues)
+{
+    // Same check validate() makes, but with per-field EXPECTs so a
+    // drifted preset names the field instead of aborting.
+    for (unsigned i = 0; i < kNumDramGens; ++i) {
+        const DramSpec &s = DramSpec::allPresets()[i];
+        SCOPED_TRACE(s.name);
+        const Clock clk = s.clock();
+        EXPECT_EQ(clk.toCyclesCeil(s.ns.trcd), s.timing.tRCD);
+        EXPECT_EQ(clk.toCyclesCeil(s.ns.tras), s.timing.tRAS);
+        EXPECT_EQ(clk.toCyclesCeil(s.ns.trp), s.timing.tRP);
+        EXPECT_EQ(clk.toCyclesCeil(s.ns.trfc), s.timing.tRFC);
+        EXPECT_EQ(clk.toCyclesCeil(s.ns.trefi), s.timing.tREFI);
+    }
+}
+
+TEST(DramSpecTest, RefreshRotationCoversRetentionPeriod)
+{
+    // rows x tREFI must land on the 64 ms retention period for every
+    // generation — NUAT's PB slicing divides exactly this rotation.
+    for (unsigned i = 0; i < kNumDramGens; ++i) {
+        const DramSpec &s = DramSpec::allPresets()[i];
+        SCOPED_TRACE(s.name);
+        const double rotation_ns =
+            s.clock().toNs(s.timing.tREFI).value() * s.geometry.rows;
+        EXPECT_NEAR(rotation_ns, 64e6, 64e6 * 0.02);
+    }
+}
+
+TEST(DramSpecTest, ByNameLooksUpCliSpellings)
+{
+    EXPECT_EQ(DramSpec::byName("ddr3-1600"),
+              &DramSpec::preset(DramGen::kDdr3_1600));
+    EXPECT_EQ(DramSpec::byName("ddr4-2400"),
+              &DramSpec::preset(DramGen::kDdr4_2400));
+    EXPECT_EQ(DramSpec::byName("ddr5-4800"),
+              &DramSpec::preset(DramGen::kDdr5_4800));
+    EXPECT_EQ(DramSpec::byName("ddr4"), nullptr);
+    EXPECT_EQ(DramSpec::byName("DDR4-2400"), nullptr); // CLI lowercase
+    EXPECT_EQ(DramSpec::byName(""), nullptr);
+
+    EXPECT_STREQ(dramGenName(DramGen::kDdr5_4800), "DDR5-4800");
+}
+
+TEST(DramSpecTest, ApplyDramGenRoundTripsThroughConfig)
+{
+    ExperimentConfig cfg;
+    cfg.applyDramGen(DramGen::kDdr4_2400);
+    const DramSpec &ddr4 = DramSpec::preset(DramGen::kDdr4_2400);
+
+    EXPECT_EQ(cfg.dramGen, DramGen::kDdr4_2400);
+    EXPECT_EQ(cfg.busMhz, ddr4.busMhz);
+    EXPECT_EQ(cfg.cpuPerMem, ddr4.cpuPerMemCycle);
+    EXPECT_EQ(cfg.geometry.banks, ddr4.geometry.banks);
+    EXPECT_EQ(cfg.geometry.bankGroups, ddr4.geometry.bankGroups);
+    EXPECT_EQ(cfg.geometry.rows, ddr4.geometry.rows);
+    EXPECT_EQ(cfg.timing.tRCD, ddr4.timing.tRCD);
+    EXPECT_EQ(cfg.timing.tCCD_L, ddr4.timing.tCCD_L);
+    EXPECT_EQ(cfg.timing.refreshMode, RefreshMode::kAllBank);
+    EXPECT_NEAR(cfg.cpuClock().freqMhz(), ddr4.cpuMhz(), 1e-9);
+    cfg.validate();
+
+    // The refresh-mode override changes ONLY the flavour.
+    cfg.applyDramGen(DramGen::kDdr5_4800, RefreshMode::kAllBank);
+    const DramSpec &ddr5 = DramSpec::preset(DramGen::kDdr5_4800);
+    EXPECT_EQ(cfg.timing.refreshMode, RefreshMode::kAllBank);
+    EXPECT_EQ(cfg.timing.tRFCpb, ddr5.timing.tRFCpb);
+    EXPECT_EQ(cfg.geometry.banks, ddr5.geometry.banks);
+    cfg.validate();
+
+    // Going back to DDR3 restores the default device exactly.
+    cfg.applyDramGen(DramGen::kDdr3_1600);
+    EXPECT_EQ(cfg.busMhz, 800.0);
+    EXPECT_EQ(cfg.geometry.bankGroups, 1u);
+    EXPECT_EQ(cfg.timing.refreshMode, RefreshMode::kAllBank);
+    cfg.validate();
+}
+
+TEST(DramSpecTest, BankGroupIdIsAStrongType)
+{
+    // A bank number must not silently pass where a group is expected
+    // (bank % groups is exactly the bug class this type exists for).
+    static_assert(!std::is_convertible_v<BankId, BankGroupId>);
+    static_assert(!std::is_convertible_v<BankGroupId, BankId>);
+    static_assert(!std::is_convertible_v<unsigned, BankGroupId>);
+    static_assert(!std::is_convertible_v<BankGroupId, unsigned>);
+
+    const DramGeometry ddr4 =
+        DramSpec::preset(DramGen::kDdr4_2400).geometry;
+    EXPECT_EQ(ddr4.bankGroupOf(BankId{0}), BankGroupId{0});
+    EXPECT_EQ(ddr4.bankGroupOf(BankId{5}), BankGroupId{1});
+    EXPECT_EQ(ddr4.bankGroupOf(BankId{15}), BankGroupId{3});
+
+    const DramGeometry ddr5 =
+        DramSpec::preset(DramGen::kDdr5_4800).geometry;
+    EXPECT_EQ(ddr5.bankGroupOf(BankId{9}), BankGroupId{1});
+    EXPECT_EQ(ddr5.bankGroupOf(BankId{31}), BankGroupId{7});
+
+    // DDR3: one group spans every bank.
+    const DramGeometry ddr3{};
+    for (unsigned b = 0; b < ddr3.banks; ++b)
+        EXPECT_EQ(ddr3.bankGroupOf(BankId{b}), BankGroupId{0});
+}

@@ -248,7 +248,8 @@ TEST_F(DramTest, FreshRowAcceptsDeratedTiming)
     // The most recently refreshed rows sit just below the refresh
     // counter; they are young enough for full PB0 derating.
     const RowId young = dev_->refresh(RankId{0}).lrra();
-    const RowTiming min = dev_->trueRowTiming(RankId{0}, young, 0);
+    const RowTiming min =
+        dev_->trueRowTiming(RankId{0}, BankId{0}, young, 0);
     EXPECT_EQ(min.trcd, 8u);
     dev_->issue(act(0, young.value(), RowTiming{8, 22, 34}), 0);
     EXPECT_EQ(dev_->counters().actsByTrcdReduction[4], 1u);
@@ -262,7 +263,8 @@ TEST_F(DramTest, TrueRowTimingMatchesDerateModel)
         dev_->refresh(RankId{0}).elapsedSinceRefresh(row, now,
                                                      kMemClock);
     const RowTiming expect = derate_.effective(elapsed);
-    const RowTiming got = dev_->trueRowTiming(RankId{0}, row, now);
+    const RowTiming got =
+        dev_->trueRowTiming(RankId{0}, BankId{0}, row, now);
     EXPECT_EQ(got.trcd, expect.trcd);
     EXPECT_EQ(got.tras, expect.tras);
     EXPECT_EQ(got.trc, expect.trc);

@@ -121,6 +121,52 @@ goldenCases()
         cfg.faultProfile = "refresh-storm";
         cases.push_back({"comm1_stream_nuat_refresh_storm_fault", cfg});
     }
+
+    // Generation cells (suffix `_ddr4` / `_ddr5_perbank`): pin the
+    // preset tables end to end — bank-group timing, the DDR5 per-bank
+    // refresh schedule, and the faster clocks' stat accounting.  The
+    // DDR3 cells above use the default config and must stay
+    // byte-identical whatever happens to the presets.
+    {
+        ExperimentConfig cfg;
+        cfg.applyDramGen(DramGen::kDdr4_2400);
+        cfg.workloads = {"libq"};
+        cfg.memOpsPerCore = 2500;
+        cfg.seed = 7;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kNuat;
+        cases.push_back({"libq_nuat_ddr4", cfg});
+    }
+    {
+        ExperimentConfig cfg;
+        cfg.applyDramGen(DramGen::kDdr4_2400);
+        cfg.workloads = {"ferret"};
+        cfg.memOpsPerCore = 2500;
+        cfg.seed = 11;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kFrFcfsOpen;
+        cases.push_back({"ferret_frfcfs_open_ddr4", cfg});
+    }
+    {
+        ExperimentConfig cfg;
+        cfg.applyDramGen(DramGen::kDdr5_4800); // per-bank by default
+        cfg.workloads = {"libq"};
+        cfg.memOpsPerCore = 2500;
+        cfg.seed = 7;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kNuat;
+        cases.push_back({"libq_nuat_ddr5_perbank", cfg});
+    }
+    {
+        ExperimentConfig cfg;
+        cfg.applyDramGen(DramGen::kDdr5_4800);
+        cfg.workloads = {"comm1", "stream"};
+        cfg.memOpsPerCore = 2000;
+        cfg.seed = 3;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kNuat;
+        cases.push_back({"comm1_stream_nuat_ddr5_perbank", cfg});
+    }
     return cases;
 }
 

@@ -9,6 +9,7 @@
 #include "charge/timing_derate.hh"
 #include "common/logging.hh"
 #include "core/pbr.hh"
+#include "dram/dram_spec.hh"
 
 namespace nuat {
 namespace {
@@ -209,6 +210,97 @@ TEST_F(PbrTest, RatedTimingNeverBeatsGroundTruthAcrossWrap)
                 pbr_.ratedTiming(pbr_.pbOfRow(refresh_, row));
             const RowTiming truth = derate_.effective(
                 refresh_.elapsedSinceRefresh(row, now, clock));
+            ASSERT_GE(rated.trcd, truth.trcd) << "row " << r;
+            ASSERT_GE(rated.tras, truth.tras) << "row " << r;
+            ASSERT_GE(rated.trc, truth.trc) << "row " << r;
+        }
+    }
+}
+
+TEST(PbrGenerations, SpecDrivenInvariantsHoldForEveryPreset)
+{
+    // The fixture above pins the paper's DDR3 numbers (8K rows,
+    // 256-row slices, Table 4).  This test re-derives every expected
+    // quantity from the generation spec instead — row count, slice
+    // width, PB boundaries, zone widths — so a new preset is covered
+    // by construction rather than by another hand-computed copy.
+    for (unsigned i = 0; i < kNumDramGens; ++i) {
+        const DramSpec &spec = DramSpec::allPresets()[i];
+        SCOPED_TRACE(spec.name);
+        const TimingParams &tp = spec.timing;
+        const std::uint32_t rows = spec.geometry.rows;
+
+        // Mirror System's construction at the preset's own clock.
+        CellModel cell;
+        SenseAmpModel sa(cell);
+        NominalTiming nominal;
+        nominal.trcd = tp.tRCD;
+        nominal.tras = tp.tRAS;
+        nominal.trp = tp.tRP;
+        TimingDerate derate(sa, nominal, spec.clock());
+        const NuatConfig cfg = NuatConfig::fromDerate(derate, 5);
+        PbrAcquisition pbr(cfg, rows);
+        RefreshEngine refresh(rows, tp);
+
+        // Eq. (2): 32 linear PRE_PBs, slice width = rows / 32.
+        const std::uint32_t slice = rows / 32;
+        EXPECT_EQ(pbr.prePbOf(0).value(), 0u);
+        EXPECT_EQ(pbr.prePbOf(slice - 1).value(), 0u);
+        EXPECT_EQ(pbr.prePbOf(slice).value(), 1u);
+        EXPECT_EQ(pbr.prePbOf(rows - 1).value(), 31u);
+
+        // PB# is monotone in age; count the internal boundaries the
+        // grouping actually produced (merging may yield < numPb).
+        unsigned boundaries = 0;
+        unsigned prev = pbr.pbOfAge(0).value();
+        unsigned max_pb = prev;
+        for (std::uint32_t s = 1; s < 32; ++s) {
+            const unsigned pb = pbr.pbOfAge(s * slice).value();
+            ASSERT_GE(pb, prev);
+            boundaries += (pb != prev);
+            prev = pb;
+            max_pb = std::max(max_pb, pb);
+        }
+        EXPECT_GT(boundaries, 0u);
+        EXPECT_LE(max_pb, pbr.numPb() - 1);
+
+        // LRRA is always fastest, the oldest row always slowest.
+        EXPECT_EQ(pbr.pbOfRow(refresh, refresh.lrra()).value(), 0u);
+        const RowId oldest{(refresh.lrra().value() + 1) % rows};
+        EXPECT_EQ(pbr.pbOfRow(refresh, oldest).value(), max_pb);
+
+        // One REF advances ages by rowsPerRef, so exactly rowsPerRef
+        // rows sit before each internal boundary (warning) and
+        // rowsPerRef before the wrap (promising).
+        unsigned warning = 0, promising = 0;
+        for (std::uint32_t age = 0; age < rows; ++age) {
+            const RowId row{(refresh.lrra().value() + rows - age) %
+                            rows};
+            switch (pbr.zoneOfRow(refresh, row)) {
+              case BoundaryZone::kWarning:
+                ++warning;
+                break;
+              case BoundaryZone::kPromising:
+                ++promising;
+                break;
+              case BoundaryZone::kNone:
+                break;
+            }
+        }
+        EXPECT_EQ(warning, boundaries * tp.rowsPerRef);
+        EXPECT_EQ(promising, tp.rowsPerRef);
+
+        // Safety: the rated timing of a row's PB never beats the
+        // charge model's ground truth (sampled across the row space).
+        refresh.performRefresh(refresh.interval());
+        const Cycle now = refresh.interval();
+        for (std::uint32_t r = 0; r < rows; r += 509) {
+            const RowId row{r};
+            const RowTiming rated =
+                pbr.ratedTiming(pbr.pbOfRow(refresh, row));
+            const RowTiming truth =
+                derate.effective(refresh.elapsedSinceRefresh(
+                    row, now, derate.clock()));
             ASSERT_GE(rated.trcd, truth.trcd) << "row " << r;
             ASSERT_GE(rated.tras, truth.tras) << "row " << r;
             ASSERT_GE(rated.trc, truth.trc) << "row " << r;

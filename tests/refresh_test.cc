@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "dram/dram_spec.hh"
 #include "dram/refresh_engine.hh"
 
 namespace nuat {
@@ -147,13 +148,50 @@ TEST(RefreshEngine, RowsMustDivideByRowsPerRef)
 
 TEST(RefreshEngine, PaperScaleConsistency)
 {
-    // 8K rows, 8 rows per REF at 8 x tREFI: one full pass must take
-    // one 64 ms retention period (paper Sec. 4).
-    TimingParams tp; // defaults: tREFI 6240 cycles, rowsPerRef 8
-    RefreshEngine eng(8192, tp);
-    const double pass_ns = static_cast<double>(8192 / 8) *
-                           static_cast<double>(tp.refInterval()) * 1.25;
-    EXPECT_NEAR(pass_ns, 64e6, 64e6 * 0.002);
+    // One full refresh pass of the row space must take one 64 ms
+    // retention period (paper Sec. 4) — for every generation preset,
+    // at that preset's own clock, not just the paper's DDR3 device.
+    for (unsigned i = 0; i < kNumDramGens; ++i) {
+        const DramSpec &spec = DramSpec::allPresets()[i];
+        SCOPED_TRACE(spec.name);
+        const TimingParams &tp = spec.timing;
+        RefreshEngine eng(spec.geometry.rows, tp);
+        const double pass_ns =
+            static_cast<double>(spec.geometry.rows / tp.rowsPerRef) *
+            static_cast<double>(tp.refInterval()) *
+            spec.clock().period().value();
+        EXPECT_NEAR(pass_ns, 64e6, 64e6 * 0.02);
+    }
+}
+
+TEST(RefreshEngine, PerBankStaggerSpansOneInterval)
+{
+    // Per-bank refresh gives every bank its own engine, first due at
+    // interval - (banks - 1 - b) * step with step = interval / banks:
+    // deadlines evenly staggered, the last one exactly at one full
+    // interval (where the single all-bank engine would fire).
+    for (unsigned i = 0; i < kNumDramGens; ++i) {
+        const DramSpec &spec = DramSpec::allPresets()[i];
+        SCOPED_TRACE(spec.name);
+        const TimingParams &tp = spec.timing;
+        const unsigned banks = spec.geometry.banks;
+        const Cycle interval = tp.refInterval();
+        const Cycle step = interval / banks;
+        for (unsigned b = 0; b < banks; ++b) {
+            const Cycle first_due =
+                interval - (banks - 1 - b) * step;
+            RefreshEngine eng(spec.geometry.rows, tp, first_due);
+            EXPECT_EQ(eng.nextDueAt(), first_due);
+            EXPECT_FALSE(eng.due(first_due - 1));
+            EXPECT_TRUE(eng.due(first_due));
+            // The preloaded history must stay strictly pre-sim so row
+            // ages are well-ordered from cycle 0.
+            EXPECT_LT(eng.lastRefreshAt(RowId{0}), 0);
+            EXPECT_LE(eng.lastRefreshAt(
+                          RowId{spec.geometry.rows - 1}),
+                      0);
+        }
+    }
 }
 
 } // namespace

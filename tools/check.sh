@@ -113,6 +113,20 @@ elif [[ "$FAULTS" == "1" ]]; then
     done
 
     echo
+    echo "=== Audited DDR5 smoke (per-bank refresh under the auditor) ==="
+    # The newest generation preset end to end: REFsb scheduling,
+    # bank-group timing, every command re-checked by the auditor's
+    # independently derived per-bank legality rules.
+    "$sim" --workloads libq --scheduler nuat --ops 20000 \
+           --dram-gen ddr5-4800 --audit >/dev/null
+    # Fault injection is all-bank only (the model keys on the rank-wide
+    # refresh counter), so cross DDR5 timing with legacy all-bank REF.
+    "$sim" --workloads libq --scheduler nuat --ops 20000 \
+           --dram-gen ddr5-4800 --refresh-mode all-bank \
+           --audit --fault-profile stress >/dev/null
+    echo "ddr5 audit clean"
+
+    echo
     echo "=== Negative control (degradation off must trip the rule) ==="
     # Without the ladder the stress profile MUST produce charge-margin
     # violations — otherwise the injection or the audit rule is
@@ -170,6 +184,12 @@ NUAT_BENCH_AUDIT=1 NUAT_BENCH_OPS=2000 NUAT_BENCH_THREADS=0 \
 NUAT_BENCH_AUDIT=1 NUAT_BENCH_OPS=2000 NUAT_BENCH_THREADS=0 \
     ./build-release/bench/bench_fig20_exectime >/dev/null
 echo "bench audit clean"
+
+echo
+echo "=== Audited DDR5 smoke (per-bank refresh under the auditor) ==="
+./build-release/tools/nuat_sim --workloads libq --scheduler nuat \
+    --ops 20000 --dram-gen ddr5-4800 --audit >/dev/null
+echo "ddr5 audit clean"
 
 if [[ "$QUICK" == "1" ]]; then
     echo

@@ -20,6 +20,13 @@ ever runs:
                      ``*Ns``) outside the unit-type headers — time
                      crosses module boundaries as ``Nanoseconds`` or
                      ``Cycle`` only.
+  preset-literal     no DDR timing constants assigned from numeric
+                     literals (``tRCD = 17``, ``tRFC = 420``, ...)
+                     in ``src/`` outside the generation tables —
+                     device timings live in the dram_spec.cc presets
+                     (and the DDR3 defaults in timing_params.hh), so
+                     a preset edited in one place can't silently
+                     disagree with a stray copy elsewhere.
   nondeterminism     simulation code (``src/``) must be bit-exact run
                      to run: no ``rand``/``srand``/``time()``/
                      ``std::random_device``/``mt19937``, no wall-clock
@@ -312,6 +319,41 @@ def check_raw_timing(relpath, text, stripped):
 
 
 # ---------------------------------------------------------------------------
+# Rule: preset-literal
+# ---------------------------------------------------------------------------
+
+# The only two places a DDR timing number may be spelled as a literal:
+# the generation preset tables and the DDR3 defaults they are pinned to.
+PRESET_LITERAL_ALLOW = {
+    "src/dram/timing_params.hh",
+    "src/dram/dram_spec.cc",
+}
+# Longest alternatives first so tRCD doesn't half-match as tRC etc.
+PRESET_LITERAL_RE = re.compile(
+    r"\bt(?:REFSBRD|RFCpb|CCD_L|RRD_L|REFI|RTRS|RCD|RAS|CWL|CCD|RRD"
+    r"|FAW|WTR|RTW|RTP|RFC|RP|RC|CL|BL|WR)\s*=\s*\d"
+)
+
+
+def check_preset_literal(relpath, text, stripped):
+    if not relpath.startswith("src/") or relpath in PRESET_LITERAL_ALLOW:
+        return []
+    findings = []
+    for m in PRESET_LITERAL_RE.finditer(stripped):
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(stripped, m.start()),
+                "preset-literal",
+                "raw DDR timing literal '%s...' — generation timings "
+                "belong in the dram_spec.cc preset tables (DDR3 "
+                "defaults: timing_params.hh)" % m.group(0).strip(),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Rule: nondeterminism
 # ---------------------------------------------------------------------------
 
@@ -529,6 +571,7 @@ RULES = {
     "metric-pairing": check_metric_pairing,
     "observer-purity": check_observer_purity,
     "raw-timing": check_raw_timing,
+    "preset-literal": check_preset_literal,
     "nondeterminism": check_nondeterminism,
     "fault-determinism": check_fault_determinism,
     "include-guard": check_include_guard,
@@ -626,6 +669,16 @@ double slack(double budget_ns)
 {
     unsigned senseNs = 4;
     return budget_ns - senseNs;
+}
+""",
+    ),
+    "preset-literal": (
+        "src/mem/broken_preset.cc",
+        """
+void tweak(TimingParams &tp)
+{
+    tp.tRFC = 420;
+    tp.tCCD_L = 6;
 }
 """,
     ),

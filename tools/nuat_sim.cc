@@ -5,6 +5,11 @@
  *   nuat_sim [options]
  *     --workloads a,b,c       one per core (default: ferret)
  *     --scheduler s           nuat | fcfs | frfcfs-open | frfcfs-close
+ *     --dram-gen g            ddr3-1600 | ddr4-2400 | ddr5-4800
+ *                             (generation preset: clock, geometry,
+ *                             timing, refresh mode; default ddr3-1600)
+ *     --refresh-mode m        all-bank | per-bank (override the
+ *                             preset's refresh flavour)
  *     --compare               run all five schedulers side by side
  *     --pb N                  NUAT PB count, 1..5 (default 5)
  *     --channels N            memory channels (default 1)
@@ -49,6 +54,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "dram/dram_spec.hh"
 #include "sim/report.hh"
 #include "sim/runner.hh"
 #include "verify/trace_capture.hh"
@@ -118,6 +124,8 @@ usage()
         "  --workloads a,b,c   one per core (default ferret)\n"
         "  --scheduler s       nuat | fcfs | frfcfs-open | "
         "frfcfs-close\n"
+        "  --dram-gen g        ddr3-1600 | ddr4-2400 | ddr5-4800\n"
+        "  --refresh-mode m    all-bank | per-bank (preset override)\n"
         "  --compare           run all five schedulers\n"
         "  --pb N --channels N --ops N --seed N --gap-scale F\n"
         "  --threads N         workers for --compare (0 = all cores)\n"
@@ -214,6 +222,9 @@ main(int argc, char **argv)
     bool csv = false;
     unsigned threads = 1;
     std::string replay_path;
+    const DramSpec *spec = nullptr;
+    bool have_refresh_mode = false;
+    RefreshMode refresh_mode = RefreshMode::kAllBank;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -226,6 +237,26 @@ main(int argc, char **argv)
             cfg.workloads = splitCommas(value());
         } else if (arg == "--scheduler") {
             cfg.scheduler = parseScheduler(value());
+        } else if (arg == "--dram-gen") {
+            const char *name = value();
+            spec = DramSpec::byName(name);
+            if (spec == nullptr) {
+                nuat_fatal("unknown DRAM generation '%s' (ddr3-1600 | "
+                           "ddr4-2400 | ddr5-4800)",
+                           name);
+            }
+        } else if (arg == "--refresh-mode") {
+            const std::string mode = value();
+            if (mode == "all-bank") {
+                refresh_mode = RefreshMode::kAllBank;
+            } else if (mode == "per-bank") {
+                refresh_mode = RefreshMode::kPerBank;
+            } else {
+                nuat_fatal("unknown refresh mode '%s' (all-bank | "
+                           "per-bank)",
+                           mode.c_str());
+            }
+            have_refresh_mode = true;
         } else if (arg == "--compare") {
             compare = true;
         } else if (arg == "--pb") {
@@ -271,6 +302,16 @@ main(int argc, char **argv)
             nuat_fatal("unknown option '%s'", arg.c_str());
         }
     }
+
+    // The preset replaces geometry + timing wholesale; keep the only
+    // CLI geometry knob (--channels) regardless of flag order.
+    if (spec != nullptr) {
+        const unsigned channels = cfg.geometry.channels;
+        cfg.applyDramGen(spec->generation);
+        cfg.geometry.channels = channels;
+    }
+    if (have_refresh_mode)
+        cfg.timing.refreshMode = refresh_mode;
 
     if (!replay_path.empty())
         return replayTrace(replay_path);
