@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Refresh-policy sweep: what do DARP/SARP buy on top of NUAT?
+ *
+ * The DSARP work shows that moving per-bank refreshes out of the
+ * demand path — pulling a bank's REFsb forward while its queue is
+ * idle, deferring it inside the JEDEC window while requests wait —
+ * recovers much of the refresh penalty.  This bench runs NUAT (5PB)
+ * under all three policies on both per-bank generation presets, so
+ * the output answers how much of that recovery survives alongside
+ * NUAT's charge-derated timing (which itself leans on the refresh
+ * counter the policies shuffle).
+ *
+ * Emits one JSON line per (generation, policy) cell with the average
+ * read latency / execution time and the speedup over the in-order
+ * baseline of the same generation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table_printer.hh"
+#include "dram/dram_spec.hh"
+#include "mem/refresh_policy.hh"
+#include "sim/runner.hh"
+
+using namespace nuat;
+
+int
+main(int argc, char **argv)
+{
+    bench::header("Refresh-policy sweep",
+                  "NUAT (5PB) under inorder / DARP / SARP per-bank "
+                  "refresh scheduling");
+
+    const std::uint64_t ops = bench::opsPerCore(20000, 120000);
+    const char *const workloads[] = {"libq", "ferret", "stream",
+                                     "comm1"};
+    const DramGen gens[] = {DramGen::kDdr4_2400, DramGen::kDdr5_4800};
+    const RefreshPolicy policies[] = {RefreshPolicy::kInOrder,
+                                      RefreshPolicy::kDarp,
+                                      RefreshPolicy::kSarp};
+
+    std::vector<ExperimentConfig> grid;
+    grid.reserve(std::size(gens) * std::size(policies) *
+                 std::size(workloads));
+    for (const DramGen gen : gens) {
+        for (const RefreshPolicy policy : policies) {
+            for (const char *w : workloads) {
+                ExperimentConfig cfg;
+                cfg.applyDramGen(gen, RefreshMode::kPerBank);
+                cfg.workloads = {w};
+                cfg.memOpsPerCore = ops;
+                cfg.audit = bench::auditEnabled();
+                cfg.scheduler = SchedulerKind::kNuat;
+                cfg.controller.refreshPolicy = policy;
+                grid.push_back(cfg);
+            }
+        }
+    }
+    bench::applyMetricsEnv(grid, "refresh_policy");
+
+    const unsigned threads = resolveRunnerThreads(
+        bench::threadsFromArgs(argc, argv), grid.size());
+    bench::ThroughputReport tput("refresh_policy", threads);
+    const auto all = runExperimentsParallel(grid, threads);
+    tput.add(all);
+
+    TablePrinter table({"generation", "policy", "lat (cyc)",
+                        "exec (cpu cyc)", "lat gain", "exec gain"});
+    std::size_t idx = 0;
+    for (const DramGen gen : gens) {
+        // The generation's in-order cells come first in the grid and
+        // are the baseline its DARP/SARP cells are scored against.
+        double base_lat = 0.0, base_exec = 0.0;
+        for (const RefreshPolicy policy : policies) {
+            double sum_lat = 0.0, sum_exec = 0.0;
+            for (std::size_t w = 0; w < std::size(workloads); ++w) {
+                const RunResult &r = all[idx++];
+                sum_lat += r.avgReadLatency();
+                sum_exec += static_cast<double>(r.executionTime());
+            }
+            const double n = static_cast<double>(std::size(workloads));
+            const double lat = sum_lat / n;
+            const double exec = sum_exec / n;
+            if (policy == RefreshPolicy::kInOrder) {
+                base_lat = lat;
+                base_exec = exec;
+            }
+            const double lat_gain = percentReduction(base_lat, lat);
+            const double exec_gain = percentReduction(base_exec, exec);
+
+            table.addRow({dramGenName(gen), refreshPolicyName(policy),
+                          TablePrinter::num(lat, 1),
+                          TablePrinter::num(exec, 0),
+                          TablePrinter::pct(lat_gain / 100.0),
+                          TablePrinter::pct(exec_gain / 100.0)});
+
+            std::printf(
+                "{\"bench\":\"refresh_policy\",\"generation\":\"%s\","
+                "\"policy\":\"%s\",\"workloads\":%zu,"
+                "\"nuat_lat_cyc\":%.2f,\"exec_cpu_cyc\":%.0f,"
+                "\"lat_gain_pct\":%.2f,\"exec_gain_pct\":%.2f}\n",
+                DramSpec::preset(gen).name, refreshPolicyName(policy),
+                std::size(workloads), lat, exec, lat_gain, exec_gain);
+        }
+    }
+    std::printf("\n%s\n", table.render().c_str());
+
+    std::printf("(gains are vs the same generation's in-order cell; "
+                "DARP moves REFsb commands off the demand path inside "
+                "the JEDEC window, SARP additionally drains writes "
+                "into tRFCpb shadows)\n");
+    tput.report();
+    return bench::auditVerdict(all);
+}

@@ -348,7 +348,17 @@ NuatScheduler::pick(std::vector<Candidate> &candidates,
             if (cfg_.ppmEnabled) {
                 // PPM: per-PB page-mode selection against the PHRC
                 // estimate.
-                const PagePolicy mode = ppm_->modeFor(pb, phrc_.hitRate());
+                PagePolicy mode = ppm_->modeFor(pb, phrc_.hitRate());
+                // Under DARP/SARP a due refresh may be parked behind
+                // this bank's queued demand; eagerly closing the row
+                // lets the deferred REFsb slot in the moment the bank
+                // drains (DSARP's close-on-pending-refresh hint).
+                if (ctx.refreshPolicy != RefreshPolicy::kInOrder &&
+                    mode == PagePolicy::kOpen &&
+                    ctx.dev->refreshFor(chosen.cmd.rank, chosen.cmd.bank)
+                        .due(ctx.now)) {
+                    mode = PagePolicy::kClose;
+                }
                 applyPagePolicy(chosen, mode, cfg_.graceClose);
                 if (mode == PagePolicy::kClose) {
                     ++ppmClose_;

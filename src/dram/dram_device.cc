@@ -134,6 +134,18 @@ DramDevice::refreshDue(Cycle now) const
     return false;
 }
 
+bool
+DramDevice::refsbInFlight(Cycle now) const
+{
+    for (const auto &r : ranks_) {
+        for (const Cycle until : r.refsbBusyUntil) {
+            if (now < until)
+                return true;
+        }
+    }
+    return false;
+}
+
 RowTiming
 DramDevice::trueRowTiming(RankId rank_idx, BankId bank_idx, RowId row,
                           Cycle now) const
@@ -382,6 +394,11 @@ DramDevice::issue(const Command &cmd, Cycle now)
                        "guaranteed within the refresh-slack guard",
                        static_cast<unsigned long long>(now - due));
         }
+        if (now + tp_.refPullInWindow() < due) {
+            nuat_panic("REF %llu cycles early: pulled in beyond the "
+                       "JEDEC pull-in budget",
+                       static_cast<unsigned long long>(due - now));
+        }
         if (faults_)
             faults_->onRefresh(cmd.rank, eng.nextRow(), now);
         eng.performRefresh(now);
@@ -400,6 +417,12 @@ DramDevice::issue(const Command &cmd, Cycle now)
                        "refresh-slack guard",
                        cmd.bank.value(),
                        static_cast<unsigned long long>(now - due));
+        }
+        if (now + tp_.refPullInWindow() < due) {
+            nuat_panic("REFSB bank %u %llu cycles early: pulled in "
+                       "beyond the JEDEC pull-in budget",
+                       cmd.bank.value(),
+                       static_cast<unsigned long long>(due - now));
         }
         eng.performRefresh(now);
         r.refsbBusyUntil[cmd.bank.value()] = now + tp_.tRFCpb;

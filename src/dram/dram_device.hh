@@ -160,6 +160,10 @@ class DramDevice
     /** True when any rank has a REF / REFsb due at @p now. */
     bool refreshDue(Cycle now) const;
 
+    /** True when any bank's REFsb tRFCpb window covers @p now (the
+     *  refresh shadow SARP drains writes into). */
+    bool refsbInFlight(Cycle now) const;
+
     /**
      * The row's true minimum activation timing at @p now, from the
      * charge model.  Exposed for tests and the pb_explorer example.

@@ -11,7 +11,9 @@ RefreshEngine::RefreshEngine(std::uint32_t rows, const TimingParams &tp)
 
 RefreshEngine::RefreshEngine(std::uint32_t rows, const TimingParams &tp,
                              Cycle first_due_at)
-    : rows_(rows), rowsPerRef_(tp.rowsPerRef), interval_(tp.refInterval())
+    : rows_(rows), rowsPerRef_(tp.rowsPerRef),
+      interval_(tp.refInterval()), pullInWindow_(tp.refPullInWindow()),
+      postponeWindow_(tp.refPostponeWindow())
 {
     nuat_assert(rows_ > 0 && rowsPerRef_ > 0);
     nuat_assert(rows_ % rowsPerRef_ == 0,
@@ -46,6 +48,10 @@ RefreshEngine::performRefresh(Cycle now)
         lastRefreshAt_[(nextRow_ + r) % rows_] =
             static_cast<std::int64_t>(now);
     }
+    if (now < nextDueAt_)
+        ++pulledIn_;
+    else if (now > nextDueAt_)
+        ++postponed_;
     nextRow_ = (nextRow_ + rowsPerRef_) % rows_;
     nextDueAt_ += interval_; // absolute schedule: lateness never accrues
     ++refreshesDone_;

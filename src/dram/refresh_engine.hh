@@ -62,6 +62,28 @@ class RefreshEngine
     /** True when the next REF's deadline has arrived at @p now. */
     bool due(Cycle now) const { return now >= nextDueAt_; }
 
+    /**
+     * Latest cycle the next REF may legally land: the nominal deadline
+     * plus the JEDEC postponement window (TimingParams::
+     * refPostponeWindow).  Out-of-order policies defer up to here.
+     */
+    Cycle deadlineAt() const { return nextDueAt_ + postponeWindow_; }
+
+    /**
+     * Earliest cycle the next REF may legally land: the nominal
+     * deadline minus the pull-in window.  With the default budget of
+     * rowsPerRef tREFIs this is exactly the previous deadline, so a
+     * bank can run at most one REF ahead of its nominal schedule.
+     */
+    Cycle earliestIssueAt() const
+    {
+        return nextDueAt_ > pullInWindow_ ? nextDueAt_ - pullInWindow_
+                                          : 0;
+    }
+
+    /** True when pulling the next REF forward to @p now is legal. */
+    bool canPullIn(Cycle now) const { return now >= earliestIssueAt(); }
+
     /** First row the next REF will refresh (the counter position). */
     RowId nextRow() const { return RowId{nextRow_}; }
 
@@ -111,13 +133,24 @@ class RefreshEngine
     /** Total REF commands performed. */
     std::uint64_t refreshesDone() const { return refreshesDone_; }
 
+    /** REFs performed before their nominal deadline (pull-ins). */
+    std::uint64_t pulledIn() const { return pulledIn_; }
+
+    /** REFs performed after their nominal deadline (postponements —
+     *  including the few-cycle slips of in-order operation). */
+    std::uint64_t postponed() const { return postponed_; }
+
   private:
     std::uint32_t rows_;
     unsigned rowsPerRef_;
     Cycle interval_;
+    Cycle pullInWindow_;
+    Cycle postponeWindow_;
     std::uint32_t nextRow_ = 0;
     Cycle nextDueAt_;
     std::uint64_t refreshesDone_ = 0;
+    std::uint64_t pulledIn_ = 0;
+    std::uint64_t postponed_ = 0;
     std::vector<std::int64_t> lastRefreshAt_;
 };
 

@@ -27,6 +27,13 @@ TimingParams::validate() const
                 "(single-bank refresh cannot outlast all-bank)");
     nuat_assert(tREFI > tRFCpb,
                 "(per-bank refresh would saturate the device)");
+    // The charge model's refresh-slack guard must cover the furthest a
+    // policy may legally postpone a refresh, or an in-window deferral
+    // could void the derated-timing safety proof.
+    nuat_assert(refPostponeWindow() <= maxRefreshSlack,
+                "(postponement window %llu exceeds refresh slack %llu)",
+                static_cast<unsigned long long>(refPostponeWindow()),
+                static_cast<unsigned long long>(maxRefreshSlack));
 }
 
 void

@@ -88,6 +88,25 @@ struct TimingParams
     Cycle refInterval() const { return tREFI * rowsPerRef; }
 
     /**
+     * JEDEC refresh flexibility budget, in tREFI units: a refresh
+     * command may be postponed up to refPostponeMax x tREFI past its
+     * nominal deadline (the "9 x tREFI" bound: the command lands
+     * before the ninth tREFI tick after the previous one) and pulled
+     * in up to refPullInMax x tREFI before it.  Both sides default to
+     * the spec's 8.  Out-of-order refresh policies (RefreshPolicy,
+     * mem/refresh_policy.hh) move refreshes only inside this window;
+     * in-order operation never consults it.
+     */
+    unsigned refPostponeMax = 8;
+    unsigned refPullInMax = 8;
+
+    /** Latest legal refresh: its deadline plus this [cycles]. */
+    Cycle refPostponeWindow() const { return tREFI * refPostponeMax; }
+
+    /** Earliest legal refresh: its deadline minus this [cycles]. */
+    Cycle refPullInWindow() const { return tREFI * refPullInMax; }
+
+    /**
      * Maximum tolerated lateness of a REF command [cycles].  The PBR
      * rated timings include a refresh-slack guard (TimingDerate's
      * slack_ns, default 1 ms); a controller that lets refresh slip

@@ -109,6 +109,24 @@ MemoryController::MemoryController(DramDevice &dev,
     actSeenEpoch_.assign(static_cast<std::size_t>(ranks) * banks, 0);
     actSeenRow_.assign(static_cast<std::size_t>(ranks) * banks, kNoRow);
     preSeenEpoch_.assign(static_cast<std::size_t>(ranks) * banks, 0);
+
+    // Out-of-order refresh policies only exist on the REFsb substrate;
+    // under all-bank REF the config knob degenerates to in-order.
+    const TimingParams &tp = dev_.timing();
+    if (tp.refreshMode == RefreshMode::kPerBank)
+        policy_ = cfg_.refreshPolicy;
+    if (policy_ != RefreshPolicy::kInOrder) {
+        // Worst case between "refresh forced" and "REFsb lands": the
+        // open row finishes its access (tRAS-class recovery + write
+        // recovery), a forced PRE closes it, and the REFsb waits out
+        // the rank's same-rank spacing behind every other bank, plus a
+        // same-cycle-scan slack term.
+        forceMargin_ = tp.tRAS + tp.tCWL + tp.tBL + tp.tWR + tp.tRP +
+                       static_cast<Cycle>(banks) * tp.tREFSBRD +
+                       tp.tRFCpb + 64;
+        nuat_assert(forceMargin_ < tp.refPostponeWindow(),
+                    "(postponement window too small to defer refresh)");
+    }
 }
 
 Addr
@@ -127,6 +145,7 @@ MemoryController::makeContext(Cycle now) const
     ctx.writeQLen = writeQ_.size();
     ctx.wqHighWatermark = cfg_.writeQueueHighWatermark;
     ctx.wqLowWatermark = cfg_.writeQueueLowWatermark;
+    ctx.refreshPolicy = policy_;
     return ctx;
 }
 
@@ -298,47 +317,112 @@ MemoryController::handleRefresh(Cycle now)
 }
 
 bool
+MemoryController::tryRefreshBank(RankId rank, BankId bank, Cycle now)
+{
+    Command refsb;
+    refsb.type = CmdType::kRefsb;
+    refsb.rank = rank;
+    refsb.bank = bank;
+    if (dev_.canIssue(refsb, now)) {
+        dev_.issue(refsb, now);
+        NUAT_METRIC(if (metrics_) metrics_->cmdRefsb->inc());
+        scheduler_->onIssue(refsb, makeContext(now));
+        return true;
+    }
+
+    if (!dev_.bank(rank, bank).isClosed()) {
+        Command pre;
+        pre.type = CmdType::kPre;
+        pre.rank = rank;
+        pre.bank = bank;
+        if (dev_.canIssue(pre, now)) {
+            dev_.issue(pre, now);
+            NUAT_METRIC(if (metrics_) {
+                metrics_->cmdPre->inc();
+                metrics_->forcedPre->inc();
+            });
+            scheduler_->onIssue(pre, makeContext(now));
+            return true;
+        }
+    }
+    // Target bank still busy (tRAS / tRTP / tWR / tREFSBRD); its
+    // candidates are suppressed in enumerate, so it quiesces.
+    return false;
+}
+
+bool
+MemoryController::refreshForced(RankId rank, BankId bank,
+                                Cycle now) const
+{
+    return now + forceMargin_ >=
+           dev_.refreshFor(rank, bank).deadlineAt();
+}
+
+bool
+MemoryController::wantRefresh(RankId rank, BankId bank, Cycle now) const
+{
+    const RefreshEngine &eng = dev_.refreshFor(rank, bank);
+    if (policy_ == RefreshPolicy::kInOrder)
+        return eng.due(now);
+
+    // DARP/SARP: the postponement deadline overrides everything.
+    if (refreshForced(rank, bank, now))
+        return true;
+    // Defer: the bank has queued demand and window to spare.
+    if (demand_.bankDemand(rank, bank) > 0)
+        return false;
+    // No demand for this bank.  At the nominal deadline, refresh — a
+    // fully idle system must keep the in-order cadence (the idle
+    // fast-forward jumps to exactly these deadlines).
+    if (eng.due(now))
+        return true;
+    // Pull in: only while the controller is busy elsewhere.  An idle
+    // controller must not refresh early — the fast-forward skips spans
+    // where provably nothing happens, and results must be identical
+    // with the optimization off.
+    return eng.canPullIn(now) && readQ_.size() + writeQ_.size() != 0;
+}
+
+bool
 MemoryController::handlePerBankRefresh(Cycle now)
 {
     // Per-bank refresh only drains the *target* bank: the rest of the
     // rank keeps servicing requests during the REFsb's tRFCpb window —
     // the property the DDR5 sweep exists to measure.
-    for (unsigned r = 0; r < dev_.geometry().ranks; ++r) {
-        const RankId rank{r};
-        for (unsigned b = 0; b < dev_.geometry().banks; ++b) {
-            const BankId bank{b};
-            if (!dev_.refreshFor(rank, bank).due(now))
-                continue;
+    const unsigned ranks = dev_.geometry().ranks;
+    const unsigned banks = dev_.geometry().banks;
 
-            Command refsb;
-            refsb.type = CmdType::kRefsb;
-            refsb.rank = rank;
-            refsb.bank = bank;
-            if (dev_.canIssue(refsb, now)) {
-                dev_.issue(refsb, now);
-                NUAT_METRIC(if (metrics_) metrics_->cmdRefsb->inc());
-                scheduler_->onIssue(refsb, makeContext(now));
-                return true;
-            }
-
-            if (!dev_.bank(rank, bank).isClosed()) {
-                Command pre;
-                pre.type = CmdType::kPre;
-                pre.rank = rank;
-                pre.bank = bank;
-                if (dev_.canIssue(pre, now)) {
-                    dev_.issue(pre, now);
-                    NUAT_METRIC(if (metrics_) {
-                        metrics_->cmdPre->inc();
-                        metrics_->forcedPre->inc();
-                    });
-                    scheduler_->onIssue(pre, makeContext(now));
+    if (policy_ == RefreshPolicy::kInOrder) {
+        for (unsigned r = 0; r < ranks; ++r) {
+            const RankId rank{r};
+            for (unsigned b = 0; b < banks; ++b) {
+                const BankId bank{b};
+                if (!dev_.refreshFor(rank, bank).due(now))
+                    continue;
+                if (tryRefreshBank(rank, bank, now))
                     return true;
-                }
+                // Keep scanning: another bank may be issuable now.
             }
-            // Target bank still busy (tRAS / tRTP / tWR / tREFSBRD);
-            // its candidates are suppressed below, so it quiesces.
-            // Keep scanning: another bank's REFsb may be issuable now.
+        }
+        return false;
+    }
+
+    // Out-of-order (DARP/SARP): deadline-critical banks first — they
+    // can no longer be deferred, so they must not lose the slot to an
+    // opportunistic pull-in elsewhere.  Then everything else the
+    // policy approves (due idle banks, pull-ins).
+    for (int pass = 0; pass < 2; ++pass) {
+        for (unsigned r = 0; r < ranks; ++r) {
+            const RankId rank{r};
+            for (unsigned b = 0; b < banks; ++b) {
+                const BankId bank{b};
+                const bool forced = refreshForced(rank, bank, now);
+                if (pass == 0 ? !forced
+                              : (forced || !wantRefresh(rank, bank, now)))
+                    continue;
+                if (tryRefreshBank(rank, bank, now))
+                    return true;
+            }
         }
     }
     return false;
@@ -370,7 +454,7 @@ MemoryController::enumerate(Cycle now, std::vector<Candidate> &out)
                             dev_.timing().tRC};
 
     auto addForRequest = [&](Request *req) {
-        if (dev_.refreshFor(req->rank, req->bank).due(now))
+        if (wantRefresh(req->rank, req->bank, now))
             return; // rank (or this bank) is draining for refresh
         const BankState &b = dev_.bank(req->rank, req->bank);
         const std::size_t flat =
@@ -421,6 +505,26 @@ MemoryController::enumerate(Cycle now, std::vector<Candidate> &out)
         addForRequest(req.get());
     for (const auto &req : writeQ_)
         addForRequest(req.get());
+
+    // SARP write-drain shadowing: while some bank sits in its tRFCpb
+    // window, steer the slot toward the write queue — the drain hides
+    // inside the refresh shadow instead of stealing read bandwidth
+    // later.  Only filters when both kinds are present, so it never
+    // idles a slot the open-bank candidates could have used.
+    if (policy_ == RefreshPolicy::kSarp && !out.empty() &&
+        dev_.refsbInFlight(now)) {
+        bool any_write = false;
+        bool any_read = false;
+        for (const Candidate &c : out)
+            (c.isWrite ? any_write : any_read) = true;
+        if (any_write && any_read) {
+            out.erase(std::remove_if(out.begin(), out.end(),
+                                     [](const Candidate &c) {
+                                         return !c.isWrite;
+                                     }),
+                      out.end());
+        }
+    }
 }
 
 void

@@ -26,6 +26,7 @@
 #include "common/types.hh"
 #include "dram/dram_device.hh"
 #include "memory_port.hh"
+#include "refresh_policy.hh"
 #include "request.hh"
 #include "request_queues.hh"
 #include "scheduler.hh"
@@ -55,6 +56,13 @@ struct ControllerConfig
      * (an SRAM lookup inside the controller, not a DRAM access).
      */
     Cycle forwardLatency = 2;
+
+    /**
+     * When the controller retires per-bank refresh within the JEDEC
+     * pull-in/postponement window (see refresh_policy.hh).  Ignored —
+     * effectively kInOrder — under RefreshMode::kAllBank.
+     */
+    RefreshPolicy refreshPolicy = RefreshPolicy::kInOrder;
 };
 
 /** Aggregate controller statistics. */
@@ -229,6 +237,26 @@ class MemoryController : public MemoryPort
      *  schedulable. */
     bool handlePerBankRefresh(Cycle now);
 
+    /**
+     * The per-bank refresh policy's verdict: does (rank, bank) owe a
+     * refresh at @p now?  kInOrder answers the nominal deadline
+     * (RefreshEngine::due); DARP/SARP defer a due refresh while the
+     * bank has queued demand (until the postponement deadline nears)
+     * and pull one forward when the bank is idle but the controller is
+     * busy elsewhere.  Both handlePerBankRefresh (issue side) and
+     * enumerate (candidate suppression side) consult this, so a bank
+     * that owes a refresh quiesces and one that doesn't keeps serving.
+     */
+    bool wantRefresh(RankId rank, BankId bank, Cycle now) const;
+
+    /** True when (rank, bank)'s postponement window is nearly spent
+     *  and its refresh can no longer be deferred. */
+    bool refreshForced(RankId rank, BankId bank, Cycle now) const;
+
+    /** Try to advance (rank, bank)'s refresh: REFsb if legal, else a
+     *  forced PRE on its open row.  True if a command was issued. */
+    bool tryRefreshBank(RankId rank, BankId bank, Cycle now);
+
     /** Enumerate all legal candidates at @p now into @p out. */
     void enumerate(Cycle now, std::vector<Candidate> &out);
 
@@ -239,6 +267,20 @@ class MemoryController : public MemoryPort
     std::unique_ptr<Scheduler> scheduler_;
     ControllerConfig cfg_;
     AddressMapping mapping_;
+
+    /** Effective refresh policy: cfg_.refreshPolicy under per-bank
+     *  refresh, kInOrder otherwise. */
+    RefreshPolicy policy_ = RefreshPolicy::kInOrder;
+
+    /**
+     * Deadline guard for out-of-order policies [cycles]: once a bank's
+     * postponement deadline is within this margin, its refresh is
+     * forced regardless of demand.  Sized in the constructor to cover
+     * a worst-case drain (open-row recovery + forced PRE) plus the
+     * rank's REFsb serialization, so a deferred refresh always lands
+     * inside the window.
+     */
+    Cycle forceMargin_ = 0;
 
     RequestQueue readQ_;
     RequestQueue writeQ_;

@@ -1,0 +1,34 @@
+#include "refresh_policy.hh"
+
+namespace nuat {
+
+const char *
+refreshPolicyName(RefreshPolicy policy)
+{
+    switch (policy) {
+      case RefreshPolicy::kInOrder:
+        return "inorder";
+      case RefreshPolicy::kDarp:
+        return "darp";
+      case RefreshPolicy::kSarp:
+        return "sarp";
+    }
+    return "?";
+}
+
+bool
+parseRefreshPolicy(std::string_view name, RefreshPolicy &out)
+{
+    if (name == "inorder") {
+        out = RefreshPolicy::kInOrder;
+    } else if (name == "darp") {
+        out = RefreshPolicy::kDarp;
+    } else if (name == "sarp") {
+        out = RefreshPolicy::kSarp;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace nuat

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Refresh scheduling policies layered on per-bank refresh.
+ *
+ * RefreshMode (timing_params.hh) says what refresh *commands* the
+ * device accepts — all-bank REF or per-bank REFsb.  RefreshPolicy says
+ * *when the controller issues them* within the JEDEC flexibility
+ * window (a REFsb may be pulled in up to refPullInMax x tREFI before
+ * its nominal deadline and postponed up to refPostponeMax x tREFI
+ * past it):
+ *
+ *  - kInOrder: issue each bank's REFsb at its nominal staggered
+ *    deadline, in rotation order.  Behaviourally identical to the
+ *    pre-policy controller; the default, and the only legal policy
+ *    under RefreshMode::kAllBank.
+ *  - kDarp (Chang et al., DSARP): out-of-order per-bank refresh —
+ *    pull a bank's REFsb forward while its queue is idle, defer it
+ *    under demand, never past the postponement deadline.
+ *  - kSarp: kDarp plus write-drain shadowing — while any bank's
+ *    tRFCpb window is in flight, the scheduler prefers write
+ *    candidates, hiding the drain inside the refresh shadow.
+ */
+
+#ifndef NUAT_MEM_REFRESH_POLICY_HH
+#define NUAT_MEM_REFRESH_POLICY_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace nuat {
+
+/** When the controller retires refresh within the JEDEC window. */
+enum class RefreshPolicy : std::uint8_t
+{
+    kInOrder, //!< nominal staggered schedule (default)
+    kDarp,    //!< out-of-order: pull in when idle, defer under demand
+    kSarp,    //!< kDarp + write drain into refreshing banks' shadow
+};
+
+/** Short display name: "inorder" | "darp" | "sarp". */
+const char *refreshPolicyName(RefreshPolicy policy);
+
+/**
+ * Parse a policy name ("inorder" | "darp" | "sarp") into @p out.
+ * Returns false (leaving @p out untouched) on anything else.
+ */
+bool parseRefreshPolicy(std::string_view name, RefreshPolicy &out);
+
+} // namespace nuat
+
+#endif // NUAT_MEM_REFRESH_POLICY_HH

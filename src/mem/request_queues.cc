@@ -9,12 +9,14 @@ RowDemandTracker::reset(unsigned ranks, unsigned banks)
 {
     banks_ = banks;
     perBank_.assign(static_cast<std::size_t>(ranks) * banks, {});
+    bankCount_.assign(static_cast<std::size_t>(ranks) * banks, 0);
 }
 
 void
 RowDemandTracker::add(const Request &req)
 {
     auto &list = perBank_[req.rank.value() * banks_ + req.bank.value()];
+    ++bankCount_[req.rank.value() * banks_ + req.bank.value()];
     for (auto &d : list) {
         if (d.row == req.row) {
             ++d.count;
@@ -30,6 +32,7 @@ RowDemandTracker::remove(const Request &req)
     auto &list = perBank_[req.rank.value() * banks_ + req.bank.value()];
     for (auto &d : list) {
         if (d.row == req.row) {
+            --bankCount_[req.rank.value() * banks_ + req.bank.value()];
             if (--d.count == 0) {
                 d = list.back();
                 list.pop_back();

@@ -48,6 +48,16 @@ class RowDemandTracker
     /** Queued requests targeting @p row of (@p rank, @p bank). */
     unsigned demandFor(RankId rank, BankId bank, RowId row) const;
 
+    /**
+     * Queued requests targeting (@p rank, @p bank), any row.  O(1) —
+     * refresh policies consult this every (rank, bank) every tick to
+     * decide whether a bank is idle enough to pull its REFsb forward.
+     */
+    unsigned bankDemand(RankId rank, BankId bank) const
+    {
+        return bankCount_[rank.value() * banks_ + bank.value()];
+    }
+
   private:
     struct RowDemand
     {
@@ -59,6 +69,8 @@ class RowDemandTracker
     /** Indexed rank * banks_ + bank; inner vectors keep their
      *  capacity across swap-removes, so steady state never allocates. */
     std::vector<std::vector<RowDemand>> perBank_;
+    /** Per-(rank,bank) totals, same indexing. */
+    std::vector<unsigned> bankCount_;
 };
 
 /** A bounded FIFO of requests (arrival order preserved). */

@@ -20,6 +20,7 @@
 #include "common/types.hh"
 #include "dram/command.hh"
 #include "dram/dram_device.hh"
+#include "refresh_policy.hh"
 #include "request.hh"
 
 namespace nuat {
@@ -52,6 +53,11 @@ struct SchedContext
     std::size_t writeQLen = 0;
     unsigned wqHighWatermark = 0;
     unsigned wqLowWatermark = 0;
+
+    /** Effective refresh policy (kInOrder unless per-bank refresh with
+     *  DARP/SARP configured).  Lets page-mode logic anticipate a
+     *  deferred refresh parked behind a bank's queued demand. */
+    RefreshPolicy refreshPolicy = RefreshPolicy::kInOrder;
 };
 
 /**

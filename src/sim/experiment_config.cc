@@ -57,6 +57,12 @@ ExperimentConfig::validate() const
     nuat_assert(!faultsEnabled() ||
                     timing.refreshMode == RefreshMode::kAllBank,
                 "(fault injection requires all-bank refresh)");
+    // DARP/SARP reorder individual banks' REFsb commands; under
+    // all-bank refresh there is nothing to reorder.
+    nuat_assert(controller.refreshPolicy == RefreshPolicy::kInOrder ||
+                    timing.refreshMode == RefreshMode::kPerBank,
+                "(darp/sarp refresh policies require per-bank refresh"
+                " mode)");
     geometry.validate();
     timing.validate();
 }

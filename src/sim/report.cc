@@ -63,6 +63,18 @@ compareRuns(const std::vector<RunResult> &results)
 std::string
 describeConfig(const ExperimentConfig &cfg)
 {
+    // Refresh descriptor: the mode, plus the policy when a non-default
+    // one is active (inorder keeps the historical "per-bank" text).
+    char refresh_desc[32];
+    if (cfg.controller.refreshPolicy != RefreshPolicy::kInOrder) {
+        std::snprintf(refresh_desc, sizeof(refresh_desc), "per-bank/%s",
+                      refreshPolicyName(cfg.controller.refreshPolicy));
+    } else {
+        std::snprintf(refresh_desc, sizeof(refresh_desc), "%s",
+                      cfg.timing.refreshMode == RefreshMode::kPerBank
+                          ? "per-bank"
+                          : "all-bank");
+    }
     char buf[640];
     std::snprintf(
         buf, sizeof(buf),
@@ -75,8 +87,7 @@ describeConfig(const ExperimentConfig &cfg)
         dramGenName(cfg.dramGen), cfg.geometry.ranks,
         cfg.geometry.banks, cfg.geometry.bankGroups,
         cfg.geometry.rows / 1024, cfg.geometry.columns / 1024,
-        cfg.timing.refreshMode == RefreshMode::kPerBank ? "per-bank"
-                                                        : "all-bank",
+        refresh_desc,
         static_cast<unsigned long long>(cfg.timing.tRCD),
         static_cast<unsigned long long>(cfg.timing.tRAS),
         static_cast<unsigned long long>(cfg.timing.tRC),

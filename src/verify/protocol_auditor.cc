@@ -54,6 +54,8 @@ auditRuleName(AuditRule rule)
         return "ref-late";
       case AuditRule::kRefsb:
         return "REFsb";
+      case AuditRule::kRefDeadline:
+        return "ref-deadline";
       case AuditRule::kChargeSafety:
         return "charge-safety";
       case AuditRule::kChargeMargin:
@@ -511,6 +513,21 @@ ProtocolAuditor::checkRef(const Command &cmd, Cycle now,
              static_cast<unsigned long long>(
                  now - rank.refDueAt - tp.maxRefreshSlack));
     }
+    // JEDEC refresh flexibility: a REF may run at most refPostponeMax
+    // intervals late or refPullInMax intervals early relative to its
+    // nominal slot.  Both bounds re-derived here from tREFI and the
+    // budget counts, not from the engine's window bookkeeping.
+    if (now > rank.refDueAt + tp.tREFI * tp.refPostponeMax) {
+        flag(AuditRule::kRefDeadline, cmd, now,
+             "due at %llu, postponed past the %u x tREFI budget",
+             static_cast<unsigned long long>(rank.refDueAt),
+             tp.refPostponeMax);
+    } else if (now + tp.tREFI * tp.refPullInMax < rank.refDueAt) {
+        flag(AuditRule::kRefDeadline, cmd, now,
+             "due at %llu, pulled in beyond the %u x tREFI budget",
+             static_cast<unsigned long long>(rank.refDueAt),
+             tp.refPullInMax);
+    }
 
     rank.refEndsAt = now + tp.tRFC;
     rank.everRefreshed = true;
@@ -559,6 +576,20 @@ ProtocolAuditor::checkRefsb(const Command &cmd, Cycle now,
              static_cast<unsigned long long>(bank.refDueAt),
              static_cast<unsigned long long>(
                  now - bank.refDueAt - tp.maxRefreshSlack));
+    }
+    // Per-bank flavour of the JEDEC flexibility window (DARP/SARP
+    // operate inside exactly this envelope).  Re-derived from tREFI
+    // and the budget counts, independent of RefreshEngine.
+    if (now > bank.refDueAt + tp.tREFI * tp.refPostponeMax) {
+        flag(AuditRule::kRefDeadline, cmd, now,
+             "due at %llu, postponed past the %u x tREFI budget",
+             static_cast<unsigned long long>(bank.refDueAt),
+             tp.refPostponeMax);
+    } else if (now + tp.tREFI * tp.refPullInMax < bank.refDueAt) {
+        flag(AuditRule::kRefDeadline, cmd, now,
+             "due at %llu, pulled in beyond the %u x tREFI budget",
+             static_cast<unsigned long long>(bank.refDueAt),
+             tp.refPullInMax);
     }
 
     bank.refsbEndsAt = now + tp.tRFCpb;

@@ -67,6 +67,10 @@ enum class AuditRule : unsigned
     kRefLate,      //!< REF beyond the schedule's lateness guard
     kRefsb,        //!< REFsb legality: wrong refresh flavour for the
                    //!< configured mode, or tREFSBRD spacing violated
+    kRefDeadline,  //!< REF outside the JEDEC flexibility window: past
+                   //!< the postponement bound (due + refPostponeMax x
+                   //!< tREFI — every bank's 9 x tREFI deadline) or
+                   //!< pulled in beyond refPullInMax x tREFI early
     kChargeSafety, //!< ACT timing faster than the row's charge allows
     kChargeMargin, //!< consecutive ACTs under the fault-world margin
     kNumRules,

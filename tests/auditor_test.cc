@@ -298,10 +298,54 @@ TEST(AuditorTest, CatchesLateRefsb)
 {
     ProtocolAuditor auditor =
         makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
-    // Bank 0 due at 2340; one cycle past due + maxRefreshSlack.
+    // Bank 0 due at 2340; one cycle past due + maxRefreshSlack.  That
+    // far out the JEDEC postponement budget (8 x tREFI = 74880) is
+    // blown too, so the deadline rule fires alongside the slack guard.
     auditor.observe(refsb(0), 2340 + 1200000 + 1);
     EXPECT_EQ(auditor.violationCount(AuditRule::kRefLate), 1u);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefDeadline), 1u);
+    EXPECT_EQ(auditor.violationCount(), 2u);
+}
+
+TEST(AuditorTest, CatchesRefsbPostponedPastDeadline)
+{
+    // Bank 0 due at 2340; the postponement budget ends at due +
+    // 8 x tREFI = 2340 + 74880 = 77220.  One cycle later is a
+    // deadline violation — long before the coarse slack guard.
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    auditor.observe(refsb(0), 77221);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefDeadline), 1u);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefLate), 0u);
     EXPECT_EQ(auditor.violationCount(), 1u);
+
+    // Exactly on the deadline is still legal.
+    ProtocolAuditor on_time =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    on_time.observe(refsb(0), 77220);
+    EXPECT_EQ(on_time.violationCount(), 0u);
+}
+
+TEST(AuditorTest, CatchesRefsbPulledInBeyondBudget)
+{
+    // A first REFsb at 1000 is a legal pull-in (bank 0 due at 2340,
+    // pull-in budget 8 x tREFI = 74880).  It advances the bank's due
+    // time to 77220, so a second REFsb at 2000 is 75220 cycles early —
+    // beyond the budget by 340.
+    ProtocolAuditor auditor =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    auditor.observe(refsb(0), 1000);
+    auditor.observe(refsb(0), 2000);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefDeadline), 1u);
+    EXPECT_EQ(auditor.violationCount(), 1u);
+
+    // The same second REFsb at 2340 sits exactly on the pull-in
+    // boundary (77220 - 74880) and is legal.
+    ProtocolAuditor legal =
+        makeAuditorFor(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+    legal.observe(refsb(0), 1000);
+    legal.observe(refsb(0), 2340);
+    EXPECT_EQ(legal.violationCount(), 0u);
 }
 
 TEST(AuditorTest, CatchesActDuringRefsbWindow)
@@ -427,14 +471,46 @@ TEST(AuditorTest, CatchesLateRefresh)
 {
     // First REF is due at refInterval() = 49920; the slack guard
     // allows 400000 cycles of slip, so 449921 is one cycle too late.
+    // The JEDEC deadline (due + 8 x tREFI = 99840) was blown much
+    // earlier, so the finer rule fires alongside it.
     ProtocolAuditor auditor = makeAuditor();
     auditor.observe(ref(), 449921);
     EXPECT_EQ(auditor.violationCount(AuditRule::kRefLate), 1u);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefDeadline), 1u);
+    EXPECT_EQ(auditor.violationCount(), 2u);
+
+    // One cycle inside the slack guard still trips the deadline rule —
+    // the guard tolerates more slip than JEDEC's postponement budget.
+    ProtocolAuditor in_slack = makeAuditor();
+    in_slack.observe(ref(), 449920);
+    EXPECT_EQ(in_slack.violationCount(AuditRule::kRefLate), 0u);
+    EXPECT_EQ(in_slack.violationCount(AuditRule::kRefDeadline), 1u);
+    EXPECT_EQ(in_slack.violationCount(), 1u);
+
+    // Exactly on the JEDEC deadline is fully silent.
+    ProtocolAuditor on_time = makeAuditor();
+    on_time.observe(ref(), 99840);
+    EXPECT_EQ(on_time.violationCount(), 0u);
+}
+
+TEST(AuditorTest, CatchesAllBankRefPulledInBeyondBudget)
+{
+    // A REF at cycle 0 is the maximal legal pull-in (due 49920, budget
+    // 8 x tREFI = 49920) and moves the due time to 99840.  A second
+    // REF right after its tRFC window (128) is then 99712 early —
+    // beyond the budget.
+    ProtocolAuditor auditor = makeAuditor();
+    auditor.observe(ref(), 0);
+    auditor.observe(ref(), 128);
+    EXPECT_EQ(auditor.violationCount(AuditRule::kRefDeadline), 1u);
     EXPECT_EQ(auditor.violationCount(), 1u);
 
-    ProtocolAuditor on_time = makeAuditor();
-    on_time.observe(ref(), 449920);
-    EXPECT_EQ(on_time.violationCount(), 0u);
+    // The same second REF at 49920 sits exactly on the pull-in
+    // boundary and is legal.
+    ProtocolAuditor legal = makeAuditor();
+    legal.observe(ref(), 0);
+    legal.observe(ref(), 49920);
+    EXPECT_EQ(legal.violationCount(), 0u);
 }
 
 TEST(AuditorTest, CatchesChargeSafetyViolation)

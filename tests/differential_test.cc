@@ -205,6 +205,87 @@ TEST(DifferentialTest, GenerationFastForwardIsStatIdentical)
     }
 }
 
+TEST(DifferentialTest, RefreshPolicySweepIsViolationFree)
+{
+    // DARP/SARP reorder per-bank refreshes inside the JEDEC pull-in/
+    // postponement window.  The auditor re-derives that window (the
+    // ref-deadline rule) independently of the engine's bookkeeping,
+    // so a violation-free audited band here means the out-of-order
+    // policies never leave the envelope on either per-bank
+    // generation — and conservation says no request was lost while
+    // refreshes moved around.
+    std::vector<ExperimentConfig> configs;
+    unsigned idx = 60;
+    for (const DramGen gen :
+         {DramGen::kDdr4_2400, DramGen::kDdr5_4800}) {
+        for (const RefreshPolicy policy :
+             {RefreshPolicy::kInOrder, RefreshPolicy::kDarp,
+              RefreshPolicy::kSarp}) {
+            for (unsigned i = 0; i < 4; ++i) {
+                ExperimentConfig cfg = randomConfig(idx++);
+                const unsigned channels = cfg.geometry.channels;
+                cfg.applyDramGen(gen, RefreshMode::kPerBank);
+                cfg.geometry.channels = channels;
+                cfg.controller.refreshPolicy = policy;
+                cfg.memOpsPerCore = 2000;
+                configs.push_back(cfg);
+            }
+        }
+    }
+
+    const std::vector<RunResult> results =
+        runExperimentsParallel(configs, 0);
+    ASSERT_EQ(results.size(), configs.size());
+    for (unsigned i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        const std::string label =
+            describe(r, i) + " gen=" +
+            dramGenName(configs[i].dramGen) + " policy=" +
+            refreshPolicyName(configs[i].controller.refreshPolicy);
+        ASSERT_TRUE(r.error.empty()) << label << ": " << r.error;
+        EXPECT_FALSE(r.hitCycleCap) << label;
+        ASSERT_TRUE(r.audited) << label;
+        EXPECT_GT(r.auditCommandsChecked, 0u) << label;
+        EXPECT_EQ(r.auditViolations, 0u) << label;
+        checkConservation(r, label);
+        ASSERT_EQ(r.coreFinish.size(), configs[i].workloads.size());
+        for (const CpuCycle finish : r.coreFinish)
+            EXPECT_GT(finish, 0u) << label;
+    }
+}
+
+TEST(DifferentialTest, RefreshPolicyFastForwardIsStatIdentical)
+{
+    // Pull-ins only happen while requests are queued, so a provably
+    // idle span unfolds identically under DARP/SARP and the
+    // fast-forward contract must keep holding per policy.
+    unsigned idx = 90;
+    for (const DramGen gen :
+         {DramGen::kDdr4_2400, DramGen::kDdr5_4800}) {
+        for (const RefreshPolicy policy :
+             {RefreshPolicy::kDarp, RefreshPolicy::kSarp}) {
+            ExperimentConfig cfg = randomConfig(idx++);
+            cfg.applyDramGen(gen, RefreshMode::kPerBank);
+            cfg.controller.refreshPolicy = policy;
+            cfg.memOpsPerCore = 1200;
+
+            cfg.idleFastForward = true;
+            RunResult fast = runExperiment(cfg);
+            cfg.idleFastForward = false;
+            RunResult slow = runExperiment(cfg);
+
+            EXPECT_EQ(slow.idleCyclesSkipped, 0u);
+            fast.idleCyclesSkipped = 0;
+            slow.idleCyclesSkipped = 0;
+            EXPECT_EQ(runResultToJson(fast), runResultToJson(slow))
+                << describe(fast, idx) << " gen="
+                << dramGenName(cfg.dramGen) << " policy="
+                << refreshPolicyName(policy);
+            EXPECT_EQ(fast.auditViolations, 0u);
+        }
+    }
+}
+
 TEST(DifferentialTest, FaultedSweepWithDegradationIsViolationFree)
 {
     // Every scheduler family under two fault profiles, audited with

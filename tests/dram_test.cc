@@ -278,6 +278,25 @@ TEST_F(DramTest, LateRefreshPanics)
     EXPECT_THROW(dev_->issue(ref(), late), std::logic_error);
 }
 
+TEST_F(DramTest, EarlyRefreshBeyondPullInBudgetPanics)
+{
+    // With the default budget the pull-in window spans a whole
+    // interval, so the first REF can never be too early; a zero
+    // budget makes any pulled-in REF overstep the JEDEC window —
+    // a controller bug, same as lateness past the slack guard.
+    TimingParams tp;
+    tp.refPullInMax = 0;
+    DramDevice dev(DramGeometry{}, tp, derate_);
+    const Cycle due = dev.refresh(RankId{0}).nextDueAt();
+    ASSERT_TRUE(dev.canIssue(ref(), due - 1));
+    EXPECT_THROW(dev.issue(ref(), due - 1), std::logic_error);
+
+    // On the nominal slot the same command is accepted.
+    DramDevice on_time(DramGeometry{}, tp, derate_);
+    on_time.issue(ref(), due);
+    EXPECT_EQ(on_time.counters().refreshes, 1u);
+}
+
 TEST_F(DramTest, BankStateAccessors)
 {
     EXPECT_TRUE(dev_->bank(RankId{0}, BankId{0}).isClosed());

@@ -167,6 +167,34 @@ goldenCases()
         cfg.scheduler = SchedulerKind::kNuat;
         cases.push_back({"comm1_stream_nuat_ddr5_perbank", cfg});
     }
+
+    // Refresh-policy cells (suffix `_darp`): pin the out-of-order
+    // per-bank refresh behaviour (pull-ins on idle banks, deferral
+    // under demand, the PPM close-under-deferral hint) on both
+    // per-bank generations.  The inorder cells above must stay
+    // byte-identical — the policy layer is dormant by default.
+    {
+        ExperimentConfig cfg;
+        cfg.applyDramGen(DramGen::kDdr4_2400, RefreshMode::kPerBank);
+        cfg.workloads = {"libq"};
+        cfg.memOpsPerCore = 2500;
+        cfg.seed = 7;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kNuat;
+        cfg.controller.refreshPolicy = RefreshPolicy::kDarp;
+        cases.push_back({"libq_nuat_ddr4_perbank_darp", cfg});
+    }
+    {
+        ExperimentConfig cfg;
+        cfg.applyDramGen(DramGen::kDdr5_4800, RefreshMode::kPerBank);
+        cfg.workloads = {"libq"};
+        cfg.memOpsPerCore = 2500;
+        cfg.seed = 7;
+        cfg.audit = true;
+        cfg.scheduler = SchedulerKind::kNuat;
+        cfg.controller.refreshPolicy = RefreshPolicy::kDarp;
+        cases.push_back({"libq_nuat_ddr5_perbank_darp", cfg});
+    }
     return cases;
 }
 

@@ -76,6 +76,52 @@ TEST(RefreshEngine, CounterWrapsAroundRowSpace)
     EXPECT_EQ(eng.refreshesDone(), 8u);
 }
 
+TEST(RefreshEngine, JedecWindowBoundsTrackTheSchedule)
+{
+    // tREFI 100 with custom budgets: pull-in window 200, postponement
+    // window 300 around the nominal deadline of 800.
+    TimingParams tp = smallTiming();
+    tp.refPullInMax = 2;
+    tp.refPostponeMax = 3;
+    RefreshEngine eng(64, tp);
+    EXPECT_EQ(eng.nextDueAt(), 800u);
+    EXPECT_EQ(eng.deadlineAt(), 1100u);
+    EXPECT_EQ(eng.earliestIssueAt(), 600u);
+    EXPECT_FALSE(eng.canPullIn(599));
+    EXPECT_TRUE(eng.canPullIn(600));
+
+    // The window slides with the schedule after a (pulled-in) REF.
+    eng.performRefresh(700);
+    EXPECT_EQ(eng.nextDueAt(), 1600u);
+    EXPECT_EQ(eng.deadlineAt(), 1900u);
+    EXPECT_EQ(eng.earliestIssueAt(), 1400u);
+}
+
+TEST(RefreshEngine, EarliestIssueClampsAtCycleZero)
+{
+    // A staggered engine whose phase is shorter than the pull-in
+    // window must not underflow: the earliest legal issue is cycle 0.
+    const TimingParams tp = smallTiming(); // pull-in window 800
+    RefreshEngine eng(64, tp, 100);
+    EXPECT_EQ(eng.earliestIssueAt(), 0u);
+    EXPECT_TRUE(eng.canPullIn(0));
+}
+
+TEST(RefreshEngine, CountsPullInsAndPostponements)
+{
+    const TimingParams tp = smallTiming();
+    RefreshEngine eng(64, tp);
+    eng.performRefresh(tp.refInterval()); // exactly on time: neither
+    EXPECT_EQ(eng.pulledIn(), 0u);
+    EXPECT_EQ(eng.postponed(), 0u);
+    eng.performRefresh(2 * tp.refInterval() - 50); // 50 cycles early
+    EXPECT_EQ(eng.pulledIn(), 1u);
+    EXPECT_EQ(eng.postponed(), 0u);
+    eng.performRefresh(3 * tp.refInterval() + 50); // 50 cycles late
+    EXPECT_EQ(eng.pulledIn(), 1u);
+    EXPECT_EQ(eng.postponed(), 1u);
+}
+
 TEST(RefreshEngine, AbsoluteScheduleDoesNotDrift)
 {
     const TimingParams tp = smallTiming();

@@ -10,6 +10,8 @@
  *                             timing, refresh mode; default ddr3-1600)
  *     --refresh-mode m        all-bank | per-bank (override the
  *                             preset's refresh flavour)
+ *     --refresh-policy p      inorder | darp | sarp (per-bank refresh
+ *                             scheduling policy; default inorder)
  *     --compare               run all five schedulers side by side
  *     --pb N                  NUAT PB count, 1..5 (default 5)
  *     --channels N            memory channels (default 1)
@@ -126,6 +128,7 @@ usage()
         "frfcfs-close\n"
         "  --dram-gen g        ddr3-1600 | ddr4-2400 | ddr5-4800\n"
         "  --refresh-mode m    all-bank | per-bank (preset override)\n"
+        "  --refresh-policy p  inorder | darp | sarp (per-bank only)\n"
         "  --compare           run all five schedulers\n"
         "  --pb N --channels N --ops N --seed N --gap-scale F\n"
         "  --threads N         workers for --compare (0 = all cores)\n"
@@ -257,6 +260,13 @@ main(int argc, char **argv)
                            mode.c_str());
             }
             have_refresh_mode = true;
+        } else if (arg == "--refresh-policy") {
+            const char *name = value();
+            if (!parseRefreshPolicy(name, cfg.controller.refreshPolicy)) {
+                nuat_fatal("unknown refresh policy '%s' (inorder | "
+                           "darp | sarp)",
+                           name);
+            }
         } else if (arg == "--compare") {
             compare = true;
         } else if (arg == "--pb") {
