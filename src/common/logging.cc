@@ -5,12 +5,23 @@
 #include <stdexcept>
 #include <string>
 
+#include "thread_annotations.hh"
+
 namespace nuat {
 
 namespace {
 
-std::string *captureBuf = nullptr;
-bool panicThrows = false;
+/**
+ * Logging is the one piece of common/ that worker threads share by
+ * design: parallel_runner's retry path calls nuat_warn() from every
+ * worker, and serve shards may warn concurrently.  The capture buffer
+ * and panic-mode flag are therefore mutex-protected (cold path — a
+ * lock per *message*, never per cycle), and the clang
+ * -Wthread-safety lane proves no access escapes the lock.
+ */
+Mutex logMutex;
+std::string *captureBuf NUAT_GUARDED_BY(logMutex) = nullptr;
+bool panicThrows NUAT_GUARDED_BY(logMutex) = false;
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -25,8 +36,10 @@ vformat(const char *fmt, va_list ap)
     return out;
 }
 
+/** Append or print one finished line; caller holds the lock. */
 void
-emit(const char *tag, const std::string &msg)
+emitLocked(const char *tag, const std::string &msg)
+    NUAT_REQUIRES(logMutex)
 {
     std::string line = std::string(tag) + msg + "\n";
     if (captureBuf) {
@@ -36,11 +49,28 @@ emit(const char *tag, const std::string &msg)
     }
 }
 
+void
+emit(const char *tag, const std::string &msg) NUAT_EXCLUDES(logMutex)
+{
+    MutexLock lock(logMutex);
+    emitLocked(tag, msg);
+}
+
+/** Read the panic-mode flag (never from a panic path that holds the
+ *  lock — the throw must not happen with logMutex held). */
+bool
+panicThrowsEnabled() NUAT_EXCLUDES(logMutex)
+{
+    MutexLock lock(logMutex);
+    return panicThrows;
+}
+
 } // namespace
 
 void
 LogCapture::begin()
 {
+    MutexLock lock(logMutex);
     if (!captureBuf)
         captureBuf = new std::string();
     captureBuf->clear();
@@ -49,6 +79,7 @@ LogCapture::begin()
 std::string
 LogCapture::end()
 {
+    MutexLock lock(logMutex);
     if (!captureBuf)
         return {};
     std::string out = *captureBuf;
@@ -60,6 +91,7 @@ LogCapture::end()
 bool
 LogCapture::active()
 {
+    MutexLock lock(logMutex);
     return captureBuf != nullptr;
 }
 
@@ -67,6 +99,7 @@ LogCapture::active()
 void
 setPanicThrows(bool enable)
 {
+    MutexLock lock(logMutex);
     panicThrows = enable;
 }
 
@@ -81,7 +114,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_end(ap);
     std::string full =
         msg + " @ " + file + ":" + std::to_string(line);
-    if (panicThrows)
+    if (panicThrowsEnabled())
         throw std::logic_error("panic: " + full);
     emit("panic: ", full);
     std::abort();
@@ -96,7 +129,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_end(ap);
     std::string full =
         msg + " @ " + file + ":" + std::to_string(line);
-    if (panicThrows)
+    if (panicThrowsEnabled())
         throw std::runtime_error("fatal: " + full);
     emit("fatal: ", full);
     std::exit(1);

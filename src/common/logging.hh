@@ -11,6 +11,16 @@
  *  - warn()   — something is probably not what the user wants, but the
  *               simulation can continue.
  *  - inform() — purely informational status output.
+ *
+ * Thread safety: every entry point may be called from any thread
+ * (parallel_runner workers warn on retry, serve shards may panic
+ * under throwing handlers).  The capture buffer and panic-mode flag
+ * are guarded by an internal annotated Mutex
+ * (common/thread_annotations.hh); lines are formatted outside the
+ * lock and appended/printed whole under it, so concurrent messages
+ * never interleave mid-line.  LogCapture/setPanicThrows remain
+ * test-harness features: begin/end pairs are expected to bracket
+ * single-threaded regions.
  */
 
 #ifndef NUAT_COMMON_LOGGING_HH

@@ -46,6 +46,7 @@ MetricRegistry::Entry &
 MetricRegistry::findOrCreate(const std::string &name,
                              const std::string &description, Kind kind)
 {
+    confined_.assertOwned("MetricRegistry");
     for (auto &e : entries_) {
         if (e->name == name) {
             nuat_assert(e->kind == kind,
@@ -103,12 +104,14 @@ MetricRegistry::histogram(const std::string &name, double lo,
 void
 MetricRegistry::addSampleHook(std::function<void()> hook)
 {
+    confined_.assertOwned("MetricRegistry");
     hooks_.push_back(std::move(hook));
 }
 
 void
 MetricRegistry::runSampleHooks() const
 {
+    confined_.assertOwned("MetricRegistry");
     for (const auto &hook : hooks_)
         hook();
 }
@@ -116,6 +119,7 @@ MetricRegistry::runSampleHooks() const
 void
 MetricRegistry::writeValuesJson(std::ostream &out) const
 {
+    confined_.assertOwned("MetricRegistry");
     bool first = true;
     out << "\"counters\":{";
     for (const auto &e : entries_) {

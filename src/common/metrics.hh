@@ -25,6 +25,15 @@
  * records for per-interval rates.  The final record of a run therefore
  * agrees with the run's aggregate statistics — metrics_test pins that
  * invariant.  See OBSERVABILITY.md for the schema and metric names.
+ *
+ * Thread safety: none, by design — a MetricRegistry is *thread
+ * confined*.  Each System builds its own registry on the thread that
+ * runs it (parallel_runner workers each own a full System; serve
+ * shards run metrics-free), so counters stay plain non-atomic
+ * increments.  The confinement is asserted in debug builds: every
+ * registration/sample entry point calls ThreadConfined::assertOwned,
+ * so a registry leaking across threads panics instead of silently
+ * racing.
  */
 
 #ifndef NUAT_COMMON_METRICS_HH
@@ -38,6 +47,7 @@
 #include <vector>
 
 #include "stats.hh"
+#include "thread_annotations.hh"
 #include "types.hh"
 
 /** Compile-time gate; the build system defines it 0 or 1 globally. */
@@ -165,6 +175,8 @@ class MetricRegistry
     Entry &findOrCreate(const std::string &name,
                         const std::string &description, Kind kind);
 
+    /** Owned by the thread that registers/samples (debug-asserted). */
+    ThreadConfined confined_;
     std::vector<std::unique_ptr<Entry>> entries_;
     std::vector<std::function<void()>> hooks_;
 };

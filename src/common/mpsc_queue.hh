@@ -26,6 +26,8 @@
 #include <memory>
 #include <utility>
 
+#include "thread_annotations.hh"
+
 namespace nuat {
 
 /** Bounded lock-free queue; capacity is rounded up to a power of 2. */
@@ -38,6 +40,8 @@ class MpscQueue
         : mask_(roundUpPow2(capacity < 2 ? 2 : capacity) - 1),
           slots_(std::make_unique<Slot[]>(mask_ + 1))
     {
+        // relaxed: the ring is not shared yet — whoever hands it to
+        // another thread provides the publication edge.
         for (std::size_t i = 0; i <= mask_; ++i)
             slots_[i].seq.store(i, std::memory_order_relaxed);
     }
@@ -53,15 +57,21 @@ class MpscQueue
     tryPush(const T &v)
     {
         Slot *slot = nullptr;
+        // relaxed: the cursor is only a claim ticket; all value
+        // ordering is carried by the per-slot seq counters.
         std::size_t pos = tail_.load(std::memory_order_relaxed);
         for (;;) {
             slot = &slots_[pos & mask_];
+            // acquire: pairs with the consumer's release in tryPop so
+            // a recycled slot is observed fully released.
             const std::size_t seq =
                 slot->seq.load(std::memory_order_acquire);
             const std::ptrdiff_t diff =
                 static_cast<std::ptrdiff_t>(seq) -
                 static_cast<std::ptrdiff_t>(pos);
             if (diff == 0) {
+                // relaxed CAS: claiming the ticket publishes nothing;
+                // the release store of seq below is the hand-off.
                 if (tail_.compare_exchange_weak(
                         pos, pos + 1, std::memory_order_relaxed)) {
                     break;
@@ -73,6 +83,8 @@ class MpscQueue
             }
         }
         slot->value = v;
+        // release: publishes the constructed value to the consumer's
+        // acquire load of seq.
         slot->seq.store(pos + 1, std::memory_order_release);
         return true;
     }
@@ -85,15 +97,19 @@ class MpscQueue
     tryPop(T &out)
     {
         Slot *slot = nullptr;
+        // relaxed: cursor is a claim ticket (see tryPush).
         std::size_t pos = head_.load(std::memory_order_relaxed);
         for (;;) {
             slot = &slots_[pos & mask_];
+            // acquire: pairs with the producer's release store so the
+            // value read below is fully constructed.
             const std::size_t seq =
                 slot->seq.load(std::memory_order_acquire);
             const std::ptrdiff_t diff =
                 static_cast<std::ptrdiff_t>(seq) -
                 static_cast<std::ptrdiff_t>(pos + 1);
             if (diff == 0) {
+                // relaxed CAS: see tryPush — seq is the hand-off.
                 if (head_.compare_exchange_weak(
                         pos, pos + 1, std::memory_order_relaxed)) {
                     break;
@@ -105,6 +121,7 @@ class MpscQueue
             }
         }
         out = std::move(slot->value);
+        // release: returns the emptied slot to producers a lap later.
         slot->seq.store(pos + mask_ + 1, std::memory_order_release);
         return true;
     }
@@ -119,6 +136,9 @@ class MpscQueue
     std::size_t
     sizeApprox() const
     {
+        // acquire: makes the post-join exact-count use case sound
+        // (pairs with the workers' release stores); mid-run the value
+        // is approximate regardless of ordering.
         const std::size_t tail = tail_.load(std::memory_order_acquire);
         const std::size_t head = head_.load(std::memory_order_acquire);
         return tail >= head ? tail - head : 0;
@@ -127,7 +147,9 @@ class MpscQueue
   private:
     struct Slot
     {
-        std::atomic<std::size_t> seq{0};
+        std::atomic<std::size_t> seq NUAT_LOCK_FREE(
+            "per-slot hand-off flag: producer release-stores after "
+            "writing value, consumer acquire-loads before reading"){0};
         T value{};
     };
 
@@ -144,8 +166,10 @@ class MpscQueue
     std::unique_ptr<Slot[]> slots_;
     /** Cursors on separate cache lines so producers bumping tail_ do
      *  not false-share with the consumer bumping head_. */
-    alignas(64) std::atomic<std::size_t> tail_{0}; //!< next enqueue
-    alignas(64) std::atomic<std::size_t> head_{0}; //!< next dequeue
+    alignas(64) std::atomic<std::size_t> tail_ NUAT_LOCK_FREE(
+        "claim ticket, relaxed CAS; slot seq carries ordering"){0};
+    alignas(64) std::atomic<std::size_t> head_ NUAT_LOCK_FREE(
+        "claim ticket, relaxed CAS; slot seq carries ordering"){0};
 };
 
 } // namespace nuat

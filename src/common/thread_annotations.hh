@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Compile-time concurrency discipline: Clang thread-safety capability
+ * annotations, an annotated mutex wrapper, and a debug-only
+ * thread-confinement assertion helper.
+ *
+ * Three tools, one goal — make the repo's concurrency rules checkable
+ * instead of tribal:
+ *
+ *  - **Capability macros** (`NUAT_CAPABILITY`, `NUAT_GUARDED_BY`,
+ *    `NUAT_REQUIRES`, ...): zero-cost wrappers for Clang's
+ *    `-Wthread-safety` attributes.  On GCC (or any compiler without
+ *    the attributes) they expand to nothing, so the annotated tree
+ *    builds everywhere while the CI clang lane proves, at compile
+ *    time, that every access to a `NUAT_GUARDED_BY` member happens
+ *    with its mutex held.
+ *
+ *  - **`Mutex` / `MutexLock`**: libstdc++'s `std::mutex` carries no
+ *    capability attributes, so the analysis cannot see through it.
+ *    This thin wrapper (same layout, same cost — the methods are
+ *    inline forwarding calls) is the annotated capability the macros
+ *    refer to.  All mutex-protected state in the tree uses it.
+ *
+ *  - **`ThreadConfined`**: most simulator state is protected by
+ *    *confinement*, not locks — a `System`, `MemoryController` or
+ *    `DramDevice` is owned by exactly one thread (the worker that
+ *    built it, or the shard thread that adopted it after launch), and
+ *    the thread launch/join edges provide the ordering.  The
+ *    annotations cannot express that, so `ThreadConfined` asserts it
+ *    at run time in debug builds: the first thread to call
+ *    `assertOwned()` adopts the object, and any later call from a
+ *    different thread panics with the offending component's name.  In
+ *    release builds (`NDEBUG`) the helper is an empty type and every
+ *    call compiles to nothing.
+ *
+ *  - **`NUAT_LOCK_FREE`**: a documentation marker (expands to
+ *    nothing) for `std::atomic` members/variables that are their own
+ *    synchronization.  The `lock-discipline` lint rule requires every
+ *    `std::mutex`/`std::atomic` declaration in `src/` to carry either
+ *    a `NUAT_GUARDED_BY` partner or this marker naming its protocol,
+ *    so a bare atomic with an undocumented ordering contract cannot
+ *    land.
+ */
+
+#ifndef NUAT_COMMON_THREAD_ANNOTATIONS_HH
+#define NUAT_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define NUAT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NUAT_THREAD_ANNOTATION
+#define NUAT_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define NUAT_CAPABILITY(name) NUAT_THREAD_ANNOTATION(capability(name))
+
+/** Marks a RAII type that acquires on construction, releases on
+ *  destruction. */
+#define NUAT_SCOPED_CAPABILITY NUAT_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with @p x held. */
+#define NUAT_GUARDED_BY(x) NUAT_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by @p x. */
+#define NUAT_PT_GUARDED_BY(x) NUAT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with @p ... held. */
+#define NUAT_REQUIRES(...) \
+    NUAT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires @p ... and does not release it. */
+#define NUAT_ACQUIRE(...) \
+    NUAT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases @p ... (must be held on entry). */
+#define NUAT_RELEASE(...) \
+    NUAT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that must be called with @p ... NOT held (deadlock
+ *  guard for non-reentrant locks). */
+#define NUAT_EXCLUDES(...) \
+    NUAT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares one capability's canonical acquisition order vs another. */
+#define NUAT_ACQUIRED_BEFORE(...) \
+    NUAT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NUAT_ACQUIRED_AFTER(...) \
+    NUAT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returning a reference to the capability guarding it. */
+#define NUAT_RETURN_CAPABILITY(x) \
+    NUAT_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: body is exempt from the analysis.  Pair with a
+ *  comment explaining why, like a lint allow(). */
+#define NUAT_NO_THREAD_SAFETY_ANALYSIS \
+    NUAT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/**
+ * Documentation partner for a `std::atomic` that is its own
+ * synchronization: names the ordering protocol on the declaration
+ * itself (required by the `lock-discipline` lint rule).  Expands to
+ * nothing on every compiler.
+ */
+#define NUAT_LOCK_FREE(protocol)
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "logging.hh"
+
+namespace nuat {
+
+/**
+ * `std::mutex` with capability annotations.  Same blocking behaviour
+ * and cost; exists only so `-Wthread-safety` can reason about it
+ * (libstdc++ ships no annotations).  Prefer `MutexLock` over calling
+ * lock()/unlock() directly.
+ */
+class NUAT_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() NUAT_ACQUIRE() { m_.lock(); }
+    void unlock() NUAT_RELEASE() { m_.unlock(); }
+    bool tryLock() NUAT_THREAD_ANNOTATION(try_acquire_capability(true))
+    {
+        return m_.try_lock();
+    }
+
+  private:
+    std::mutex m_;
+};
+
+/** RAII scope lock over Mutex (annotated std::lock_guard). */
+class NUAT_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) NUAT_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() NUAT_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m_;
+};
+
+#ifndef NDEBUG
+
+/**
+ * Debug-only single-owner assertion.  The first thread to call
+ * assertOwned() adopts the object; any later call from a different
+ * thread panics.  `release()` clears the owner for an explicit
+ * hand-off (the caller must provide the happens-before edge, e.g. a
+ * thread join).  Confinement — not the atomic below — is what makes
+ * the guarded state safe; the atomic only makes the *detector* itself
+ * race-free.
+ */
+class ThreadConfined
+{
+  public:
+    /** Adopt on first use; panic when called from a non-owner. */
+    void
+    assertOwned(const char *what) const
+    {
+        const std::thread::id self = std::this_thread::get_id();
+        // Relaxed everywhere: only the id value is compared, no data
+        // is published through this atomic (the real ordering comes
+        // from the launch/join edges confinement relies on).
+        std::thread::id owner = owner_.load(std::memory_order_relaxed);
+        if (owner == std::thread::id{} &&
+            owner_.compare_exchange_strong(owner, self,
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
+            return;
+        }
+        if (owner != self) {
+            nuat_panic("%s touched off-thread: the object is confined "
+                       "to the thread that first used it (hand off "
+                       "with ThreadConfined::release() across a join)",
+                       what);
+        }
+    }
+
+    /** Forget the owner so another thread may adopt (hand-off). */
+    void
+    release() const
+    {
+        // Relaxed: see assertOwned — detection only.
+        owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::atomic<std::thread::id> owner_ NUAT_LOCK_FREE(
+        "CAS-adopted owner id; relaxed is enough because the value is "
+        "only compared for identity, never used to publish data"){};
+};
+
+#else // NDEBUG
+
+/** Release builds: no member, no code — confinement is free. */
+class ThreadConfined
+{
+  public:
+    void assertOwned(const char *) const {}
+    void release() const {}
+};
+
+#endif // NDEBUG
+
+} // namespace nuat
+
+#endif // NUAT_COMMON_THREAD_ANNOTATIONS_HH

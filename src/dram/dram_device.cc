@@ -283,6 +283,7 @@ DramDevice::addObserver(CommandObserver *obs)
 IssueResult
 DramDevice::issue(const Command &cmd, Cycle now)
 {
+    confined_.assertOwned("DramDevice");
     if (!canIssue(cmd, now)) {
         nuat_panic("illegal %s to rank %u bank %u at cycle %llu",
                    cmd.name(), cmd.rank.value(), cmd.bank.value(),

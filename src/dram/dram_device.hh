@@ -23,6 +23,7 @@
 #include "charge/timing_derate.hh"
 #include "command.hh"
 #include "command_observer.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "common/units.hh"
 #include "refresh_engine.hh"
@@ -233,6 +234,15 @@ class DramDevice
     DeviceCounters counters_;
     std::vector<CommandObserver *> observers_;
     FaultModel *faults_ = nullptr; //!< optional fault world (not owned)
+
+    /**
+     * Shard confinement (debug-asserted): a device belongs to exactly
+     * one thread — the worker running its System, or the serve shard
+     * that adopted it after launch.  issue() asserts the owner, so a
+     * device reached from two threads panics in debug builds instead
+     * of corrupting bank state silently.
+     */
+    ThreadConfined confined_;
 };
 
 } // namespace nuat

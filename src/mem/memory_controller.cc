@@ -172,6 +172,7 @@ MemoryController::canAcceptWrite(Addr addr) const
 void
 MemoryController::enqueueRead(Addr addr, const Waiter &waiter, Cycle now)
 {
+    confined_.assertOwned("MemoryController");
     const Addr line = lineAddr(addr);
     ++stats_.readsAccepted;
 
@@ -228,6 +229,7 @@ MemoryController::enqueueRead(Addr addr, const Waiter &waiter, Cycle now)
 void
 MemoryController::enqueueWrite(Addr addr, Cycle now)
 {
+    confined_.assertOwned("MemoryController");
     const Addr line = lineAddr(addr);
     ++stats_.writesAccepted;
 
@@ -584,6 +586,7 @@ MemoryController::issueCandidate(Candidate &cand, Cycle now)
 void
 MemoryController::tick(Cycle now)
 {
+    confined_.assertOwned("MemoryController");
     ++stats_.tickCycles;
     stats_.readQOccupancySum += static_cast<double>(readQ_.size());
     stats_.writeQOccupancySum += static_cast<double>(writeQ_.size());
@@ -618,6 +621,7 @@ MemoryController::tick(Cycle now)
 void
 MemoryController::skipIdle(Cycle now, Cycle cycles)
 {
+    confined_.assertOwned("MemoryController");
     nuat_assert(readQ_.empty() && writeQ_.empty(),
                 "(skipIdle with queued requests)");
     nuat_assert(nextCompletionAt() >= now + cycles,

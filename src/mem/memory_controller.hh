@@ -23,6 +23,7 @@
 
 #include "address_mapping.hh"
 #include "common/stats.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "dram/dram_device.hh"
 #include "memory_port.hh"
@@ -290,6 +291,16 @@ class MemoryController : public MemoryPort
     std::uint64_t nextRequestId_ = 1;
     ControllerStats stats_;
     std::vector<Candidate> scratch_; //!< reused candidate buffer
+
+    /**
+     * Shard confinement (debug-asserted): a controller is driven by
+     * exactly one thread — the worker running its System, or the
+     * serve shard that adopted it after launch (construction on the
+     * launching thread is fine; the launch edge hands it over).
+     * tick/enqueue/skipIdle assert the owner, so cross-thread use
+     * panics in debug builds instead of racing the queues.
+     */
+    ThreadConfined confined_;
 
     /** Resolved metric handles; null unless attachMetrics was called
      *  (every instrumentation site is one never-taken branch then). */

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "runner.hh"
 
 namespace nuat {
@@ -71,9 +72,16 @@ runExperimentsParallel(const std::vector<ExperimentConfig> &configs,
 
     // Work-stealing by atomic index: each worker claims the next
     // unclaimed config and writes its result into that config's slot.
-    std::atomic<std::size_t> next{0};
+    // `results` slots are disjoint per claimed index, so the ticket
+    // counter is the only shared-mutable word; the join below orders
+    // every slot write before the caller's reads.
+    std::atomic<std::size_t> next NUAT_LOCK_FREE(
+        "monotonic work ticket; relaxed RMW because each index is "
+        "claimed exactly once and slot writes are ordered by join"){0};
     auto worker = [&] {
         for (;;) {
+            // relaxed: claiming a ticket publishes nothing — the
+            // fetch_add's atomicity alone guarantees unique indices.
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= configs.size())

@@ -9,6 +9,7 @@
 #include "charge/timing_derate.hh"
 #include "common/logging.hh"
 #include "common/mpsc_queue.hh"
+#include "common/thread_annotations.hh"
 #include "dram/dram_device.hh"
 #include "mem/memory_controller.hh"
 #include "system.hh"
@@ -41,7 +42,11 @@ namespace {
  * One shard's full stack.  Built on the main thread, then owned
  * exclusively by its shard thread until join (the thread launch /
  * join pair provides the happens-before edges), so none of the
- * non-atomic state needs locks.
+ * non-atomic state needs locks.  `confined` asserts exactly that in
+ * debug builds: the shard thread adopts the state on its first loop
+ * iteration, and any off-thread touch before the join panics.  Only
+ * `ring` is shared (it is the MPSC hand-off point) — everything else
+ * below it is shard-confined.
  */
 struct ShardState
 {
@@ -49,7 +54,9 @@ struct ShardState
     std::unique_ptr<DramDevice> dev;
     std::unique_ptr<MemoryController> ctrl;
     std::unique_ptr<ProtocolAuditor> auditor;
-    std::unique_ptr<MpscQueue<StreamRequest>> ring;
+    std::unique_ptr<MpscQueue<StreamRequest>> ring; //!< shared ingest
+
+    ThreadConfined confined; //!< adopted by the shard thread
 
     Cycle now = 0; //!< this shard's private clock
     std::uint64_t reads = 0;
@@ -63,10 +70,12 @@ struct ShardState
     bool pendingValid = false;
 };
 
-/** One producer's stream + locally accumulated counters. */
+/** One producer's stream + locally accumulated counters; confined to
+ *  its producer thread exactly like ShardState is to its shard. */
 struct ProducerState
 {
     std::unique_ptr<RequestStream> stream;
+    ThreadConfined confined; //!< adopted by the producer thread
     std::uint64_t pushed = 0;
     std::uint64_t yields = 0;
 };
@@ -138,11 +147,17 @@ runServe(const ServeConfig &cfg)
 
     // ChannelMux's routing rule, shared read-only by every producer.
     const AddressMapping mapping(exp.controller.mapping, exp.geometry);
-    std::atomic<bool> producersDone{false};
+    std::atomic<bool> producersDone NUAT_LOCK_FREE(
+        "release-stored by the launcher after joining every producer; "
+        "shards acquire-load it so the final ring re-check observes "
+        "the last push"){false};
 
     auto shardMain = [&](ShardState &s) {
         const Cycle cap = exp.maxMemCycles;
         for (;;) {
+            // Debug-asserted confinement: this thread (and after the
+            // join, only the merge code) may touch the shard stack.
+            s.confined.assertOwned("ShardState");
             // Ingest: move a bounded batch from the ring into the
             // controller, stopping at either side's backpressure.
             unsigned moved = 0;
@@ -172,7 +187,8 @@ runServe(const ServeConfig &cfg)
                 // Drained.  Either the run is over or the producers
                 // are just slower than this shard: re-check the ring
                 // *after* observing the done flag, closing the race
-                // with a producer's final push.
+                // with a producer's final push.  acquire: pairs with
+                // the launcher's release store after the join.
                 if (producersDone.load(std::memory_order_acquire)) {
                     if (s.ring->tryPop(s.pending)) {
                         s.pendingValid = true;
@@ -194,6 +210,8 @@ runServe(const ServeConfig &cfg)
     };
 
     auto producerMain = [&](ProducerState &p) {
+        // Adopt the producer state: off-thread touches panic (debug).
+        p.confined.assertOwned("ProducerState");
         StreamRequest r;
         while (p.stream->next(r)) {
             const unsigned shard = mapping.decompose(r.addr).channel;
@@ -217,6 +235,8 @@ runServe(const ServeConfig &cfg)
         feeders.emplace_back([&producerMain, &p] { producerMain(p); });
     for (auto &t : feeders)
         t.join();
+    // release: everything the producers wrote (ring slots, counters)
+    // happens-before a shard's acquire load of the done flag.
     producersDone.store(true, std::memory_order_release);
     for (auto &t : pool)
         t.join();

@@ -21,7 +21,12 @@
  * clocks are never compared or synchronized.  Nothing is shared
  * between shard threads but the ingest rings and one atomic
  * "producers done" flag, which keeps the runtime TSan-clean by
- * construction.
+ * construction.  The confinement is enforced twice over: debug builds
+ * assert the owner thread on every shard/producer loop entry
+ * (ThreadConfined, common/thread_annotations.hh — the controller and
+ * device assert their own confinement too), and the lock-discipline /
+ * atomic-ordering lint rules keep the two shared atomics' protocols
+ * explicit.
  *
  * Statistics are accumulated shard-locally and merged once after the
  * threads join (batched retirement/stat aggregation): the hot loops

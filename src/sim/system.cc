@@ -286,6 +286,7 @@ System::device(unsigned channel) const
 void
 System::stepMemCycle()
 {
+    confined_.assertOwned("System");
     for (auto &mc : controllers_)
         mc->tick(now_);
     const CpuCycle base = static_cast<CpuCycle>(now_) * cfg_.cpuPerMem;
@@ -346,6 +347,7 @@ System::fastForwardIdle()
 void
 System::advance()
 {
+    confined_.assertOwned("System");
     if (cfg_.idleFastForward)
         fastForwardIdle();
     if (now_ < cfg_.maxMemCycles)

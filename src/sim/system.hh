@@ -20,6 +20,7 @@
 #include "charge/sense_amp_model.hh"
 #include "charge/timing_derate.hh"
 #include "common/metrics.hh"
+#include "common/thread_annotations.hh"
 #include "cpu/core_model.hh"
 #include "dram/dram_device.hh"
 #include "experiment_config.hh"
@@ -177,6 +178,15 @@ class System
     std::unique_ptr<CommandTraceWriter> traceWriter_;
     Cycle now_ = 0;
     Cycle idleCyclesSkipped_ = 0;
+
+    /**
+     * Worker confinement (debug-asserted): a System is built and run
+     * by one thread (parallel_runner gives each worker its own), and
+     * advance()/stepMemCycle() assert that — a System shared across
+     * experiment workers panics in debug builds instead of racing
+     * every component at once.
+     */
+    ThreadConfined confined_;
 };
 
 } // namespace nuat

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Negative-compile fixture for the thread-safety probe
+ * (tests/CMakeLists.txt): an off-lock write to a NUAT_GUARDED_BY
+ * member.  Under `clang -Wthread-safety -Werror=thread-safety-analysis`
+ * this file MUST fail to compile; if it ever compiles, the capability
+ * annotations have gone inert (e.g. the attribute gate in
+ * thread_annotations.hh broke) and the configure step aborts.
+ *
+ * Compile-only: never linked, never run, excluded from the build
+ * proper (see tests/CMakeLists.txt).
+ */
+
+#include "common/thread_annotations.hh"
+
+namespace {
+
+struct Account
+{
+    nuat::Mutex mu;
+    int balance NUAT_GUARDED_BY(mu) = 0;
+
+    void
+    deposit(int amount)
+    {
+        balance += amount; // off-lock: -Wthread-safety must reject this
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Account a;
+    a.deposit(1);
+    return a.balance; // also off-lock
+}

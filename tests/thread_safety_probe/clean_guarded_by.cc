@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Positive twin of broken_guarded_by.cc: the same guarded member,
+ * accessed correctly under a MutexLock.  This fixture MUST compile
+ * under the exact flags that reject the broken one — it guards the
+ * probe against "the broken fixture failed for an unrelated reason"
+ * (missing header, bad flag spelling) masquerading as a pass.
+ *
+ * Compile-only: never linked, never run.
+ */
+
+#include "common/thread_annotations.hh"
+
+namespace {
+
+struct Account
+{
+    nuat::Mutex mu;
+    int balance NUAT_GUARDED_BY(mu) = 0;
+
+    void
+    deposit(int amount)
+    {
+        nuat::MutexLock lock(mu);
+        balance += amount;
+    }
+
+    int
+    read()
+    {
+        nuat::MutexLock lock(mu);
+        return balance;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    Account a;
+    a.deposit(1);
+    return a.read() == 1 ? 0 : 1;
+}

@@ -4,7 +4,7 @@
 # ASan/UBSan build + tests.
 #
 # Run from the repository root:
-#   ./tools/check.sh [--quick] [--lint] [--faults] [--sanitize asan|tsan] [extra ctest args...]
+#   ./tools/check.sh [--quick] [--lint] [--faults] [--sanitize asan|tsan|ubsan] [extra ctest args...]
 #
 # --quick: Release build + tests + audited bench smoke only (skips the
 #          sanitizer build; for fast local iteration).
@@ -20,6 +20,11 @@
 #          parallel runner, the MPSC ingest ring and the sharded
 #          serve runtime are the threaded code, so the TSan job runs
 #          those suites rather than everything).
+# --sanitize ubsan: ONLY the standalone UBSan build + full test suite
+#          + an audited serve smoke.  Unlike the ASan lane (whose
+#          bundled UBSan prints and continues), this lane compiles
+#          with -fno-sanitize-recover=all, so every finding aborts
+#          and fails the run.
 #
 # --faults: ONLY the robustness lane, matching CI: the fault/guardband/
 #          auditor/differential test suites, audited smoke runs of
@@ -50,7 +55,7 @@ while [[ $# -gt 0 ]]; do
         shift
         ;;
       --sanitize)
-        SANITIZE="${2:?--sanitize needs asan or tsan}"
+        SANITIZE="${2:?--sanitize needs asan, tsan or ubsan}"
         shift 2
         ;;
       *)
@@ -69,6 +74,19 @@ if [[ "$LINT" == "1" ]]; then
     cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=Release \
           -DNUAT_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
     cmake --build build-lint -j "$JOBS"
+
+    echo
+    if command -v clang++ >/dev/null 2>&1; then
+        echo "=== clang -Wthread-safety -Werror build ==="
+        # Also runs the negative-compile probe at configure time
+        # (tests/thread_safety_probe/).
+        CC=clang CXX=clang++ cmake -B build-lint-ts -S . \
+            -DCMAKE_BUILD_TYPE=Release -DNUAT_WERROR=ON >/dev/null
+        cmake --build build-lint-ts -j "$JOBS"
+    else
+        echo "warning: clang not installed, skipping -Wthread-safety" \
+             "build (CI runs it)"
+    fi
 
     echo
     if command -v run-clang-tidy >/dev/null 2>&1; then
@@ -165,8 +183,25 @@ elif [[ "$SANITIZE" == "tsan" ]]; then
           -R 'parallel_runner|mpsc_queue|serve_runtime' "$@"
     echo "TSan checks passed."
     exit 0
+elif [[ "$SANITIZE" == "ubsan" ]]; then
+    echo "=== UBSan build (findings fatal) + tests ==="
+    cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DENABLE_UBSAN=ON >/dev/null
+    cmake --build build-ubsan -j "$JOBS"
+    ctest --test-dir build-ubsan -j "$JOBS" --output-on-failure "$@"
+
+    echo
+    echo "=== Audited serve smoke under UBSan ==="
+    # The threaded hot path (shards + MPSC ring) at a size small enough
+    # for a sanitized binary; exit 2 on any audit violation, and any
+    # UBSan finding aborts (-fno-sanitize-recover=all).
+    ./build-ubsan/tools/nuat_serve --shards 2 --producers 2 \
+        --requests 2000 --workloads libq,ferret --audit >/dev/null
+    echo "serve smoke clean"
+    echo "UBSan checks passed."
+    exit 0
 elif [[ -n "$SANITIZE" ]]; then
-    echo "error: --sanitize must be asan or tsan, got '$SANITIZE'" >&2
+    echo "error: --sanitize must be asan, tsan or ubsan, got '$SANITIZE'" >&2
     exit 2
 fi
 

@@ -42,6 +42,24 @@ ever runs:
                      depend on call order and breaks replay/resume.
                      Derive per-row/per-REF draws from a stateless
                      hash of (seed, salt, coordinates) instead.
+  shared-mutable-static
+                     no non-const ``static`` data in the simulation
+                     core (``src/core|dram|mem|charge|sched``) — a
+                     mutable static is cross-experiment shared state
+                     that breaks run-to-run isolation the moment the
+                     parallel runner executes two Systems at once.
+  atomic-ordering    every ``std::atomic`` load/store/RMW in ``src/``
+                     names an explicit ``memory_order`` (and no
+                     operator sugar like ``a++`` / ``a = v``): the
+                     seq_cst default hides the protocol, so
+                     mpsc_queue.hh's acq/rel hand-off stays a
+                     deliberate, reviewable decision at every site.
+  lock-discipline    every ``std::mutex``/``std::atomic`` declaration
+                     in ``src/`` carries an annotation partner —
+                     ``NUAT_GUARDED_BY`` data for each mutex,
+                     ``NUAT_LOCK_FREE("protocol")`` (or a guard) on
+                     each atomic — so shared state without a written
+                     synchronization contract cannot land.
   include-guard      every header carries the canonical
                      ``NUAT_<PATH>_HH`` guard with a matching
                      ``#endif // NUAT_<PATH>_HH``.
@@ -53,10 +71,14 @@ Suppression: append ``// nuat-lint: allow(<rule>)`` to the flagged
 line.  Suppressions are themselves counted and printed with ``-v`` so
 they can be audited.
 
-If the ``clang.cindex`` python bindings are importable the
-observer-purity pass additionally parses inheritor headers with
-libclang to catch inheritance spellings the regexes miss; without them
-the regex core runs alone (same rule set, same exit codes).
+AST pass: when the ``clang.cindex`` python bindings are importable,
+libclang parses the tree as well — it re-checks observer purity
+against real inheritance/overload resolution and catches
+``std::atomic`` operator sugar (implicit seq_cst ``++``/``=``/reads)
+that the regex core cannot see.  Without the bindings the regex core
+runs alone (same rule set, same exit codes) and a one-line warning is
+printed; set ``NUAT_LINT_REQUIRE_AST=1`` (the CI static-analysis lane
+does) to hard-fail instead of silently downgrading.
 
 Usage:
   tools/nuat_lint.py                # lint the whole tree
@@ -242,46 +264,145 @@ def check_observer_purity(relpath, text, stripped):
     return findings
 
 
-def check_observer_purity_libclang(root, relpaths):
-    """Optional deeper pass: confirm via AST that CommandObserver
-    inheritors exist wherever the regexes saw one.  Pure additive —
-    silently skipped when the bindings are missing."""
-    try:
-        from clang import cindex  # type: ignore
-    except Exception:
-        return []
-    findings = []
-    try:
-        index = cindex.Index.create()
-    except Exception:
-        return []
-    for rel in relpaths:
-        if not rel.endswith(".hh"):
-            continue
+# ---------------------------------------------------------------------------
+# AST pass (libclang) — first-class, not best-effort
+# ---------------------------------------------------------------------------
+
+# Lazy one-shot probe for the clang.cindex bindings.  The result is
+# cached so the downgrade warning / REQUIRE_AST hard-fail and the pass
+# itself agree on availability.
+_AST_STATE = {"checked": False, "index": None, "cindex": None, "reason": None}
+_AST_WARNED = [False]
+
+
+def _ast_backend():
+    """Load clang.cindex once; (index, cindex) or (None, None)."""
+    if not _AST_STATE["checked"]:
+        _AST_STATE["checked"] = True
         try:
-            tu = index.parse(
-                os.path.join(root, rel),
-                args=["-std=c++20", "-I" + os.path.join(root, "src")],
+            from clang import cindex  # type: ignore
+
+            _AST_STATE["index"] = cindex.Index.create()
+            _AST_STATE["cindex"] = cindex
+        except Exception as exc:  # ImportError, LibclangError, ...
+            _AST_STATE["reason"] = "%s: %s" % (type(exc).__name__, exc)
+    return _AST_STATE["index"], _AST_STATE["cindex"]
+
+
+def ast_required():
+    return os.environ.get("NUAT_LINT_REQUIRE_AST", "").strip() not in ("", "0")
+
+
+def _warn_ast_skipped():
+    """One-line downgrade notice instead of the old silent skip."""
+    if not _AST_WARNED[0]:
+        _AST_WARNED[0] = True
+        print(
+            "nuat-lint: warning: clang.cindex unavailable (%s) — AST "
+            "pass skipped, regex rules only; set NUAT_LINT_REQUIRE_AST=1 "
+            "to make this fatal" % _AST_STATE["reason"],
+            file=sys.stderr,
+        )
+
+
+def _ast_atomic_sugar(cur, cindex, rel):
+    """Flag ++/--/compound-assign/plain '=' whose LHS is std::atomic —
+    the implicit-seq_cst spellings regexes cannot see through
+    references, members, or typedefs."""
+    try:
+        children = list(cur.get_children())
+        if not children:
+            return []
+        lhs = children[0]
+        type_s = lhs.type.spelling
+    except Exception:
+        return []
+    if "atomic" not in type_s:
+        return []
+    if cur.kind == cindex.CursorKind.BINARY_OPERATOR:
+        # Only plain assignment is an implicit store; ==/<= never
+        # compile against an atomic LHS without a .load() first.  The
+        # operator is the first token past the LHS extent.
+        try:
+            lhs_end = lhs.extent.end.offset
+            op = next(
+                (
+                    tok.spelling
+                    for tok in cur.get_tokens()
+                    if tok.extent.start.offset >= lhs_end
+                ),
+                None,
             )
         except Exception:
+            return []
+        if op != "=":
+            return []
+    return [
+        Finding(
+            rel,
+            cur.location.line,
+            "atomic-ordering",
+            "implicit seq_cst operation on '%s' (libclang) — spell it "
+            "as .load/.store/.fetch_* with an explicit memory_order"
+            % type_s,
+        )
+    ]
+
+
+def run_ast_pass(root, relpaths):
+    """libclang pass over src/: re-checks observer purity against real
+    overload resolution and catches std::atomic operator sugar.
+
+    Returns [] when the bindings are unavailable; lint_tree prints the
+    one-line downgrade warning and main() exits 2 under
+    NUAT_LINT_REQUIRE_AST=1 (the CI static-analysis lane sets it, so a
+    broken libclang install fails loudly there instead of silently
+    shrinking the rule set).
+    """
+    index, cindex = _ast_backend()
+    if index is None:
+        return []
+    findings = []
+    sugar_kinds = {
+        cindex.CursorKind.UNARY_OPERATOR,
+        cindex.CursorKind.BINARY_OPERATOR,
+        cindex.CursorKind.COMPOUND_ASSIGNMENT_OPERATOR,
+    }
+    for rel in relpaths:
+        if not rel.startswith("src/"):
             continue
+        path = os.path.join(root, rel)
+        try:
+            tu = index.parse(
+                path, args=["-std=c++20", "-I" + os.path.join(root, "src")]
+            )
+        except Exception:
+            continue  # unparsable TU: the regex core still covered it
         for cur in tu.cursor.walk_preorder():
-            if cur.kind != cindex.CursorKind.CXX_METHOD:
-                continue
-            if cur.spelling != "onCommand":
-                continue
-            for arg in cur.get_arguments():
-                t = arg.type.spelling
-                if "Command" in t and "const" not in t:
-                    findings.append(
-                        Finding(
-                            rel,
-                            cur.location.line,
-                            "observer-purity",
-                            "onCommand parameter '%s' is not const "
-                            "(libclang)" % t,
-                        )
-                    )
+            try:
+                loc = cur.location
+                if loc.file is None or loc.file.name != path:
+                    continue  # report only against the TU's own file
+                if (
+                    cur.kind == cindex.CursorKind.CXX_METHOD
+                    and cur.spelling == "onCommand"
+                ):
+                    for arg in cur.get_arguments():
+                        t = arg.type.spelling
+                        if "Command" in t and "const" not in t:
+                            findings.append(
+                                Finding(
+                                    rel,
+                                    loc.line,
+                                    "observer-purity",
+                                    "onCommand parameter '%s' is not "
+                                    "const (libclang)" % t,
+                                )
+                            )
+                elif cur.kind in sugar_kinds:
+                    findings.extend(_ast_atomic_sugar(cur, cindex, rel))
+            except Exception:
+                continue  # defensive: one odd cursor must not kill the pass
     return findings
 
 
@@ -483,6 +604,192 @@ def check_fault_determinism(relpath, text, stripped):
 
 
 # ---------------------------------------------------------------------------
+# Rule: shared-mutable-static
+# ---------------------------------------------------------------------------
+
+# The simulation core: everything instantiated once per experiment.
+# Host-side drivers (sim/, common/) may keep process-wide state behind
+# annotated locks; the core may not have any at all — a mutable static
+# is shared across every System the parallel runner drives at once.
+SHARED_STATIC_DIRS = (
+    "src/core/",
+    "src/dram/",
+    "src/mem/",
+    "src/charge/",
+    "src/sched/",
+)
+# `\bstatic[ \t]` cannot match static_cast / static_assert (the next
+# character there is '_', not whitespace).
+STATIC_KEYWORD_RE = re.compile(r"\bstatic[ \t]")
+CONST_QUAL_RE = re.compile(r"\b(?:const|constexpr|consteval|constinit)\b")
+
+
+def check_shared_mutable_static(relpath, text, stripped):
+    if not relpath.startswith(SHARED_STATIC_DIRS):
+        return []
+    findings = []
+    for m in STATIC_KEYWORD_RE.finditer(stripped):
+        # The declaration runs to the first of ';' '=' '(' '{'.  A '('
+        # first means a function; const/constexpr anywhere before that
+        # means immutable — both are fine.
+        rest = stripped[m.end() : m.end() + 400]
+        cut, term = len(rest), ""
+        for i, ch in enumerate(rest):
+            if ch in ";=({":
+                cut, term = i, ch
+                break
+        decl = rest[:cut]
+        if term == "(" or CONST_QUAL_RE.search(decl):
+            continue
+        names = re.findall(r"\w+", decl)
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(stripped, m.start()),
+                "shared-mutable-static",
+                "mutable static '%s' in the simulation core — statics "
+                "outlive the experiment and are shared across every "
+                "System the parallel runner drives; move it into the "
+                "owning object" % (names[-1] if names else "<anonymous>"),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: atomic-ordering
+# ---------------------------------------------------------------------------
+
+ATOMIC_METHOD_RE = re.compile(
+    r"\.\s*(load|store|exchange|fetch_(?:add|sub|and|or|xor)"
+    r"|compare_exchange_(?:weak|strong)|test_and_set)\s*\("
+)
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic(?:_flag\b|\s*<[^;{}()]*>)\s+(\w+)")
+
+
+def _balanced_args(stripped, open_paren):
+    """The argument text of the call whose '(' sits at @p open_paren."""
+    depth = 0
+    for i in range(open_paren, len(stripped)):
+        c = stripped[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return stripped[open_paren + 1 : i]
+    return stripped[open_paren + 1 :]
+
+
+def check_atomic_ordering(relpath, text, stripped):
+    if not relpath.startswith("src/") or "std::atomic" not in stripped:
+        return []
+    findings = []
+    for m in ATOMIC_METHOD_RE.finditer(stripped):
+        if "memory_order" in _balanced_args(stripped, m.end() - 1):
+            continue
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(stripped, m.start()),
+                "atomic-ordering",
+                ".%s() without an explicit memory_order — the seq_cst "
+                "default hides the synchronization protocol; name the "
+                "ordering (and say why in a comment)" % m.group(1),
+            )
+        )
+    # Operator sugar on declared atomics: ++/--/compound-assign and
+    # plain '=' are implicit seq_cst operations in disguise.
+    decl_lines = set()
+    atomics = set()
+    for m in ATOMIC_DECL_RE.finditer(stripped):
+        atomics.add(m.group(1))
+        decl_lines.add(_line_of(stripped, m.start()))
+    for name in sorted(atomics):
+        sugar = re.compile(
+            r"(?:\+\+|--)\s*\b%s\b"
+            r"|\b%s\s*(?:\+\+|--|(?:[-+|&^]|<<|>>)?=(?!=))"
+            % (re.escape(name), re.escape(name))
+        )
+        for m in sugar.finditer(stripped):
+            line = _line_of(stripped, m.start())
+            if line in decl_lines:
+                continue  # '= init' on the declaration itself
+            # `Type name = ...` declares a (shadowing) local, not a
+            # store: skip when a type token directly precedes the name.
+            # `obj.name =` / `this->name =` are real implicit stores.
+            prefix = stripped[stripped.rfind("\n", 0, m.start()) + 1 : m.start()]
+            if not prefix.rstrip().endswith("->") and re.search(
+                r"[\w>\]&*]\s*$", prefix
+            ):
+                continue
+            findings.append(
+                Finding(
+                    relpath,
+                    line,
+                    "atomic-ordering",
+                    "operator sugar on std::atomic '%s' (implicit "
+                    "seq_cst) — spell it as .load/.store/.fetch_* with "
+                    "an explicit memory_order" % name,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: lock-discipline
+# ---------------------------------------------------------------------------
+
+# The annotation vocabulary itself lives here; the wrapped std::mutex
+# and ThreadConfined's owner cell are the one place it cannot apply to.
+LOCK_DISCIPLINE_ALLOW = {"src/common/thread_annotations.hh"}
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:nuat::)?(?:Mutex|std::(?:recursive_|shared_|timed_)?mutex)"
+    r"\s+(\w+)\s*[;{=]"
+)
+GUARD_TOKEN_RE = re.compile(r"\bNUAT_(?:PT_)?GUARDED_BY\s*\(|\bNUAT_REQUIRES\s*\(")
+
+
+def check_lock_discipline(relpath, text, stripped):
+    if not relpath.startswith("src/") or relpath in LOCK_DISCIPLINE_ALLOW:
+        return []
+    findings = []
+    lines = stripped.splitlines()
+    has_guard = GUARD_TOKEN_RE.search(stripped) is not None
+    for m in MUTEX_DECL_RE.finditer(stripped):
+        if has_guard:
+            break  # the file names guarded data somewhere
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(stripped, m.start()),
+                "lock-discipline",
+                "mutex '%s' but no NUAT_GUARDED_BY anywhere in the "
+                "file — a lock must name the data it protects "
+                "(common/thread_annotations.hh)" % m.group(1),
+            )
+        )
+    for m in ATOMIC_DECL_RE.finditer(stripped):
+        line = _line_of(stripped, m.start())
+        # NUAT_LOCK_FREE may sit on the declaration line or wrap onto
+        # a neighbour; check a one-line window either side.
+        window = "\n".join(lines[max(0, line - 2) : line + 1])
+        if "NUAT_LOCK_FREE" in window or "NUAT_GUARDED_BY" in window:
+            continue
+        findings.append(
+            Finding(
+                relpath,
+                line,
+                "lock-discipline",
+                'std::atomic \'%s\' without NUAT_LOCK_FREE("protocol") '
+                "or NUAT_GUARDED_BY — every atomic must document its "
+                "ordering contract where it is declared" % m.group(1),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Rules: include-guard + header-hygiene
 # ---------------------------------------------------------------------------
 
@@ -574,6 +881,9 @@ RULES = {
     "preset-literal": check_preset_literal,
     "nondeterminism": check_nondeterminism,
     "fault-determinism": check_fault_determinism,
+    "shared-mutable-static": check_shared_mutable_static,
+    "atomic-ordering": check_atomic_ordering,
+    "lock-discipline": check_lock_discipline,
     "include-guard": check_include_guard,
     "header-hygiene": check_header_hygiene,
 }
@@ -607,10 +917,12 @@ def collect_files(root, subset=None):
 def lint_tree(root, subset=None, verbose=False):
     findings, suppressed = [], []
     relpaths = collect_files(root, subset)
+    raw_by_rel = {}
     for rel in relpaths:
         with open(os.path.join(root, rel), encoding="utf-8") as fh:
             text = fh.read()
         raw_lines = text.splitlines()
+        raw_by_rel[rel] = raw_lines
         stripped = _strip_comments(text)
         for rule_fn in RULES.values():
             for f in rule_fn(rel, text, stripped):
@@ -618,7 +930,17 @@ def lint_tree(root, subset=None, verbose=False):
                     suppressed.append(f)
                 else:
                     findings.append(f)
-    findings.extend(check_observer_purity_libclang(root, relpaths))
+    if _ast_backend()[0] is None:
+        _warn_ast_skipped()
+    else:
+        seen = {(f.path, f.line, f.rule) for f in findings}
+        for f in run_ast_pass(root, relpaths):
+            if (f.path, f.line, f.rule) in seen:
+                continue  # regex core already reported this site
+            if _suppressed(raw_by_rel.get(f.path, []), f.line, f.rule):
+                suppressed.append(f)
+            else:
+                findings.append(f)
     if verbose and suppressed:
         print("suppressed (%d):" % len(suppressed))
         for f in suppressed:
@@ -707,6 +1029,48 @@ double leakDraw()
     Rng rng(1234);
     return static_cast<double>(std::rand() % 100) / 100.0;
 }
+""",
+    ),
+    "shared-mutable-static": (
+        "src/sched/broken_static.cc",
+        """
+namespace nuat {
+static unsigned long issuedTotal = 0;
+}
+static double lastScore = 0.0;
+void note(double score)
+{
+    lastScore = score;
+}
+""",
+    ),
+    "atomic-ordering": (
+        "src/core/broken_atomic.cc",
+        """
+#include <atomic>
+std::atomic<unsigned> ready NUAT_LOCK_FREE("fixture"){0};
+void poke()
+{
+    ready.store(1);
+    ready.fetch_add(2);
+    ++ready;
+}
+unsigned peek() { return ready.load(); }
+""",
+    ),
+    "lock-discipline": (
+        "src/mem/broken_lock.hh",
+        """
+#ifndef NUAT_MEM_BROKEN_LOCK_HH
+#define NUAT_MEM_BROKEN_LOCK_HH
+#include <atomic>
+#include <mutex>
+struct Racy
+{
+    std::mutex m_;
+    std::atomic<unsigned> inFlight_{0};
+};
+#endif // NUAT_MEM_BROKEN_LOCK_HH
 """,
     ),
     "include-guard": (
@@ -820,6 +1184,15 @@ def main(argv):
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("-v", "--verbose", action="store_true", help="also print suppressed findings")
     args = ap.parse_args(argv)
+
+    if ast_required() and _ast_backend()[0] is None:
+        print(
+            "nuat-lint: error: NUAT_LINT_REQUIRE_AST=1 but clang.cindex "
+            "is unavailable (%s) — install the libclang python bindings "
+            "or unset the variable" % _AST_STATE["reason"],
+            file=sys.stderr,
+        )
+        return 2
 
     if args.list_rules:
         for name in sorted(RULES):
