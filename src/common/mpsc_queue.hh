@@ -23,12 +23,64 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "thread_annotations.hh"
 
 namespace nuat {
+
+/**
+ * Deterministic capped exponential backoff for producers that hit a
+ * full ring.  Replaces the old unbounded yield spin: each pause()
+ * yields the CPU a growing number of times (1, 2, 4, ... up to the
+ * cap), so a briefly full ring costs a couple of yields while a
+ * persistently full ring backs the producer off hard instead of
+ * burning a core.  The schedule is a pure function of the call count —
+ * no wall clock, no randomness — so a replayed run backs off
+ * identically (fault-determinism).  Not thread-safe: one instance per
+ * producer thread.
+ */
+class SpinBackoff
+{
+  public:
+    /**
+     * @param initial_yields yields on the first pause (>= 1 enforced)
+     * @param cap_yields     ceiling the doubling stops at
+     */
+    explicit SpinBackoff(unsigned initial_yields = 1,
+                         unsigned cap_yields = 1024)
+        : initial_(initial_yields < 1 ? 1 : initial_yields),
+          cap_(cap_yields < initial_ ? initial_ : cap_yields),
+          next_(initial_)
+    {
+    }
+
+    /**
+     * Back off once: yield 2^k-scaled times, double the next pause.
+     * @return the number of yields performed (for stats).
+     */
+    std::uint64_t
+    pause()
+    {
+        const unsigned n = next_;
+        for (unsigned i = 0; i < n; ++i)
+            std::this_thread::yield();
+        if (next_ < cap_)
+            next_ = next_ * 2 > cap_ ? cap_ : next_ * 2;
+        return n;
+    }
+
+    /** Successful push: restart the schedule at the initial pause. */
+    void reset() { next_ = initial_; }
+
+  private:
+    unsigned initial_;
+    unsigned cap_;
+    unsigned next_;
+};
 
 /** Bounded lock-free queue; capacity is rounded up to a power of 2. */
 template <typename T>

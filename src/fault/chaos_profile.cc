@@ -1,0 +1,293 @@
+#include "chaos_profile.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace nuat {
+
+namespace {
+
+/** SplitMix64 finalizer (same mixer as fault_model.cc's draws). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+// Domain-separation salt: keeps the poison draw independent of the
+// fault model's weak/VRT/REF draws under the same experiment seed.
+constexpr std::uint64_t kSaltPoison = 101;
+
+double
+unitHash(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+         std::uint64_t b)
+{
+    std::uint64_t h = seed;
+    h = mix64(h ^ (salt * 0x9e3779b97f4a7c15ull));
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    return static_cast<double>(h >> 11) *
+           (1.0 / 9007199254740992.0); // 2^-53
+}
+
+} // namespace
+
+bool
+ChaosProfile::any() const
+{
+    return burstLen > 0 || poisonFraction > 0.0 || !stalls.empty();
+}
+
+void
+ChaosProfile::validate() const
+{
+    nuat_assert(poisonFraction >= 0.0 && poisonFraction <= 1.0,
+                "(poison_fraction %.3f out of [0,1])", poisonFraction);
+    nuat_assert((burstLen == 0) == (burstGap == 0),
+                "(burst_len and burst_gap must be set together; a "
+                "burst without a gap is open-loop pushing)");
+    std::map<unsigned, std::uint64_t> lastAt;
+    for (const ChaosStall &st : stalls) {
+        nuat_assert(st.forSteps > 0,
+                    "(stall for_steps must be positive)");
+        const auto it = lastAt.find(st.shard);
+        nuat_assert(it == lastAt.end() || it->second < st.atStep,
+                    "(stalls for shard %u must be strictly ascending "
+                    "by at_step)",
+                    st.shard);
+        lastAt[st.shard] = st.atStep;
+    }
+}
+
+namespace {
+
+std::vector<ChaosProfile>
+buildRegistry()
+{
+    std::vector<ChaosProfile> all;
+
+    {
+        // Producer overload: every producer fires 512-request bursts
+        // with long pauses, so the rings saturate and the admission
+        // policy (not luck) decides what survives.
+        ChaosProfile p;
+        p.name = "burst-storm";
+        p.burstLen = 512;
+        p.burstGap = 4096;
+        all.push_back(p);
+    }
+    {
+        // Malformed payloads: 5% of requests fail the shard's
+        // integrity check and must be shed before dispatch.
+        ChaosProfile p;
+        p.name = "poison";
+        p.poisonFraction = 0.05;
+        all.push_back(p);
+    }
+    {
+        // One effectively permanent stall: shard 0 wedges at its
+        // 20000th step and only a watchdog recovery resumes it.
+        ChaosProfile p;
+        p.name = "shard-stall";
+        p.stalls = {{0, 20000, std::uint64_t{1} << 30}};
+        all.push_back(p);
+    }
+    {
+        // The acceptance scenario: a burst storm, a trickle of
+        // poison, and one wedged shard, all at once.
+        ChaosProfile p;
+        p.name = "storm-stall";
+        p.burstLen = 512;
+        p.burstGap = 4096;
+        p.poisonFraction = 0.01;
+        p.stalls = {{0, 20000, std::uint64_t{1} << 30}};
+        all.push_back(p);
+    }
+    for (const ChaosProfile &p : all)
+        p.validate();
+    return all;
+}
+
+const std::vector<ChaosProfile> &
+registry()
+{
+    static const std::vector<ChaosProfile> all = buildRegistry();
+    return all;
+}
+
+/** Strip leading/trailing whitespace in place; returns the result. */
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+double
+parseDouble(const std::string &path, int line, const std::string &v)
+{
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0')
+        nuat_fatal("%s:%d: expected a number, got '%s'", path.c_str(),
+                   line, v.c_str());
+    return d;
+}
+
+std::uint64_t
+parseU64(const std::string &path, int line, const std::string &v)
+{
+    char *end = nullptr;
+    const unsigned long long u = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+        nuat_fatal("%s:%d: expected an unsigned integer, got '%s'",
+                   path.c_str(), line, v.c_str());
+    return u;
+}
+
+} // namespace
+
+std::vector<std::string>
+chaosProfileNames()
+{
+    std::vector<std::string> names;
+    for (const ChaosProfile &p : registry())
+        names.push_back(p.name);
+    return names;
+}
+
+const ChaosProfile *
+findChaosProfile(const std::string &name)
+{
+    for (const ChaosProfile &p : registry())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+ChaosProfile
+loadChaosProfileFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        nuat_fatal("cannot open chaos profile '%s'", path.c_str());
+
+    ChaosProfile p;
+    p.name = path;
+    char buf[512];
+    int lineNo = 0;
+    while (std::fgets(buf, sizeof(buf), f)) {
+        ++lineNo;
+        std::string line{buf};
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            std::fclose(f);
+            nuat_fatal("%s:%d: expected 'key = value', got '%s'",
+                       path.c_str(), lineNo, line.c_str());
+        }
+        const std::string key = trimmed(line.substr(0, eq));
+        const std::string val = trimmed(line.substr(eq + 1));
+        if (key.empty() || val.empty()) {
+            std::fclose(f);
+            nuat_fatal("%s:%d: empty key or value in '%s'",
+                       path.c_str(), lineNo, line.c_str());
+        }
+
+        if (key == "burst_len") {
+            p.burstLen = parseU64(path, lineNo, val);
+        } else if (key == "burst_gap") {
+            p.burstGap = parseU64(path, lineNo, val);
+        } else if (key == "poison_fraction") {
+            p.poisonFraction = parseDouble(path, lineNo, val);
+        } else if (key == "stall") {
+            // stall = <shard> <atStep> <forSteps>
+            unsigned long long shard = 0, at = 0, len = 0;
+            if (std::sscanf(val.c_str(), "%llu %llu %llu", &shard, &at,
+                            &len) != 3) {
+                std::fclose(f);
+                nuat_fatal("%s:%d: stall needs '<shard> <atStep> "
+                           "<forSteps>', got '%s'",
+                           path.c_str(), lineNo, val.c_str());
+            }
+            p.stalls.push_back({static_cast<unsigned>(shard), at, len});
+        } else {
+            std::fclose(f);
+            nuat_fatal("%s:%d: unknown chaos profile key '%s'",
+                       path.c_str(), lineNo, key.c_str());
+        }
+    }
+    std::fclose(f);
+    p.validate();
+    return p;
+}
+
+ChaosProfile
+resolveChaosProfile(const std::string &nameOrPath)
+{
+    if (const ChaosProfile *builtin = findChaosProfile(nameOrPath)) {
+        ChaosProfile p = *builtin;
+        p.validate();
+        return p;
+    }
+    return loadChaosProfileFile(nameOrPath);
+}
+
+bool
+chaosPoisons(const ChaosProfile &profile, std::uint64_t seed,
+             unsigned producer, std::uint64_t reqIndex)
+{
+    if (profile.poisonFraction <= 0.0)
+        return false;
+    return unitHash(seed, kSaltPoison, producer, reqIndex) <
+           profile.poisonFraction;
+}
+
+std::string
+chaosScheduleFingerprint(const ChaosProfile &profile,
+                         std::uint64_t seed, unsigned producers,
+                         std::uint64_t reqs)
+{
+    std::string out = "chaos " + profile.name + "\n";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "burst %llu/%llu\n",
+                  static_cast<unsigned long long>(profile.burstLen),
+                  static_cast<unsigned long long>(profile.burstGap));
+    out += buf;
+    for (const ChaosStall &st : profile.stalls) {
+        std::snprintf(buf, sizeof(buf), "stall %u @%llu for %llu\n",
+                      st.shard,
+                      static_cast<unsigned long long>(st.atStep),
+                      static_cast<unsigned long long>(st.forSteps));
+        out += buf;
+    }
+    for (unsigned p = 0; p < producers; ++p) {
+        out += "poison p" + std::to_string(p) + ":";
+        for (std::uint64_t i = 0; i < reqs; ++i)
+            out += chaosPoisons(profile, seed, p, i) ? '1' : '0';
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace nuat

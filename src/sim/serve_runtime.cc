@@ -1,6 +1,7 @@
 #include "serve_runtime.hh"
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <thread>
 
@@ -8,16 +9,44 @@
 #include "charge/sense_amp_model.hh"
 #include "charge/timing_derate.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/mpsc_queue.hh"
 #include "common/thread_annotations.hh"
 #include "dram/dram_device.hh"
 #include "mem/memory_controller.hh"
 #include "system.hh"
-#include "trace/request_stream.hh"
 #include "trace/workload_profile.hh"
 #include "verify/protocol_auditor.hh"
 
 namespace nuat {
+
+const char *
+admissionPolicyName(AdmissionPolicy policy)
+{
+    switch (policy) {
+      case AdmissionPolicy::kBlock:
+        return "block";
+      case AdmissionPolicy::kBoundedRetry:
+        return "bounded";
+      case AdmissionPolicy::kShed:
+        return "shed";
+    }
+    return "?";
+}
+
+bool
+parseAdmissionPolicy(const std::string &name, AdmissionPolicy *out)
+{
+    if (name == "block")
+        *out = AdmissionPolicy::kBlock;
+    else if (name == "bounded")
+        *out = AdmissionPolicy::kBoundedRetry;
+    else if (name == "shed")
+        *out = AdmissionPolicy::kShed;
+    else
+        return false;
+    return true;
+}
 
 void
 ServeConfig::validate() const
@@ -30,13 +59,51 @@ ServeConfig::validate() const
     nuat_assert(requestsPerProducer >= 1,
                 "(each producer must push at least one request)");
     nuat_assert(ingestBatch >= 1, "(ingestBatch must be positive)");
+    nuat_assert(admitCapacity >= 1,
+                "(admitCapacity must be positive)");
+    nuat_assert(blockPushRounds >= 1 && retryPushRounds >= 1,
+                "(push-round budgets must be positive)");
+    nuat_assert(watchdogPollRounds >= 1 && watchdogPollYields >= 1 &&
+                    watchdogStallPolls >= 1 &&
+                    watchdogMaxRecoveries >= 1 &&
+                    watchdogCleanPolls >= 1,
+                "(watchdog parameters must be positive)");
     nuat_assert(!experiment.workloads.empty(),
                 "(serve needs at least one workload profile)");
     nuat_assert(!experiment.faultsEnabled(),
                 "(serve mode has no fault world; drop --fault-profile)");
+    chaos.validate();
+    for (const ChaosStall &st : chaos.stalls)
+        nuat_assert(st.shard < shards,
+                    "(chaos stall targets shard %u but only %u shards "
+                    "exist)",
+                    st.shard, shards);
+}
+
+bool
+ServeResult::conserves() const
+{
+    if (requestsProduced != requestsRetired + shedTotal())
+        return false;
+    for (const ServeClassStats &c : classes)
+        if (c.produced != c.retired + c.shedTotal())
+            return false;
+    return true;
 }
 
 namespace {
+
+static_assert(kServeClasses == 3,
+              "per-class array initializers below assume 3 classes");
+
+/** A request that left the ring, stamped with the shard clock so the
+ *  dispatch deadline is measured in shard-local cycles (replayable,
+ *  never wall time). */
+struct AdmittedReq
+{
+    StreamRequest req{};
+    Cycle admitAt = 0;
+};
 
 /**
  * One shard's full stack.  Built on the main thread, then owned
@@ -44,9 +111,10 @@ namespace {
  * join pair provides the happens-before edges), so none of the
  * non-atomic state needs locks.  `confined` asserts exactly that in
  * debug builds: the shard thread adopts the state on its first loop
- * iteration, and any off-thread touch before the join panics.  Only
- * `ring` is shared (it is the MPSC hand-off point) — everything else
- * below it is shard-confined.
+ * iteration, and any off-thread touch before the join panics.  Shared
+ * pieces: `ring` (the MPSC hand-off point) and the three annotated
+ * atomics the watchdog protocol rides on — everything else is
+ * shard-confined.
  */
 struct ShardState
 {
@@ -64,10 +132,38 @@ struct ShardState
     std::uint64_t readsDone = 0;
     bool hitCap = false;
 
-    /** Popped from the ring but not yet accepted by the controller
-     *  (controller-side backpressure holds it here). */
-    StreamRequest pending{};
-    bool pendingValid = false;
+    /** Popped from the ring, stamped, waiting for the controller
+     *  (deadlines are enforced on this stage). */
+    std::deque<AdmittedReq> admitted;
+
+    /** Per-class accounting (index = priority class). */
+    std::array<std::uint64_t, kServeClasses> retiredByClass{};
+    std::array<std::uint64_t, kServeClasses> timeoutShed{};
+    std::array<std::uint64_t, kServeClasses> poisonShed{};
+    std::array<Histogram, kServeClasses> latencyHist{
+        {Histogram{0.0, 8.0, 256}, Histogram{0.0, 8.0, 256},
+         Histogram{0.0, 8.0, 256}}};
+
+    /** Chaos stall schedule for this shard (filtered from profile). */
+    std::vector<ChaosStall> stalls;
+    std::size_t nextStall = 0;
+    std::uint64_t stallRemaining = 0;
+
+    std::uint64_t steps = 0;      //!< healthy step count
+    std::uint64_t recoveries = 0; //!< watchdog recoveries honored
+
+    std::atomic<std::uint64_t> heartbeat NUAT_LOCK_FREE(
+        "progress gauge: relaxed-stored by the shard every healthy "
+        "step, relaxed-loaded by the watchdog; freshness, not "
+        "ordering, is what the poll needs"){0};
+    std::atomic<bool> recoverReq NUAT_LOCK_FREE(
+        "release-stored true by the watchdog, acquire-loaded by the "
+        "shard; the shard relaxed-clears it (no data rides on the "
+        "clear)"){false};
+    std::atomic<bool> done NUAT_LOCK_FREE(
+        "release-stored by the shard when its loop exits; the "
+        "watchdog acquire-loads it to stop polling a finished "
+        "shard"){false};
 };
 
 /** One producer's stream + locally accumulated counters; confined to
@@ -76,9 +172,135 @@ struct ProducerState
 {
     std::unique_ptr<RequestStream> stream;
     ThreadConfined confined; //!< adopted by the producer thread
+    unsigned producerIdx = 0;
     std::uint64_t pushed = 0;
     std::uint64_t yields = 0;
+    std::uint64_t backoffRounds = 0;
+    std::uint64_t poisonedInjected = 0;
+    std::uint64_t reqIndex = 0;
+    SpinBackoff backoff{};
+
+    /** Per-class accounting (index = priority class). */
+    std::array<std::uint64_t, kServeClasses> producedByClass{};
+    std::array<std::uint64_t, kServeClasses> shedByClass{};
+
+    /** Burst-storm pacing state. */
+    std::uint64_t burstCount = 0;
+    std::uint64_t gapRemaining = 0;
+
+    /** Deterministic-mode state machine: the in-flight request and
+     *  how many rounds its push has failed. */
+    StreamRequest cur{};
+    bool curValid = false;
+    std::uint64_t curRounds = 0;
+    bool finished = false;
 };
+
+/** What one shard step accomplished. */
+enum class StepOutcome
+{
+    kDone,     //!< drained and producers finished (or cycle cap)
+    kProgress, //!< moved requests or ticked the controller
+    kIdle,     //!< nothing to do yet; waiting on producers
+    kStalled,  //!< chaos stall in effect (no heartbeat)
+};
+
+/**
+ * Watchdog bookkeeping: one rung ladder per shard, mirroring the
+ * GuardbandManager hysteresis — a recovery doubles the shard's stall
+ * threshold up to a cap, sustained clean polls ease it back one
+ * halving at a time.  Owned by the monitor thread (threaded mode) or
+ * the driver loop (deterministic mode); read by the merge code only
+ * after the join.
+ */
+struct WatchdogMonitor
+{
+    struct PerShard
+    {
+        std::uint64_t last = 0; //!< heartbeat seen at the last poll
+        unsigned frozen = 0;    //!< consecutive frozen polls
+        unsigned threshold = 0; //!< current stall rung (hysteresis)
+        unsigned clean = 0;     //!< consecutive healthy polls
+        unsigned issued = 0;    //!< recovery requests posted
+    };
+
+    WatchdogMonitor(const ServeConfig &cfg, std::size_t n)
+        : cfg_(cfg), perShard_(n)
+    {
+        for (PerShard &w : perShard_)
+            w.threshold = cfg.watchdogStallPolls;
+    }
+
+    /**
+     * One poll over every live shard.  Posts recovery requests for
+     * frozen heartbeats; @return false (and sets `error`) when a
+     * shard has exhausted its recovery budget and is still frozen.
+     */
+    bool
+    poll(std::vector<ShardState> &shards)
+    {
+        const unsigned cap =
+            cfg_.watchdogHysteresisCap > cfg_.watchdogStallPolls
+                ? cfg_.watchdogHysteresisCap
+                : cfg_.watchdogStallPolls;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            ShardState &s = shards[i];
+            PerShard &w = perShard_[i];
+            // acquire: a finished shard's final counters
+            // happen-before this observation.
+            if (s.done.load(std::memory_order_acquire))
+                continue;
+            // relaxed: the heartbeat is a progress gauge; a stale
+            // read only delays detection by one poll.
+            const std::uint64_t hb =
+                s.heartbeat.load(std::memory_order_relaxed);
+            if (hb != w.last) {
+                w.last = hb;
+                w.frozen = 0;
+                ++w.clean;
+                if (w.clean >= cfg_.watchdogCleanPolls &&
+                    w.threshold > cfg_.watchdogStallPolls) {
+                    w.threshold = w.threshold / 2 >
+                                          cfg_.watchdogStallPolls
+                                      ? w.threshold / 2
+                                      : cfg_.watchdogStallPolls;
+                    ++easeSteps;
+                    w.clean = 0;
+                }
+                continue;
+            }
+            w.clean = 0;
+            ++w.frozen;
+            if (w.frozen < w.threshold)
+                continue;
+            if (w.issued >= cfg_.watchdogMaxRecoveries) {
+                error = "watchdog: shard " + std::to_string(i) +
+                        " still frozen after " +
+                        std::to_string(w.issued) +
+                        " recoveries; giving up";
+                return false;
+            }
+            // release: the recovery request must not be reordered
+            // ahead of the poll state that justified it.
+            s.recoverReq.store(true, std::memory_order_release);
+            ++w.issued;
+            w.frozen = 0;
+            w.threshold = w.threshold * 2 > cap ? cap
+                                                : w.threshold * 2;
+        }
+        return true;
+    }
+
+    const ServeConfig &cfg_;
+    std::vector<PerShard> perShard_;
+    std::uint64_t easeSteps = 0;
+    std::string error;
+};
+
+/** Pushes a producer attempts per deterministic round outside bursts
+ *  (inside a burst the whole remaining burst is the budget, so storms
+ *  actually saturate the rings). */
+constexpr std::uint64_t kDetPushesPerRound = 4;
 
 } // namespace
 
@@ -125,8 +347,20 @@ runServe(const ServeConfig &cfg)
         s.ring =
             std::make_unique<MpscQueue<StreamRequest>>(cfg.queueCapacity);
         s.ctrl->setReadCallback(
-            [sp = &s](const Waiter &, Addr, Cycle) { ++sp->readsDone; });
+            [sp = &s](const Waiter &w, Addr, Cycle data_at) {
+                ++sp->readsDone;
+                const std::size_t cls = static_cast<std::size_t>(
+                    w.coreId < 0 ? 0 : w.coreId);
+                ++sp->retiredByClass[cls];
+                // token carries the admit stamp: this is the
+                // end-to-end admitted-to-data latency.
+                const Cycle lat =
+                    data_at >= w.token ? data_at - w.token : 0;
+                sp->latencyHist[cls].sample(static_cast<double>(lat));
+            });
     }
+    for (const ChaosStall &st : cfg.chaos.stalls)
+        shards[st.shard].stalls.push_back(st);
 
     // Producers: each owns a deterministic stream over the full
     // (sharded) address space, with the same per-stream seed salt and
@@ -143,6 +377,9 @@ runServe(const ServeConfig &cfg)
             profile, exp.geometry, exp.seed + i * 7919,
             cfg.requestsPerProducer,
             (i * stride) % exp.geometry.rows);
+        producers[i].producerIdx = i;
+        producers[i].backoff = SpinBackoff(cfg.backoffInitialYields,
+                                           cfg.backoffCapYields);
     }
 
     // ChannelMux's routing rule, shared read-only by every producer.
@@ -151,104 +388,419 @@ runServe(const ServeConfig &cfg)
         "release-stored by the launcher after joining every producer; "
         "shards acquire-load it so the final ring re-check observes "
         "the last push"){false};
+    std::atomic<bool> abortRun NUAT_LOCK_FREE(
+        "release-stored by whichever worker fails the run (wedged "
+        "ring, exhausted watchdog); every loop acquire-loads it to "
+        "unwind promptly"){false};
 
-    auto shardMain = [&](ShardState &s) {
-        const Cycle cap = exp.maxMemCycles;
-        for (;;) {
-            // Debug-asserted confinement: this thread (and after the
-            // join, only the merge code) may touch the shard stack.
-            s.confined.assertOwned("ShardState");
-            // Ingest: move a bounded batch from the ring into the
-            // controller, stopping at either side's backpressure.
-            unsigned moved = 0;
-            while (moved < cfg.ingestBatch) {
-                if (!s.pendingValid) {
-                    if (!s.ring->tryPop(s.pending))
-                        break;
-                    s.pendingValid = true;
-                }
-                if (s.pending.isWrite) {
-                    if (!s.ctrl->canAcceptWrite(s.pending.addr))
-                        break;
-                    s.ctrl->enqueueWrite(s.pending.addr, s.now);
-                    ++s.writes;
-                } else {
-                    if (!s.ctrl->canAcceptRead(s.pending.addr))
-                        break;
-                    s.ctrl->enqueueRead(s.pending.addr, Waiter{},
-                                        s.now);
-                    ++s.reads;
-                }
-                s.pendingValid = false;
-                ++moved;
+    Mutex errorsMu;
+    std::vector<std::string> errors NUAT_GUARDED_BY(errorsMu);
+    auto recordError = [&](std::string msg) {
+        MutexLock lock(errorsMu);
+        errors.push_back(std::move(msg));
+    };
+
+    WatchdogMonitor watch(cfg, shards.size());
+    const Cycle cap = exp.maxMemCycles;
+
+    // Draw the next request from a producer's stream, applying the
+    // chaos poison draw (stateless hash of (seed, producer, index) —
+    // both execution modes inject identical poison).
+    auto drawNext = [&](ProducerState &p, StreamRequest &r) {
+        if (!p.stream->next(r))
+            return false;
+        if (chaosPoisons(cfg.chaos, exp.seed, p.producerIdx,
+                         p.reqIndex)) {
+            r.poisoned = true;
+            ++p.poisonedInjected;
+        }
+        ++p.producedByClass[r.cls];
+        ++p.reqIndex;
+        return true;
+    };
+
+    auto advanceBurst = [&](ProducerState &p) {
+        if (cfg.chaos.burstLen == 0)
+            return false;
+        if (++p.burstCount >= cfg.chaos.burstLen) {
+            p.burstCount = 0;
+            p.gapRemaining = cfg.chaos.burstGap;
+            return true;
+        }
+        return false;
+    };
+
+    /**
+     * One shard step, shared verbatim between the threaded loop and
+     * the deterministic round-robin: chaos stall bookkeeping, then
+     * ingest (ring → admitted, shedding poison), dispatch (admitted →
+     * controller, shedding expired deadlines), drain check, tick.
+     */
+    auto shardStep = [&](ShardState &s) -> StepOutcome {
+        // Debug-asserted confinement: this thread (and after the
+        // join, only the merge code) may touch the shard stack.
+        s.confined.assertOwned("ShardState");
+
+        if (s.stallRemaining == 0 && s.nextStall < s.stalls.size() &&
+            s.steps >= s.stalls[s.nextStall].atStep) {
+            s.stallRemaining = s.stalls[s.nextStall].forSteps;
+            ++s.nextStall;
+        }
+        if (s.stallRemaining > 0) {
+            // Stalled: no heartbeat, no work — the watchdog sees the
+            // frozen counter.  Honoring a recovery request restarts
+            // the step loop; the ring, admitted stage and controller
+            // are their own checkpoint (nothing is lost), which is
+            // what makes conservation provable across recoveries.
+            if (s.recoverReq.load(std::memory_order_acquire)) {
+                s.recoverReq.store(false, std::memory_order_relaxed);
+                s.stallRemaining = 0;
+                ++s.recoveries;
+            } else {
+                --s.stallRemaining;
+                return StepOutcome::kStalled;
             }
+        } else if (s.recoverReq.load(std::memory_order_relaxed)) {
+            // Watchdog misfire on a healthy-but-descheduled shard:
+            // clear the request without counting a recovery.
+            s.recoverReq.store(false, std::memory_order_relaxed);
+        }
+        ++s.steps;
+        // relaxed: freshness is all the watchdog needs (see decl).
+        s.heartbeat.store(s.steps, std::memory_order_relaxed);
 
-            if (s.ctrl->idle() && !s.pendingValid) {
-                // Drained.  Either the run is over or the producers
-                // are just slower than this shard: re-check the ring
-                // *after* observing the done flag, closing the race
-                // with a producer's final push.  acquire: pairs with
-                // the launcher's release store after the join.
-                if (producersDone.load(std::memory_order_acquire)) {
-                    if (s.ring->tryPop(s.pending)) {
-                        s.pendingValid = true;
-                        continue;
-                    }
-                    break;
-                }
-                std::this_thread::yield();
+        // Ingest: ring → admitted stage.  Poisoned payloads fail the
+        // integrity check here and are shed before ever reaching the
+        // controller.
+        unsigned moved = 0;
+        while (moved < cfg.ingestBatch &&
+               s.admitted.size() < cfg.admitCapacity) {
+            StreamRequest r;
+            if (!s.ring->tryPop(r))
+                break;
+            ++moved;
+            if (r.poisoned) {
+                ++s.poisonShed[r.cls];
                 continue;
             }
-
-            if (s.now >= cap) {
-                s.hitCap = true;
-                break;
-            }
-            s.ctrl->tick(s.now);
-            ++s.now;
+            s.admitted.push_back(AdmittedReq{r, s.now});
         }
+
+        // Dispatch: admitted → controller, expiring overdue heads.
+        // Deadlines are shard-local cycles since the admit stamp.
+        while (!s.admitted.empty()) {
+            const AdmittedReq &a = s.admitted.front();
+            const Cycle deadline = cfg.deadlineCycles[a.req.cls];
+            if (deadline != 0 && s.now - a.admitAt > deadline) {
+                ++s.timeoutShed[a.req.cls];
+                s.admitted.pop_front();
+                continue;
+            }
+            if (a.req.isWrite) {
+                if (!s.ctrl->canAcceptWrite(a.req.addr))
+                    break;
+                s.ctrl->enqueueWrite(a.req.addr, s.now);
+                ++s.writes;
+                ++s.retiredByClass[a.req.cls];
+            } else {
+                if (!s.ctrl->canAcceptRead(a.req.addr))
+                    break;
+                s.ctrl->enqueueRead(
+                    a.req.addr,
+                    Waiter{static_cast<int>(a.req.cls), a.admitAt},
+                    s.now);
+                ++s.reads;
+            }
+            s.admitted.pop_front();
+        }
+
+        if (s.ctrl->idle() && s.admitted.empty()) {
+            // Drained.  Either the run is over or the producers are
+            // just slower than this shard: re-check the ring *after*
+            // observing the done flag, closing the race with a
+            // producer's final push.  acquire: pairs with the
+            // launcher's release store after the join.
+            if (producersDone.load(std::memory_order_acquire)) {
+                StreamRequest r;
+                if (s.ring->tryPop(r)) {
+                    if (r.poisoned)
+                        ++s.poisonShed[r.cls];
+                    else
+                        s.admitted.push_back(AdmittedReq{r, s.now});
+                    return StepOutcome::kProgress;
+                }
+                return StepOutcome::kDone;
+            }
+            return StepOutcome::kIdle;
+        }
+
+        if (s.now >= cap) {
+            s.hitCap = true;
+            return StepOutcome::kDone;
+        }
+        s.ctrl->tick(s.now);
+        ++s.now;
+        return StepOutcome::kProgress;
+    };
+
+    auto shardMain = [&](ShardState &s) {
+        for (;;) {
+            // acquire: observe the failing worker's error record.
+            if (abortRun.load(std::memory_order_acquire))
+                break;
+            const StepOutcome o = shardStep(s);
+            if (o == StepOutcome::kDone)
+                break;
+            if (o == StepOutcome::kIdle || o == StepOutcome::kStalled)
+                std::this_thread::yield();
+        }
+        // release: final counters happen-before the watchdog (or the
+        // merge) observing the exit.
+        s.done.store(true, std::memory_order_release);
     };
 
     auto producerMain = [&](ProducerState &p) {
         // Adopt the producer state: off-thread touches panic (debug).
         p.confined.assertOwned("ProducerState");
         StreamRequest r;
-        while (p.stream->next(r)) {
+        while (!abortRun.load(std::memory_order_acquire)) {
+            if (!drawNext(p, r))
+                break;
             const unsigned shard = mapping.decompose(r.addr).channel;
-            while (!shards[shard].ring->tryPush(r)) {
-                // Ring full: the shard is behind.  Yield rather than
-                // drop — ingestion is lossless by contract.
+            MpscQueue<StreamRequest> &ring = *shards[shard].ring;
+            p.backoff.reset();
+            std::uint64_t attempts = 0;
+            bool pushed = false;
+            for (;;) {
+                if (ring.tryPush(r)) {
+                    pushed = true;
+                    break;
+                }
+                ++attempts;
                 ++p.yields;
-                std::this_thread::yield();
+                // Admission policy decides what a full ring costs.
+                if (cfg.admission == AdmissionPolicy::kShed &&
+                    r.cls != 0)
+                    break; // shed best-effort classes immediately
+                if (cfg.admission != AdmissionPolicy::kBlock &&
+                    attempts >= cfg.retryPushRounds)
+                    break; // bounded retry budget spent
+                if (cfg.admission == AdmissionPolicy::kBlock &&
+                    attempts >= cfg.blockPushRounds) {
+                    recordError(
+                        "producer " +
+                        std::to_string(p.producerIdx) + ": shard " +
+                        std::to_string(shard) + " ring still full "
+                        "after " + std::to_string(attempts) +
+                        " push attempts; declaring it wedged");
+                    // release: the error record happens-before any
+                    // worker observing the abort.
+                    abortRun.store(true, std::memory_order_release);
+                    break;
+                }
+                ++p.backoffRounds;
+                p.yields += p.backoff.pause();
+                if (abortRun.load(std::memory_order_acquire))
+                    break;
             }
-            ++p.pushed;
+            if (pushed)
+                ++p.pushed;
+            else
+                ++p.shedByClass[r.cls];
+            if (advanceBurst(p)) {
+                // Burst gap: pause without pushing (chaos pacing).
+                for (std::uint64_t i = 0;
+                     i < p.gapRemaining &&
+                     !abortRun.load(std::memory_order_relaxed);
+                     ++i)
+                    std::this_thread::yield();
+                p.gapRemaining = 0;
+            }
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(cfg.shards + cfg.producers);
-    for (auto &s : shards)
-        pool.emplace_back([&shardMain, &s] { shardMain(s); });
-    std::vector<std::thread> feeders;
-    feeders.reserve(cfg.producers);
-    for (auto &p : producers)
-        feeders.emplace_back([&producerMain, &p] { producerMain(p); });
-    for (auto &t : feeders)
-        t.join();
-    // release: everything the producers wrote (ring slots, counters)
-    // happens-before a shard's acquire load of the done flag.
-    producersDone.store(true, std::memory_order_release);
-    for (auto &t : pool)
-        t.join();
+    /**
+     * One deterministic producer round: honor the burst gap, then
+     * attempt up to the round's push budget.  A failed push costs the
+     * round (one attempt per round — `curRounds` is the deterministic
+     * stand-in for the threaded retry count).
+     * @return true when the producer has nothing left to do.
+     */
+    auto producerStepDet = [&](ProducerState &p) -> bool {
+        if (p.finished)
+            return true;
+        p.confined.assertOwned("ProducerState");
+        if (p.gapRemaining > 0) {
+            --p.gapRemaining;
+            return false;
+        }
+        std::uint64_t budget =
+            cfg.chaos.burstLen > 0
+                ? cfg.chaos.burstLen - p.burstCount
+                : kDetPushesPerRound;
+        while (budget > 0) {
+            if (!p.curValid) {
+                if (!drawNext(p, p.cur)) {
+                    p.finished = true;
+                    return true;
+                }
+                p.curValid = true;
+                p.curRounds = 0;
+            }
+            const unsigned shard =
+                mapping.decompose(p.cur.addr).channel;
+            if (shards[shard].ring->tryPush(p.cur)) {
+                ++p.pushed;
+                p.curValid = false;
+                --budget;
+                if (advanceBurst(p))
+                    return false; // gap starts next round
+                continue;
+            }
+            ++p.yields;
+            ++p.curRounds;
+            const std::uint8_t cls = p.cur.cls;
+            if ((cfg.admission == AdmissionPolicy::kShed &&
+                 cls != 0) ||
+                (cfg.admission != AdmissionPolicy::kBlock &&
+                 p.curRounds >= cfg.retryPushRounds)) {
+                ++p.shedByClass[cls];
+                p.curValid = false;
+                --budget;
+                if (advanceBurst(p))
+                    return false;
+                continue;
+            }
+            if (cfg.admission == AdmissionPolicy::kBlock &&
+                p.curRounds >= cfg.blockPushRounds) {
+                recordError(
+                    "producer " + std::to_string(p.producerIdx) +
+                    ": shard " + std::to_string(shard) +
+                    " ring still full after " +
+                    std::to_string(p.curRounds) +
+                    " push rounds; declaring it wedged");
+                abortRun.store(true, std::memory_order_release);
+                return true;
+            }
+            return false; // one failed attempt per round
+        }
+        return false;
+    };
+
+    if (cfg.deterministic) {
+        // Cooperative round-robin on this thread: every counter is a
+        // pure function of (config, profile, seed).  The round cap is
+        // an anti-livelock backstop only — shard clocks already stop
+        // at exp.maxMemCycles.
+        const std::uint64_t roundCap = 2 * exp.maxMemCycles + 10000;
+        bool allProducersFinished = false;
+        for (std::uint64_t round = 0;; ++round) {
+            if (round >= roundCap) {
+                recordError("deterministic serve exceeded " +
+                            std::to_string(roundCap) +
+                            " rounds without draining; declaring "
+                            "livelock");
+                abortRun.store(true, std::memory_order_release);
+                break;
+            }
+            if (!allProducersFinished) {
+                bool fin = true;
+                for (auto &p : producers)
+                    fin = producerStepDet(p) && fin;
+                if (fin) {
+                    allProducersFinished = true;
+                    producersDone.store(true,
+                                        std::memory_order_release);
+                }
+            }
+            bool allShardsDone = true;
+            for (auto &s : shards) {
+                if (s.done.load(std::memory_order_relaxed))
+                    continue;
+                if (shardStep(s) == StepOutcome::kDone)
+                    s.done.store(true, std::memory_order_relaxed);
+                else
+                    allShardsDone = false;
+            }
+            if (abortRun.load(std::memory_order_acquire))
+                break;
+            if (cfg.watchdog && round > 0 &&
+                round % cfg.watchdogPollRounds == 0) {
+                if (!watch.poll(shards)) {
+                    recordError(watch.error);
+                    abortRun.store(true, std::memory_order_release);
+                    break;
+                }
+            }
+            if (allProducersFinished && allShardsDone)
+                break;
+        }
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(cfg.shards);
+        for (auto &s : shards)
+            pool.emplace_back([&shardMain, &s] { shardMain(s); });
+
+        std::thread monitor;
+        if (cfg.watchdog) {
+            monitor = std::thread([&] {
+                for (;;) {
+                    if (abortRun.load(std::memory_order_acquire))
+                        return;
+                    bool allDone = true;
+                    for (const auto &s : shards)
+                        allDone =
+                            allDone &&
+                            s.done.load(std::memory_order_acquire);
+                    if (allDone)
+                        return;
+                    for (unsigned i = 0;
+                         i < cfg.watchdogPollYields &&
+                         !abortRun.load(std::memory_order_relaxed);
+                         ++i)
+                        std::this_thread::yield();
+                    if (!watch.poll(shards)) {
+                        recordError(watch.error);
+                        abortRun.store(true,
+                                       std::memory_order_release);
+                        return;
+                    }
+                }
+            });
+        }
+
+        std::vector<std::thread> feeders;
+        feeders.reserve(cfg.producers);
+        for (auto &p : producers)
+            feeders.emplace_back(
+                [&producerMain, &p] { producerMain(p); });
+        for (auto &t : feeders)
+            t.join();
+        // release: everything the producers wrote (ring slots,
+        // counters) happens-before a shard's acquire load of the
+        // done flag.
+        producersDone.store(true, std::memory_order_release);
+        for (auto &t : pool)
+            t.join();
+        if (monitor.joinable())
+            monitor.join();
+    }
 
     // Batched aggregation: every counter below was accumulated
     // thread-locally; this is the only merge point.
     ServeResult res;
     res.shards = cfg.shards;
     res.producers = cfg.producers;
+    res.deterministic = cfg.deterministic;
     for (const auto &p : producers) {
         res.requestsIngested += p.pushed;
         res.backpressureYields += p.yields;
+        res.backoffRounds += p.backoffRounds;
+        res.poisonedInjected += p.poisonedInjected;
+        for (unsigned k = 0; k < kServeClasses; ++k) {
+            res.classes[k].produced += p.producedByClass[k];
+            res.classes[k].shedAdmission += p.shedByClass[k];
+        }
     }
     double latency_sum = 0.0;
     std::uint64_t completed = 0;
@@ -256,16 +808,36 @@ runServe(const ServeConfig &cfg)
         res.readsRetired += s.readsDone;
         res.writesRetired += s.writes;
         res.shardRetired.push_back(s.readsDone + s.writes);
+        res.shardRecoveries.push_back(s.recoveries);
+        res.watchdogRecoveries += s.recoveries;
         if (s.now > res.maxShardCycles)
             res.maxShardCycles = s.now;
         res.totalShardCycles += s.now;
         res.hitCycleCap = res.hitCycleCap || s.hitCap;
         latency_sum += s.ctrl->stats().readLatencySum;
         completed += s.ctrl->stats().readsCompleted;
+        for (unsigned k = 0; k < kServeClasses; ++k) {
+            res.classes[k].retired += s.retiredByClass[k];
+            res.classes[k].shedTimeout += s.timeoutShed[k];
+            res.classes[k].shedPoison += s.poisonShed[k];
+            res.classes[k].readLatency.merge(s.latencyHist[k]);
+        }
     }
+    for (const ServeClassStats &c : res.classes) {
+        res.requestsProduced += c.produced;
+        res.shedAdmission += c.shedAdmission;
+        res.shedTimeout += c.shedTimeout;
+        res.shedPoison += c.shedPoison;
+    }
+    res.watchdogEaseSteps = watch.easeSteps;
     res.requestsRetired = res.readsRetired + res.writesRetired;
     res.avgReadLatency =
         completed ? latency_sum / static_cast<double>(completed) : 0.0;
+    {
+        MutexLock lock(errorsMu);
+        res.errors = errors;
+    }
+    res.failed = !res.errors.empty();
     if (exp.audit) {
         AuditReport merged;
         for (const auto &s : shards)
@@ -276,6 +848,87 @@ runServe(const ServeConfig &cfg)
         res.auditMessages = std::move(merged.messages);
     }
     return res;
+}
+
+void
+publishServeMetrics(const ServeResult &res, MetricRegistry &registry)
+{
+    registry
+        .counter("serve.produced",
+                 "requests drawn from the producer streams")
+        .inc(res.requestsProduced);
+    registry
+        .counter("serve.ingested",
+                 "requests pushed into the shard ingest rings")
+        .inc(res.requestsIngested);
+    registry
+        .counter("serve.retired",
+                 "requests completed by the controllers")
+        .inc(res.requestsRetired);
+    registry.counter("serve.reads_retired", "reads whose data returned")
+        .inc(res.readsRetired);
+    registry.counter("serve.writes_retired", "writes accepted (posted)")
+        .inc(res.writesRetired);
+    registry
+        .counter("serve.shed_admission",
+                 "requests shed at a full ingest ring")
+        .inc(res.shedAdmission);
+    registry
+        .counter("serve.shed_timeout",
+                 "requests shed past their dispatch deadline")
+        .inc(res.shedTimeout);
+    registry
+        .counter("serve.shed_poison",
+                 "requests shed by the ingest integrity check")
+        .inc(res.shedPoison);
+    registry
+        .counter("serve.poisoned_injected",
+                 "chaos-poisoned requests injected by producers")
+        .inc(res.poisonedInjected);
+    registry
+        .counter("serve.backpressure_yields",
+                 "producer yields at a full ring")
+        .inc(res.backpressureYields);
+    registry
+        .counter("serve.backoff_rounds",
+                 "producer SpinBackoff pauses")
+        .inc(res.backoffRounds);
+    registry
+        .counter("serve.watchdog_recoveries",
+                 "shard recoveries honored after a watchdog request")
+        .inc(res.watchdogRecoveries);
+    registry
+        .counter("serve.watchdog_ease_steps",
+                 "hysteresis easings after sustained clean polls")
+        .inc(res.watchdogEaseSteps);
+    for (unsigned k = 0; k < kServeClasses; ++k) {
+        const std::string prefix = "serve.c" + std::to_string(k) + ".";
+        const ServeClassStats &c = res.classes[k];
+        registry
+            .counter(prefix + "produced",
+                     "requests of this priority class produced")
+            .inc(c.produced);
+        registry
+            .counter(prefix + "retired",
+                     "requests of this priority class retired")
+            .inc(c.retired);
+        registry
+            .counter(prefix + "shed_admission",
+                     "admission sheds of this priority class")
+            .inc(c.shedAdmission);
+        registry
+            .counter(prefix + "shed_timeout",
+                     "deadline sheds of this priority class")
+            .inc(c.shedTimeout);
+        registry
+            .counter(prefix + "shed_poison",
+                     "integrity sheds of this priority class")
+            .inc(c.shedPoison);
+        registry
+            .histogram(prefix + "read_latency", 0.0, 8.0, 256,
+                       "admitted-to-data read latency [cycles]")
+            .merge(c.readLatency);
+    }
 }
 
 } // namespace nuat

@@ -2,11 +2,32 @@
 
 namespace nuat {
 
+namespace {
+
+/** SplitMix64 finalizer; the class draw must be a stateless hash of
+ *  (seed, index) so a replayed stream reassigns identical classes. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+// Salted off the trace-synthesis draws so adding classes changed no
+// address sequence (goldens/serve output stay byte-identical).
+constexpr std::uint64_t kSaltClass = 71;
+
+} // namespace
+
 RequestStream::RequestStream(const WorkloadProfile &profile,
                              const DramGeometry &geometry,
                              std::uint64_t seed, std::uint64_t max_ops,
                              std::uint32_t base_row)
-    : trace_(profile, geometry, seed, max_ops, base_row)
+    : trace_(profile, geometry, seed, max_ops, base_row), seed_(seed)
 {
 }
 
@@ -18,6 +39,14 @@ RequestStream::next(StreamRequest &out)
         return false;
     out.addr = entry.addr;
     out.isWrite = entry.isWrite;
+    // 1/8 high, 5/8 normal, 2/8 low — enough high-class traffic to
+    // measure, enough low-class traffic to shed meaningfully.
+    const std::uint64_t h =
+        mix64(seed_ ^ (kSaltClass * 0x9e3779b97f4a7c15ull)) ^ index_;
+    const std::uint64_t draw = mix64(h) & 7;
+    out.cls = draw == 0 ? 0 : (draw < 6 ? 1 : 2);
+    out.poisoned = false;
+    ++index_;
     return true;
 }
 

@@ -21,11 +21,27 @@
 
 namespace nuat {
 
+/**
+ * Priority classes a serve-mode request can carry: 0 is the highest
+ * (latency-critical), kServeClasses - 1 the lowest (best-effort).
+ * Under overload the admission and deadline policies degrade
+ * selectively by class — shed late, low-value work first.
+ */
+inline constexpr unsigned kServeClasses = 3;
+
 /** One serve-mode memory request. */
 struct StreamRequest
 {
     Addr addr = 0;        //!< byte address of the access
     bool isWrite = false; //!< request direction
+
+    /** Priority class, 0 (highest) .. kServeClasses - 1 (lowest);
+     *  drawn per request from a stateless hash of (seed, index). */
+    std::uint8_t cls = 1;
+
+    /** Payload poisoned by chaos injection: the shard's integrity
+     *  check must shed it before dispatch (see fault/chaos_profile). */
+    bool poisoned = false;
 };
 
 /**
@@ -62,6 +78,8 @@ class RequestStream
 
   private:
     SyntheticTrace trace_;
+    std::uint64_t seed_ = 0;  //!< salts the per-request class draw
+    std::uint64_t index_ = 0; //!< index of the next request produced
 };
 
 } // namespace nuat

@@ -14,9 +14,13 @@ Subcommands:
             clean run passes and an injected regression fails.
 
 Metric direction is keyed on the metric name suffix:
-  *.mcycles_per_s   higher is better (simulated throughput)
-  *.requests_per_s  higher is better (nuat_serve sharded throughput)
-  *.cpu_ns          lower is better (bench_micro per-op time)
+  *.mcycles_per_s          higher is better (simulated throughput)
+  *.requests_per_s         higher is better (nuat_serve throughput)
+  *.cpu_ns                 lower is better (bench_micro per-op time)
+  *.shed_ratio_under_storm lower is better (requests shed under the
+                           deterministic burst-storm chaos profile —
+                           exact, machine-independent, so a rise means
+                           the serving layer genuinely lost capacity)
 
 The default threshold is generous (25%) because CI runners are noisy
 and share cores; override with --threshold or NUAT_BENCH_GATE_THRESHOLD
@@ -46,6 +50,8 @@ def higher_is_better(name):
     if name.endswith(".requests_per_s"):
         return True
     if name.endswith(".cpu_ns"):
+        return False
+    if name.endswith(".shed_ratio_under_storm"):
         return False
     raise ValueError("unknown metric direction for %r" % name)
 
@@ -107,6 +113,27 @@ def run_serve(build_dir, shards, producers, requests):
     raise RuntimeError("nuat_serve printed no JSON summary line")
 
 
+def run_serve_storm(build_dir):
+    """Run the deterministic burst-storm cell; return shed ratio.
+
+    Unlike the wall-clock metrics this one is exact: same binary, same
+    (profile, seed) => same counters on every machine, so the gate
+    catches real capacity loss rather than runner noise.
+    """
+    exe = os.path.join(build_dir, "tools", "nuat_serve")
+    proc = subprocess.run(
+        [exe, "--deterministic", "--chaos-profile", "burst-storm",
+         "--admission", "shed", "--shards", "2", "--producers", "2",
+         "--requests", "20000", "--queue-capacity", "256", "--json"],
+        capture_output=True, text=True, check=True)
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith('{"serve"'):
+            data = json.loads(line)
+            return data["shed_total"] / data["produced"]
+    raise RuntimeError("nuat_serve printed no JSON summary line")
+
+
 def cmd_collect(args):
     metrics = {}
     for bench in THROUGHPUT_BENCHES:
@@ -119,6 +146,9 @@ def cmd_collect(args):
                     args.serve_shards, args.serve_requests)
     metrics["serve.requests_per_s"] = rps
     print("collect: serve.requests_per_s = %.1f" % rps)
+    shed = run_serve_storm(args.build_dir)
+    metrics["serve.shed_ratio_under_storm"] = shed
+    print("collect: serve.shed_ratio_under_storm = %.6f" % shed)
     for name, cpu_ns in sorted(run_micro(args.build_dir,
                                          args.min_time).items()):
         metrics["micro.%s.cpu_ns" % name] = cpu_ns
@@ -194,6 +224,7 @@ def cmd_selftest(args):
         "fig18.mcycles_per_s": 100.0,
         "fig20.mcycles_per_s": 80.0,
         "serve.requests_per_s": 50000.0,
+        "serve.shed_ratio_under_storm": 0.01,
         "micro.BM_SystemMemCycle/nuat:1.cpu_ns": 240.0,
         "micro.BM_SchedulerPick/batch:1/depth:64.cpu_ns": 300.0,
     }
@@ -208,6 +239,12 @@ def cmd_selftest(args):
         ({"fig18.mcycles_per_s": 50.0}, ["fig18.mcycles_per_s"]),
         # Serve throughput collapse must fail (higher is better).
         ({"serve.requests_per_s": 20000.0}, ["serve.requests_per_s"]),
+        # A small wobble in the storm shed ratio passes...
+        ({"serve.shed_ratio_under_storm": 0.011}, []),
+        # ...but shedding a lot more under the same storm must fail
+        # (lower is better).
+        ({"serve.shed_ratio_under_storm": 0.02},
+         ["serve.shed_ratio_under_storm"]),
         # Hot-path slowdown must fail.
         ({"micro.BM_SystemMemCycle/nuat:1.cpu_ns": 400.0},
          ["micro.BM_SystemMemCycle/nuat:1.cpu_ns"]),
@@ -222,6 +259,8 @@ def cmd_selftest(args):
         ({"micro.BM_SystemMemCycle/nuat:1.cpu_ns": None},
          ["micro.BM_SystemMemCycle/nuat:1.cpu_ns"]),
         ({"serve.requests_per_s": None}, ["serve.requests_per_s"]),
+        ({"serve.shed_ratio_under_storm": None},
+         ["serve.shed_ratio_under_storm"]),
     ]
     failures = 0
     for overrides, expect in checks:

@@ -31,6 +31,16 @@
 #          every built-in fault profile under degradation (must stay
 #          violation-free), and the negative control (--no-degrade must
 #          trip the charge-margin rule, exit 2).  See ROBUSTNESS.md.
+#
+# --chaos: ONLY the serving-resilience lane, matching CI: the serve/
+#          chaos/ring test suites, then the deterministic chaos matrix
+#          (every built-in chaos profile x every admission policy, each
+#          cell run twice under --audit).  Each cell must be
+#          violation-free, conserve requests per priority class, and
+#          produce byte-identical counters across the two runs; the
+#          storm-stall cells must additionally report at least one
+#          watchdog recovery.  A chaos-off control run closes the lane
+#          (nothing shed, produced == retired).  See ROBUSTNESS.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +49,7 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 QUICK=0
 LINT=0
 FAULTS=0
+CHAOS=0
 SANITIZE=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -52,6 +63,10 @@ while [[ $# -gt 0 ]]; do
         ;;
       --faults)
         FAULTS=1
+        shift
+        ;;
+      --chaos)
+        CHAOS=1
         shift
         ;;
       --sanitize)
@@ -165,6 +180,86 @@ elif [[ "$FAULTS" == "1" ]]; then
 
     echo
     echo "Robustness lane passed."
+    exit 0
+elif [[ "$CHAOS" == "1" ]]; then
+    echo "=== Chaos lane: build ==="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j "$JOBS"
+
+    echo
+    echo "=== Serve/chaos/ring tests ==="
+    ctest --test-dir build-release -j "$JOBS" --output-on-failure \
+          -R 'serve_runtime|chaos|mpsc_queue' "$@"
+
+    serve=./build-release/tools/nuat_serve
+
+    # Two identical deterministic runs per cell: counters must be
+    # byte-identical (only wall-clock fields may differ), audits
+    # clean, and conservation must hold per priority class.
+    check_cell() {
+        local profile="$1" policy="$2"
+        local args=(--deterministic --chaos-profile "$profile"
+                    --admission "$policy" --audit --json
+                    --shards 2 --producers 2 --requests 5000
+                    --queue-capacity 256 --deadline 4000)
+        local a b
+        a=$("$serve" "${args[@]}")
+        b=$("$serve" "${args[@]}")
+        python3 - "$a" "$b" "$profile" "$policy" <<'PY'
+import json, sys
+
+a, b = json.loads(sys.argv[1]), json.loads(sys.argv[2])
+profile, policy = sys.argv[3], sys.argv[4]
+for k in ("wall_s", "requests_per_s"):
+    a.pop(k, None)
+    b.pop(k, None)
+if a != b:
+    sys.exit("determinism broken for %s/%s:\n  %r\n  %r"
+             % (profile, policy, a, b))
+if a["audit_violations"] != 0:
+    sys.exit("audit violations under %s/%s" % (profile, policy))
+if a["produced"] != a["retired"] + a["shed_total"]:
+    sys.exit("conservation broken under %s/%s: %d produced != "
+             "%d retired + %d shed"
+             % (profile, policy, a["produced"], a["retired"],
+                a["shed_total"]))
+for i, c in enumerate(a["classes"]):
+    if c["produced"] != c["retired"] + c["shed"]:
+        sys.exit("class %d conservation broken under %s/%s"
+                 % (i, profile, policy))
+if profile == "storm-stall" and a["watchdog_recoveries"] < 1:
+    sys.exit("storm-stall/%s run recovered no shard" % policy)
+print("    ok: produced=%d retired=%d shed=%d recoveries=%d"
+      % (a["produced"], a["retired"], a["shed_total"],
+         a["watchdog_recoveries"]))
+PY
+    }
+
+    echo
+    echo "=== Deterministic chaos matrix (profile x admission) ==="
+    for profile in burst-storm poison shard-stall storm-stall; do
+        for policy in block bounded shed; do
+            echo "--- $profile / $policy"
+            check_cell "$profile" "$policy"
+        done
+    done
+
+    echo
+    echo "=== Chaos-off control (resilience layer must be invisible) ==="
+    "$serve" --deterministic --audit --json --shards 2 --producers 2 \
+             --requests 5000 --queue-capacity 256 |
+        python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d["shed_total"] == 0, "clean run shed requests"
+assert d["watchdog_recoveries"] == 0, "clean run recovered"
+assert d["produced"] == d["retired"], "clean run lost requests"
+assert d["audit_violations"] == 0, "clean run had violations"
+print("    ok: produced=%d retired=%d" % (d["produced"], d["retired"]))
+'
+
+    echo
+    echo "Chaos lane passed."
     exit 0
 elif [[ "$SANITIZE" == "asan" ]]; then
     echo "=== ASan/UBSan build + tests ==="

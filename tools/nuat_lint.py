@@ -34,14 +34,19 @@ ever runs:
                      no iteration over unordered containers (iteration
                      order would leak into stats).
   fault-determinism  the fault-injection subsystem (``src/fault/``)
-                     must be a *pure function* of (profile, seed,
-                     coordinates): no ``std::rand``/``srand``/libc RNG,
-                     no ``<random>`` engines or distributions, and no
-                     stateful ``Rng`` (common/random.hh) either —
-                     consuming a shared RNG stream makes the schedule
-                     depend on call order and breaks replay/resume.
-                     Derive per-row/per-REF draws from a stateless
-                     hash of (seed, salt, coordinates) instead.
+                     and the serve runtime's chaos/recovery paths
+                     (``src/sim/serve_runtime.*``) must be a *pure
+                     function* of (profile, seed, coordinates): no
+                     ``std::rand``/``srand``/libc RNG, no ``<random>``
+                     engines or distributions, and no stateful ``Rng``
+                     (common/random.hh) either — consuming a shared
+                     RNG stream makes the schedule depend on call
+                     order and breaks replay/resume.  Derive
+                     per-row/per-REF draws from a stateless hash of
+                     (seed, salt, coordinates) instead.  Wall-clock
+                     sleeps (``sleep_for``/``sleep_until``) are banned
+                     too: backoff and recovery cadence must be
+                     iteration-count based.
   shared-mutable-static
                      no non-const ``static`` data in the simulation
                      core (``src/core|dram|mem|charge|sched``) — a
@@ -555,6 +560,13 @@ def check_nondeterminism(relpath, text, stripped):
 # coordinates (seed, salt, rank, row / refIndex), never on how many
 # draws happened before it, or fingerprint replay and golden snapshots
 # fall apart the first time someone reorders two calls.
+#
+# The serve runtime's chaos/recovery paths (src/sim/serve_runtime.*)
+# carry the same contract: backoff schedules, watchdog decisions and
+# chaos injection must be pure functions of iteration counts and the
+# (profile, seed) hash — no RNG, and no wall-clock sleeps either
+# (std::this_thread::yield is fine; sleep_for smuggles wall time into
+# the recovery cadence).
 FAULT_BANNED_CALL_RE = re.compile(
     r"(?<![\w.])(?:std::)?(?:rand|srand|rand_r|drand48|lrand48|random)\s*\("
     r"|std::random_device|std::mt19937\w*|std::default_random_engine"
@@ -562,12 +574,25 @@ FAULT_BANNED_CALL_RE = re.compile(
 )
 FAULT_RNG_INCLUDE_RE = re.compile(r'#include\s+"common/random\.hh"')
 FAULT_RNG_STATE_RE = re.compile(r"\bRng\b")
+FAULT_SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+FAULT_DETERMINISM_PATHS = ("src/fault/", "src/sim/serve_runtime")
 
 
 def check_fault_determinism(relpath, text, stripped):
-    if not relpath.startswith("src/fault/"):
+    if not relpath.startswith(FAULT_DETERMINISM_PATHS):
         return []
     findings = []
+    for m in FAULT_SLEEP_RE.finditer(stripped):
+        findings.append(
+            Finding(
+                relpath,
+                _line_of(stripped, m.start()),
+                "fault-determinism",
+                "wall-clock sleep in a determinism-critical path — "
+                "backoff and recovery cadence must be iteration-count "
+                "based (yield, not sleep_for/sleep_until)",
+            )
+        )
     for m in FAULT_BANNED_CALL_RE.finditer(stripped):
         findings.append(
             Finding(
@@ -1031,6 +1056,23 @@ double leakDraw()
 }
 """,
     ),
+    # The serve runtime's chaos/recovery paths carry the same
+    # determinism contract as src/fault/ (see FAULT_DETERMINISM_PATHS):
+    # no RNG in backoff/watchdog decisions, and no wall-clock sleeps.
+    "fault-determinism#serve": (
+        "src/sim/serve_runtime.cc",
+        """
+#include <chrono>
+#include <thread>
+#include "common/random.hh"
+unsigned jitterBackoff()
+{
+    Rng rng(99);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return 1;
+}
+""",
+    ),
     "shared-mutable-static": (
         "src/sched/broken_static.cc",
         """
@@ -1133,7 +1175,11 @@ def selftest():
 
         for rule, (rel, _) in sorted(FIXTURES.items()):
             got = by_file.get(rel, set())
-            if rule in got:
+            # "rule#variant" keys are extra fixtures for one rule
+            # (e.g. fault-determinism has a src/fault/ fixture and a
+            # serve-runtime one); the rule name is the part before '#'.
+            want = rule.split("#")[0]
+            if want in got:
                 print("PASS  %-16s caught by fixture %s" % (rule, rel))
             else:
                 print(

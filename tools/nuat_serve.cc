@@ -17,14 +17,30 @@
  *     --pb N              NUAT PB count, 1..5 (default 5)
  *     --seed N            stream RNG seed (default 1)
  *     --no-ppm            disable the PPM page-mode decision maker
+ *     --admission p       full-ring policy: block | bounded | shed
+ *                         (default block)
+ *     --deadline N[,N,N]  per-class dispatch deadline in shard cycles
+ *                         (one value = every class; 0 disables)
+ *     --retry-rounds N    bounded-retry push budget (default 32)
+ *     --max-push-rounds N block-policy wedge threshold (default 65536)
+ *     --admit-capacity N  admitted-stage depth per shard (default 256)
+ *     --chaos-profile p   built-in name (burst-storm | poison |
+ *                         shard-stall | storm-stall) or key=value file
+ *     --deterministic     single-threaded cooperative execution:
+ *                         byte-identical counters per (profile, seed)
+ *     --no-watchdog       disable shard stall detection/recovery
+ *     --watchdog-polls N  frozen polls before a recovery (default 4)
+ *     --metrics-out f     write serve.* metrics as one JSONL record
  *     --audit             shadow protocol auditor on every shard; the
  *                         exit code is 2 if any shard flags a
  *                         violation
  *     --json              emit one machine-readable summary line
  *     --help
  *
- * Exit codes: 0 ok, 2 audit violations, 1 usage/fatal errors or a run
- * that retired nothing / hit the cycle cap.
+ * Exit codes: 0 ok, 1 runtime failure (wedged ring, watchdog
+ * exhausted, cycle cap, broken conservation), 2 audit violations,
+ * 64 bad command line (EX_USAGE), 65 malformed workload or chaos
+ * profile (EX_DATAERR, with a one-line file:line diagnostic).
  *
  * Wall-clock timing lives here, not in the serve runtime:
  * src/sim must stay free of std::chrono (nuat-lint `nondeterminism`).
@@ -33,15 +49,25 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "sim/serve_runtime.hh"
+#include "trace/workload_profile.hh"
 
 using namespace nuat;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitAudit = 2;
+constexpr int kExitUsage = 64;    //!< EX_USAGE: bad command line
+constexpr int kExitBadInput = 65; //!< EX_DATAERR: malformed input
 
 std::vector<std::string>
 splitCommas(const std::string &arg)
@@ -62,6 +88,22 @@ splitCommas(const std::string &arg)
     return out;
 }
 
+/** Strict unsigned parse; a garbage value is a usage error (64). */
+std::uint64_t
+parseCount(const std::string &flag, const char *v)
+{
+    char *end = nullptr;
+    const unsigned long long u = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+        std::fprintf(stderr,
+                     "nuat_serve: %s needs an unsigned integer, got "
+                     "'%s'\n",
+                     flag.c_str(), v);
+        std::exit(kExitUsage);
+    }
+    return u;
+}
+
 SchedulerKind
 parseScheduler(const std::string &name)
 {
@@ -75,9 +117,11 @@ parseScheduler(const std::string &name)
         return SchedulerKind::kFrFcfsClose;
     if (name == "frfcfs-adaptive")
         return SchedulerKind::kFrFcfsAdaptive;
-    nuat_fatal("unknown scheduler '%s' (nuat | fcfs | frfcfs-open | "
-               "frfcfs-close | frfcfs-adaptive)",
-               name.c_str());
+    std::fprintf(stderr,
+                 "nuat_serve: unknown scheduler '%s' (nuat | fcfs | "
+                 "frfcfs-open | frfcfs-close | frfcfs-adaptive)\n",
+                 name.c_str());
+    std::exit(kExitUsage);
 }
 
 void
@@ -96,9 +140,24 @@ usage()
         "  --scheduler s       nuat | fcfs | frfcfs-open | "
         "frfcfs-close | frfcfs-adaptive\n"
         "  --pb N --seed N --no-ppm\n"
+        "  --admission p       block | bounded | shed (default "
+        "block)\n"
+        "  --deadline N[,N,N]  per-class dispatch deadline [cycles]\n"
+        "  --retry-rounds N    bounded-retry push budget (default "
+        "32)\n"
+        "  --max-push-rounds N block-policy wedge threshold (default "
+        "65536)\n"
+        "  --admit-capacity N  admitted-stage depth (default 256)\n"
+        "  --chaos-profile p   burst-storm | poison | shard-stall | "
+        "storm-stall | file\n"
+        "  --deterministic     byte-identical cooperative execution\n"
+        "  --no-watchdog --watchdog-polls N\n"
+        "  --metrics-out f     serve.* metrics as one JSONL record\n"
         "  --audit             shadow auditor per shard (exit 2 on "
         "violations)\n"
-        "  --json              one machine-readable summary line\n");
+        "  --json              one machine-readable summary line\n"
+        "exit: 0 ok, 1 runtime failure, 2 audit violations, 64 bad "
+        "CLI, 65 malformed input\n");
 }
 
 } // namespace
@@ -109,48 +168,129 @@ main(int argc, char **argv)
     ServeConfig cfg;
     cfg.experiment.workloads = {"ferret"};
     bool json = false;
+    std::string chaosArg;
+    std::string metricsOut;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
-            if (i + 1 >= argc)
-                nuat_fatal("%s needs a value", arg.c_str());
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "nuat_serve: %s needs a value\n",
+                             arg.c_str());
+                std::exit(kExitUsage);
+            }
             return argv[++i];
         };
         if (arg == "--shards") {
-            cfg.shards = static_cast<unsigned>(std::atoi(value()));
+            cfg.shards =
+                static_cast<unsigned>(parseCount(arg, value()));
         } else if (arg == "--producers") {
-            cfg.producers = static_cast<unsigned>(std::atoi(value()));
+            cfg.producers =
+                static_cast<unsigned>(parseCount(arg, value()));
         } else if (arg == "--requests") {
-            cfg.requestsPerProducer =
-                std::strtoull(value(), nullptr, 10);
+            cfg.requestsPerProducer = parseCount(arg, value());
         } else if (arg == "--queue-capacity") {
-            cfg.queueCapacity = std::strtoull(value(), nullptr, 10);
+            cfg.queueCapacity = parseCount(arg, value());
         } else if (arg == "--ingest-batch") {
-            cfg.ingestBatch = static_cast<unsigned>(std::atoi(value()));
+            cfg.ingestBatch =
+                static_cast<unsigned>(parseCount(arg, value()));
         } else if (arg == "--workloads") {
             cfg.experiment.workloads = splitCommas(value());
         } else if (arg == "--scheduler") {
             cfg.experiment.scheduler = parseScheduler(value());
         } else if (arg == "--pb") {
             cfg.experiment.numPb =
-                static_cast<unsigned>(std::atoi(value()));
+                static_cast<unsigned>(parseCount(arg, value()));
         } else if (arg == "--seed") {
-            cfg.experiment.seed = std::strtoull(value(), nullptr, 10);
+            cfg.experiment.seed = parseCount(arg, value());
         } else if (arg == "--no-ppm") {
             cfg.experiment.ppmEnabled = false;
+        } else if (arg == "--admission") {
+            const std::string name = value();
+            if (!parseAdmissionPolicy(name, &cfg.admission)) {
+                std::fprintf(stderr,
+                             "nuat_serve: unknown admission policy "
+                             "'%s' (block | bounded | shed)\n",
+                             name.c_str());
+                return kExitUsage;
+            }
+        } else if (arg == "--deadline") {
+            const std::vector<std::string> vals =
+                splitCommas(value());
+            if (vals.size() == 1) {
+                const Cycle d = parseCount(arg, vals[0].c_str());
+                for (auto &slot : cfg.deadlineCycles)
+                    slot = d;
+            } else if (vals.size() == kServeClasses) {
+                for (unsigned k = 0; k < kServeClasses; ++k)
+                    cfg.deadlineCycles[k] =
+                        parseCount(arg, vals[k].c_str());
+            } else {
+                std::fprintf(stderr,
+                             "nuat_serve: --deadline takes 1 or %u "
+                             "comma-separated values\n",
+                             kServeClasses);
+                return kExitUsage;
+            }
+        } else if (arg == "--retry-rounds") {
+            cfg.retryPushRounds = parseCount(arg, value());
+        } else if (arg == "--max-push-rounds") {
+            cfg.blockPushRounds = parseCount(arg, value());
+        } else if (arg == "--admit-capacity") {
+            cfg.admitCapacity = parseCount(arg, value());
+        } else if (arg == "--chaos-profile") {
+            chaosArg = value();
+        } else if (arg == "--deterministic") {
+            cfg.deterministic = true;
+        } else if (arg == "--no-watchdog") {
+            cfg.watchdog = false;
+        } else if (arg == "--watchdog-polls") {
+            cfg.watchdogStallPolls =
+                static_cast<unsigned>(parseCount(arg, value()));
+        } else if (arg == "--metrics-out") {
+            metricsOut = value();
         } else if (arg == "--audit") {
             cfg.experiment.audit = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--help") {
             usage();
-            return 0;
+            return kExitOk;
         } else {
             usage();
-            nuat_fatal("unknown option '%s'", arg.c_str());
+            std::fprintf(stderr, "nuat_serve: unknown option '%s'\n",
+                         arg.c_str());
+            return kExitUsage;
         }
     }
+
+    // Input validation under throwing handlers: the parsers' fatal
+    // diagnostics (which carry file:line for profile files) become
+    // exceptions we can map onto distinct exit codes.
+    setPanicThrows(true);
+    if (!chaosArg.empty()) {
+        try {
+            cfg.chaos = resolveChaosProfile(chaosArg);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "nuat_serve: %s\n", e.what());
+            return kExitBadInput;
+        }
+    }
+    for (const std::string &w : cfg.experiment.workloads) {
+        try {
+            (void)WorkloadProfile::byName(w);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "nuat_serve: %s\n", e.what());
+            return kExitBadInput;
+        }
+    }
+    try {
+        cfg.validate();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "nuat_serve: %s\n", e.what());
+        return kExitUsage;
+    }
+    setPanicThrows(false);
 
     const auto t0 = std::chrono::steady_clock::now();
     const ServeResult res = runServe(cfg);
@@ -161,6 +301,22 @@ main(int argc, char **argv)
         secs > 0.0 ? static_cast<double>(res.requestsRetired) / secs
                    : 0.0;
 
+    if (!metricsOut.empty()) {
+        std::ofstream out(metricsOut);
+        if (!out) {
+            std::fprintf(stderr,
+                         "nuat_serve: cannot write metrics to '%s'\n",
+                         metricsOut.c_str());
+            return kExitRuntime;
+        }
+        MetricRegistry registry;
+        publishServeMetrics(res, registry);
+        const Cycle at =
+            res.maxShardCycles ? res.maxShardCycles : 1;
+        IntervalSampler sampler(registry, at, &out);
+        sampler.finish(at);
+    }
+
     if (json) {
         std::printf("{\"serve\":\"sharded\",\"shards\":%u,"
                     "\"producers\":%u,\"requests\":%llu,"
@@ -168,7 +324,16 @@ main(int argc, char **argv)
                     "\"wall_s\":%.4f,\"avg_read_latency\":%.2f,"
                     "\"backpressure_yields\":%llu,"
                     "\"max_shard_cycles\":%llu,"
-                    "\"audit_violations\":%llu}\n",
+                    "\"audit_violations\":%llu,"
+                    "\"produced\":%llu,"
+                    "\"shed_admission\":%llu,\"shed_timeout\":%llu,"
+                    "\"shed_poison\":%llu,\"shed_total\":%llu,"
+                    "\"poisoned_injected\":%llu,"
+                    "\"backoff_rounds\":%llu,"
+                    "\"watchdog_recoveries\":%llu,"
+                    "\"watchdog_ease_steps\":%llu,"
+                    "\"admission\":\"%s\",\"chaos\":\"%s\","
+                    "\"deterministic\":%s,\"classes\":[",
                     res.shards, res.producers,
                     static_cast<unsigned long long>(
                         res.requestsIngested),
@@ -180,7 +345,34 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         res.maxShardCycles),
                     static_cast<unsigned long long>(
-                        res.auditViolations));
+                        res.auditViolations),
+                    static_cast<unsigned long long>(
+                        res.requestsProduced),
+                    static_cast<unsigned long long>(res.shedAdmission),
+                    static_cast<unsigned long long>(res.shedTimeout),
+                    static_cast<unsigned long long>(res.shedPoison),
+                    static_cast<unsigned long long>(res.shedTotal()),
+                    static_cast<unsigned long long>(
+                        res.poisonedInjected),
+                    static_cast<unsigned long long>(res.backoffRounds),
+                    static_cast<unsigned long long>(
+                        res.watchdogRecoveries),
+                    static_cast<unsigned long long>(
+                        res.watchdogEaseSteps),
+                    admissionPolicyName(cfg.admission),
+                    cfg.chaos.any() ? cfg.chaos.name.c_str() : "none",
+                    res.deterministic ? "true" : "false");
+        for (unsigned k = 0; k < kServeClasses; ++k) {
+            const ServeClassStats &c = res.classes[k];
+            std::printf("%s{\"produced\":%llu,\"retired\":%llu,"
+                        "\"shed\":%llu}",
+                        k ? "," : "",
+                        static_cast<unsigned long long>(c.produced),
+                        static_cast<unsigned long long>(c.retired),
+                        static_cast<unsigned long long>(
+                            c.shedTotal()));
+        }
+        std::printf("]}\n");
     } else {
         std::printf("serve: %u shard(s), %u producer(s), %llu requests "
                     "ingested, %llu retired (%llu reads, %llu "
@@ -205,6 +397,41 @@ main(int argc, char **argv)
                         res.maxShardCycles),
                     static_cast<unsigned long long>(
                         res.totalShardCycles));
+        if (res.shedTotal() || res.poisonedInjected ||
+            cfg.chaos.any()) {
+            std::printf("serve: %llu produced, shed %llu (admission "
+                        "%llu, timeout %llu, poison %llu)\n",
+                        static_cast<unsigned long long>(
+                            res.requestsProduced),
+                        static_cast<unsigned long long>(
+                            res.shedTotal()),
+                        static_cast<unsigned long long>(
+                            res.shedAdmission),
+                        static_cast<unsigned long long>(
+                            res.shedTimeout),
+                        static_cast<unsigned long long>(
+                            res.shedPoison));
+            for (unsigned k = 0; k < kServeClasses; ++k) {
+                const ServeClassStats &c = res.classes[k];
+                std::printf("serve:   class %u: %llu produced, %llu "
+                            "retired, %llu shed\n",
+                            k,
+                            static_cast<unsigned long long>(
+                                c.produced),
+                            static_cast<unsigned long long>(
+                                c.retired),
+                            static_cast<unsigned long long>(
+                                c.shedTotal()));
+            }
+        }
+        if (res.watchdogRecoveries || res.watchdogEaseSteps) {
+            std::printf("serve: watchdog recovered %llu stall(s), "
+                        "eased %llu time(s)\n",
+                        static_cast<unsigned long long>(
+                            res.watchdogRecoveries),
+                        static_cast<unsigned long long>(
+                            res.watchdogEaseSteps));
+        }
         for (std::size_t s = 0; s < res.shardRetired.size(); ++s) {
             std::printf("serve:   shard %zu retired %llu\n", s,
                         static_cast<unsigned long long>(
@@ -222,23 +449,30 @@ main(int argc, char **argv)
         }
     }
 
+    if (res.failed) {
+        for (const std::string &e : res.errors)
+            std::fprintf(stderr, "error: %s\n", e.c_str());
+        return kExitRuntime;
+    }
     if (res.hitCycleCap) {
         std::fprintf(stderr, "error: a shard hit the cycle cap\n");
-        return 1;
+        return kExitRuntime;
     }
     if (res.requestsRetired == 0) {
         std::fprintf(stderr, "error: nothing retired\n");
-        return 1;
+        return kExitRuntime;
     }
-    if (res.requestsRetired != res.requestsIngested) {
+    if (!res.conserves()) {
         std::fprintf(stderr,
-                     "error: retirement conservation broken "
-                     "(%llu ingested, %llu retired)\n",
+                     "error: conservation broken (%llu produced != "
+                     "%llu retired + %llu shed, or a per-class "
+                     "mismatch)\n",
                      static_cast<unsigned long long>(
-                         res.requestsIngested),
+                         res.requestsProduced),
                      static_cast<unsigned long long>(
-                         res.requestsRetired));
-        return 1;
+                         res.requestsRetired),
+                     static_cast<unsigned long long>(res.shedTotal()));
+        return kExitRuntime;
     }
-    return res.audited && res.auditViolations ? 2 : 0;
+    return res.audited && res.auditViolations ? kExitAudit : kExitOk;
 }
